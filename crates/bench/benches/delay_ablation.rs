@@ -1,0 +1,72 @@
+//! DESIGN.md §5.3 — delay-regime ablation: deterministic-engine steps to
+//! reach `ε` as the delay bound grows (b ∈ {1, 4, 16, 64}) and for the
+//! unbounded `√j` regime. Criterion measures the wall cost; the
+//! steps-to-ε counts are printed once per configuration.
+
+use asynciter_core::engine::{EngineConfig, ReplayEngine};
+use asynciter_core::stopping::StoppingRule;
+use asynciter_models::schedule::{ChaoticBounded, ScheduleGen, UnboundedSqrtDelay};
+use asynciter_models::LabelStore;
+use asynciter_numerics::sparse::tridiagonal;
+use asynciter_opt::linear::JacobiOperator;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn steps_to_eps(op: &JacobiOperator, gen: &mut dyn ScheduleGen, xstar: &[f64]) -> u64 {
+    let cfg = EngineConfig::fixed(5_000_000)
+        .with_labels(LabelStore::MinOnly)
+        .with_stopping(StoppingRule::ErrorBelow {
+            eps: 1e-10,
+            check_every: 16,
+        });
+    let res =
+        ReplayEngine::run(op, &vec![0.0; op.a().rows()], gen, &cfg, Some(xstar)).unwrap();
+    assert!(res.stopped_early);
+    res.steps_run
+}
+
+fn delay_ablation(c: &mut Criterion) {
+    let n = 64;
+    let op = JacobiOperator::new(tridiagonal(n, 4.0, -1.0), vec![1.0; n]).unwrap();
+    let xstar = op.solve_dense_spd().unwrap();
+    let mut group = c.benchmark_group("delay_ablation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    for b in [1u64, 4, 16, 64] {
+        let steps = steps_to_eps(
+            &op,
+            &mut ChaoticBounded::new(n, n / 4, n / 2, b, false, 7),
+            &xstar,
+        );
+        println!("delay bound b={b}: {steps} steps to 1e-10");
+        group.bench_with_input(BenchmarkId::new("bounded", b), &b, |bch, &b| {
+            bch.iter(|| {
+                steps_to_eps(
+                    &op,
+                    &mut ChaoticBounded::new(n, n / 4, n / 2, b, false, 7),
+                    &xstar,
+                )
+            })
+        });
+    }
+    let steps = steps_to_eps(
+        &op,
+        &mut UnboundedSqrtDelay::new(n, n / 4, n / 2, 1.0, 7),
+        &xstar,
+    );
+    println!("unbounded sqrt delays: {steps} steps to 1e-10");
+    group.bench_function("unbounded_sqrt", |bch| {
+        bch.iter(|| {
+            steps_to_eps(
+                &op,
+                &mut UnboundedSqrtDelay::new(n, n / 4, n / 2, 1.0, 7),
+                &xstar,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, delay_ablation);
+criterion_main!(benches);

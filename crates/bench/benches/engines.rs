@@ -1,0 +1,59 @@
+//! Replay-engine throughput: cost per asynchronous step across schedule
+//! families and label-storage modes.
+
+use asynciter_core::engine::{EngineConfig, ReplayEngine};
+use asynciter_models::schedule::{ChaoticBounded, SyncJacobi, UnboundedSqrtDelay};
+use asynciter_models::LabelStore;
+use asynciter_numerics::sparse::tridiagonal;
+use asynciter_opt::linear::JacobiOperator;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn engine_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replay_engine");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let n = 256;
+    let steps = 2_000u64;
+    let op = JacobiOperator::new(tridiagonal(n, 4.0, -1.0), vec![1.0; n]).unwrap();
+    let x0 = vec![0.0; n];
+    group.throughput(Throughput::Elements(steps));
+
+    group.bench_function(BenchmarkId::new("schedule", "sync"), |b| {
+        b.iter(|| {
+            let mut gen = SyncJacobi::new(n);
+            ReplayEngine::run(&op, &x0, &mut gen, &EngineConfig::fixed(steps), None).unwrap()
+        })
+    });
+    group.bench_function(BenchmarkId::new("schedule", "chaotic_ooo"), |b| {
+        b.iter(|| {
+            let mut gen = ChaoticBounded::new(n, n / 4, n / 2, 16, false, 7);
+            ReplayEngine::run(&op, &x0, &mut gen, &EngineConfig::fixed(steps), None).unwrap()
+        })
+    });
+    group.bench_function(BenchmarkId::new("schedule", "unbounded_sqrt"), |b| {
+        b.iter(|| {
+            let mut gen = UnboundedSqrtDelay::new(n, n / 4, n / 2, 1.0, 7);
+            ReplayEngine::run(&op, &x0, &mut gen, &EngineConfig::fixed(steps), None).unwrap()
+        })
+    });
+    // Label storage ablation: Full vs MinOnly trace recording.
+    group.bench_function(BenchmarkId::new("labels", "full"), |b| {
+        b.iter(|| {
+            let mut gen = ChaoticBounded::new(n, n / 4, n / 2, 16, false, 7);
+            let cfg = EngineConfig::fixed(steps).with_labels(LabelStore::Full);
+            ReplayEngine::run(&op, &x0, &mut gen, &cfg, None).unwrap()
+        })
+    });
+    group.bench_function(BenchmarkId::new("labels", "min_only"), |b| {
+        b.iter(|| {
+            let mut gen = ChaoticBounded::new(n, n / 4, n / 2, 16, false, 7);
+            let cfg = EngineConfig::fixed(steps).with_labels(LabelStore::MinOnly);
+            ReplayEngine::run(&op, &x0, &mut gen, &cfg, None).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, engine_throughput);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E4 companion bench: flexible-communication publish-period sweep on the
+//! deterministic engine (outer steps are deterministic; criterion
+//! measures the wall cost of the whole run).
+
+use asynciter_core::flexible::{FlexibleConfig, FlexibleEngine};
+use asynciter_models::partition::Partition;
+use asynciter_models::schedule::BlockRoundRobin;
+use asynciter_numerics::norm::WeightedMaxNorm;
+use asynciter_numerics::sparse::tridiagonal;
+use asynciter_opt::linear::JacobiOperator;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn flexible(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flexible_publish_period");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let n = 64;
+    let op = JacobiOperator::new(tridiagonal(n, 4.0, -1.0), vec![1.0; n]).unwrap();
+    let norm = WeightedMaxNorm::uniform(n);
+    let m = 8usize;
+
+    for p in [1usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("p", p), &p, |b, &p| {
+            b.iter(|| {
+                let mut gen =
+                    BlockRoundRobin::new(Partition::blocks(n, 8).unwrap(), 10);
+                let cfg = FlexibleConfig::new(500, m).with_publish_period(p);
+                FlexibleEngine::run(&op, &vec![0.0; n], &mut gen, &cfg, &norm, None).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, flexible);
+criterion_main!(benches);

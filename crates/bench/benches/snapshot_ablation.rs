@@ -1,0 +1,49 @@
+//! DESIGN.md §5.1 — snapshot-consistency ablation: relaxed per-component
+//! atomic reads (inconsistent snapshots, the true asynchronous model) vs
+//! globally consistent snapshots through a readers–writer lock.
+
+use asynciter_models::partition::Partition;
+use asynciter_opt::linear::JacobiOperator;
+use asynciter_runtime::async_engine::{AsyncConfig, AsyncSharedRunner, SnapshotMode};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, SamplingMode};
+
+fn snapshot_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snapshot_ablation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sampling_mode(SamplingMode::Flat);
+    let n = 512;
+    let op = JacobiOperator::new(
+        asynciter_numerics::sparse::tridiagonal(n, 4.0, -1.0),
+        vec![1.0; n],
+    )
+    .unwrap();
+    let workers = 4;
+    let partition = Partition::blocks(n, workers).unwrap();
+    let x0 = vec![0.0; n];
+
+    for mode in [SnapshotMode::Relaxed, SnapshotMode::Locked] {
+        group.bench_with_input(
+            BenchmarkId::new("to_residual", format!("{mode:?}")),
+            &mode,
+            |b, &mode| {
+                b.iter(|| {
+                    AsyncSharedRunner::run(
+                        &op,
+                        &x0,
+                        &partition,
+                        &AsyncConfig::new(workers, 100_000_000)
+                            .with_target_residual(1e-9)
+                            .with_snapshot(mode),
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, snapshot_ablation);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! E3 companion bench: threaded async vs spin-barrier sync wall time to a
+//! fixed residual, with and without load imbalance (criterion-managed
+//! statistics instead of one-shot timing).
+
+use asynciter_models::partition::Partition;
+use asynciter_opt::linear::JacobiOperator;
+use asynciter_runtime::async_engine::{AsyncConfig, AsyncSharedRunner};
+use asynciter_runtime::imbalance::linear_imbalance;
+use asynciter_runtime::sync_engine::{SyncConfig, SyncRunner};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, SamplingMode};
+
+fn speedup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("async_vs_sync");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sampling_mode(SamplingMode::Flat);
+    let grid = 12;
+    let n = grid * grid;
+    let op = JacobiOperator::new(
+        asynciter_numerics::sparse::laplacian_2d(grid, grid, 1.0),
+        vec![1.0; n],
+    )
+    .unwrap();
+    let workers = 4;
+    let partition = Partition::blocks(n, workers).unwrap();
+    let x0 = vec![0.0; n];
+    let target = 1e-6;
+    let base = 2_000u64;
+
+    for factor in [1.0, 8.0] {
+        let spin = linear_imbalance(workers, base, factor);
+        group.bench_with_input(
+            BenchmarkId::new("sync", format!("imbalance_{factor}x")),
+            &spin,
+            |b, spin| {
+                b.iter(|| {
+                    SyncRunner::run(
+                        &op,
+                        &x0,
+                        &partition,
+                        &SyncConfig::new(workers, 1_000_000)
+                            .with_target_change(target / 10.0)
+                            .with_spin(spin.clone()),
+                    )
+                    .unwrap()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("async", format!("imbalance_{factor}x")),
+            &spin,
+            |b, spin| {
+                b.iter(|| {
+                    AsyncSharedRunner::run(
+                        &op,
+                        &x0,
+                        &partition,
+                        &AsyncConfig::new(workers, 100_000_000)
+                            .with_target_residual(target)
+                            .with_spin(spin.clone()),
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, speedup);
+criterion_main!(benches);

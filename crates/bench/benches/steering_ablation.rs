@@ -1,0 +1,74 @@
+//! DESIGN.md §5.2 — steering-policy ablation: how the choice of `S_j`
+//! (round-robin coordinate, block round-robin, random subsets of varying
+//! width) affects macro-iteration length and convergence work.
+
+use asynciter_core::engine::{EngineConfig, ReplayEngine};
+use asynciter_core::stopping::StoppingRule;
+use asynciter_models::macroiter::macro_iterations;
+use asynciter_models::partition::Partition;
+use asynciter_models::schedule::{
+    record, BlockRoundRobin, ChaoticBounded, CyclicCoordinate, ScheduleGen,
+};
+use asynciter_models::LabelStore;
+use asynciter_numerics::sparse::tridiagonal;
+use asynciter_opt::linear::JacobiOperator;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn steering_ablation(c: &mut Criterion) {
+    let n = 64;
+    let op = JacobiOperator::new(tridiagonal(n, 4.0, -1.0), vec![1.0; n]).unwrap();
+    let xstar = op.solve_dense_spd().unwrap();
+    let mut group = c.benchmark_group("steering_ablation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    let make: Vec<(&str, Box<dyn Fn() -> Box<dyn ScheduleGen>>)> = vec![
+        (
+            "cyclic",
+            Box::new(move || Box::new(CyclicCoordinate::new(n))),
+        ),
+        (
+            "block_rr_8",
+            Box::new(move || {
+                Box::new(BlockRoundRobin::new(Partition::blocks(n, 8).unwrap(), 2))
+            }),
+        ),
+        (
+            "random_thin",
+            Box::new(move || Box::new(ChaoticBounded::new(n, 1, 4, 8, false, 7))),
+        ),
+        (
+            "random_wide",
+            Box::new(move || Box::new(ChaoticBounded::new(n, n / 2, n, 8, false, 7))),
+        ),
+    ];
+
+    for (name, factory) in &make {
+        // Macro-iteration cadence (printed once).
+        let trace = record(factory().as_mut(), 20_000, LabelStore::MinOnly);
+        let m = macro_iterations(&trace);
+        println!(
+            "steering {name}: {} macro-iterations over 20000 steps (mean length {:.1})",
+            m.count(),
+            20_000.0 / m.count().max(1) as f64
+        );
+        group.bench_with_input(BenchmarkId::new("to_eps", *name), name, |b, _| {
+            b.iter(|| {
+                let mut gen = factory();
+                let cfg = EngineConfig::fixed(5_000_000)
+                    .with_labels(LabelStore::MinOnly)
+                    .with_stopping(StoppingRule::ErrorBelow {
+                        eps: 1e-10,
+                        check_every: 16,
+                    });
+                ReplayEngine::run(&op, &vec![0.0; n], gen.as_mut(), &cfg, Some(&xstar))
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, steering_ablation);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Thin wrapper: see `asynciter_bench::experiments::exchange` for the
+//! experiment documentation (`--seed N`, `--quick`).
+fn main() {
+    let (seed, quick) = asynciter_bench::parse_args();
+    asynciter_bench::experiments::exchange::run(seed, quick);
+}

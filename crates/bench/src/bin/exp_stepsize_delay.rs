@@ -1,0 +1,6 @@
+//! Thin wrapper: see `asynciter_bench::experiments::stepsize_delay` for
+//! the experiment documentation (`--seed N`, `--quick`).
+fn main() {
+    let (seed, quick) = asynciter_bench::parse_args();
+    asynciter_bench::experiments::stepsize_delay::run(seed, quick);
+}

@@ -1,0 +1,6 @@
+//! Thin wrapper: see `asynciter_bench::experiments::fig2` for the
+//! experiment documentation (`--seed N`, `--quick`).
+fn main() {
+    let (seed, quick) = asynciter_bench::parse_args();
+    asynciter_bench::experiments::fig2::run(seed, quick);
+}

@@ -1,0 +1,29 @@
+//! Regenerates every figure/experiment artefact (DESIGN.md §4) in order.
+//! Accepts `--seed N` and `--quick`.
+fn main() {
+    let (seed, quick) = asynciter_bench::parse_args();
+    use asynciter_bench::experiments as e;
+    let experiments: Vec<(&str, fn(u64, bool))> = vec![
+        ("F1", e::fig1::run),
+        ("F2", e::fig2::run),
+        ("T1", e::thm1::run),
+        ("E1", e::baudet::run),
+        ("E2", e::macro_epoch::run),
+        ("E3", e::speedup::run),
+        ("E4", e::flexible::run),
+        ("E5", e::exchange::run),
+        ("E6", e::bellman_ford::run),
+        ("E7", e::obstacle::run),
+        ("E8", e::network_flow::run),
+        ("E9", e::newton::run),
+        ("E10", e::termination::run),
+        ("X1", e::stepsize_delay::run),
+    ];
+    let t0 = std::time::Instant::now();
+    for (name, f) in experiments {
+        let t = std::time::Instant::now();
+        f(seed, quick);
+        println!(">>> {name} finished in {:.1}s\n", t.elapsed().as_secs_f64());
+    }
+    println!("all experiments regenerated in {:.1}s", t0.elapsed().as_secs_f64());
+}

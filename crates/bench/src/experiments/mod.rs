@@ -1,0 +1,16 @@
+//! One module per experiment in DESIGN.md §4.
+
+pub mod baudet;
+pub mod bellman_ford;
+pub mod exchange;
+pub mod fig1;
+pub mod fig2;
+pub mod flexible;
+pub mod macro_epoch;
+pub mod network_flow;
+pub mod newton;
+pub mod obstacle;
+pub mod speedup;
+pub mod stepsize_delay;
+pub mod termination;
+pub mod thm1;

@@ -1,0 +1,38 @@
+//! # asynciter-core
+//!
+//! Execution engines for asynchronous iterations, following El-Baz
+//! (IPPS 2022) exactly:
+//!
+//! - [`engine`] — the deterministic *replay engine* of Definition 1: given
+//!   an operator `F`, an initial vector `x(0)` and a schedule `(𝒮, ℒ)`, it
+//!   produces the iterate sequence of Eq. (1), assembling each update's
+//!   read vector `x(l(j))` from the full update history so that arbitrary
+//!   (unbounded, out-of-order) labels are honoured bit-for-bit.
+//! - [`flexible`] — the flexible-communication engine of Definition 3:
+//!   updates run `m` inner iterations and *publish partial results*, and
+//!   readers may consume those partials (sub-step labels); the engine can
+//!   check — or enforce — the norm constraint (3) against a known fixed
+//!   point.
+//! - [`theory`] — Theorem 1's `(1−ρ)^k` envelope, Perron weights for
+//!   weighted-max-norm contraction certificates, and empirical contraction
+//!   estimation.
+//! - [`stopping`] — stopping rules: plain residual tests and the
+//!   macro-iteration-based criterion in the spirit of Miellou–Spiteri–
+//!   El Baz \[15\], with an online macro-iteration tracker.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod engine;
+pub mod error;
+pub mod flexible;
+pub mod stopping;
+pub mod theory;
+
+pub use engine::{EngineConfig, ReplayEngine, RunResult};
+pub use error::CoreError;
+pub use flexible::{FlexibleConfig, FlexibleEngine, FlexibleRunResult};
+pub use stopping::{OnlineMacroTracker, StoppingRule};
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, CoreError>;

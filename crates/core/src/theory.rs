@@ -1,0 +1,277 @@
+//! Convergence theory: Theorem-1 envelopes and contraction certificates.
+//!
+//! Theorem 1 of the paper: for the flexible asynchronous iteration of the
+//! Definition-4 operator with step `γ ∈ (0, 2/(μ+L)]`,
+//!
+//! ```text
+//! ‖x(j) − x*‖² ≤ (1 − ρ)^k · max_i ‖x_i(0) − x_i*‖² ,   ρ = γμ ,
+//! ```
+//!
+//! for all `j ≥ j_k` on the macro-iteration sequence `{j_k}`. This module
+//! computes the envelope, verifies measured error curves against it, and
+//! provides weighted-max-norm contraction certificates (Perron weights)
+//! for linear operators that are not contractions in the plain `‖·‖_∞`
+//! (e.g. the network-flow price relaxation).
+
+use asynciter_models::macroiter::MacroIterations;
+use asynciter_numerics::sparse::CsrMatrix;
+
+/// The Theorem-1 envelope value at macro-index `k`:
+/// `(1 − ρ)^k · r0_sq` where `r0_sq = max_i ‖x_i(0) − x_i*‖²`.
+///
+/// # Panics
+/// Panics unless `ρ ∈ (0, 1]` and `r0_sq ≥ 0`.
+#[inline]
+pub fn thm1_envelope(r0_sq: f64, rho: f64, k: usize) -> f64 {
+    assert!(rho > 0.0 && rho <= 1.0, "thm1_envelope: rho in (0,1]");
+    assert!(r0_sq >= 0.0, "thm1_envelope: r0_sq >= 0");
+    (1.0 - rho).powi(k as i32) * r0_sq
+}
+
+/// `r0² = max_i (x_i(0) − x_i*)²` — the squared-max-norm initial error of
+/// Theorem 1's right-hand side.
+///
+/// # Panics
+/// Panics on dimension mismatch.
+pub fn initial_error_sq(x0: &[f64], xstar: &[f64]) -> f64 {
+    let d = asynciter_numerics::vecops::max_abs_diff(x0, xstar);
+    d * d
+}
+
+/// Verifies a measured error curve against the Theorem-1 bound: every
+/// sample `(j, ‖x(j) − x*‖_∞)` must satisfy
+/// `‖x(j) − x*‖² ≤ (1 − ρ)^{k(j)} · r0²` with `k(j)` the macro index of
+/// `j`. Returns the worst observed ratio `measured² / bound`
+/// (`≤ 1` means the bound holds everywhere).
+///
+/// `floor` is the numerical-noise threshold: samples whose measured
+/// error is at or below it are skipped. The theorem is about exact
+/// arithmetic; in `f64` the iterate error saturates around
+/// `ε_machine · ‖x*‖` while the geometric envelope keeps shrinking, so
+/// without a floor every sufficiently long run "violates" the bound for
+/// spurious reasons. Pass `0.0` to verify every sample.
+///
+/// # Panics
+/// Panics when parameters are out of range (see [`thm1_envelope`]).
+pub fn thm1_worst_ratio(
+    errors: &[(u64, f64)],
+    macros: &MacroIterations,
+    rho: f64,
+    r0_sq: f64,
+    floor: f64,
+) -> f64 {
+    let mut worst = 0.0_f64;
+    for &(j, e) in errors {
+        if e <= floor {
+            continue;
+        }
+        let k = macros.index_of(j);
+        let bound = thm1_envelope(r0_sq, rho, k);
+        if bound == 0.0 {
+            // Bound collapsed to exactly zero only when rho == 1; any
+            // nonzero error is an infinite ratio.
+            if e > 0.0 {
+                return f64::INFINITY;
+            }
+            continue;
+        }
+        worst = worst.max(e * e / bound);
+    }
+    worst
+}
+
+/// Power iteration on a nonnegative matrix `M`: returns the Perron
+/// weights `u > 0` and the spectral-radius estimate `σ = ρ(M)`. For an
+/// asynchronous linear iteration `x ← Mx + c`, contraction in
+/// `‖·‖_u` holds with factor `σ < 1` — the classical certificate for
+/// totally asynchronous convergence of substochastic relaxations (e.g.
+/// grounded network-flow duals) that are *not* plain `‖·‖_∞`
+/// contractions.
+///
+/// `M` is given by the absolute values of its entries (the function takes
+/// `|m_ij|` internally, so signed matrices are fine). Returns `None` when
+/// the iteration fails to produce a strictly positive vector (reducible
+/// `M` with zero rows, for instance); in that case a small uniform
+/// regularisation of the weights is attempted first.
+pub fn perron_weights(m: &CsrMatrix, iters: usize) -> Option<(Vec<f64>, f64)> {
+    let n = m.rows();
+    if n == 0 || m.cols() != n {
+        return None;
+    }
+    let mut u = vec![1.0; n];
+    let mut next = vec![0.0; n];
+    for _ in 0..iters {
+        // Power iteration on (|M| + I): the identity shift makes the
+        // matrix primitive (bipartite |M| would otherwise oscillate and
+        // never converge to the Perron vector) without changing the
+        // eigenvectors. The tiny uniform floor escapes zero rows of
+        // reducible matrices (acts like adding ε·1·uᵀ, perturbing the
+        // spectral radius by at most ε·n).
+        for i in 0..n {
+            let (idx, vals) = m.row(i);
+            let mut s = 1e-12 + u[i];
+            for (&c, &v) in idx.iter().zip(vals) {
+                s += v.abs() * u[c];
+            }
+            next[i] = s;
+        }
+        let norm = next.iter().cloned().fold(0.0_f64, f64::max);
+        if !(norm > 0.0) || !norm.is_finite() {
+            return None;
+        }
+        for (u_i, n_i) in u.iter_mut().zip(&next) {
+            *u_i = n_i / norm;
+        }
+    }
+    if u.iter().any(|&v| !(v > 0.0)) {
+        return None;
+    }
+    // The Collatz–Wielandt upper bound max_i (|M|u)_i / u_i: converges to
+    // ρ(|M|) from above and is exactly the certified contraction factor
+    // of the weighted max norm built from u.
+    let sigma = weighted_norm_bound(m, &u);
+    Some((u, sigma))
+}
+
+/// The induced weighted-max-norm bound `‖M‖_u = max_i Σ_j |m_ij| u_j /
+/// u_i` — with Perron weights this approaches `ρ(|M|)`.
+///
+/// # Panics
+/// Panics on dimension mismatch or nonpositive weights.
+pub fn weighted_norm_bound(m: &CsrMatrix, u: &[f64]) -> f64 {
+    assert_eq!(m.rows(), u.len(), "weighted_norm_bound: dimension");
+    assert!(u.iter().all(|&v| v > 0.0), "weights must be positive");
+    let mut worst = 0.0_f64;
+    for i in 0..m.rows() {
+        let (idx, vals) = m.row(i);
+        let mut s = 0.0;
+        for (&c, &v) in idx.iter().zip(vals) {
+            s += v.abs() * u[c];
+        }
+        worst = worst.max(s / u[i]);
+    }
+    worst
+}
+
+/// Empirical max-norm contraction estimate of an operator: the largest
+/// observed ratio `‖F(x) − F(y)‖_∞ / ‖x − y‖_∞` over `trials` random
+/// pairs drawn from a centred Gaussian of scale `scale`.
+pub fn empirical_contraction(
+    op: &dyn asynciter_opt::traits::Operator,
+    scale: f64,
+    trials: usize,
+    seed: u64,
+) -> f64 {
+    let n = op.dim();
+    let mut rng = asynciter_numerics::rng::rng(seed);
+    let mut fx = vec![0.0; n];
+    let mut fy = vec![0.0; n];
+    let mut worst = 0.0_f64;
+    for _ in 0..trials {
+        let x: Vec<f64> = asynciter_numerics::rng::normal_vec(&mut rng, n)
+            .into_iter()
+            .map(|v| v * scale)
+            .collect();
+        let y: Vec<f64> = asynciter_numerics::rng::normal_vec(&mut rng, n)
+            .into_iter()
+            .map(|v| v * scale)
+            .collect();
+        let den = asynciter_numerics::vecops::max_abs_diff(&x, &y);
+        if den == 0.0 {
+            continue;
+        }
+        op.apply(&x, &mut fx);
+        op.apply(&y, &mut fy);
+        worst = worst.max(asynciter_numerics::vecops::max_abs_diff(&fx, &fy) / den);
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asynciter_numerics::sparse::tridiagonal;
+    use asynciter_opt::linear::JacobiOperator;
+
+    #[test]
+    fn envelope_decays_geometrically() {
+        assert_eq!(thm1_envelope(4.0, 0.5, 0), 4.0);
+        assert_eq!(thm1_envelope(4.0, 0.5, 1), 2.0);
+        assert_eq!(thm1_envelope(4.0, 0.5, 3), 0.5);
+        assert_eq!(thm1_envelope(4.0, 1.0, 2), 0.0);
+    }
+
+    #[test]
+    fn initial_error_is_squared_max() {
+        assert_eq!(initial_error_sq(&[0.0, 0.0], &[3.0, -1.0]), 9.0);
+    }
+
+    #[test]
+    fn worst_ratio_flags_violations() {
+        let macros = MacroIterations {
+            boundaries: vec![0, 10, 20],
+        };
+        // At j=15 macro index is 1 → bound = 0.5 * 4 = 2. Error 1.0 →
+        // ratio 0.5; error 2.0 → ratio 2.0 (violation).
+        let ok = thm1_worst_ratio(&[(15, 1.0)], &macros, 0.5, 4.0, 0.0);
+        assert!((ok - 0.5).abs() < 1e-12);
+        let bad = thm1_worst_ratio(&[(15, 2.0)], &macros, 0.5, 4.0, 0.0);
+        assert!((bad - 2.0).abs() < 1e-12);
+        // Samples at or below the floor are ignored.
+        let floored = thm1_worst_ratio(&[(15, 2.0)], &macros, 0.5, 4.0, 2.0);
+        assert_eq!(floored, 0.0);
+    }
+
+    #[test]
+    fn perron_weights_certify_substochastic_matrix() {
+        // M = tridiagonal with rows summing to < 1 except interior = 1:
+        // entries 0.5 on each off-diagonal, 0 diagonal: interior row sums
+        // are exactly 1.0 → plain inf-norm bound is 1, but the spectral
+        // radius (and hence the Perron-weighted norm) is cos(π/(n+1)) < 1.
+        let n = 9;
+        let m = {
+            let mut trip = Vec::new();
+            for i in 0..n {
+                if i > 0 {
+                    trip.push((i, i - 1, 0.5));
+                }
+                if i + 1 < n {
+                    trip.push((i, i + 1, 0.5));
+                }
+            }
+            asynciter_numerics::sparse::CsrMatrix::from_triplets(n, n, &trip).unwrap()
+        };
+        let (u, sigma) = perron_weights(&m, 5000).unwrap();
+        let expected = (std::f64::consts::PI / (n as f64 + 1.0)).cos();
+        // Collatz–Wielandt converges to ρ(|M|) from above.
+        assert!(sigma >= expected - 1e-9, "sigma {sigma} below ρ {expected}");
+        assert!((sigma - expected).abs() < 1e-6, "sigma {sigma} vs {expected}");
+        let bound = weighted_norm_bound(&m, &u);
+        assert!(bound < 1.0, "weighted bound {bound}");
+        assert!((bound - sigma).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_norm_with_unit_weights_is_inf_norm() {
+        let m = tridiagonal(5, 0.2, 0.3);
+        let u = vec![1.0; 5];
+        // Row sums: interior 0.2 + 0.6 = 0.8.
+        assert!((weighted_norm_bound(&m, &u) - 0.8).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empirical_contraction_matches_certificate() {
+        let op = JacobiOperator::new(tridiagonal(8, 4.0, -1.0), vec![0.0; 8]).unwrap();
+        let cert = op.contraction_factor();
+        let emp = empirical_contraction(&op, 1.0, 200, 9);
+        assert!(emp <= cert + 1e-9, "empirical {emp} > certificate {cert}");
+        // And the certificate is not wildly loose for this operator.
+        assert!(emp > 0.5 * cert, "empirical {emp} too far below {cert}");
+    }
+
+    #[test]
+    #[should_panic(expected = "rho in (0,1]")]
+    fn envelope_rejects_bad_rho() {
+        thm1_envelope(1.0, 0.0, 1);
+    }
+}

@@ -1,0 +1,202 @@
+//! Delay statistics and staleness diagnostics over traces.
+//!
+//! These helpers feed the experiment harness: delay distributions
+//! (mean/percentiles/max), per-component staleness histograms and
+//! growth-rate fits (`d(j) ≈ c·j^p`) used to classify a trace's delay
+//! regime as bounded, `√j`-unbounded or heavy-tailed.
+
+use crate::trace::Trace;
+use asynciter_numerics::stats;
+
+/// Summary statistics of the observed delays `d_h(j) = j − l_h(j)` over
+/// all steps and components.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DelayStats {
+    /// Number of (step, component) samples.
+    pub samples: u64,
+    /// Mean delay.
+    pub mean: f64,
+    /// Median delay.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum delay.
+    pub max: u64,
+}
+
+/// Computes [`DelayStats`] from a full-label trace.
+///
+/// # Errors
+/// [`crate::ModelError::LabelsNotStored`] / [`crate::ModelError::EmptyTrace`].
+pub fn delay_stats(trace: &Trace) -> crate::Result<DelayStats> {
+    if trace.is_empty() {
+        return Err(crate::ModelError::EmptyTrace);
+    }
+    let mut delays: Vec<f64> = Vec::with_capacity(trace.len() * trace.n());
+    let mut max = 0u64;
+    for (j, _) in trace.iter() {
+        for &l in trace.labels(j)? {
+            let d = j - l;
+            max = max.max(d);
+            delays.push(d as f64);
+        }
+    }
+    Ok(DelayStats {
+        samples: delays.len() as u64,
+        mean: stats::mean(&delays),
+        p50: stats::percentile(&delays, 50.0).expect("nonempty"),
+        p95: stats::percentile(&delays, 95.0).expect("nonempty"),
+        p99: stats::percentile(&delays, 99.0).expect("nonempty"),
+        max,
+    })
+}
+
+/// The per-step delay series of one component: `(j, j − l_h(j))`.
+///
+/// # Errors
+/// [`crate::ModelError::LabelsNotStored`] when labels are unavailable.
+///
+/// # Panics
+/// Panics when `h` is out of range.
+pub fn delay_series(trace: &Trace, h: usize) -> crate::Result<Vec<(u64, u64)>> {
+    assert!(h < trace.n(), "delay_series: component out of range");
+    let mut out = Vec::with_capacity(trace.len());
+    for (j, _) in trace.iter() {
+        out.push((j, j - trace.labels(j)?[h]));
+    }
+    Ok(out)
+}
+
+/// Histogram of delays with bucket width `bucket`; bucket `k` counts
+/// delays in `[k·bucket, (k+1)·bucket)`.
+///
+/// # Errors
+/// Propagates label-storage errors.
+///
+/// # Panics
+/// Panics when `bucket == 0`.
+pub fn staleness_histogram(trace: &Trace, bucket: u64) -> crate::Result<Vec<u64>> {
+    assert!(bucket > 0, "staleness_histogram: bucket must be positive");
+    let mut hist: Vec<u64> = Vec::new();
+    for (j, _) in trace.iter() {
+        for &l in trace.labels(j)? {
+            let b = ((j - l) / bucket) as usize;
+            if b >= hist.len() {
+                hist.resize(b + 1, 0);
+            }
+            hist[b] += 1;
+        }
+    }
+    Ok(hist)
+}
+
+/// Collapses a `(j, d)` series into windowed maxima `(j_mid, d_max)` —
+/// the growth *envelope* of a sawtooth delay series. Windows shorter than
+/// `window` at the tail are dropped.
+///
+/// # Panics
+/// Panics when `window == 0`.
+pub fn windowed_max(series: &[(u64, u64)], window: usize) -> Vec<(f64, f64)> {
+    assert!(window > 0, "windowed_max: window must be positive");
+    series
+        .chunks(window)
+        .filter(|c| c.len() == window)
+        .map(|c| {
+            let j_mid = c[c.len() / 2].0 as f64;
+            let dmax = c.iter().map(|&(_, d)| d).max().expect("nonempty") as f64;
+            (j_mid, dmax)
+        })
+        .collect()
+}
+
+/// Fits the delay growth envelope `d(j) ≈ c · j^p` of a component's delay
+/// series via windowed maxima; returns `(c, p, r²)` or `None` when the fit
+/// is impossible (constant/degenerate envelope).
+pub fn delay_growth_exponent(
+    series: &[(u64, u64)],
+    window: usize,
+) -> Option<(f64, f64, f64)> {
+    let env = windowed_max(series, window);
+    let (xs, ys): (Vec<f64>, Vec<f64>) = env.into_iter().unzip();
+    stats::fit_power_law(&xs, &ys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{record, ChaoticBounded, SyncJacobi, UnboundedSqrtDelay};
+    use crate::trace::LabelStore;
+
+    #[test]
+    fn sync_delays_are_all_one() {
+        let t = record(&mut SyncJacobi::new(3), 50, LabelStore::Full);
+        let s = delay_stats(&t).unwrap();
+        assert_eq!(s.samples, 150);
+        assert_eq!(s.mean, 1.0);
+        assert_eq!(s.max, 1);
+        assert_eq!(s.p99, 1.0);
+    }
+
+    #[test]
+    fn bounded_delays_within_bound() {
+        let mut g = ChaoticBounded::new(4, 1, 2, 7, false, 17);
+        let t = record(&mut g, 1000, LabelStore::Full);
+        let s = delay_stats(&t).unwrap();
+        assert!(s.max <= 7);
+        assert!(s.mean >= 1.0 && s.mean <= 7.0);
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99);
+    }
+
+    #[test]
+    fn delay_series_matches_labels() {
+        let t = record(&mut SyncJacobi::new(2), 10, LabelStore::Full);
+        let s = delay_series(&t, 0).unwrap();
+        assert_eq!(s.len(), 10);
+        assert!(s.iter().all(|&(_, d)| d == 1));
+    }
+
+    #[test]
+    fn histogram_buckets_sum_to_samples() {
+        let mut g = ChaoticBounded::new(3, 1, 3, 9, false, 23);
+        let t = record(&mut g, 500, LabelStore::Full);
+        let h = staleness_histogram(&t, 2).unwrap();
+        let total: u64 = h.iter().sum();
+        assert_eq!(total, delay_stats(&t).unwrap().samples);
+        // All delays in [1, 9] → buckets beyond index 4 empty.
+        assert!(h.len() <= 5);
+    }
+
+    #[test]
+    fn windowed_max_extracts_envelope() {
+        let series: Vec<(u64, u64)> = (1..=100).map(|j| (j, j % 10)).collect();
+        let env = windowed_max(&series, 10);
+        assert_eq!(env.len(), 10);
+        assert!(env.iter().all(|&(_, d)| d == 9.0));
+    }
+
+    #[test]
+    fn growth_exponent_flat_for_bounded() {
+        let mut g = ChaoticBounded::new(3, 1, 3, 10, false, 3);
+        let t = record(&mut g, 20_000, LabelStore::Full);
+        let s = delay_series(&t, 0).unwrap();
+        let (_, p, _) = delay_growth_exponent(&s, 1000).unwrap();
+        assert!(p.abs() < 0.1, "bounded delays fit exponent {p}");
+    }
+
+    #[test]
+    fn growth_exponent_half_for_sqrt_regime() {
+        let mut g = UnboundedSqrtDelay::new(3, 3, 3, 1.0, 4);
+        let t = record(&mut g, 40_000, LabelStore::Full);
+        let s = delay_series(&t, 1).unwrap();
+        let (_, p, r2) = delay_growth_exponent(&s, 2000).unwrap();
+        assert!((p - 0.5).abs() < 0.1, "exponent {p}, r² {r2}");
+    }
+
+    #[test]
+    fn empty_trace_errors() {
+        let t = Trace::new(2, LabelStore::Full);
+        assert!(delay_stats(&t).is_err());
+    }
+}

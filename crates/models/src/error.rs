@@ -1,0 +1,80 @@
+//! Error type for the formal-model crate.
+
+use std::fmt;
+
+/// Errors produced when constructing or validating model objects.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A parameter is outside its admissible range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Explanation of the violated constraint.
+        message: String,
+    },
+    /// A trace violates one of the paper's conditions.
+    ConditionViolated {
+        /// Which condition: "a", "b", "c" or "d".
+        condition: &'static str,
+        /// Iteration index at which the violation was observed (0 when the
+        /// violation is aggregate rather than pointwise).
+        at_step: u64,
+        /// Component involved.
+        component: usize,
+        /// Human-readable details.
+        message: String,
+    },
+    /// An operation requires full label storage but the trace only kept
+    /// min-labels.
+    LabelsNotStored,
+    /// An operation received an empty trace.
+    EmptyTrace,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+            ModelError::ConditionViolated {
+                condition,
+                at_step,
+                component,
+                message,
+            } => write!(
+                f,
+                "condition ({condition}) violated at step {at_step}, component {component}: {message}"
+            ),
+            ModelError::LabelsNotStored => {
+                write!(f, "trace was recorded without full label storage")
+            }
+            ModelError::EmptyTrace => write!(f, "operation requires a nonempty trace"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_condition_violation() {
+        let e = ModelError::ConditionViolated {
+            condition: "a",
+            at_step: 3,
+            component: 1,
+            message: "label 5 > j-1".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("condition (a)"));
+        assert!(s.contains("step 3"));
+    }
+
+    #[test]
+    fn display_labels_not_stored() {
+        assert!(ModelError::LabelsNotStored.to_string().contains("label"));
+    }
+}

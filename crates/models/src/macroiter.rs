@@ -1,0 +1,270 @@
+//! The macro-iteration sequence (Definition 2).
+//!
+//! With `l(j) = min_h l_h(j)`, the macro-iteration sequence `{j_k}` is
+//!
+//! ```text
+//! j_0 = 0,
+//! j_{k+1} = min_j { ⋃_{ r ≤ j,  l(r) ≥ j_k } S_r  =  {1, …, n} } :
+//! ```
+//!
+//! the earliest iteration by which *every* component has been updated at
+//! least once using only information labelled at or after the previous
+//! macro-label. Macro-iterations are the unit in which totally
+//! asynchronous convergence proofs advance (one contraction factor per
+//! macro-iteration in Theorem 1), and — unlike the epoch sequence of
+//! Mishchenko–Iutzeler–Malick — they remain meaningful under out-of-order
+//! messages because they are defined through the labels actually read.
+//!
+//! Two variants are provided:
+//!
+//! - [`macro_iterations`] — the literal Definition 2. Coverage is
+//!   required, but a step *after* `j_{k+1}` may still read a label older
+//!   than `j_k` when delivery is out of order.
+//! - [`macro_iterations_strict`] — additionally requires that every step
+//!   after the boundary reads labels `≥ j_k` (checked against the suffix
+//!   minima of `l(j)`). This is the box semantics of Bertsekas's General
+//!   Convergence Theorem under which the per-macro-iteration contraction
+//!   argument of Theorem 1 is airtight; on in-order traces the two
+//!   variants typically coincide or differ by a few steps.
+
+use crate::trace::Trace;
+
+/// A computed macro-iteration sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MacroIterations {
+    /// `j_0 = 0 < j_1 < j_2 < …`: the macro labels that completed within
+    /// the trace.
+    pub boundaries: Vec<u64>,
+}
+
+impl MacroIterations {
+    /// Number of *completed* macro-iterations `k` (excludes `j_0`).
+    pub fn count(&self) -> usize {
+        self.boundaries.len() - 1
+    }
+
+    /// Lengths `j_{k+1} − j_k` of completed macro-iterations.
+    pub fn lengths(&self) -> Vec<u64> {
+        self.boundaries.windows(2).map(|w| w[1] - w[0]).collect()
+    }
+
+    /// The macro index `k(j) = max{k : j_k ≤ j}` of iteration `j`.
+    pub fn index_of(&self, j: u64) -> usize {
+        // boundaries is strictly increasing and starts at 0.
+        self.boundaries.partition_point(|&b| b <= j) - 1
+    }
+}
+
+fn macro_iterations_impl(trace: &Trace, strict: bool) -> MacroIterations {
+    let n = trace.n();
+    let len = trace.len() as u64;
+    let suffix = if strict {
+        trace.min_label_suffix()
+    } else {
+        Vec::new()
+    };
+    let mut boundaries = vec![0u64];
+    let mut jk = 0u64;
+    let mut covered = vec![false; n];
+    let mut count = 0usize;
+    for (j, step) in trace.iter() {
+        if step.min_label >= jk {
+            for &i in &step.active {
+                let i = i as usize;
+                if !covered[i] {
+                    covered[i] = true;
+                    count += 1;
+                }
+            }
+        }
+        if count == n {
+            if strict {
+                // Require that everything still in flight after j reads
+                // labels >= jk; the suffix minimum over steps r > j is
+                // suffix[j] (suffix[k] = min over 1-based steps r >= k+1).
+                let future_min = if j < len { suffix[j as usize] } else { u64::MAX };
+                if future_min < jk {
+                    continue;
+                }
+            }
+            boundaries.push(j);
+            jk = j;
+            covered.fill(false);
+            count = 0;
+        }
+    }
+    MacroIterations { boundaries }
+}
+
+/// The literal Definition 2 macro-iteration sequence.
+pub fn macro_iterations(trace: &Trace) -> MacroIterations {
+    macro_iterations_impl(trace, false)
+}
+
+/// The strict (box-semantics) macro-iteration sequence: Definition 2 plus
+/// the requirement that all reads after `j_{k+1}` carry labels `≥ j_k`.
+pub fn macro_iterations_strict(trace: &Trace) -> MacroIterations {
+    macro_iterations_impl(trace, true)
+}
+
+/// Counts freshness violations of a boundary sequence: steps `j` whose
+/// oldest read `l(j)` is older than the *previous* boundary of the
+/// interval containing `j`. For the macro-iteration guarantee of the paper
+/// ("each update at `j ≥ j_{k+1}` uses values with labels `≥ j_k`") this
+/// must be zero; for epoch sequences on out-of-order traces it typically
+/// is not — which is experiment E2's quantitative comparison.
+///
+/// `boundaries` must start at 0 and be strictly increasing.
+///
+/// # Panics
+/// Panics when `boundaries` is empty or does not start at 0.
+pub fn boundary_freshness_violations(trace: &Trace, boundaries: &[u64]) -> u64 {
+    assert!(!boundaries.is_empty(), "boundaries must be nonempty");
+    assert_eq!(boundaries[0], 0, "boundaries must start at 0");
+    let mut violations = 0u64;
+    // For j in (boundaries[k], boundaries[k+1]] the containing interval is
+    // k; the guarantee compares against boundaries[k-1] (nothing to check
+    // for k = 0).
+    let mut k = 0usize;
+    for (j, step) in trace.iter() {
+        while k + 1 < boundaries.len() && j > boundaries[k + 1] {
+            k += 1;
+        }
+        if k >= 1 && step.min_label < boundaries[k - 1] {
+            violations += 1;
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{record, ChaoticBounded, CyclicCoordinate, SyncJacobi};
+    use crate::trace::LabelStore;
+
+    #[test]
+    fn sync_jacobi_macro_iteration_every_step() {
+        // All components update every step with fresh labels, so each step
+        // completes a macro-iteration.
+        let t = record(&mut SyncJacobi::new(4), 10, LabelStore::Full);
+        let m = macro_iterations(&t);
+        assert_eq!(m.boundaries, (0..=10).collect::<Vec<u64>>());
+        let ms = macro_iterations_strict(&t);
+        assert_eq!(ms.boundaries, m.boundaries);
+    }
+
+    #[test]
+    fn cyclic_macro_iteration_every_n_steps() {
+        let t = record(&mut CyclicCoordinate::new(3), 12, LabelStore::Full);
+        let m = macro_iterations(&t);
+        assert_eq!(m.boundaries, vec![0, 3, 6, 9, 12]);
+        assert_eq!(m.lengths(), vec![3, 3, 3, 3]);
+        assert_eq!(m.count(), 4);
+    }
+
+    #[test]
+    fn index_of_locates_intervals() {
+        let m = MacroIterations {
+            boundaries: vec![0, 3, 7],
+        };
+        assert_eq!(m.index_of(0), 0);
+        assert_eq!(m.index_of(2), 0);
+        assert_eq!(m.index_of(3), 1);
+        assert_eq!(m.index_of(6), 1);
+        assert_eq!(m.index_of(7), 2);
+        assert_eq!(m.index_of(100), 2);
+    }
+
+    #[test]
+    fn stale_reads_delay_macro_completion() {
+        // Two components; component 1 keeps reading label 0 for a while:
+        // coverage with l(r) >= j_k only counts once labels catch up.
+        let mut t = Trace::new(2, LabelStore::Full);
+        t.push_step(&[0], &[0, 0]); // j=1, l = 0 >= 0 → covers {0}
+        t.push_step(&[1], &[0, 0]); // j=2, covers {1} → macro at 2
+        t.push_step(&[0], &[0, 0]); // j=3: l(3) = 0 < 2 → does NOT count
+        t.push_step(&[1], &[2, 2]); // j=4: covers {1}
+        t.push_step(&[0], &[3, 3]); // j=5: covers {0} → macro at 5
+        let m = macro_iterations(&t);
+        assert_eq!(m.boundaries, vec![0, 2, 5]);
+    }
+
+    #[test]
+    fn strict_postpones_until_flush() {
+        // Coverage completes at j=2, but j=3 still reads label 0 (< j_1
+        // candidate 2), so the strict boundary moves to j=3's completion
+        // point where the suffix condition holds.
+        let mut t = Trace::new(2, LabelStore::Full);
+        t.push_step(&[0], &[0, 0]); // j=1
+        t.push_step(&[1], &[1, 0]); // j=2: literal boundary here
+        t.push_step(&[0], &[0, 1]); // j=3: reads label 0 — stale
+        t.push_step(&[1], &[3, 3]); // j=4
+        t.push_step(&[0], &[3, 3]); // j=5
+        let literal = macro_iterations(&t);
+        assert_eq!(literal.boundaries[1], 2);
+        let strict = macro_iterations_strict(&t);
+        // At j=2 the future still contains a read of label 0 < 2... but
+        // jk is 0 at that point, and 0 >= 0 holds, so the boundary at 2 is
+        // accepted (freshness is measured against the *previous* label
+        // j_0 = 0). The second strict macro-iteration must then wait past
+        // the stale j=3 read: coverage for jk=2 needs steps with l >= 2:
+        // j=4 covers {1}, j=5 covers {0} → boundary 5, and suffix min
+        // after 5 is vacuous.
+        assert_eq!(strict.boundaries, vec![0, 2, 5]);
+        // Literal also finds 5 here (the stale step simply doesn't count
+        // towards coverage).
+        assert_eq!(literal.boundaries, vec![0, 2, 5]);
+    }
+
+    #[test]
+    fn strict_boundary_guarantees_zero_violations() {
+        let mut g = ChaoticBounded::new(6, 1, 3, 10, false, 77);
+        let t = record(&mut g, 3000, LabelStore::Full);
+        let strict = macro_iterations_strict(&t);
+        assert!(strict.count() > 10, "expected many macro-iterations");
+        assert_eq!(boundary_freshness_violations(&t, &strict.boundaries), 0);
+    }
+
+    #[test]
+    fn literal_never_later_than_strict() {
+        let mut g = ChaoticBounded::new(5, 1, 3, 12, false, 13);
+        let t = record(&mut g, 2000, LabelStore::Full);
+        let lit = macro_iterations(&t);
+        let strict = macro_iterations_strict(&t);
+        assert!(lit.count() >= strict.count());
+        // Each strict boundary is >= the corresponding literal boundary.
+        for (a, b) in lit.boundaries.iter().zip(&strict.boundaries) {
+            assert!(b >= a);
+        }
+    }
+
+    #[test]
+    fn bounded_delay_macro_lengths_are_bounded() {
+        // With delays <= b and all components updated within every window
+        // of n steps (k_min = n), macro-iterations complete within ~b + n.
+        let mut g = ChaoticBounded::new(4, 4, 4, 5, false, 5);
+        let t = record(&mut g, 1000, LabelStore::Full);
+        let m = macro_iterations(&t);
+        assert!(m.count() > 50);
+        let max_len = m.lengths().into_iter().max().unwrap();
+        assert!(max_len <= 16, "max macro length {max_len}");
+    }
+
+    #[test]
+    fn freshness_violations_counted_against_coarse_boundaries() {
+        // Use a deliberately wrong boundary sequence (every step a
+        // boundary) on a delayed trace: violations must be positive.
+        let mut g = ChaoticBounded::new(4, 1, 2, 20, false, 3);
+        let t = record(&mut g, 500, LabelStore::Full);
+        let every_step: Vec<u64> = (0..=500).collect();
+        assert!(boundary_freshness_violations(&t, &every_step) > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "start at 0")]
+    fn violations_require_zero_start() {
+        let t = record(&mut SyncJacobi::new(2), 5, LabelStore::Full);
+        boundary_freshness_violations(&t, &[1, 3]);
+    }
+}

@@ -1,0 +1,165 @@
+//! Component → machine (processor) assignments.
+//!
+//! Both the epoch sequence (which counts updates *per machine*) and the
+//! multi-threaded runtimes need a fixed map from iterate components to the
+//! processor that owns them. In Definition 1 the natural special case is
+//! one component per machine; block partitions model block-iterative
+//! methods.
+
+use crate::error::ModelError;
+
+/// A map from component index to owning machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Partition {
+    machine_of: Vec<u32>,
+    num_machines: usize,
+}
+
+impl Partition {
+    /// Builds a partition from an explicit map; machine ids must form a
+    /// contiguous range `0..num_machines` (every machine owns at least one
+    /// component).
+    ///
+    /// # Errors
+    /// Errors when the map is empty or some machine in `0..max+1` owns no
+    /// component.
+    pub fn from_map(machine_of: Vec<u32>) -> crate::Result<Self> {
+        if machine_of.is_empty() {
+            return Err(ModelError::InvalidParameter {
+                name: "machine_of",
+                message: "empty map".into(),
+            });
+        }
+        let num_machines = *machine_of.iter().max().expect("nonempty") as usize + 1;
+        let mut seen = vec![false; num_machines];
+        for &m in &machine_of {
+            seen[m as usize] = true;
+        }
+        if let Some(m) = seen.iter().position(|s| !s) {
+            return Err(ModelError::InvalidParameter {
+                name: "machine_of",
+                message: format!("machine {m} owns no component"),
+            });
+        }
+        Ok(Self {
+            machine_of,
+            num_machines,
+        })
+    }
+
+    /// One machine per component (the scalar-component special case).
+    pub fn identity(n: usize) -> Self {
+        Self {
+            machine_of: (0..n as u32).collect(),
+            num_machines: n,
+        }
+    }
+
+    /// Contiguous block partition of `n` components over `p` machines;
+    /// earlier machines absorb the remainder (sizes differ by ≤ 1).
+    ///
+    /// # Errors
+    /// Errors when `p == 0` or `p > n`.
+    pub fn blocks(n: usize, p: usize) -> crate::Result<Self> {
+        if p == 0 || p > n {
+            return Err(ModelError::InvalidParameter {
+                name: "p",
+                message: format!("need 1 <= p <= n, got p={p}, n={n}"),
+            });
+        }
+        let base = n / p;
+        let rem = n % p;
+        let mut machine_of = Vec::with_capacity(n);
+        for m in 0..p {
+            let size = base + usize::from(m < rem);
+            machine_of.extend(std::iter::repeat_n(m as u32, size));
+        }
+        Ok(Self {
+            machine_of,
+            num_machines: p,
+        })
+    }
+
+    /// Number of components.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.machine_of.len()
+    }
+
+    /// Number of machines.
+    #[inline]
+    pub fn num_machines(&self) -> usize {
+        self.num_machines
+    }
+
+    /// Machine owning component `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn machine_of(&self, i: usize) -> usize {
+        self.machine_of[i] as usize
+    }
+
+    /// Components owned by machine `m`, in increasing order.
+    pub fn components_of(&self, m: usize) -> Vec<usize> {
+        self.machine_of
+            .iter()
+            .enumerate()
+            .filter(|(_, &mm)| mm as usize == m)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The full component → machine slice.
+    #[inline]
+    pub fn map(&self) -> &[u32] {
+        &self.machine_of
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_partition() {
+        let p = Partition::identity(3);
+        assert_eq!(p.n(), 3);
+        assert_eq!(p.num_machines(), 3);
+        assert_eq!(p.machine_of(2), 2);
+        assert_eq!(p.components_of(1), vec![1]);
+    }
+
+    #[test]
+    fn block_partition_sizes() {
+        let p = Partition::blocks(7, 3).unwrap();
+        assert_eq!(p.num_machines(), 3);
+        assert_eq!(p.components_of(0), vec![0, 1, 2]); // 3 = base 2 + rem
+        assert_eq!(p.components_of(1), vec![3, 4]);
+        assert_eq!(p.components_of(2), vec![5, 6]);
+    }
+
+    #[test]
+    fn block_partition_even() {
+        let p = Partition::blocks(6, 3).unwrap();
+        assert_eq!(p.components_of(0).len(), 2);
+        assert_eq!(p.components_of(2), vec![4, 5]);
+    }
+
+    #[test]
+    fn blocks_rejects_bad_p() {
+        assert!(Partition::blocks(3, 0).is_err());
+        assert!(Partition::blocks(3, 4).is_err());
+        assert!(Partition::blocks(3, 3).is_ok());
+    }
+
+    #[test]
+    fn from_map_checks_contiguity() {
+        assert!(Partition::from_map(vec![0, 2]).is_err()); // machine 1 missing
+        assert!(Partition::from_map(vec![]).is_err());
+        let p = Partition::from_map(vec![1, 0, 1]).unwrap();
+        assert_eq!(p.num_machines(), 2);
+        assert_eq!(p.components_of(1), vec![0, 2]);
+    }
+}

@@ -1,0 +1,440 @@
+//! Row-major dense matrices.
+//!
+//! Used for small-to-medium design matrices (machine-learning problems) and
+//! for computing *exact* reference solutions of quadratic problems via
+//! Cholesky factorisation, against which the asynchronous engines measure
+//! `‖x(j) − x*‖`.
+
+use crate::error::NumericsError;
+use crate::vecops;
+
+/// A row-major dense matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Errors
+    /// Returns [`NumericsError::DimensionMismatch`] when
+    /// `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> crate::Result<Self> {
+        if data.len() != rows * cols {
+            return Err(NumericsError::DimensionMismatch {
+                expected: rows * cols,
+                actual: data.len(),
+                context: "DenseMatrix::from_vec",
+            });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a function of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row `r` as a slice.
+    ///
+    /// # Panics
+    /// Panics if `r >= rows`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "DenseMatrix::row: index");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row `r`.
+    ///
+    /// # Panics
+    /// Panics if `r >= rows`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        assert!(r < self.rows, "DenseMatrix::row_mut: index");
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Underlying row-major data.
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// `out ← A x`.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn matvec(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "matvec: x dimension");
+        assert_eq!(out.len(), self.rows, "matvec: out dimension");
+        for (r, o) in out.iter_mut().enumerate() {
+            *o = vecops::dot(self.row(r), x);
+        }
+    }
+
+    /// `out ← Aᵀ x`.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn matvec_transpose(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.rows, "matvec_transpose: x dimension");
+        assert_eq!(out.len(), self.cols, "matvec_transpose: out dimension");
+        out.fill(0.0);
+        for (r, &xr) in x.iter().enumerate() {
+            vecops::axpy(xr, self.row(r), out);
+        }
+    }
+
+    /// Gram matrix `AᵀA / scale` (use `scale = 1.0` for the plain Gram
+    /// matrix, `scale = m as f64` for the averaged empirical version).
+    ///
+    /// # Panics
+    /// Panics if `scale` is not strictly positive.
+    pub fn gram(&self, scale: f64) -> DenseMatrix {
+        assert!(scale > 0.0, "gram: scale must be positive");
+        let n = self.cols;
+        let mut g = DenseMatrix::zeros(n, n);
+        for r in 0..self.rows {
+            let row = self.row(r);
+            for i in 0..n {
+                let ri = row[i];
+                if ri == 0.0 {
+                    continue;
+                }
+                for (jj, &rj) in row.iter().enumerate() {
+                    g.data[i * n + jj] += ri * rj;
+                }
+            }
+        }
+        for v in &mut g.data {
+            *v /= scale;
+        }
+        g
+    }
+
+    /// Symmetry check up to tolerance `tol` (absolute).
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                if (self[(i, j)] - self[(j, i)]).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Cholesky factorisation `A = L Lᵀ` of a symmetric positive-definite
+    /// matrix; returns the lower factor.
+    ///
+    /// # Errors
+    /// Returns [`NumericsError::NotPositiveDefinite`] when a pivot is
+    /// non-positive, and a dimension error for non-square input.
+    pub fn cholesky(&self) -> crate::Result<DenseMatrix> {
+        if self.rows != self.cols {
+            return Err(NumericsError::DimensionMismatch {
+                expected: self.rows,
+                actual: self.cols,
+                context: "cholesky (square)",
+            });
+        }
+        let n = self.rows;
+        let mut l = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = self[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if s <= 0.0 {
+                        return Err(NumericsError::NotPositiveDefinite { pivot: i, value: s });
+                    }
+                    l[(i, j)] = s.sqrt();
+                } else {
+                    l[(i, j)] = s / l[(j, j)];
+                }
+            }
+        }
+        Ok(l)
+    }
+
+    /// Solves `A x = b` for symmetric positive-definite `A` via Cholesky.
+    ///
+    /// # Errors
+    /// Propagates factorisation errors; checks `b` dimension.
+    pub fn solve_spd(&self, b: &[f64]) -> crate::Result<Vec<f64>> {
+        if b.len() != self.rows {
+            return Err(NumericsError::DimensionMismatch {
+                expected: self.rows,
+                actual: b.len(),
+                context: "solve_spd (rhs)",
+            });
+        }
+        let l = self.cholesky()?;
+        let n = self.rows;
+        // Forward solve L y = b.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[i];
+            for k in 0..i {
+                s -= l[(i, k)] * y[k];
+            }
+            y[i] = s / l[(i, i)];
+        }
+        // Backward solve Lᵀ x = y.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for k in (i + 1)..n {
+                s -= l[(k, i)] * x[k];
+            }
+            x[i] = s / l[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Largest eigenvalue of a symmetric matrix by power iteration.
+    ///
+    /// Runs until the Rayleigh quotient stabilises to `tol` or `max_iter`
+    /// iterations. Good enough for Lipschitz-constant estimation; not a
+    /// general eigensolver.
+    pub fn spectral_norm_symmetric(&self, tol: f64, max_iter: usize) -> f64 {
+        assert_eq!(self.rows, self.cols, "spectral_norm_symmetric: square");
+        let n = self.rows;
+        if n == 0 {
+            return 0.0;
+        }
+        // Deterministic start vector with components of varying sign so we
+        // do not accidentally start orthogonal to the top eigenvector.
+        let mut v: Vec<f64> = (0..n)
+            .map(|i| 1.0 + 0.5 * ((i % 7) as f64) - 0.25 * ((i % 3) as f64))
+            .collect();
+        let mut av = vec![0.0; n];
+        let mut lambda = 0.0_f64;
+        for _ in 0..max_iter {
+            let nv = vecops::norm2(&v);
+            if nv == 0.0 {
+                return 0.0;
+            }
+            vecops::scale(&mut v, 1.0 / nv);
+            self.matvec(&v, &mut av);
+            let new_lambda = vecops::dot(&v, &av);
+            let done = (new_lambda - lambda).abs() <= tol * new_lambda.abs().max(1.0);
+            lambda = new_lambda;
+            std::mem::swap(&mut v, &mut av);
+            if done {
+                break;
+            }
+        }
+        lambda.abs()
+    }
+
+    /// Row-sum infinity norm `‖A‖_∞ = max_i Σ_j |a_ij|`.
+    pub fn norm_inf_induced(&self) -> f64 {
+        (0..self.rows)
+            .map(|r| self.row(r).iter().map(|v| v.abs()).sum::<f64>())
+            .fold(0.0, f64::max)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for DenseMatrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        assert!(r < self.rows && c < self.cols, "DenseMatrix index");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for DenseMatrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        assert!(r < self.rows && c < self.cols, "DenseMatrix index");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> DenseMatrix {
+        // Diagonally dominant symmetric -> SPD.
+        DenseMatrix::from_vec(
+            3,
+            3,
+            vec![4.0, 1.0, 0.5, 1.0, 5.0, -1.0, 0.5, -1.0, 6.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn from_vec_checks_length() {
+        assert!(DenseMatrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+        assert!(DenseMatrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn identity_matvec_is_identity() {
+        let a = DenseMatrix::identity(3);
+        let x = [1.0, -2.0, 3.0];
+        let mut out = [0.0; 3];
+        a.matvec(&x, &mut out);
+        assert_eq!(out, x);
+    }
+
+    #[test]
+    fn matvec_hand_example() {
+        let a = DenseMatrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let mut out = [0.0; 2];
+        a.matvec(&[1.0, 1.0, 1.0], &mut out);
+        assert_eq!(out, [6.0, 15.0]);
+    }
+
+    #[test]
+    fn matvec_transpose_consistent_with_matvec() {
+        let a = DenseMatrix::from_fn(3, 2, |r, c| (r * 2 + c) as f64);
+        let x = [1.0, 2.0, 3.0];
+        let y = [4.0, 5.0];
+        // <Aᵀx, y> must equal <x, Ay>.
+        let mut atx = [0.0; 2];
+        a.matvec_transpose(&x, &mut atx);
+        let mut ay = [0.0; 3];
+        a.matvec(&y, &mut ay);
+        assert!((vecops::dot(&atx, &y) - vecops::dot(&x, &ay)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gram_is_symmetric_psd() {
+        let a = DenseMatrix::from_fn(4, 3, |r, c| ((r + 1) * (c + 2)) as f64 / 3.0);
+        let g = a.gram(4.0);
+        assert!(g.is_symmetric(1e-12));
+        // xᵀGx ≥ 0 for a couple of vectors.
+        for x in [[1.0, 0.0, -1.0], [0.3, -2.0, 0.7]] {
+            let mut gx = [0.0; 3];
+            g.matvec(&x, &mut gx);
+            assert!(vecops::dot(&x, &gx) >= -1e-12);
+        }
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = spd3();
+        let l = a.cholesky().unwrap();
+        // L Lᵀ == A.
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut s = 0.0;
+                for k in 0..3 {
+                    s += l[(i, k)] * l[(j, k)];
+                }
+                assert!((s - a[(i, j)]).abs() < 1e-12, "entry ({i},{j})");
+            }
+        }
+        // Strictly lower-left structure: upper part zero.
+        assert_eq!(l[(0, 1)], 0.0);
+        assert_eq!(l[(0, 2)], 0.0);
+        assert_eq!(l[(1, 2)], 0.0);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = DenseMatrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 1.0]).unwrap();
+        match a.cholesky() {
+            Err(NumericsError::NotPositiveDefinite { .. }) => {}
+            other => panic!("expected NotPositiveDefinite, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn solve_spd_solves() {
+        let a = spd3();
+        let x_true = [1.0, -2.0, 0.5];
+        let mut b = [0.0; 3];
+        a.matvec(&x_true, &mut b);
+        let x = a.solve_spd(&b).unwrap();
+        assert!(vecops::max_abs_diff(&x, &x_true) < 1e-12);
+    }
+
+    #[test]
+    fn solve_spd_checks_rhs_len() {
+        assert!(spd3().solve_spd(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn spectral_norm_of_diagonal() {
+        let mut a = DenseMatrix::zeros(3, 3);
+        a[(0, 0)] = 1.0;
+        a[(1, 1)] = -7.0;
+        a[(2, 2)] = 3.0;
+        let s = a.spectral_norm_symmetric(1e-12, 10_000);
+        assert!((s - 7.0).abs() < 1e-6, "got {s}");
+    }
+
+    #[test]
+    fn norm_inf_induced_hand_example() {
+        let a = DenseMatrix::from_vec(2, 2, vec![1.0, -2.0, 3.0, 0.5]).unwrap();
+        assert_eq!(a.norm_inf_induced(), 3.5);
+    }
+
+    #[test]
+    fn is_symmetric_detects_asymmetry() {
+        let mut a = spd3();
+        assert!(a.is_symmetric(1e-14));
+        a[(0, 1)] += 1e-3;
+        assert!(!a.is_symmetric(1e-6));
+        assert!(!DenseMatrix::zeros(2, 3).is_symmetric(1.0));
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let mut a = DenseMatrix::zeros(2, 2);
+        a[(1, 0)] = 42.0;
+        assert_eq!(a[(1, 0)], 42.0);
+        assert_eq!(a.row(1)[0], 42.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Error type for numerical routines.
+
+use std::fmt;
+
+/// Errors produced by numerical routines in this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NumericsError {
+    /// Two operands have incompatible dimensions.
+    DimensionMismatch {
+        /// Dimension expected by the operation.
+        expected: usize,
+        /// Dimension actually supplied.
+        actual: usize,
+        /// Human-readable context (operation name).
+        context: &'static str,
+    },
+    /// A matrix that must be symmetric positive definite is not.
+    NotPositiveDefinite {
+        /// Index of the pivot that failed.
+        pivot: usize,
+        /// Value of the failing pivot.
+        value: f64,
+    },
+    /// A routine received an empty input where data is required.
+    Empty {
+        /// Human-readable context (operation name).
+        context: &'static str,
+    },
+    /// An input parameter is outside its admissible range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Explanation of the violated constraint.
+        message: String,
+    },
+    /// An iterative reference solver failed to reach its tolerance.
+    DidNotConverge {
+        /// Number of iterations performed.
+        iterations: usize,
+        /// Residual at the last iterate.
+        residual: f64,
+    },
+}
+
+impl fmt::Display for NumericsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumericsError::DimensionMismatch {
+                expected,
+                actual,
+                context,
+            } => write!(
+                f,
+                "dimension mismatch in {context}: expected {expected}, got {actual}"
+            ),
+            NumericsError::NotPositiveDefinite { pivot, value } => write!(
+                f,
+                "matrix is not positive definite (pivot {pivot} = {value:.3e})"
+            ),
+            NumericsError::Empty { context } => write!(f, "empty input in {context}"),
+            NumericsError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+            NumericsError::DidNotConverge {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "iterative solver did not converge after {iterations} iterations \
+                 (residual {residual:.3e})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for NumericsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_dimension_mismatch() {
+        let e = NumericsError::DimensionMismatch {
+            expected: 3,
+            actual: 5,
+            context: "dot",
+        };
+        assert_eq!(e.to_string(), "dimension mismatch in dot: expected 3, got 5");
+    }
+
+    #[test]
+    fn display_not_positive_definite() {
+        let e = NumericsError::NotPositiveDefinite {
+            pivot: 2,
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("pivot 2"));
+    }
+
+    #[test]
+    fn display_did_not_converge() {
+        let e = NumericsError::DidNotConverge {
+            iterations: 10,
+            residual: 0.5,
+        };
+        assert!(e.to_string().contains("10 iterations"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<NumericsError>();
+    }
+}

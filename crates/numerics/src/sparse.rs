@@ -1,0 +1,408 @@
+//! Compressed sparse row (CSR) matrices and structured-problem stencils.
+//!
+//! The asynchronous relaxation experiments operate on large sparse systems
+//! (2-D Laplacians for the obstacle problem, graph Laplacians for network
+//! flow duals), so CSR with row-oriented access is the natural layout: an
+//! update of component `i` reads exactly row `i`.
+
+use crate::error::NumericsError;
+
+/// A CSR sparse matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    /// Row pointer: row `r` occupies `indptr[r]..indptr[r+1]` in
+    /// `indices`/`values`.
+    indptr: Vec<usize>,
+    indices: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from (row, col, value) triplets; duplicate
+    /// entries are summed, explicit zeros retained.
+    ///
+    /// # Errors
+    /// Returns an error for out-of-range indices.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: &[(usize, usize, f64)],
+    ) -> crate::Result<Self> {
+        for &(r, c, _) in triplets {
+            if r >= rows || c >= cols {
+                return Err(NumericsError::InvalidParameter {
+                    name: "triplets",
+                    message: format!("entry ({r},{c}) outside {rows}x{cols}"),
+                });
+            }
+        }
+        // Count entries per row after duplicate merging: merge via sort.
+        let mut t: Vec<(usize, usize, f64)> = triplets.to_vec();
+        t.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        let mut merged: Vec<(usize, usize, f64)> = Vec::with_capacity(t.len());
+        for (r, c, v) in t {
+            match merged.last_mut() {
+                Some((lr, lc, lv)) if *lr == r && *lc == c => *lv += v,
+                _ => merged.push((r, c, v)),
+            }
+        }
+        let mut indptr = vec![0usize; rows + 1];
+        for &(r, _, _) in &merged {
+            indptr[r + 1] += 1;
+        }
+        for r in 0..rows {
+            indptr[r + 1] += indptr[r];
+        }
+        let indices = merged.iter().map(|&(_, c, _)| c).collect();
+        let values = merged.iter().map(|&(_, _, v)| v).collect();
+        Ok(Self {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        })
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        Self {
+            rows: n,
+            cols: n,
+            indptr: (0..=n).collect(),
+            indices: (0..n).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The (indices, values) pairs of row `r`.
+    ///
+    /// # Panics
+    /// Panics if `r >= rows`.
+    #[inline]
+    pub fn row(&self, r: usize) -> (&[usize], &[f64]) {
+        assert!(r < self.rows, "CsrMatrix::row: index");
+        let lo = self.indptr[r];
+        let hi = self.indptr[r + 1];
+        (&self.indices[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Value at `(r, c)`, zero when not stored.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        let (idx, vals) = self.row(r);
+        match idx.binary_search(&c) {
+            Ok(k) => vals[k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// `out ← A x`.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn matvec(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "CsrMatrix::matvec: x dimension");
+        assert_eq!(out.len(), self.rows, "CsrMatrix::matvec: out dimension");
+        for (r, o) in out.iter_mut().enumerate() {
+            let (idx, vals) = {
+                let lo = self.indptr[r];
+                let hi = self.indptr[r + 1];
+                (&self.indices[lo..hi], &self.values[lo..hi])
+            };
+            let mut s = 0.0;
+            for (&c, &v) in idx.iter().zip(vals) {
+                s += v * x[c];
+            }
+            *o = s;
+        }
+    }
+
+    /// Dot product of row `r` with `x`.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    #[inline]
+    pub fn row_dot(&self, r: usize, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.cols, "CsrMatrix::row_dot: x dimension");
+        let (idx, vals) = self.row(r);
+        let mut s = 0.0;
+        for (&c, &v) in idx.iter().zip(vals) {
+            s += v * x[c];
+        }
+        s
+    }
+
+    /// Dot product of row `r` with `x`, excluding the diagonal entry
+    /// (used by Jacobi/relaxation updates `x_i ← (b_i − Σ_{j≠i} a_ij x_j)/a_ii`).
+    #[inline]
+    pub fn row_dot_offdiag(&self, r: usize, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.cols, "row_dot_offdiag: x dimension");
+        let (idx, vals) = self.row(r);
+        let mut s = 0.0;
+        for (&c, &v) in idx.iter().zip(vals) {
+            if c != r {
+                s += v * x[c];
+            }
+        }
+        s
+    }
+
+    /// Diagonal entries (zero where absent).
+    pub fn diagonal(&self) -> Vec<f64> {
+        (0..self.rows.min(self.cols))
+            .map(|i| self.get(i, i))
+            .collect()
+    }
+
+    /// Σ_{j≠i} |a_ij| for every row: the off-diagonal absolute row sums
+    /// used in diagonal-dominance and weighted-max-norm contraction bounds.
+    pub fn offdiag_abs_row_sums(&self) -> Vec<f64> {
+        (0..self.rows)
+            .map(|r| {
+                let (idx, vals) = self.row(r);
+                idx.iter()
+                    .zip(vals)
+                    .filter(|(&c, _)| c != r)
+                    .map(|(_, &v)| v.abs())
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Strict diagonal dominance margin `min_i (|a_ii| − Σ_{j≠i} |a_ij|)`;
+    /// positive iff strictly diagonally dominant.
+    pub fn diagonal_dominance_margin(&self) -> f64 {
+        let diag = self.diagonal();
+        let off = self.offdiag_abs_row_sums();
+        diag.iter()
+            .zip(&off)
+            .map(|(d, o)| d.abs() - o)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// True when the matrix is symmetric up to absolute tolerance `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for r in 0..self.rows {
+            let (idx, vals) = self.row(r);
+            for (&c, &v) in idx.iter().zip(vals) {
+                if (v - self.get(c, r)).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Dense copy (for small matrices / tests).
+    pub fn to_dense(&self) -> crate::dense::DenseMatrix {
+        let mut d = crate::dense::DenseMatrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            let (idx, vals) = self.row(r);
+            for (&c, &v) in idx.iter().zip(vals) {
+                d[(r, c)] += v;
+            }
+        }
+        d
+    }
+}
+
+/// 5-point finite-difference Laplacian on an `nx × ny` grid with Dirichlet
+/// boundary (matrix order `nx*ny`, grid spacing `h`): the operator
+/// `(-Δ_h u)_{ij} = (4 u_{ij} − u_{i±1,j} − u_{i,j±1}) / h²`.
+///
+/// Row ordering is row-major in the grid: component `k = iy*nx + ix`.
+///
+/// # Panics
+/// Panics when `nx == 0`, `ny == 0`, or `h <= 0`.
+pub fn laplacian_2d(nx: usize, ny: usize, h: f64) -> CsrMatrix {
+    assert!(nx > 0 && ny > 0, "laplacian_2d: empty grid");
+    assert!(h > 0.0, "laplacian_2d: nonpositive spacing");
+    let n = nx * ny;
+    let inv_h2 = 1.0 / (h * h);
+    let mut trip = Vec::with_capacity(5 * n);
+    for iy in 0..ny {
+        for ix in 0..nx {
+            let k = iy * nx + ix;
+            trip.push((k, k, 4.0 * inv_h2));
+            if ix > 0 {
+                trip.push((k, k - 1, -inv_h2));
+            }
+            if ix + 1 < nx {
+                trip.push((k, k + 1, -inv_h2));
+            }
+            if iy > 0 {
+                trip.push((k, k - nx, -inv_h2));
+            }
+            if iy + 1 < ny {
+                trip.push((k, k + nx, -inv_h2));
+            }
+        }
+    }
+    CsrMatrix::from_triplets(n, n, &trip).expect("laplacian triplets in range")
+}
+
+/// Symmetric tridiagonal matrix with constant diagonal `d` and
+/// off-diagonal `e`, order `n`.
+///
+/// # Panics
+/// Panics when `n == 0`.
+pub fn tridiagonal(n: usize, d: f64, e: f64) -> CsrMatrix {
+    assert!(n > 0, "tridiagonal: order 0");
+    let mut trip = Vec::with_capacity(3 * n);
+    for i in 0..n {
+        trip.push((i, i, d));
+        if i > 0 {
+            trip.push((i, i - 1, e));
+        }
+        if i + 1 < n {
+            trip.push((i, i + 1, e));
+        }
+    }
+    CsrMatrix::from_triplets(n, n, &trip).expect("tridiagonal triplets in range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_triplets_merges_duplicates() {
+        let a =
+            CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 0, 2.0), (1, 1, 5.0)]).unwrap();
+        assert_eq!(a.get(0, 0), 3.0);
+        assert_eq!(a.get(1, 1), 5.0);
+        assert_eq!(a.get(0, 1), 0.0);
+        assert_eq!(a.nnz(), 2);
+    }
+
+    #[test]
+    fn from_triplets_rejects_out_of_range() {
+        assert!(CsrMatrix::from_triplets(2, 2, &[(2, 0, 1.0)]).is_err());
+        assert!(CsrMatrix::from_triplets(2, 2, &[(0, 5, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn identity_matvec() {
+        let a = CsrMatrix::identity(3);
+        let mut out = [0.0; 3];
+        a.matvec(&[1.0, 2.0, 3.0], &mut out);
+        assert_eq!(out, [1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let a = CsrMatrix::from_triplets(
+            3,
+            3,
+            &[
+                (0, 0, 2.0),
+                (0, 2, -1.0),
+                (1, 1, 3.0),
+                (2, 0, 0.5),
+                (2, 2, 4.0),
+            ],
+        )
+        .unwrap();
+        let d = a.to_dense();
+        let x = [1.0, -1.0, 2.0];
+        let mut s_out = [0.0; 3];
+        let mut d_out = [0.0; 3];
+        a.matvec(&x, &mut s_out);
+        d.matvec(&x, &mut d_out);
+        assert_eq!(s_out, d_out);
+    }
+
+    #[test]
+    fn row_dot_offdiag_skips_diagonal() {
+        let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 10.0), (0, 1, 2.0)]).unwrap();
+        assert_eq!(a.row_dot(0, &[1.0, 1.0]), 12.0);
+        assert_eq!(a.row_dot_offdiag(0, &[1.0, 1.0]), 2.0);
+    }
+
+    #[test]
+    fn diagonal_and_dominance() {
+        let a = tridiagonal(4, 4.0, -1.0);
+        assert_eq!(a.diagonal(), vec![4.0; 4]);
+        // Interior rows have off-diag sum 2, end rows 1 → margin 2.
+        assert_eq!(a.diagonal_dominance_margin(), 2.0);
+    }
+
+    #[test]
+    fn laplacian_row_sums() {
+        let a = laplacian_2d(3, 3, 1.0);
+        assert_eq!(a.rows(), 9);
+        // Centre node (1,1) -> k=4: full stencil.
+        assert_eq!(a.get(4, 4), 4.0);
+        assert_eq!(a.get(4, 3), -1.0);
+        assert_eq!(a.get(4, 5), -1.0);
+        assert_eq!(a.get(4, 1), -1.0);
+        assert_eq!(a.get(4, 7), -1.0);
+        // Corner node k=0 has only 2 neighbours: row sum = 4 - 2 = 2 > 0
+        // (irreducible diagonal dominance from the boundary).
+        let (idx, vals) = a.row(0);
+        assert_eq!(idx.len(), 3);
+        let s: f64 = vals.iter().sum();
+        assert!((s - 2.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn laplacian_is_symmetric() {
+        let a = laplacian_2d(4, 3, 0.5);
+        assert!(a.is_symmetric(1e-14));
+    }
+
+    #[test]
+    fn laplacian_scales_with_h() {
+        let a = laplacian_2d(3, 3, 0.5);
+        assert_eq!(a.get(4, 4), 16.0); // 4 / h² with h = 1/2.
+    }
+
+    #[test]
+    fn tridiagonal_structure() {
+        let a = tridiagonal(3, 2.0, -1.0);
+        assert_eq!(a.get(0, 0), 2.0);
+        assert_eq!(a.get(0, 1), -1.0);
+        assert_eq!(a.get(1, 0), -1.0);
+        assert_eq!(a.get(0, 2), 0.0);
+        assert!(a.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn symmetric_detects_asymmetry() {
+        let a = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0)]).unwrap();
+        assert!(!a.is_symmetric(1e-14));
+        let b = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0), (1, 0, 1.0)]).unwrap();
+        assert!(b.is_symmetric(1e-14));
+        assert!(!CsrMatrix::from_triplets(2, 3, &[]).unwrap().is_symmetric(1.0));
+    }
+
+    #[test]
+    fn get_absent_is_zero() {
+        let a = CsrMatrix::from_triplets(2, 2, &[]).unwrap();
+        assert_eq!(a.get(1, 1), 0.0);
+        assert_eq!(a.nnz(), 0);
+    }
+}

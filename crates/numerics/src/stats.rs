@@ -1,0 +1,217 @@
+//! Small statistics helpers for the experiment harness.
+//!
+//! The headline use is [`fit_power_law`]: experiment E1 verifies Baudet's
+//! claim that the delay of the slow processor grows like `√j` by fitting
+//! `d(j) ≈ c · j^p` in log–log space and checking `p ≈ 0.5`.
+
+/// Arithmetic mean; 0 for empty input.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance; 0 for inputs shorter than 2.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// `q`-th percentile (0 ≤ q ≤ 100) with linear interpolation between order
+/// statistics. Returns `None` for empty input.
+///
+/// # Panics
+/// Panics when `q` is outside `[0, 100]`.
+pub fn percentile(xs: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=100.0).contains(&q), "percentile: q out of range");
+    if xs.is_empty() {
+        return None;
+    }
+    let mut s = xs.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).expect("percentile: NaN in input"));
+    let pos = q / 100.0 * (s.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        Some(s[lo])
+    } else {
+        let t = pos - lo as f64;
+        Some(s[lo] * (1.0 - t) + s[hi] * t)
+    }
+}
+
+/// Median (50th percentile).
+pub fn median(xs: &[f64]) -> Option<f64> {
+    percentile(xs, 50.0)
+}
+
+/// Geometric mean of strictly positive samples; `None` if empty or any
+/// sample is not positive.
+pub fn geometric_mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() || xs.iter().any(|&x| x <= 0.0) {
+        return None;
+    }
+    Some((xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp())
+}
+
+/// Ordinary least squares fit `y ≈ a + b·x`; returns `(a, b, r²)`.
+/// Returns `None` when fewer than two points or degenerate `x`.
+pub fn linear_fit(x: &[f64], y: &[f64]) -> Option<(f64, f64, f64)> {
+    assert_eq!(x.len(), y.len(), "linear_fit: length mismatch");
+    if x.len() < 2 {
+        return None;
+    }
+    let n = x.len() as f64;
+    let mx = mean(x);
+    let my = mean(y);
+    let sxx: f64 = x.iter().map(|xi| (xi - mx) * (xi - mx)).sum();
+    let sxy: f64 = x.iter().zip(y).map(|(xi, yi)| (xi - mx) * (yi - my)).sum();
+    if sxx == 0.0 {
+        return None;
+    }
+    let b = sxy / sxx;
+    let a = my - b * mx;
+    let syy: f64 = y.iter().map(|yi| (yi - my) * (yi - my)).sum();
+    let r2 = if syy == 0.0 {
+        1.0
+    } else {
+        let ss_res: f64 = x
+            .iter()
+            .zip(y)
+            .map(|(xi, yi)| {
+                let e = yi - (a + b * xi);
+                e * e
+            })
+            .sum();
+        1.0 - ss_res / syy
+    };
+    let _ = n;
+    Some((a, b, r2))
+}
+
+/// Fits `y ≈ c · x^p` by OLS in log–log space over strictly positive data;
+/// returns `(c, p, r²)`. Points with non-positive `x` or `y` are skipped.
+/// Returns `None` when fewer than two usable points remain.
+pub fn fit_power_law(x: &[f64], y: &[f64]) -> Option<(f64, f64, f64)> {
+    assert_eq!(x.len(), y.len(), "fit_power_law: length mismatch");
+    let (lx, ly): (Vec<f64>, Vec<f64>) = x
+        .iter()
+        .zip(y)
+        .filter(|(&a, &b)| a > 0.0 && b > 0.0)
+        .map(|(&a, &b)| (a.ln(), b.ln()))
+        .unzip();
+    let (a, b, r2) = linear_fit(&lx, &ly)?;
+    Some((a.exp(), b, r2))
+}
+
+/// Estimated geometric decay rate of a positive sequence `e_k ≈ e_0 · ρ^k`:
+/// fits `ln e_k` against `k` and returns `ρ = exp(slope)`. `None` when the
+/// sequence has fewer than two positive entries.
+pub fn geometric_rate(errors: &[f64]) -> Option<f64> {
+    let (ks, ls): (Vec<f64>, Vec<f64>) = errors
+        .iter()
+        .enumerate()
+        .filter(|(_, &e)| e > 0.0)
+        .map(|(k, &e)| (k as f64, e.ln()))
+        .unzip();
+    linear_fit(&ks, &ls).map(|(_, b, _)| b.exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_hand_example() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert_eq!(variance(&xs), 4.0);
+        assert_eq!(std_dev(&xs), 2.0);
+    }
+
+    #[test]
+    fn mean_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), Some(1.0));
+        assert_eq!(percentile(&xs, 100.0), Some(4.0));
+        assert_eq!(percentile(&xs, 50.0), Some(2.5));
+        assert_eq!(median(&[5.0, 1.0, 3.0]), Some(3.0));
+        assert_eq!(percentile(&[], 50.0), None);
+    }
+
+    #[test]
+    fn percentile_unsorted_input() {
+        assert_eq!(percentile(&[9.0, 1.0, 5.0], 100.0), Some(9.0));
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert_eq!(geometric_mean(&[1.0, 4.0]), Some(2.0));
+        assert_eq!(geometric_mean(&[]), None);
+        assert_eq!(geometric_mean(&[1.0, 0.0]), None);
+        assert_eq!(geometric_mean(&[1.0, -2.0]), None);
+    }
+
+    #[test]
+    fn linear_fit_exact_line() {
+        let x = [0.0, 1.0, 2.0, 3.0];
+        let y = [1.0, 3.0, 5.0, 7.0];
+        let (a, b, r2) = linear_fit(&x, &y).unwrap();
+        assert!((a - 1.0).abs() < 1e-12);
+        assert!((b - 2.0).abs() < 1e-12);
+        assert!((r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_degenerate_x() {
+        assert!(linear_fit(&[1.0, 1.0], &[0.0, 5.0]).is_none());
+        assert!(linear_fit(&[1.0], &[0.0]).is_none());
+    }
+
+    #[test]
+    fn power_law_recovers_sqrt() {
+        let x: Vec<f64> = (1..200).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v.sqrt()).collect();
+        let (c, p, r2) = fit_power_law(&x, &y).unwrap();
+        assert!((c - 3.0).abs() < 1e-9, "c = {c}");
+        assert!((p - 0.5).abs() < 1e-9, "p = {p}");
+        assert!(r2 > 0.999999);
+    }
+
+    #[test]
+    fn power_law_skips_nonpositive_points() {
+        let x = [0.0, 1.0, 2.0, 4.0];
+        let y = [5.0, 1.0, 2.0, 4.0];
+        // First point skipped (x=0); remaining fit y = x exactly.
+        let (c, p, _) = fit_power_law(&x, &y).unwrap();
+        assert!((c - 1.0).abs() < 1e-9);
+        assert!((p - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geometric_rate_of_pure_decay() {
+        let errs: Vec<f64> = (0..20).map(|k| 7.0 * 0.8_f64.powi(k)).collect();
+        let rho = geometric_rate(&errs).unwrap();
+        assert!((rho - 0.8).abs() < 1e-9, "rho = {rho}");
+    }
+
+    #[test]
+    fn geometric_rate_handles_zeros() {
+        assert!(geometric_rate(&[1.0, 0.0, 0.0]).is_none()); // single positive point
+    }
+}

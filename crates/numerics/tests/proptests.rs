@@ -1,0 +1,161 @@
+//! Property-based tests for the numerics substrate.
+
+use asynciter_numerics::{
+    dense::DenseMatrix,
+    norm::{BlockWeightedMaxNorm, WeightedMaxNorm},
+    sparse::{tridiagonal, CsrMatrix},
+    stats, vecops,
+};
+use proptest::prelude::*;
+
+fn vec_strategy(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-100.0..100.0f64, n)
+}
+
+fn weight_strategy(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.1..10.0f64, n)
+}
+
+proptest! {
+    #[test]
+    fn weighted_max_norm_is_a_norm(
+        x in vec_strategy(8),
+        y in vec_strategy(8),
+        u in weight_strategy(8),
+        c in -5.0..5.0f64,
+    ) {
+        let norm = WeightedMaxNorm::new(u).unwrap();
+        let nx = norm.eval(&x);
+        let ny = norm.eval(&y);
+        // Nonnegativity.
+        prop_assert!(nx >= 0.0);
+        // Absolute homogeneity.
+        let cx: Vec<f64> = x.iter().map(|v| c * v).collect();
+        prop_assert!((norm.eval(&cx) - c.abs() * nx).abs() <= 1e-9 * (1.0 + nx));
+        // Triangle inequality.
+        let s: Vec<f64> = x.iter().zip(&y).map(|(a, b)| a + b).collect();
+        prop_assert!(norm.eval(&s) <= nx + ny + 1e-9);
+    }
+
+    #[test]
+    fn weighted_max_norm_zero_iff_zero(u in weight_strategy(6)) {
+        let norm = WeightedMaxNorm::new(u).unwrap();
+        prop_assert_eq!(norm.eval(&[0.0; 6]), 0.0);
+    }
+
+    #[test]
+    fn block_norm_dominated_by_scalar_norm_with_unit_weights(
+        x in vec_strategy(12),
+    ) {
+        // With unit weights, max_b ‖block‖₂ ≥ max_i |x_i| (each component
+        // sits inside some block) and ≤ √n · max_i |x_i|.
+        let b = BlockWeightedMaxNorm::uniform_partition(12, 4).unwrap();
+        let bn = b.eval(&x);
+        let inf = vecops::norm_inf(&x);
+        prop_assert!(bn + 1e-12 >= inf);
+        prop_assert!(bn <= (12.0f64).sqrt() * inf + 1e-12);
+    }
+
+    #[test]
+    fn cholesky_solve_roundtrip(
+        diag in prop::collection::vec(1.0..10.0f64, 5),
+        x_true in vec_strategy(5),
+    ) {
+        // Random SPD: tridiagonal-style dominance via diag + small coupling.
+        let n = 5usize;
+        let mut a = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            a[(i, i)] = diag[i] + 2.0;
+            if i + 1 < n {
+                a[(i, i + 1)] = 0.5;
+                a[(i + 1, i)] = 0.5;
+            }
+        }
+        let mut b = vec![0.0; n];
+        a.matvec(&x_true, &mut b);
+        let x = a.solve_spd(&b).unwrap();
+        prop_assert!(vecops::max_abs_diff(&x, &x_true) < 1e-8);
+    }
+
+    #[test]
+    fn csr_matvec_matches_dense(
+        entries in prop::collection::vec((0usize..6, 0usize..6, -10.0..10.0f64), 0..20),
+        x in vec_strategy(6),
+    ) {
+        let a = CsrMatrix::from_triplets(6, 6, &entries).unwrap();
+        let d = a.to_dense();
+        let mut ys = vec![0.0; 6];
+        let mut yd = vec![0.0; 6];
+        a.matvec(&x, &mut ys);
+        d.matvec(&x, &mut yd);
+        prop_assert!(vecops::max_abs_diff(&ys, &yd) < 1e-9);
+    }
+
+    #[test]
+    fn csr_row_dot_consistent(
+        entries in prop::collection::vec((0usize..5, 0usize..5, -10.0..10.0f64), 0..15),
+        x in vec_strategy(5),
+    ) {
+        let a = CsrMatrix::from_triplets(5, 5, &entries).unwrap();
+        for r in 0..5 {
+            let full = a.row_dot(r, &x);
+            let off = a.row_dot_offdiag(r, &x);
+            prop_assert!((full - (off + a.get(r, r) * x[r])).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn tridiagonal_dominance_margin(n in 2usize..20, d in 1.0..10.0f64, e in 0.0..0.4f64) {
+        // |d| - 2e > 0 ensured by ranges (d ≥ 1, 2e < 0.8).
+        let a = tridiagonal(n, d, -e);
+        prop_assert!(a.diagonal_dominance_margin() >= d - 2.0 * e - 1e-12);
+        prop_assert!(a.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn percentile_within_range(xs in prop::collection::vec(-50.0..50.0f64, 1..40), q in 0.0..100.0f64) {
+        let p = stats::percentile(&xs, q).unwrap();
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(p >= lo - 1e-12 && p <= hi + 1e-12);
+    }
+
+    #[test]
+    fn power_law_fit_recovers_exponent(c in 0.5..5.0f64, p in 0.2..2.0f64) {
+        let x: Vec<f64> = (1..60).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| c * v.powf(p)).collect();
+        let (cf, pf, r2) = stats::fit_power_law(&x, &y).unwrap();
+        prop_assert!((cf - c).abs() < 1e-6 * c.max(1.0));
+        prop_assert!((pf - p).abs() < 1e-8);
+        prop_assert!(r2 > 0.999_999);
+    }
+
+    #[test]
+    fn spectral_norm_bounded_by_inf_norm(
+        diag in prop::collection::vec(-5.0..5.0f64, 4),
+    ) {
+        // Symmetric matrix: diag + fixed symmetric coupling.
+        let n = 4usize;
+        let mut a = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            a[(i, i)] = diag[i];
+        }
+        a[(0, 1)] = 1.0;
+        a[(1, 0)] = 1.0;
+        a[(2, 3)] = -0.5;
+        a[(3, 2)] = -0.5;
+        let s = a.spectral_norm_symmetric(1e-12, 20_000);
+        prop_assert!(s <= a.norm_inf_induced() + 1e-6);
+    }
+
+    #[test]
+    fn sample_indices_always_distinct(seed in 0u64..1000, n in 1usize..30, kfrac in 0.0..1.0f64) {
+        let k = ((n as f64) * kfrac) as usize;
+        let mut r = asynciter_numerics::rng::rng(seed);
+        let s = asynciter_numerics::rng::sample_indices(&mut r, n, k);
+        let mut d = s.clone();
+        d.sort_unstable();
+        d.dedup();
+        prop_assert_eq!(d.len(), k);
+    }
+}

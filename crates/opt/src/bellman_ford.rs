@@ -1,0 +1,381 @@
+//! Distributed shortest paths: the asynchronous Bellman–Ford operator.
+//!
+//! The first routing algorithm deployed on the Arpanet in 1969 was a
+//! *distributed asynchronous Bellman–Ford* (paper §II, citing \[11\]
+//! pp. 479–480 and \[17\]): every router keeps an estimate of its distance
+//! to the destination and updates
+//!
+//! ```text
+//! x_i ← min_{(i,j) ∈ E} ( w_ij + x_j ),       x_dest ≡ 0 ,
+//! ```
+//!
+//! using whatever neighbour estimates have arrived — stale, reordered or
+//! missing. The operator is monotone on `[x*, +∞)ⁿ` and converges under
+//! exactly conditions (a)–(c); it is the canonical *non-contracting*
+//! totally asynchronous iteration, complementing the contraction-based
+//! optimisation examples.
+
+use crate::error::OptError;
+use crate::traits::Operator;
+
+/// A directed graph with nonnegative arc weights, in adjacency-list form.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    /// `adj[i]` lists `(j, w_ij)` for arcs `i → j`.
+    adj: Vec<Vec<(usize, f64)>>,
+}
+
+impl Graph {
+    /// Builds a graph from arcs; validates indices and nonnegative
+    /// weights.
+    ///
+    /// # Errors
+    /// [`OptError::InvalidProblem`] on violations.
+    pub fn new(num_nodes: usize, arcs: &[(usize, usize, f64)]) -> crate::Result<Self> {
+        let mut adj = vec![Vec::new(); num_nodes];
+        for &(u, v, w) in arcs {
+            if u >= num_nodes || v >= num_nodes {
+                return Err(OptError::InvalidProblem {
+                    message: format!("arc ({u},{v}) out of range"),
+                });
+            }
+            if !(w >= 0.0) || !w.is_finite() {
+                return Err(OptError::InvalidProblem {
+                    message: format!("arc ({u},{v}) has invalid weight {w}"),
+                });
+            }
+            adj[u].push((v, w));
+        }
+        Ok(Self { adj })
+    }
+
+    /// Builds an *undirected* graph (each edge in both directions).
+    ///
+    /// # Errors
+    /// Propagates validation.
+    pub fn undirected(num_nodes: usize, edges: &[(usize, usize, f64)]) -> crate::Result<Self> {
+        let mut arcs = Vec::with_capacity(2 * edges.len());
+        for &(u, v, w) in edges {
+            arcs.push((u, v, w));
+            arcs.push((v, u, w));
+        }
+        Self::new(num_nodes, &arcs)
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of directed arcs.
+    pub fn num_arcs(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum()
+    }
+
+    /// Out-neighbours of `i`.
+    pub fn neighbors(&self, i: usize) -> &[(usize, f64)] {
+        &self.adj[i]
+    }
+
+    /// Single-source shortest distances *to* `dest` along directed arcs,
+    /// by Dijkstra on the reversed graph — the reference against which
+    /// asynchronous Bellman–Ford is validated. Unreachable nodes get
+    /// `f64::INFINITY`.
+    ///
+    /// # Panics
+    /// Panics when `dest` is out of range.
+    pub fn distances_to(&self, dest: usize) -> Vec<f64> {
+        assert!(dest < self.num_nodes(), "distances_to: dest out of range");
+        // Reverse adjacency.
+        let mut radj = vec![Vec::new(); self.num_nodes()];
+        for (u, outs) in self.adj.iter().enumerate() {
+            for &(v, w) in outs {
+                radj[v].push((u, w));
+            }
+        }
+        let mut dist = vec![f64::INFINITY; self.num_nodes()];
+        dist[dest] = 0.0;
+        // Binary heap keyed on OrderedFloat-style bit tricks: use
+        // (cost, node) with reverse ordering through cmp on bits of f64 —
+        // weights are nonnegative and finite, so total order is safe.
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+        heap.push(Reverse((0u64, dest)));
+        while let Some(Reverse((dbits, u))) = heap.pop() {
+            let d = f64::from_bits(dbits);
+            if d > dist[u] {
+                continue;
+            }
+            for &(v, w) in &radj[u] {
+                let nd = d + w;
+                if nd < dist[v] {
+                    dist[v] = nd;
+                    heap.push(Reverse((nd.to_bits(), v)));
+                }
+            }
+        }
+        dist
+    }
+
+    /// A synthetic approximation of the 1971-era Arpanet topology
+    /// (18 IMPs, undirected links, weights are rough great-circle
+    /// distances in megameters). Documented in DESIGN.md as a substitution
+    /// for unavailable historical traces; the experiment's conclusion
+    /// (asynchronous convergence under reordering) is topology-robust.
+    pub fn arpanet() -> Self {
+        // Node ids:
+        //  0 UCLA    1 SRI     2 UCSB    3 UTAH    4 BBN     5 MIT
+        //  6 RAND    7 SDC     8 HARVARD 9 LINCOLN 10 STANFORD
+        // 11 ILLINOIS 12 CASE  13 CMU    14 AMES   15 MITRE
+        // 16 BURROUGHS 17 NBS
+        let edges: &[(usize, usize, f64)] = &[
+            (0, 1, 0.56),  // UCLA–SRI
+            (0, 2, 0.18),  // UCLA–UCSB
+            (0, 6, 0.02),  // UCLA–RAND
+            (1, 2, 0.44),  // SRI–UCSB
+            (1, 3, 1.20),  // SRI–UTAH
+            (1, 10, 0.03), // SRI–STANFORD
+            (1, 14, 0.04), // SRI–AMES
+            (3, 11, 1.90), // UTAH–ILLINOIS
+            (6, 7, 0.02),  // RAND–SDC
+            (7, 3, 0.95),  // SDC–UTAH
+            (4, 5, 0.01),  // BBN–MIT
+            (4, 8, 0.01),  // BBN–HARVARD
+            (5, 9, 0.02),  // MIT–LINCOLN
+            (8, 13, 0.90), // HARVARD–CMU
+            (9, 12, 0.80), // LINCOLN–CASE
+            (11, 5, 1.60), // ILLINOIS–MIT
+            (12, 13, 0.20),// CASE–CMU
+            (13, 4, 0.90), // CMU–BBN
+            (6, 15, 3.70), // RAND–MITRE
+            (15, 16, 0.20),// MITRE–BURROUGHS
+            (15, 17, 0.03),// MITRE–NBS
+            (16, 4, 0.60), // BURROUGHS–BBN
+            (14, 2, 0.45), // AMES–UCSB
+        ];
+        Self::undirected(18, edges).expect("static topology is valid")
+    }
+
+    /// Random geometric graph: `n` points uniform in the unit square,
+    /// undirected edges between pairs within `radius` weighted by
+    /// Euclidean distance; a Hamiltonian-ish chain over the point order
+    /// is added to guarantee connectivity.
+    ///
+    /// # Errors
+    /// Errors when `n < 2` or `radius <= 0`.
+    pub fn random_geometric(n: usize, radius: f64, seed: u64) -> crate::Result<Self> {
+        if n < 2 {
+            return Err(OptError::InvalidParameter {
+                name: "n",
+                message: "need at least two nodes".into(),
+            });
+        }
+        if !(radius > 0.0) {
+            return Err(OptError::InvalidParameter {
+                name: "radius",
+                message: "must be positive".into(),
+            });
+        }
+        let mut rng = asynciter_numerics::rng::rng(seed);
+        let xs = asynciter_numerics::rng::uniform_vec(&mut rng, n, 0.0, 1.0);
+        let ys = asynciter_numerics::rng::uniform_vec(&mut rng, n, 0.0, 1.0);
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = ((xs[i] - xs[j]).powi(2) + (ys[i] - ys[j]).powi(2)).sqrt();
+                if d <= radius {
+                    edges.push((i, j, d));
+                }
+            }
+        }
+        for i in 1..n {
+            let d = ((xs[i] - xs[i - 1]).powi(2) + (ys[i] - ys[i - 1]).powi(2)).sqrt();
+            edges.push((i - 1, i, d));
+        }
+        Self::undirected(n, &edges)
+    }
+}
+
+/// The asynchronous Bellman–Ford operator: distance-to-destination
+/// estimates with the destination pinned at zero. Nodes with no outgoing
+/// arc keep their current estimate (unreachable).
+#[derive(Debug, Clone)]
+pub struct BellmanFordOperator {
+    graph: Graph,
+    dest: usize,
+}
+
+/// Initial "infinite" distance estimate: large but finite so error norms
+/// stay meaningful (`f64::INFINITY − f64::INFINITY = NaN` would poison
+/// diagnostics).
+pub const DISTANCE_INIT: f64 = 1e12;
+
+impl BellmanFordOperator {
+    /// Builds the operator.
+    ///
+    /// # Errors
+    /// Errors when `dest` is out of range.
+    pub fn new(graph: Graph, dest: usize) -> crate::Result<Self> {
+        if dest >= graph.num_nodes() {
+            return Err(OptError::InvalidParameter {
+                name: "dest",
+                message: format!("destination {dest} out of range"),
+            });
+        }
+        Ok(Self { graph, dest })
+    }
+
+    /// The destination node.
+    pub fn dest(&self) -> usize {
+        self.dest
+    }
+
+    /// The graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The canonical starting estimate: `DISTANCE_INIT` everywhere except
+    /// 0 at the destination (asynchronous convergence is monotone from
+    /// above on this cone).
+    pub fn initial_estimate(&self) -> Vec<f64> {
+        let mut x = vec![DISTANCE_INIT; self.graph.num_nodes()];
+        x[self.dest] = 0.0;
+        x
+    }
+
+    /// Exact distances via Dijkstra (reference).
+    pub fn exact(&self) -> Vec<f64> {
+        self.graph.distances_to(self.dest)
+    }
+}
+
+impl Operator for BellmanFordOperator {
+    fn dim(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    #[inline]
+    fn component(&self, i: usize, x: &[f64]) -> f64 {
+        if i == self.dest {
+            return 0.0;
+        }
+        let mut best = x[i];
+        for &(j, w) in self.graph.neighbors(i) {
+            let cand = w + x[j];
+            if cand < best {
+                best = cand;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_graph() -> Graph {
+        // 0 — 1 — 2 — 3 with unit weights.
+        Graph::undirected(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap()
+    }
+
+    #[test]
+    fn dijkstra_on_line() {
+        let g = line_graph();
+        assert_eq!(g.distances_to(0), vec![0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(g.distances_to(3), vec![3.0, 2.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn dijkstra_respects_direction() {
+        // Directed chain 0→1→2; nothing reaches 0 except itself.
+        let g = Graph::new(3, &[(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+        let d = g.distances_to(2);
+        assert_eq!(d, vec![2.0, 1.0, 0.0]);
+        let d0 = g.distances_to(0);
+        assert_eq!(d0[0], 0.0);
+        assert!(d0[1].is_infinite() && d0[2].is_infinite());
+    }
+
+    #[test]
+    fn sync_bellman_ford_reaches_dijkstra() {
+        let g = Graph::random_geometric(40, 0.25, 9).unwrap();
+        let op = BellmanFordOperator::new(g, 0).unwrap();
+        let exact = op.exact();
+        let mut x = op.initial_estimate();
+        let mut next = vec![0.0; op.dim()];
+        for _ in 0..op.dim() + 2 {
+            op.apply(&x, &mut next);
+            std::mem::swap(&mut x, &mut next);
+        }
+        for i in 0..op.dim() {
+            assert!((x[i] - exact[i]).abs() < 1e-12, "node {i}");
+        }
+    }
+
+    #[test]
+    fn operator_is_monotone_from_above() {
+        let g = line_graph();
+        let op = BellmanFordOperator::new(g, 0).unwrap();
+        let mut x = op.initial_estimate();
+        let mut next = vec![0.0; 4];
+        for _ in 0..6 {
+            op.apply(&x, &mut next);
+            for i in 0..4 {
+                assert!(next[i] <= x[i] + 1e-15);
+            }
+            std::mem::swap(&mut x, &mut next);
+        }
+    }
+
+    #[test]
+    fn dest_component_pinned_to_zero() {
+        let op = BellmanFordOperator::new(line_graph(), 2).unwrap();
+        assert_eq!(op.component(2, &[9.0, 9.0, 9.0, 9.0]), 0.0);
+    }
+
+    #[test]
+    fn arpanet_topology_is_connected() {
+        let g = Graph::arpanet();
+        assert_eq!(g.num_nodes(), 18);
+        let d = g.distances_to(0);
+        assert!(
+            d.iter().all(|v| v.is_finite()),
+            "Arpanet must be connected: {d:?}"
+        );
+        // Cross-country paths exist: UCLA (0) to MIT (5) is multi-hop.
+        assert!(d[5] > 1.0, "UCLA–MIT distance {}", d[5]);
+    }
+
+    #[test]
+    fn random_geometric_is_connected() {
+        for seed in 0..4 {
+            let g = Graph::random_geometric(30, 0.05, seed).unwrap();
+            let d = g.distances_to(0);
+            assert!(d.iter().all(|v| v.is_finite()), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn graph_validation() {
+        assert!(Graph::new(2, &[(0, 2, 1.0)]).is_err());
+        assert!(Graph::new(2, &[(0, 1, -1.0)]).is_err());
+        assert!(Graph::new(2, &[(0, 1, f64::NAN)]).is_err());
+        assert!(Graph::random_geometric(1, 0.5, 0).is_err());
+        assert!(Graph::random_geometric(5, 0.0, 0).is_err());
+        assert!(BellmanFordOperator::new(line_graph(), 7).is_err());
+    }
+
+    #[test]
+    fn triangle_inequality_of_solution() {
+        let g = Graph::random_geometric(25, 0.3, 4).unwrap();
+        let d = g.distances_to(3);
+        for u in 0..g.num_nodes() {
+            for &(v, w) in g.neighbors(u) {
+                assert!(d[u] <= w + d[v] + 1e-12, "edge ({u},{v})");
+            }
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Error type for operators and problems.
+
+use std::fmt;
+
+/// Errors produced when constructing or solving optimisation problems.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptError {
+    /// Two objects have incompatible dimensions.
+    DimensionMismatch {
+        /// Expected dimension.
+        expected: usize,
+        /// Actual dimension.
+        actual: usize,
+        /// Operation name.
+        context: &'static str,
+    },
+    /// A parameter is outside its admissible range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Constraint description.
+        message: String,
+    },
+    /// A problem instance is structurally invalid (disconnected graph,
+    /// unbalanced supplies, …).
+    InvalidProblem {
+        /// Explanation.
+        message: String,
+    },
+    /// A reference solver failed to converge.
+    DidNotConverge {
+        /// Iterations performed.
+        iterations: usize,
+        /// Final residual.
+        residual: f64,
+    },
+    /// Propagated numerics error.
+    Numerics(asynciter_numerics::NumericsError),
+}
+
+impl fmt::Display for OptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptError::DimensionMismatch {
+                expected,
+                actual,
+                context,
+            } => write!(
+                f,
+                "dimension mismatch in {context}: expected {expected}, got {actual}"
+            ),
+            OptError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+            OptError::InvalidProblem { message } => write!(f, "invalid problem: {message}"),
+            OptError::DidNotConverge {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "reference solver did not converge after {iterations} iterations \
+                 (residual {residual:.3e})"
+            ),
+            OptError::Numerics(e) => write!(f, "numerics error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OptError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OptError::Numerics(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<asynciter_numerics::NumericsError> for OptError {
+    fn from(e: asynciter_numerics::NumericsError) -> Self {
+        OptError::Numerics(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = OptError::InvalidProblem {
+            message: "supplies do not balance".into(),
+        };
+        assert!(e.to_string().contains("supplies"));
+        let e = OptError::DidNotConverge {
+            iterations: 9,
+            residual: 1.0,
+        };
+        assert!(e.to_string().contains("9 iterations"));
+    }
+
+    #[test]
+    fn numerics_error_converts_and_sources() {
+        use std::error::Error;
+        let n = asynciter_numerics::NumericsError::Empty { context: "x" };
+        let e: OptError = n.clone().into();
+        assert_eq!(e, OptError::Numerics(n));
+        assert!(e.source().is_some());
+    }
+}

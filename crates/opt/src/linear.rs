@@ -1,0 +1,172 @@
+//! Linear fixed-point operators: Jacobi relaxation for `Ax = b`.
+//!
+//! Chaotic relaxation (Chazan–Miranker 1969) was formulated for exactly
+//! this operator: `F_i(x) = (b_i − Σ_{j≠i} a_ij x_j) / a_ii`. When `A` is
+//! strictly diagonally dominant, `F` is a max-norm contraction with
+//! factor `max_i Σ_{j≠i}|a_ij|/|a_ii| < 1` and the totally asynchronous
+//! iteration converges for *any* admissible schedule — the historical
+//! starting point of the entire literature the paper surveys.
+
+use crate::error::OptError;
+use crate::traits::Operator;
+use asynciter_numerics::sparse::CsrMatrix;
+
+/// Jacobi relaxation operator for `Ax = b`.
+#[derive(Debug, Clone)]
+pub struct JacobiOperator {
+    a: CsrMatrix,
+    b: Vec<f64>,
+    inv_diag: Vec<f64>,
+}
+
+impl JacobiOperator {
+    /// Builds the operator.
+    ///
+    /// # Errors
+    /// Errors when `A` is not square, dimensions mismatch, or some
+    /// diagonal entry is zero.
+    pub fn new(a: CsrMatrix, b: Vec<f64>) -> crate::Result<Self> {
+        if a.rows() != a.cols() {
+            return Err(OptError::DimensionMismatch {
+                expected: a.rows(),
+                actual: a.cols(),
+                context: "JacobiOperator::new (square)",
+            });
+        }
+        if a.rows() != b.len() {
+            return Err(OptError::DimensionMismatch {
+                expected: a.rows(),
+                actual: b.len(),
+                context: "JacobiOperator::new (rhs)",
+            });
+        }
+        let diag = a.diagonal();
+        if let Some((i, _)) = diag.iter().enumerate().find(|(_, &d)| d == 0.0) {
+            return Err(OptError::InvalidProblem {
+                message: format!("zero diagonal at row {i}"),
+            });
+        }
+        let inv_diag = diag.iter().map(|d| 1.0 / d).collect();
+        Ok(Self { a, b, inv_diag })
+    }
+
+    /// The system matrix.
+    pub fn a(&self) -> &CsrMatrix {
+        &self.a
+    }
+
+    /// The right-hand side.
+    pub fn b(&self) -> &[f64] {
+        &self.b
+    }
+
+    /// Max-norm contraction factor `max_i Σ_{j≠i} |a_ij| / |a_ii|`
+    /// (`< 1` iff `A` is strictly diagonally dominant).
+    pub fn contraction_factor(&self) -> f64 {
+        let off = self.a.offdiag_abs_row_sums();
+        off.iter()
+            .zip(&self.inv_diag)
+            .map(|(o, id)| o * id.abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Exact solution via dense Cholesky when `A` is SPD (tests and
+    /// reference curves).
+    ///
+    /// # Errors
+    /// Propagates factorisation failures.
+    pub fn solve_dense_spd(&self) -> crate::Result<Vec<f64>> {
+        Ok(self.a.to_dense().solve_spd(&self.b)?)
+    }
+
+    /// Linear-system residual `‖Ax − b‖_∞` (distinct from the fixed-point
+    /// residual `‖x − F(x)‖_∞`, which it dominates up to `max|a_ii|`).
+    pub fn system_residual(&self, x: &[f64]) -> f64 {
+        let mut ax = vec![0.0; self.b.len()];
+        self.a.matvec(x, &mut ax);
+        ax.iter()
+            .zip(&self.b)
+            .fold(0.0_f64, |m, (a, b)| m.max((a - b).abs()))
+    }
+}
+
+impl Operator for JacobiOperator {
+    fn dim(&self) -> usize {
+        self.b.len()
+    }
+
+    #[inline]
+    fn component(&self, i: usize, x: &[f64]) -> f64 {
+        (self.b[i] - self.a.row_dot_offdiag(i, x)) * self.inv_diag[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asynciter_numerics::sparse::tridiagonal;
+    use asynciter_numerics::vecops;
+
+    fn toy() -> JacobiOperator {
+        JacobiOperator::new(tridiagonal(5, 4.0, -1.0), vec![1.0; 5]).unwrap()
+    }
+
+    #[test]
+    fn fixed_point_solves_system() {
+        let op = toy();
+        let xstar = op.solve_dense_spd().unwrap();
+        for i in 0..5 {
+            assert!((op.component(i, &xstar) - xstar[i]).abs() < 1e-12);
+        }
+        assert!(op.system_residual(&xstar) < 1e-12);
+    }
+
+    #[test]
+    fn contraction_factor_tridiag() {
+        let op = toy();
+        assert!((op.contraction_factor() - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn synchronous_iteration_converges_at_factor() {
+        let op = toy();
+        let xstar = op.solve_dense_spd().unwrap();
+        let mut x = vec![0.0; 5];
+        let mut next = vec![0.0; 5];
+        let mut prev_err = vecops::max_abs_diff(&x, &xstar);
+        for _ in 0..30 {
+            op.apply(&x, &mut next);
+            std::mem::swap(&mut x, &mut next);
+            let err = vecops::max_abs_diff(&x, &xstar);
+            assert!(err <= 0.5 * prev_err + 1e-15, "{err} vs {prev_err}");
+            prev_err = err;
+        }
+        assert!(prev_err < 1e-8);
+    }
+
+    #[test]
+    fn rejects_zero_diagonal() {
+        let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 1, 1.0), (1, 0, 1.0)])
+            .unwrap();
+        assert!(JacobiOperator::new(a, vec![1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn rejects_dimension_mismatch() {
+        let a = tridiagonal(3, 4.0, -1.0);
+        assert!(JacobiOperator::new(a, vec![1.0; 2]).is_err());
+        let rect = CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0)]).unwrap();
+        assert!(JacobiOperator::new(rect, vec![1.0; 2]).is_err());
+    }
+
+    #[test]
+    fn update_active_is_partial_jacobi() {
+        let op = toy();
+        let x = vec![1.0; 5];
+        let mut out = x.clone();
+        op.update_active(&x, &[0, 2], &mut out);
+        assert_eq!(out[1], 1.0);
+        assert!((out[0] - (1.0 + 1.0) / 4.0).abs() < 1e-15);
+        assert!((out[2] - (1.0 + 2.0) / 4.0).abs() < 1e-15);
+    }
+}

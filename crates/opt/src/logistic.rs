@@ -1,0 +1,298 @@
+//! ℓ₂-regularised logistic regression.
+//!
+//! `f(x) = (1/m) Σ_h log(1 + exp(−z_h · a_hᵀx)) + (λ/2)‖x‖²` with labels
+//! `z_h ∈ {−1, +1}` — the regularised empirical-risk form the paper's §V
+//! motivates ("some loss function h gives a measure on how well a
+//! prediction matches the target; we use the regularization function g to
+//! avoid over-fitting"). It is `μ = λ` strongly convex and `L`-smooth
+//! with `L ≤ λ + λ_max(AᵀA)/(4m)`.
+//!
+//! The gradient couples all components through the data, so this is the
+//! workload for the *threaded* (Hogwild-style) runtime experiments rather
+//! than the componentwise contraction theory.
+
+use crate::error::OptError;
+use crate::traits::SmoothObjective;
+use asynciter_numerics::dense::DenseMatrix;
+
+/// A binary-classification logistic-regression objective.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    /// `m × n` feature matrix.
+    a: DenseMatrix,
+    /// Labels in `{−1, +1}`, length `m`.
+    z: Vec<f64>,
+    /// Ridge weight `λ > 0` (provides strong convexity).
+    lambda: f64,
+    /// Cached Lipschitz bound.
+    lipschitz: f64,
+}
+
+impl LogisticRegression {
+    /// Builds the objective.
+    ///
+    /// # Errors
+    /// Errors on dimension mismatch, labels outside `{−1, +1}`, or
+    /// nonpositive `λ`.
+    pub fn new(a: DenseMatrix, z: Vec<f64>, lambda: f64) -> crate::Result<Self> {
+        if a.rows() != z.len() {
+            return Err(OptError::DimensionMismatch {
+                expected: a.rows(),
+                actual: z.len(),
+                context: "LogisticRegression::new",
+            });
+        }
+        if let Some((h, &v)) = z.iter().enumerate().find(|(_, &v)| v != 1.0 && v != -1.0) {
+            return Err(OptError::InvalidParameter {
+                name: "z",
+                message: format!("label z[{h}] = {v} must be ±1"),
+            });
+        }
+        if !(lambda > 0.0) {
+            return Err(OptError::InvalidParameter {
+                name: "lambda",
+                message: "must be positive (strong convexity)".into(),
+            });
+        }
+        let m = a.rows() as f64;
+        // λ_max(AᵀA) ≤ ‖A‖_F²; cheap and safe.
+        let frob_sq: f64 = a.data().iter().map(|v| v * v).sum();
+        let lipschitz = lambda + frob_sq / (4.0 * m);
+        Ok(Self {
+            a,
+            z,
+            lambda,
+            lipschitz,
+        })
+    }
+
+    /// Random two-Gaussian classification instance: class `+1` features
+    /// centred at `+μ·1/√n`, class `−1` at `−μ·1/√n`, unit noise.
+    ///
+    /// # Errors
+    /// Errors on degenerate sizes or nonpositive `λ`.
+    pub fn random(n: usize, m: usize, sep: f64, lambda: f64, seed: u64) -> crate::Result<Self> {
+        if n == 0 || m < 2 {
+            return Err(OptError::InvalidParameter {
+                name: "n/m",
+                message: format!("need n >= 1, m >= 2; got n={n}, m={m}"),
+            });
+        }
+        let mut rng = asynciter_numerics::rng::rng(seed);
+        let shift = sep / (n as f64).sqrt();
+        let mut data = Vec::with_capacity(m * n);
+        let mut z = Vec::with_capacity(m);
+        for h in 0..m {
+            let label = if h % 2 == 0 { 1.0 } else { -1.0 };
+            z.push(label);
+            for _ in 0..n {
+                data.push(label * shift + asynciter_numerics::rng::normal(&mut rng));
+            }
+        }
+        let a = DenseMatrix::from_vec(m, n, data)?;
+        Self::new(a, z, lambda)
+    }
+
+    /// Number of samples `m`.
+    pub fn samples(&self) -> usize {
+        self.a.rows()
+    }
+
+    /// The ridge weight.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Classification accuracy of parameters `x` on the training set.
+    pub fn accuracy(&self, x: &[f64]) -> f64 {
+        let mut correct = 0usize;
+        for h in 0..self.a.rows() {
+            let score = asynciter_numerics::vecops::dot(self.a.row(h), x);
+            if score * self.z[h] > 0.0 {
+                correct += 1;
+            }
+        }
+        correct as f64 / self.a.rows() as f64
+    }
+
+    /// Reference minimiser by (synchronous) gradient descent with step
+    /// `1/L` run to gradient norm `tol`.
+    ///
+    /// # Errors
+    /// [`OptError::DidNotConverge`] when `max_iter` is exhausted.
+    pub fn reference_solution(&self, tol: f64, max_iter: usize) -> crate::Result<Vec<f64>> {
+        let n = self.dim();
+        let mut x = vec![0.0; n];
+        let mut g = vec![0.0; n];
+        let step = 1.0 / self.lipschitz();
+        for _ in 0..max_iter {
+            self.grad(&x, &mut g);
+            let gn = asynciter_numerics::vecops::norm_inf(&g);
+            if gn <= tol {
+                return Ok(x);
+            }
+            asynciter_numerics::vecops::axpy(-step, &g, &mut x);
+        }
+        self.grad(&x, &mut g);
+        Err(OptError::DidNotConverge {
+            iterations: max_iter,
+            residual: asynciter_numerics::vecops::norm_inf(&g),
+        })
+    }
+}
+
+/// Numerically-stable `log(1 + exp(t))`.
+#[inline]
+fn log1p_exp(t: f64) -> f64 {
+    if t > 30.0 {
+        t
+    } else if t < -30.0 {
+        t.exp()
+    } else {
+        t.exp().ln_1p()
+    }
+}
+
+/// Numerically-stable logistic sigmoid `1/(1 + exp(−t))`.
+#[inline]
+fn sigmoid(t: f64) -> f64 {
+    if t >= 0.0 {
+        1.0 / (1.0 + (-t).exp())
+    } else {
+        let e = t.exp();
+        e / (1.0 + e)
+    }
+}
+
+impl SmoothObjective for LogisticRegression {
+    fn dim(&self) -> usize {
+        self.a.cols()
+    }
+
+    fn value(&self, x: &[f64]) -> f64 {
+        let m = self.a.rows();
+        let mut loss = 0.0;
+        for h in 0..m {
+            let margin = self.z[h] * asynciter_numerics::vecops::dot(self.a.row(h), x);
+            loss += log1p_exp(-margin);
+        }
+        loss / m as f64
+            + 0.5 * self.lambda * x.iter().map(|v| v * v).sum::<f64>()
+    }
+
+    fn grad_component(&self, i: usize, x: &[f64]) -> f64 {
+        let m = self.a.rows();
+        let mut g = 0.0;
+        for h in 0..m {
+            let row = self.a.row(h);
+            let margin = self.z[h] * asynciter_numerics::vecops::dot(row, x);
+            // d/dx_i log(1+exp(-z aᵀx)) = -z a_i σ(-z aᵀx).
+            g -= self.z[h] * row[i] * sigmoid(-margin);
+        }
+        g / m as f64 + self.lambda * x[i]
+    }
+
+    fn grad(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.dim(), "LogisticRegression::grad: x dim");
+        assert_eq!(out.len(), self.dim(), "LogisticRegression::grad: out dim");
+        out.fill(0.0);
+        let m = self.a.rows();
+        for h in 0..m {
+            let row = self.a.row(h);
+            let margin = self.z[h] * asynciter_numerics::vecops::dot(row, x);
+            let w = -self.z[h] * sigmoid(-margin);
+            asynciter_numerics::vecops::axpy(w, row, out);
+        }
+        for (o, &xi) in out.iter_mut().zip(x) {
+            *o = *o / m as f64 + self.lambda * xi;
+        }
+    }
+
+    fn lipschitz(&self) -> f64 {
+        self.lipschitz
+    }
+
+    fn strong_convexity(&self) -> f64 {
+        self.lambda
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> LogisticRegression {
+        LogisticRegression::random(4, 60, 3.0, 0.1, 5).unwrap()
+    }
+
+    #[test]
+    fn stable_helpers() {
+        assert!((log1p_exp(0.0) - std::f64::consts::LN_2).abs() < 1e-15);
+        assert!((log1p_exp(100.0) - 100.0).abs() < 1e-12);
+        assert!(log1p_exp(-100.0) < 1e-40);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-15);
+        assert!((sigmoid(100.0) - 1.0).abs() < 1e-12);
+        assert!(sigmoid(-100.0) < 1e-40);
+        // σ(t) + σ(−t) = 1.
+        for t in [-5.0, -0.3, 0.0, 2.0, 40.0] {
+            assert!((sigmoid(t) + sigmoid(-t) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let f = toy();
+        let mut rng = asynciter_numerics::rng::rng(1);
+        let x = asynciter_numerics::rng::normal_vec(&mut rng, 4);
+        let mut g = vec![0.0; 4];
+        f.grad(&x, &mut g);
+        let h = 1e-6;
+        for i in 0..4 {
+            let mut xp = x.clone();
+            xp[i] += h;
+            let mut xm = x.clone();
+            xm[i] -= h;
+            let fd = (f.value(&xp) - f.value(&xm)) / (2.0 * h);
+            assert!((fd - g[i]).abs() < 1e-5, "i={i}: fd {fd} vs {}", g[i]);
+            assert!((f.grad_component(i, &x) - g[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn reference_solution_has_small_gradient_and_learns() {
+        let f = toy();
+        let x = f.reference_solution(1e-10, 200_000).unwrap();
+        let mut g = vec![0.0; 4];
+        f.grad(&x, &mut g);
+        assert!(asynciter_numerics::vecops::norm_inf(&g) <= 1e-10);
+        // Well-separated classes → high training accuracy.
+        assert!(f.accuracy(&x) > 0.85, "accuracy {}", f.accuracy(&x));
+    }
+
+    #[test]
+    fn strong_convexity_is_lambda() {
+        let f = toy();
+        assert_eq!(f.strong_convexity(), 0.1);
+        assert!(f.lipschitz() > 0.1);
+    }
+
+    #[test]
+    fn value_decreases_along_negative_gradient() {
+        let f = toy();
+        let x = vec![0.5; 4];
+        let mut g = vec![0.0; 4];
+        f.grad(&x, &mut g);
+        let mut y = x.clone();
+        asynciter_numerics::vecops::axpy(-1e-3, &g, &mut y);
+        assert!(f.value(&y) < f.value(&x));
+    }
+
+    #[test]
+    fn rejects_invalid_input() {
+        let a = DenseMatrix::zeros(3, 2);
+        assert!(LogisticRegression::new(a.clone(), vec![1.0, -1.0], 0.1).is_err());
+        assert!(LogisticRegression::new(a.clone(), vec![1.0, 0.5, -1.0], 0.1).is_err());
+        assert!(LogisticRegression::new(a, vec![1.0, -1.0, 1.0], 0.0).is_err());
+        assert!(LogisticRegression::random(0, 5, 1.0, 0.1, 0).is_err());
+    }
+}

@@ -1,0 +1,519 @@
+//! Convex separable network flow and the Bertsekas–El Baz dual
+//! relaxation (\[6\], \[8\]).
+//!
+//! The problem: on a directed graph with arc costs
+//! `c_a(f_a) = ½ r_a f_a² − t_a f_a` (`r_a > 0`), find flows satisfying
+//! node balance `div_i(f) = s_i` at minimum total cost. Dualising the
+//! balance constraints with node prices `p` gives the optimality
+//! condition `c_a'(f_a) = p_tail − p_head`, i.e.
+//! `f_a(p) = (p_tail − p_head + t_a)/r_a`, and the dual problem is an
+//! unconstrained concave quadratic in `p`, invariant under constant
+//! shifts — so one node is *grounded* (`p_ground ≡ 0`).
+//!
+//! The distributed relaxation method updates one node's price at a time,
+//! choosing `p_i` so that node `i`'s balance is met exactly given its
+//! neighbours' current prices — a per-node closed form for quadratic
+//! costs. This is precisely the algorithm whose totally asynchronous
+//! convergence (unbounded delays, out-of-order messages) was established
+//! in \[6\]; here it runs as an [`Operator`] under every engine in the
+//! workspace.
+
+use crate::error::OptError;
+use crate::traits::Operator;
+
+/// A directed arc with strictly convex quadratic cost
+/// `c(f) = ½ r f² − t f`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Arc {
+    /// Tail node (flow leaves here when `f > 0`).
+    pub tail: usize,
+    /// Head node.
+    pub head: usize,
+    /// Cost curvature (resistance) `r > 0`.
+    pub r: f64,
+    /// Linear cost offset `t` (the flow the arc "wants" to carry).
+    pub t: f64,
+}
+
+/// A convex quadratic-cost network flow problem.
+#[derive(Debug, Clone)]
+pub struct NetworkFlowProblem {
+    num_nodes: usize,
+    arcs: Vec<Arc>,
+    supplies: Vec<f64>,
+    /// Per node: (arc index, +1.0 if the node is the tail, −1.0 if head).
+    incident: Vec<Vec<(usize, f64)>>,
+}
+
+impl NetworkFlowProblem {
+    /// Builds a problem; validates arc endpoints, positive curvatures,
+    /// balanced supplies (`Σ s_i = 0`) and weak connectivity.
+    ///
+    /// # Errors
+    /// [`OptError::InvalidProblem`] on any structural violation.
+    pub fn new(num_nodes: usize, arcs: Vec<Arc>, supplies: Vec<f64>) -> crate::Result<Self> {
+        if num_nodes < 2 {
+            return Err(OptError::InvalidProblem {
+                message: "need at least two nodes".into(),
+            });
+        }
+        if supplies.len() != num_nodes {
+            return Err(OptError::DimensionMismatch {
+                expected: num_nodes,
+                actual: supplies.len(),
+                context: "NetworkFlowProblem::new (supplies)",
+            });
+        }
+        let total: f64 = supplies.iter().sum();
+        if total.abs() > 1e-9 {
+            return Err(OptError::InvalidProblem {
+                message: format!("supplies must balance: Σ s_i = {total:.3e}"),
+            });
+        }
+        for (k, a) in arcs.iter().enumerate() {
+            if a.tail >= num_nodes || a.head >= num_nodes || a.tail == a.head {
+                return Err(OptError::InvalidProblem {
+                    message: format!("arc {k} has invalid endpoints {}→{}", a.tail, a.head),
+                });
+            }
+            if !(a.r > 0.0) || !a.r.is_finite() {
+                return Err(OptError::InvalidProblem {
+                    message: format!("arc {k} has nonpositive curvature r = {}", a.r),
+                });
+            }
+        }
+        let mut incident = vec![Vec::new(); num_nodes];
+        for (k, a) in arcs.iter().enumerate() {
+            incident[a.tail].push((k, 1.0));
+            incident[a.head].push((k, -1.0));
+        }
+        // Weak connectivity via union-find-less BFS.
+        let mut seen = vec![false; num_nodes];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(u) = stack.pop() {
+            for &(k, _) in &incident[u] {
+                let a = &arcs[k];
+                for v in [a.tail, a.head] {
+                    if !seen[v] {
+                        seen[v] = true;
+                        stack.push(v);
+                    }
+                }
+            }
+        }
+        if seen.iter().any(|s| !s) {
+            return Err(OptError::InvalidProblem {
+                message: "graph is not (weakly) connected".into(),
+            });
+        }
+        Ok(Self {
+            num_nodes,
+            arcs,
+            supplies,
+            incident,
+        })
+    }
+
+    /// Random connected transshipment instance: a random spanning tree
+    /// plus `extra_arcs` random arcs; curvatures log-uniform in
+    /// `[0.5, 2]`, offsets standard normal. Supplies are the divergence
+    /// of a random flow, so the instance is always feasible.
+    ///
+    /// # Errors
+    /// Propagates structural validation.
+    pub fn random(num_nodes: usize, extra_arcs: usize, seed: u64) -> crate::Result<Self> {
+        if num_nodes < 2 {
+            return Err(OptError::InvalidProblem {
+                message: "need at least two nodes".into(),
+            });
+        }
+        let mut rng = asynciter_numerics::rng::rng(seed);
+        let mut arcs = Vec::with_capacity(num_nodes - 1 + extra_arcs);
+        // Random spanning tree: connect node k to a random earlier node.
+        use rand::RngExt;
+        for k in 1..num_nodes {
+            let parent = rng.random_range(0..k);
+            let (tail, head) = if rng.random_range(0..2u32) == 0 {
+                (parent, k)
+            } else {
+                (k, parent)
+            };
+            arcs.push(Arc {
+                tail,
+                head,
+                r: asynciter_numerics::rng::uniform_vec(&mut rng, 1, 0.5_f64.ln(), 2.0_f64.ln())
+                    [0]
+                .exp(),
+                t: asynciter_numerics::rng::normal(&mut rng),
+            });
+        }
+        for _ in 0..extra_arcs {
+            let tail = rng.random_range(0..num_nodes);
+            let mut head = rng.random_range(0..num_nodes);
+            if head == tail {
+                head = (head + 1) % num_nodes;
+            }
+            arcs.push(Arc {
+                tail,
+                head,
+                r: asynciter_numerics::rng::uniform_vec(&mut rng, 1, 0.5_f64.ln(), 2.0_f64.ln())
+                    [0]
+                .exp(),
+                t: asynciter_numerics::rng::normal(&mut rng),
+            });
+        }
+        // Feasible supplies: divergence of a random flow.
+        let flow: Vec<f64> = asynciter_numerics::rng::normal_vec(&mut rng, arcs.len());
+        let mut supplies = vec![0.0; num_nodes];
+        for (a, &f) in arcs.iter().zip(&flow) {
+            supplies[a.tail] += f;
+            supplies[a.head] -= f;
+        }
+        Self::new(num_nodes, arcs, supplies)
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// The arcs.
+    pub fn arcs(&self) -> &[Arc] {
+        &self.arcs
+    }
+
+    /// The supplies.
+    pub fn supplies(&self) -> &[f64] {
+        &self.supplies
+    }
+
+    /// The dual-optimal flows at prices `p`:
+    /// `f_a = (p_tail − p_head + t_a)/r_a`.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn flows(&self, p: &[f64]) -> Vec<f64> {
+        assert_eq!(p.len(), self.num_nodes, "flows: price dimension");
+        self.arcs
+            .iter()
+            .map(|a| (p[a.tail] - p[a.head] + a.t) / a.r)
+            .collect()
+    }
+
+    /// Divergence `div_i(f) = Σ_{out} f − Σ_{in} f` of an arc-flow vector.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn divergence(&self, f: &[f64]) -> Vec<f64> {
+        assert_eq!(f.len(), self.arcs.len(), "divergence: flow dimension");
+        let mut div = vec![0.0; self.num_nodes];
+        for (a, &fa) in self.arcs.iter().zip(f) {
+            div[a.tail] += fa;
+            div[a.head] -= fa;
+        }
+        div
+    }
+
+    /// Balance residual `‖div(f(p)) − s‖_∞`: the distributed convergence
+    /// metric (each term is locally computable by one node).
+    pub fn balance_residual(&self, p: &[f64]) -> f64 {
+        let div = self.divergence(&self.flows(p));
+        div.iter()
+            .zip(&self.supplies)
+            .fold(0.0_f64, |m, (d, s)| m.max((d - s).abs()))
+    }
+
+    /// Primal cost `Σ_a c_a(f_a)`.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn primal_cost(&self, f: &[f64]) -> f64 {
+        assert_eq!(f.len(), self.arcs.len(), "primal_cost: flow dimension");
+        self.arcs
+            .iter()
+            .zip(f)
+            .map(|(a, &fa)| 0.5 * a.r * fa * fa - a.t * fa)
+            .sum()
+    }
+
+    /// Exact optimal prices (grounded at node `ground`) by solving the
+    /// reduced weighted-Laplacian system with dense Cholesky.
+    ///
+    /// # Errors
+    /// Propagates factorisation failures.
+    ///
+    /// # Panics
+    /// Panics when `ground` is out of range.
+    pub fn exact_prices(&self, ground: usize) -> crate::Result<Vec<f64>> {
+        assert!(ground < self.num_nodes, "exact_prices: ground out of range");
+        let n = self.num_nodes;
+        // Reduced index map: skip the ground node.
+        let red = |i: usize| if i < ground { i } else { i - 1 };
+        let m = n - 1;
+        let mut lap = asynciter_numerics::dense::DenseMatrix::zeros(m, m);
+        let mut rhs = vec![0.0; m];
+        // Balance at node i: Σ_a sign_{ia} (p_tail − p_head + t_a)/r_a = s_i.
+        for i in 0..n {
+            if i == ground {
+                continue;
+            }
+            let ri = red(i);
+            rhs[ri] = self.supplies[i];
+            for &(k, sign) in &self.incident[i] {
+                let a = &self.arcs[k];
+                let w = 1.0 / a.r;
+                // sign * (p_tail - p_head + t)/r contributes to row i.
+                rhs[ri] -= sign * a.t * w;
+                if a.tail != ground {
+                    lap[(ri, red(a.tail))] += sign * w;
+                }
+                if a.head != ground {
+                    lap[(ri, red(a.head))] -= sign * w;
+                }
+            }
+        }
+        let sol = lap.solve_spd(&rhs)?;
+        let mut p = vec![0.0; n];
+        for i in 0..n {
+            if i != ground {
+                p[i] = sol[red(i)];
+            }
+        }
+        Ok(p)
+    }
+}
+
+/// The per-node price relaxation operator: `F_i(p)` is the unique `p_i`
+/// balancing node `i` given the other prices (exact coordinate
+/// maximisation of the dual); the ground node's component is the
+/// identity, pinning the dual's shift invariance.
+#[derive(Debug, Clone)]
+pub struct PriceRelaxation {
+    problem: NetworkFlowProblem,
+    ground: usize,
+    /// Cached `κ_i = Σ_{a ∋ i} 1/r_a`.
+    kappa: Vec<f64>,
+}
+
+impl PriceRelaxation {
+    /// Builds the operator.
+    ///
+    /// # Errors
+    /// Errors when `ground` is out of range or some node is isolated
+    /// (cannot happen for validated connected problems; defensive).
+    pub fn new(problem: NetworkFlowProblem, ground: usize) -> crate::Result<Self> {
+        if ground >= problem.num_nodes() {
+            return Err(OptError::InvalidParameter {
+                name: "ground",
+                message: format!(
+                    "ground {ground} out of range 0..{}",
+                    problem.num_nodes()
+                ),
+            });
+        }
+        let kappa: Vec<f64> = (0..problem.num_nodes())
+            .map(|i| {
+                problem.incident[i]
+                    .iter()
+                    .map(|&(k, _)| 1.0 / problem.arcs[k].r)
+                    .sum()
+            })
+            .collect();
+        if let Some((i, _)) = kappa.iter().enumerate().find(|(_, &k)| k == 0.0) {
+            return Err(OptError::InvalidProblem {
+                message: format!("node {i} is isolated"),
+            });
+        }
+        Ok(Self {
+            problem,
+            ground,
+            kappa,
+        })
+    }
+
+    /// The underlying problem.
+    pub fn problem(&self) -> &NetworkFlowProblem {
+        &self.problem
+    }
+
+    /// The grounded node.
+    pub fn ground(&self) -> usize {
+        self.ground
+    }
+}
+
+impl Operator for PriceRelaxation {
+    fn dim(&self) -> usize {
+        self.problem.num_nodes()
+    }
+
+    #[inline]
+    fn component(&self, i: usize, p: &[f64]) -> f64 {
+        if i == self.ground {
+            return p[i];
+        }
+        // Solve div_i(f(p)) = s_i for p_i:
+        //   p_i κ_i − Σ_{a: tail=i} (p_head − t_a)/r_a
+        //           − Σ_{a: head=i} (p_tail + t_a)/r_a = s_i.
+        let mut acc = self.problem.supplies[i];
+        for &(k, sign) in &self.problem.incident[i] {
+            let a = &self.problem.arcs[k];
+            let w = 1.0 / a.r;
+            if sign > 0.0 {
+                // i is the tail; the other endpoint is the head.
+                acc += (p[a.head] - a.t) * w;
+            } else {
+                // i is the head.
+                acc += (p[a.tail] + a.t) * w;
+            }
+        }
+        acc / self.kappa[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_node_problem() -> NetworkFlowProblem {
+        // One arc 0→1 with r=2, t=0; supply (1, −1): must push f = 1.
+        NetworkFlowProblem::new(
+            2,
+            vec![Arc {
+                tail: 0,
+                head: 1,
+                r: 2.0,
+                t: 0.0,
+            }],
+            vec![1.0, -1.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn two_node_exact_prices() {
+        let p = two_node_problem();
+        let prices = p.exact_prices(0).unwrap();
+        // f = (p0 − p1)/2 = 1 → p1 = −2 with p0 = 0.
+        assert!((prices[0] - 0.0).abs() < 1e-12);
+        assert!((prices[1] + 2.0).abs() < 1e-12);
+        assert!(p.balance_residual(&prices) < 1e-12);
+        let f = p.flows(&prices);
+        assert!((f[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relaxation_fixed_point_is_exact_price() {
+        let prob = NetworkFlowProblem::random(12, 15, 3).unwrap();
+        let pstar = prob.exact_prices(0).unwrap();
+        let op = PriceRelaxation::new(prob, 0).unwrap();
+        for i in 0..12 {
+            assert!(
+                (op.component(i, &pstar) - pstar[i]).abs() < 1e-9,
+                "node {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn synchronous_relaxation_converges() {
+        let prob = NetworkFlowProblem::random(16, 20, 7).unwrap();
+        let op = PriceRelaxation::new(prob.clone(), 0).unwrap();
+        let mut p = vec![0.0; 16];
+        let mut next = vec![0.0; 16];
+        for _ in 0..20_000 {
+            op.apply(&p, &mut next);
+            std::mem::swap(&mut p, &mut next);
+        }
+        assert!(
+            prob.balance_residual(&p) < 1e-8,
+            "residual {}",
+            prob.balance_residual(&p)
+        );
+    }
+
+    #[test]
+    fn optimal_flow_minimises_cost_among_feasible_perturbations() {
+        let prob = NetworkFlowProblem::random(8, 10, 9).unwrap();
+        let pstar = prob.exact_prices(0).unwrap();
+        let fstar = prob.flows(&pstar);
+        let cost = prob.primal_cost(&fstar);
+        // Perturb along any cycle (add ε on arc k, subtract via the
+        // divergence-free correction is complex; instead check first-order
+        // optimality: reduced costs vanish) — for quadratic costs,
+        // c'(f) = p_tail − p_head exactly by construction, so verify the
+        // cost against a feasible competitor obtained by re-solving from a
+        // different ground.
+        let p2 = prob.exact_prices(3).unwrap();
+        let f2 = prob.flows(&p2);
+        assert!((prob.primal_cost(&f2) - cost).abs() < 1e-8);
+        for (a, b) in fstar.iter().zip(&f2) {
+            assert!((a - b).abs() < 1e-8, "flows differ between groundings");
+        }
+    }
+
+    #[test]
+    fn divergence_of_flows_equals_supplies_at_optimum() {
+        let prob = NetworkFlowProblem::random(10, 12, 11).unwrap();
+        let pstar = prob.exact_prices(0).unwrap();
+        let div = prob.divergence(&prob.flows(&pstar));
+        for (d, s) in div.iter().zip(prob.supplies()) {
+            assert!((d - s).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_instances() {
+        // Unbalanced supplies.
+        assert!(NetworkFlowProblem::new(
+            2,
+            vec![Arc { tail: 0, head: 1, r: 1.0, t: 0.0 }],
+            vec![1.0, 0.0],
+        )
+        .is_err());
+        // Self-loop.
+        assert!(NetworkFlowProblem::new(
+            2,
+            vec![Arc { tail: 0, head: 0, r: 1.0, t: 0.0 }],
+            vec![0.0, 0.0],
+        )
+        .is_err());
+        // Nonpositive curvature.
+        assert!(NetworkFlowProblem::new(
+            2,
+            vec![Arc { tail: 0, head: 1, r: 0.0, t: 0.0 }],
+            vec![0.0, 0.0],
+        )
+        .is_err());
+        // Disconnected.
+        assert!(NetworkFlowProblem::new(
+            3,
+            vec![Arc { tail: 0, head: 1, r: 1.0, t: 0.0 }],
+            vec![0.0, 0.0, 0.0],
+        )
+        .is_err());
+        // Supply length.
+        assert!(NetworkFlowProblem::new(
+            2,
+            vec![Arc { tail: 0, head: 1, r: 1.0, t: 0.0 }],
+            vec![0.0],
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn ground_component_is_identity() {
+        let prob = two_node_problem();
+        let op = PriceRelaxation::new(prob, 0).unwrap();
+        assert_eq!(op.component(0, &[5.0, 1.0]), 5.0);
+    }
+
+    #[test]
+    fn random_supplies_balance() {
+        for seed in 0..5 {
+            let prob = NetworkFlowProblem::random(9, 6, seed).unwrap();
+            assert!(prob.supplies().iter().sum::<f64>().abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,332 @@
+//! The 2-D obstacle problem and projected relaxation (\[26\]).
+//!
+//! Find the equilibrium position `u` of an elastic membrane stretched
+//! over an obstacle `ψ` on the unit square with zero boundary values:
+//!
+//! ```text
+//! u ≥ ψ,   (−Δ_h u − b) ≥ 0,   (u − ψ)ᵀ(−Δ_h u − b) = 0 ,
+//! ```
+//!
+//! the discrete linear complementarity problem equivalent to
+//! `min ½uᵀAu − bᵀu  s.t. u ≥ ψ` with `A` the 5-point Laplacian (an
+//! M-matrix). The *projected Jacobi* operator
+//! `F_i(u) = max(ψ_i, (b_i − Σ_{j≠i} a_ij u_j)/a_ii)` is monotone and a
+//! weighted-max-norm contraction, which is why the obstacle problem was
+//! the numerical-simulation showcase for asynchronous iterations with
+//! flexible communication on the IBM SP4 in \[26\].
+
+use crate::error::OptError;
+use crate::traits::Operator;
+use asynciter_numerics::sparse::{laplacian_2d, CsrMatrix};
+
+/// A discretised obstacle problem on an `nx × ny` interior grid of the
+/// unit square.
+#[derive(Debug, Clone)]
+pub struct ObstacleProblem {
+    nx: usize,
+    ny: usize,
+    h: f64,
+    a: CsrMatrix,
+    b: Vec<f64>,
+    psi: Vec<f64>,
+}
+
+impl ObstacleProblem {
+    /// Builds the problem from load and obstacle functions evaluated at
+    /// interior grid points `(x, y) ∈ (0,1)²`.
+    ///
+    /// # Errors
+    /// Errors when the grid is degenerate.
+    pub fn new(
+        nx: usize,
+        ny: usize,
+        load: impl Fn(f64, f64) -> f64,
+        obstacle: impl Fn(f64, f64) -> f64,
+    ) -> crate::Result<Self> {
+        if nx < 2 || ny < 2 {
+            return Err(OptError::InvalidParameter {
+                name: "nx/ny",
+                message: format!("need nx, ny >= 2, got {nx}, {ny}"),
+            });
+        }
+        let h = 1.0 / (nx.max(ny) as f64 + 1.0);
+        let a = laplacian_2d(nx, ny, h);
+        let n = nx * ny;
+        let mut b = Vec::with_capacity(n);
+        let mut psi = Vec::with_capacity(n);
+        for iy in 0..ny {
+            for ix in 0..nx {
+                let x = (ix + 1) as f64 * h;
+                let y = (iy + 1) as f64 * h;
+                b.push(load(x, y));
+                psi.push(obstacle(x, y));
+            }
+        }
+        Ok(Self {
+            nx,
+            ny,
+            h,
+            a,
+            b,
+            psi,
+        })
+    }
+
+    /// The classical membrane-over-a-bump instance: zero load, obstacle
+    /// `ψ(x,y) = max(0, c − 8·((x−½)² + (y−½)²))` — a paraboloid bump of
+    /// height `c` in the middle of the square, negative (inactive)
+    /// outside.
+    ///
+    /// # Errors
+    /// Propagates grid validation.
+    pub fn bump(nx: usize, ny: usize, height: f64) -> crate::Result<Self> {
+        Self::new(nx, ny, |_, _| 0.0, move |x, y| {
+            height - 8.0 * ((x - 0.5).powi(2) + (y - 0.5).powi(2))
+        })
+    }
+
+    /// Grid dimensions `(nx, ny)`.
+    pub fn grid(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
+    /// Grid spacing.
+    pub fn spacing(&self) -> f64 {
+        self.h
+    }
+
+    /// Problem dimension `nx · ny`.
+    pub fn dim(&self) -> usize {
+        self.b.len()
+    }
+
+    /// The stiffness matrix `A = −Δ_h`.
+    pub fn a(&self) -> &CsrMatrix {
+        &self.a
+    }
+
+    /// The load vector.
+    pub fn b(&self) -> &[f64] {
+        &self.b
+    }
+
+    /// The obstacle.
+    pub fn psi(&self) -> &[f64] {
+        &self.psi
+    }
+
+    /// Reference solution by projected Gauss–Seidel, iterated until the
+    /// sweep changes no component by more than `tol`.
+    ///
+    /// # Errors
+    /// [`OptError::DidNotConverge`] when `max_sweeps` is exhausted.
+    pub fn reference_solution(&self, tol: f64, max_sweeps: usize) -> crate::Result<Vec<f64>> {
+        let n = self.dim();
+        let mut u: Vec<f64> = self.psi.iter().map(|&p| p.max(0.0)).collect();
+        for _ in 0..max_sweeps {
+            let mut delta = 0.0_f64;
+            for i in 0..n {
+                let aii = self.a.get(i, i);
+                let off = self.a.row_dot_offdiag(i, &u);
+                let new = ((self.b[i] - off) / aii).max(self.psi[i]);
+                delta = delta.max((new - u[i]).abs());
+                u[i] = new;
+            }
+            if delta <= tol {
+                return Ok(u);
+            }
+        }
+        Err(OptError::DidNotConverge {
+            iterations: max_sweeps,
+            residual: f64::NAN,
+        })
+    }
+
+    /// Complementarity diagnostics of a candidate solution:
+    /// `(max feasibility violation ψ − u, max negative residual b − Au
+    /// where u > ψ, max |(u − ψ)·(Au − b)|)`. All three ≈ 0 at the
+    /// solution.
+    pub fn complementarity_residuals(&self, u: &[f64]) -> (f64, f64, f64) {
+        assert_eq!(u.len(), self.dim(), "complementarity: dimension");
+        let mut au = vec![0.0; self.dim()];
+        self.a.matvec(u, &mut au);
+        let mut feas = 0.0_f64;
+        let mut resid = 0.0_f64;
+        let mut comp = 0.0_f64;
+        for i in 0..self.dim() {
+            feas = feas.max(self.psi[i] - u[i]);
+            let r = au[i] - self.b[i]; // must be >= 0 (pushing up only)
+            resid = resid.max(-r);
+            comp = comp.max(((u[i] - self.psi[i]) * r).abs());
+        }
+        (feas, resid, comp)
+    }
+
+    /// Number of contact points (`u` within `tol` of `ψ`).
+    pub fn contact_count(&self, u: &[f64], tol: f64) -> usize {
+        u.iter()
+            .zip(&self.psi)
+            .filter(|(u, p)| (**u - **p).abs() <= tol)
+            .count()
+    }
+}
+
+/// The projected Jacobi operator of the obstacle problem:
+/// `F_i(u) = max(ψ_i, (b_i − Σ_{j≠i} a_ij u_j)/a_ii)`.
+///
+/// This is simultaneously (i) the prox-gradient operator with exact
+/// coordinate steps and `g` the indicator of `{u ≥ ψ}` and (ii) the
+/// classical free-boundary relaxation; it is monotone (as an M-matrix
+/// relaxation), so asynchronous iterates converge monotonically from
+/// above — the property flexible communication exploits in \[26\].
+#[derive(Debug, Clone)]
+pub struct ProjectedJacobi {
+    problem: ObstacleProblem,
+    inv_diag: Vec<f64>,
+}
+
+impl ProjectedJacobi {
+    /// Builds the operator.
+    pub fn new(problem: ObstacleProblem) -> Self {
+        let inv_diag = problem
+            .a
+            .diagonal()
+            .into_iter()
+            .map(|d| 1.0 / d)
+            .collect();
+        Self { problem, inv_diag }
+    }
+
+    /// The underlying problem.
+    pub fn problem(&self) -> &ObstacleProblem {
+        &self.problem
+    }
+
+    /// An initial vector dominating the solution (monotone convergence
+    /// from above starts here): the unconstrained Jacobi fixed point is
+    /// bounded by `max(b)/min(diag)`-ish; we use a crude safe upper bound.
+    pub fn upper_start(&self) -> Vec<f64> {
+        let bmax = self
+            .problem
+            .b
+            .iter()
+            .fold(0.0_f64, |m, &v| m.max(v.abs()));
+        let pmax = self
+            .problem
+            .psi
+            .iter()
+            .fold(0.0_f64, |m, &v| m.max(v.abs()));
+        vec![bmax + pmax + 1.0; self.problem.dim()]
+    }
+}
+
+impl Operator for ProjectedJacobi {
+    fn dim(&self) -> usize {
+        self.problem.dim()
+    }
+
+    #[inline]
+    fn component(&self, i: usize, u: &[f64]) -> f64 {
+        let off = self.problem.a.row_dot_offdiag(i, u);
+        ((self.problem.b[i] - off) * self.inv_diag[i]).max(self.problem.psi[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bump_problem() -> ObstacleProblem {
+        ObstacleProblem::bump(12, 12, 0.6).unwrap()
+    }
+
+    #[test]
+    fn reference_solution_satisfies_lcp() {
+        let p = bump_problem();
+        let u = p.reference_solution(1e-12, 100_000).unwrap();
+        let (feas, resid, comp) = p.complementarity_residuals(&u);
+        assert!(feas <= 1e-10, "feasibility {feas}");
+        assert!(resid <= 1e-7, "residual {resid}");
+        assert!(comp <= 1e-7, "complementarity {comp}");
+    }
+
+    #[test]
+    fn bump_produces_active_contact_set() {
+        let p = bump_problem();
+        let u = p.reference_solution(1e-12, 100_000).unwrap();
+        let contacts = p.contact_count(&u, 1e-9);
+        // The bump's positive part must be in contact somewhere, but not
+        // the whole grid.
+        assert!(contacts > 0, "no contact points");
+        assert!(contacts < p.dim(), "everything in contact");
+        // Membrane is pulled above zero by the obstacle.
+        assert!(u.iter().cloned().fold(0.0_f64, f64::max) > 0.5);
+    }
+
+    #[test]
+    fn without_obstacle_reduces_to_laplace() {
+        // ψ = −∞-ish: solution of zero-load Laplace with zero boundary is
+        // identically zero.
+        let p = ObstacleProblem::new(8, 8, |_, _| 0.0, |_, _| -1e12).unwrap();
+        let u = p.reference_solution(1e-13, 100_000).unwrap();
+        assert!(u.iter().all(|&v| v.abs() < 1e-9));
+    }
+
+    #[test]
+    fn projected_jacobi_fixed_point_matches_reference() {
+        let p = bump_problem();
+        let u_ref = p.reference_solution(1e-13, 100_000).unwrap();
+        let op = ProjectedJacobi::new(p);
+        assert!(op.residual_inf(&u_ref) < 1e-9);
+    }
+
+    #[test]
+    fn monotone_decrease_from_upper_start() {
+        let op = ProjectedJacobi::new(bump_problem());
+        let mut u = op.upper_start();
+        let mut next = vec![0.0; op.dim()];
+        for _ in 0..200 {
+            op.apply(&u, &mut next);
+            // Monotone from above: next <= u componentwise.
+            for i in 0..op.dim() {
+                assert!(next[i] <= u[i] + 1e-12, "monotonicity at {i}");
+            }
+            std::mem::swap(&mut u, &mut next);
+        }
+    }
+
+    #[test]
+    fn solution_respects_symmetry() {
+        // The bump and domain are symmetric under x ↔ 1−x; so is the
+        // solution.
+        let p = bump_problem();
+        let u = p.reference_solution(1e-12, 100_000).unwrap();
+        let (nx, ny) = p.grid();
+        for iy in 0..ny {
+            for ix in 0..nx {
+                let k = iy * nx + ix;
+                let km = iy * nx + (nx - 1 - ix);
+                assert!((u[k] - u[km]).abs() < 1e-8, "asymmetry at ({ix},{iy})");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_degenerate_grid() {
+        assert!(ObstacleProblem::new(1, 5, |_, _| 0.0, |_, _| 0.0).is_err());
+        assert!(ObstacleProblem::bump(5, 1, 0.5).is_err());
+    }
+
+    #[test]
+    fn refinement_converges_in_max_value() {
+        // Coarse vs fine grid maxima agree to a few percent — sanity that
+        // the discretisation is consistent.
+        let coarse = ObstacleProblem::bump(10, 10, 0.6).unwrap();
+        let fine = ObstacleProblem::bump(20, 20, 0.6).unwrap();
+        let uc = coarse.reference_solution(1e-11, 100_000).unwrap();
+        let uf = fine.reference_solution(1e-11, 100_000).unwrap();
+        let mc = uc.iter().cloned().fold(0.0_f64, f64::max);
+        let mf = uf.iter().cloned().fold(0.0_f64, f64::max);
+        assert!((mc - mf).abs() < 0.05, "coarse {mc} vs fine {mf}");
+    }
+}

@@ -1,0 +1,387 @@
+//! Proximal operators of separable convex regularisers.
+//!
+//! All of the `g` functions of problem (4) used in the experiments:
+//! `ℓ₁` (lasso), box / nonnegativity / lower-obstacle indicators
+//! (constrained problems, obstacle problem), elastic net, ridge, and the
+//! trivial zero regulariser. Each is supplied through
+//! [`crate::traits::SeparableProx`], so every engine can
+//! apply it one component at a time.
+//!
+//! Every prox here is *firmly nonexpansive*:
+//! `|prox(u) − prox(v)| ≤ |u − v|` componentwise — the property that
+//! composes with the gradient step's contraction in Theorem 1. The
+//! crate's property tests verify nonexpansiveness for all of them.
+
+use crate::traits::SeparableProx;
+
+/// `g ≡ 0`: the prox is the identity. Turns prox-gradient into plain
+/// gradient descent.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ZeroReg;
+
+impl SeparableProx for ZeroReg {
+    #[inline]
+    fn prox_component(&self, _i: usize, v: f64, _gamma: f64) -> f64 {
+        v
+    }
+
+    fn value(&self, _x: &[f64]) -> f64 {
+        0.0
+    }
+}
+
+/// `g(x) = λ ‖x‖₁`: soft thresholding
+/// `prox_{γg}(v) = sign(v) · max(|v| − γλ, 0)`.
+#[derive(Debug, Clone, Copy)]
+pub struct L1 {
+    /// Regularisation weight `λ ≥ 0`.
+    pub lambda: f64,
+}
+
+impl L1 {
+    /// `ℓ₁` regulariser with weight `λ`.
+    ///
+    /// # Panics
+    /// Panics when `λ < 0` or not finite.
+    pub fn new(lambda: f64) -> Self {
+        assert!(
+            lambda.is_finite() && lambda >= 0.0,
+            "L1: lambda must be finite and nonnegative"
+        );
+        Self { lambda }
+    }
+}
+
+impl SeparableProx for L1 {
+    #[inline]
+    fn prox_component(&self, _i: usize, v: f64, gamma: f64) -> f64 {
+        let t = gamma * self.lambda;
+        if v > t {
+            v - t
+        } else if v < -t {
+            v + t
+        } else {
+            0.0
+        }
+    }
+
+    fn value(&self, x: &[f64]) -> f64 {
+        self.lambda * x.iter().map(|v| v.abs()).sum::<f64>()
+    }
+}
+
+/// `g(x) = (λ/2) ‖x‖₂²` (ridge): `prox_{γg}(v) = v / (1 + γλ)`.
+#[derive(Debug, Clone, Copy)]
+pub struct L2Squared {
+    /// Regularisation weight `λ ≥ 0`.
+    pub lambda: f64,
+}
+
+impl L2Squared {
+    /// Ridge regulariser with weight `λ`.
+    ///
+    /// # Panics
+    /// Panics when `λ < 0` or not finite.
+    pub fn new(lambda: f64) -> Self {
+        assert!(
+            lambda.is_finite() && lambda >= 0.0,
+            "L2Squared: lambda must be finite and nonnegative"
+        );
+        Self { lambda }
+    }
+}
+
+impl SeparableProx for L2Squared {
+    #[inline]
+    fn prox_component(&self, _i: usize, v: f64, gamma: f64) -> f64 {
+        v / (1.0 + gamma * self.lambda)
+    }
+
+    fn value(&self, x: &[f64]) -> f64 {
+        0.5 * self.lambda * x.iter().map(|v| v * v).sum::<f64>()
+    }
+}
+
+/// Elastic net `g(x) = λ₁‖x‖₁ + (λ₂/2)‖x‖₂²`:
+/// `prox(v) = S_{γλ₁}(v) / (1 + γλ₂)` (soft-threshold then shrink).
+#[derive(Debug, Clone, Copy)]
+pub struct ElasticNet {
+    /// `ℓ₁` weight.
+    pub l1: f64,
+    /// `ℓ₂²` weight.
+    pub l2: f64,
+}
+
+impl ElasticNet {
+    /// Elastic-net regulariser.
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite weights.
+    pub fn new(l1: f64, l2: f64) -> Self {
+        assert!(l1.is_finite() && l1 >= 0.0, "ElasticNet: l1 weight");
+        assert!(l2.is_finite() && l2 >= 0.0, "ElasticNet: l2 weight");
+        Self { l1, l2 }
+    }
+}
+
+impl SeparableProx for ElasticNet {
+    #[inline]
+    fn prox_component(&self, i: usize, v: f64, gamma: f64) -> f64 {
+        let soft = L1 { lambda: self.l1 }.prox_component(i, v, gamma);
+        soft / (1.0 + gamma * self.l2)
+    }
+
+    fn value(&self, x: &[f64]) -> f64 {
+        self.l1 * x.iter().map(|v| v.abs()).sum::<f64>()
+            + 0.5 * self.l2 * x.iter().map(|v| v * v).sum::<f64>()
+    }
+}
+
+/// Indicator of the box `[lo_i, hi_i]`: the prox is the projection
+/// (clamp). Scalar bounds broadcast to every component.
+#[derive(Debug, Clone)]
+pub struct BoxConstraint {
+    lo: Bound,
+    hi: Bound,
+}
+
+#[derive(Debug, Clone)]
+enum Bound {
+    Scalar(f64),
+    Vector(Vec<f64>),
+}
+
+impl Bound {
+    #[inline]
+    fn get(&self, i: usize) -> f64 {
+        match self {
+            Bound::Scalar(v) => *v,
+            Bound::Vector(v) => v[i],
+        }
+    }
+
+    fn dim(&self) -> Option<usize> {
+        match self {
+            Bound::Scalar(_) => None,
+            Bound::Vector(v) => Some(v.len()),
+        }
+    }
+}
+
+impl BoxConstraint {
+    /// Uniform box `[lo, hi]ⁿ`.
+    ///
+    /// # Panics
+    /// Panics when `lo > hi` (NaN bounds are rejected too).
+    pub fn uniform(lo: f64, hi: f64) -> Self {
+        assert!(lo <= hi, "BoxConstraint: lo must be <= hi");
+        Self {
+            lo: Bound::Scalar(lo),
+            hi: Bound::Scalar(hi),
+        }
+    }
+
+    /// Per-component box `[lo_i, hi_i]`.
+    ///
+    /// # Panics
+    /// Panics on length mismatch or any `lo_i > hi_i`.
+    pub fn per_component(lo: Vec<f64>, hi: Vec<f64>) -> Self {
+        assert_eq!(lo.len(), hi.len(), "BoxConstraint: bound lengths differ");
+        for (i, (&l, &h)) in lo.iter().zip(&hi).enumerate() {
+            assert!(l <= h, "BoxConstraint: lo[{i}] > hi[{i}]");
+        }
+        Self {
+            lo: Bound::Vector(lo),
+            hi: Bound::Vector(hi),
+        }
+    }
+
+    /// Nonnegativity constraint `x ≥ 0`.
+    pub fn nonneg() -> Self {
+        Self::uniform(0.0, f64::INFINITY)
+    }
+
+    /// Lower-obstacle constraint `x ≥ ψ` (the obstacle problem's `g`).
+    pub fn lower_obstacle(psi: Vec<f64>) -> Self {
+        Self {
+            lo: Bound::Vector(psi),
+            hi: Bound::Scalar(f64::INFINITY),
+        }
+    }
+
+    /// Lower bound of component `i`.
+    pub fn lo(&self, i: usize) -> f64 {
+        self.lo.get(i)
+    }
+
+    /// Upper bound of component `i`.
+    pub fn hi(&self, i: usize) -> f64 {
+        self.hi.get(i)
+    }
+}
+
+impl SeparableProx for BoxConstraint {
+    #[inline]
+    fn prox_component(&self, i: usize, v: f64, _gamma: f64) -> f64 {
+        v.clamp(self.lo.get(i), self.hi.get(i))
+    }
+
+    fn value(&self, x: &[f64]) -> f64 {
+        for (i, &v) in x.iter().enumerate() {
+            // Tolerance-free indicator: engines only query feasible points
+            // after projection, so exact comparison is intended.
+            if v < self.lo.get(i) || v > self.hi.get(i) {
+                return f64::INFINITY;
+            }
+        }
+        0.0
+    }
+
+    fn dim_hint(&self) -> Option<usize> {
+        self.lo.dim().or(self.hi.dim())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_reg_is_identity() {
+        let z = ZeroReg;
+        assert_eq!(z.prox_component(0, 3.5, 0.7), 3.5);
+        assert_eq!(z.value(&[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn soft_threshold_cases() {
+        let g = L1::new(2.0);
+        // gamma * lambda = 1.
+        assert_eq!(g.prox_component(0, 3.0, 0.5), 2.0);
+        assert_eq!(g.prox_component(0, -3.0, 0.5), -2.0);
+        assert_eq!(g.prox_component(0, 0.5, 0.5), 0.0);
+        assert_eq!(g.prox_component(0, -0.5, 0.5), 0.0);
+        assert_eq!(g.prox_component(0, 1.0, 0.5), 0.0); // boundary
+    }
+
+    #[test]
+    fn l1_prox_solves_prox_subproblem() {
+        // prox minimises g(u) + (u-v)^2 / (2 gamma): compare against a
+        // dense grid search.
+        let g = L1::new(0.8);
+        let gamma = 0.3;
+        for &v in &[-2.0, -0.1, 0.0, 0.7, 3.0] {
+            let p = g.prox_component(0, v, gamma);
+            let obj = |u: f64| 0.8 * u.abs() + (u - v) * (u - v) / (2.0 * gamma);
+            let mut best = f64::INFINITY;
+            let mut arg = 0.0;
+            let mut u = -4.0;
+            while u <= 4.0 {
+                if obj(u) < best {
+                    best = obj(u);
+                    arg = u;
+                }
+                u += 1e-4;
+            }
+            assert!((p - arg).abs() < 1e-3, "v={v}: prox {p} vs grid {arg}");
+        }
+    }
+
+    #[test]
+    fn l1_value() {
+        assert_eq!(L1::new(2.0).value(&[1.0, -3.0]), 8.0);
+    }
+
+    #[test]
+    fn ridge_shrinks() {
+        let g = L2Squared::new(4.0);
+        assert_eq!(g.prox_component(0, 3.0, 0.5), 1.0); // 3 / (1 + 2)
+        assert_eq!(g.value(&[2.0]), 8.0);
+    }
+
+    #[test]
+    fn elastic_net_composes() {
+        let g = ElasticNet::new(1.0, 1.0);
+        // gamma 1: soft(3, 1) = 2, then / (1 + 1) = 1.
+        assert_eq!(g.prox_component(0, 3.0, 1.0), 1.0);
+        assert!((g.value(&[1.0, -2.0]) - (3.0 + 2.5)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn elastic_net_degenerates_to_parts() {
+        let en = ElasticNet::new(0.7, 0.0);
+        let l1 = L1::new(0.7);
+        for &v in &[-2.0, 0.1, 5.0] {
+            assert_eq!(en.prox_component(0, v, 0.9), l1.prox_component(0, v, 0.9));
+        }
+        let en = ElasticNet::new(0.0, 0.7);
+        let l2 = L2Squared::new(0.7);
+        for &v in &[-2.0, 0.1, 5.0] {
+            assert_eq!(en.prox_component(0, v, 0.9), l2.prox_component(0, v, 0.9));
+        }
+    }
+
+    #[test]
+    fn box_projects() {
+        let g = BoxConstraint::uniform(-1.0, 2.0);
+        assert_eq!(g.prox_component(0, -3.0, 1.0), -1.0);
+        assert_eq!(g.prox_component(0, 0.5, 1.0), 0.5);
+        assert_eq!(g.prox_component(0, 9.0, 1.0), 2.0);
+        assert_eq!(g.value(&[0.0, 2.0]), 0.0);
+        assert_eq!(g.value(&[0.0, 2.1]), f64::INFINITY);
+    }
+
+    #[test]
+    fn per_component_box() {
+        let g = BoxConstraint::per_component(vec![0.0, 1.0], vec![1.0, 5.0]);
+        assert_eq!(g.prox_component(0, 2.0, 1.0), 1.0);
+        assert_eq!(g.prox_component(1, 2.0, 1.0), 2.0);
+        assert_eq!(g.dim_hint(), Some(2));
+    }
+
+    #[test]
+    fn nonneg_and_obstacle() {
+        let g = BoxConstraint::nonneg();
+        assert_eq!(g.prox_component(0, -2.0, 1.0), 0.0);
+        assert_eq!(g.prox_component(0, 7.0, 1.0), 7.0);
+
+        let o = BoxConstraint::lower_obstacle(vec![0.5, -0.5]);
+        assert_eq!(o.prox_component(0, 0.0, 1.0), 0.5);
+        assert_eq!(o.prox_component(1, 0.0, 1.0), 0.0);
+        assert_eq!(o.dim_hint(), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "lo must be <= hi")]
+    fn box_rejects_inverted_bounds() {
+        BoxConstraint::uniform(1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonnegative")]
+    fn l1_rejects_negative_lambda() {
+        L1::new(-1.0);
+    }
+
+    #[test]
+    fn all_proxes_nonexpansive_spot_check() {
+        let proxes: Vec<Box<dyn SeparableProx>> = vec![
+            Box::new(ZeroReg),
+            Box::new(L1::new(0.7)),
+            Box::new(L2Squared::new(1.3)),
+            Box::new(ElasticNet::new(0.5, 0.9)),
+            Box::new(BoxConstraint::uniform(-1.0, 1.0)),
+        ];
+        let pairs = [(-2.0, 3.0), (0.1, 0.2), (-5.0, -4.0), (0.0, 0.0)];
+        for p in &proxes {
+            for &(u, v) in &pairs {
+                let pu = p.prox_component(0, u, 0.8);
+                let pv = p.prox_component(0, v, 0.8);
+                assert!(
+                    (pu - pv).abs() <= (u - v).abs() + 1e-15,
+                    "nonexpansiveness violated at ({u}, {v})"
+                );
+            }
+        }
+    }
+}

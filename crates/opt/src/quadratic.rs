@@ -1,0 +1,662 @@
+//! Quadratic smooth objectives.
+//!
+//! Two flavours used throughout the experiments:
+//!
+//! - [`SeparableQuadratic`] — `f(x) = Σ_i a_i (x_i − c_i)²/2`: exactly the
+//!   "separable, L-smooth, μ-strongly convex" `f` of problem (4), for
+//!   which Theorem 1's `(1 − γμ)^k` rate is provable and tight.
+//! - [`SparseQuadratic`] — `f(x) = ½ xᵀQx − bᵀx` with sparse SPD `Q`:
+//!   coupled quadratics (lasso Gram matrices, discretised PDEs). Totally
+//!   asynchronous convergence additionally needs `I − γQ` to contract in
+//!   a weighted max norm, which holds when `Q` is strictly diagonally
+//!   dominant; [`SparseQuadratic::gradient_step_inf_contraction`] reports
+//!   the certified factor.
+
+use crate::error::OptError;
+use crate::traits::{SeparableSmooth, SmoothObjective};
+use asynciter_numerics::sparse::CsrMatrix;
+
+/// `f(x) = Σ_i a_i (x_i − c_i)² / 2` with `a_i > 0`.
+#[derive(Debug, Clone)]
+pub struct SeparableQuadratic {
+    a: Vec<f64>,
+    c: Vec<f64>,
+}
+
+impl SeparableQuadratic {
+    /// Builds the separable quadratic with curvatures `a` and centres `c`.
+    ///
+    /// # Errors
+    /// Errors on length mismatch, empty input, or nonpositive curvature.
+    pub fn new(a: Vec<f64>, c: Vec<f64>) -> crate::Result<Self> {
+        if a.is_empty() {
+            return Err(OptError::InvalidParameter {
+                name: "a",
+                message: "empty curvature vector".into(),
+            });
+        }
+        if a.len() != c.len() {
+            return Err(OptError::DimensionMismatch {
+                expected: a.len(),
+                actual: c.len(),
+                context: "SeparableQuadratic::new",
+            });
+        }
+        if let Some((i, &v)) = a.iter().enumerate().find(|(_, &v)| !(v > 0.0) || !v.is_finite()) {
+            return Err(OptError::InvalidParameter {
+                name: "a",
+                message: format!("curvature a[{i}] = {v} must be finite and > 0"),
+            });
+        }
+        Ok(Self { a, c })
+    }
+
+    /// Random instance with curvatures log-uniform in `[mu, l]` (both
+    /// attained) and centres standard normal. The spread `l/mu` is the
+    /// condition number of `f`.
+    ///
+    /// # Errors
+    /// Errors unless `0 < mu ≤ l` and `n ≥ 2`.
+    pub fn random(n: usize, mu: f64, l: f64, seed: u64) -> crate::Result<Self> {
+        if !(mu > 0.0 && l >= mu) {
+            return Err(OptError::InvalidParameter {
+                name: "mu/l",
+                message: format!("need 0 < mu <= l, got mu={mu}, l={l}"),
+            });
+        }
+        if n < 2 {
+            return Err(OptError::InvalidParameter {
+                name: "n",
+                message: "need n >= 2 so both curvature extremes are attained".into(),
+            });
+        }
+        let mut rng = asynciter_numerics::rng::rng(seed);
+        let mut a = vec![0.0; n];
+        a[0] = mu;
+        a[1] = l;
+        let (ln_mu, ln_l) = (mu.ln(), l.ln());
+        for v in a.iter_mut().skip(2) {
+            *v = asynciter_numerics::rng::uniform_vec(&mut rng, 1, 0.0, 1.0)[0]
+                .mul_add(ln_l - ln_mu, ln_mu)
+                .exp();
+        }
+        let c = asynciter_numerics::rng::normal_vec(&mut rng, n);
+        Self::new(a, c)
+    }
+
+    /// The unconstrained minimiser (`x = c`).
+    pub fn minimizer(&self) -> Vec<f64> {
+        self.c.clone()
+    }
+
+    /// Curvature vector.
+    pub fn curvatures(&self) -> &[f64] {
+        &self.a
+    }
+}
+
+impl SeparableSmooth for SeparableQuadratic {
+    fn dim(&self) -> usize {
+        self.a.len()
+    }
+
+    #[inline]
+    fn value_component(&self, i: usize, v: f64) -> f64 {
+        0.5 * self.a[i] * (v - self.c[i]) * (v - self.c[i])
+    }
+
+    #[inline]
+    fn grad_component(&self, i: usize, v: f64) -> f64 {
+        self.a[i] * (v - self.c[i])
+    }
+
+    fn curvature(&self) -> (f64, f64) {
+        let mu = self.a.iter().copied().fold(f64::INFINITY, f64::min);
+        let l = self.a.iter().copied().fold(0.0, f64::max);
+        (mu, l)
+    }
+}
+
+/// `f(x) = ½ xᵀQx − bᵀx` with sparse symmetric `Q`.
+#[derive(Debug, Clone)]
+pub struct SparseQuadratic {
+    q: CsrMatrix,
+    b: Vec<f64>,
+    mu: f64,
+    lipschitz: f64,
+}
+
+impl SparseQuadratic {
+    /// Builds the quadratic; curvature bounds are certified from `Q` by
+    /// Gershgorin discs: `μ ≥ min_i (q_ii − Σ_{j≠i}|q_ij|)`,
+    /// `L ≤ max_i (q_ii + Σ_{j≠i}|q_ij|)`.
+    ///
+    /// # Errors
+    /// Errors when `Q` is not square/symmetric, dimensions mismatch, or
+    /// the Gershgorin lower bound is not positive (the asynchronous
+    /// theory requires strong convexity *and* diagonal dominance).
+    pub fn new(q: CsrMatrix, b: Vec<f64>) -> crate::Result<Self> {
+        if q.rows() != q.cols() {
+            return Err(OptError::DimensionMismatch {
+                expected: q.rows(),
+                actual: q.cols(),
+                context: "SparseQuadratic::new (square)",
+            });
+        }
+        if q.rows() != b.len() {
+            return Err(OptError::DimensionMismatch {
+                expected: q.rows(),
+                actual: b.len(),
+                context: "SparseQuadratic::new (rhs)",
+            });
+        }
+        if !q.is_symmetric(1e-10) {
+            return Err(OptError::InvalidProblem {
+                message: "Q must be symmetric".into(),
+            });
+        }
+        let diag = q.diagonal();
+        let off = q.offdiag_abs_row_sums();
+        let mu = diag
+            .iter()
+            .zip(&off)
+            .map(|(d, o)| d - o)
+            .fold(f64::INFINITY, f64::min);
+        let lipschitz = diag
+            .iter()
+            .zip(&off)
+            .map(|(d, o)| d + o)
+            .fold(0.0, f64::max);
+        if mu <= 0.0 {
+            return Err(OptError::InvalidProblem {
+                message: format!(
+                    "Q is not strictly diagonally dominant (Gershgorin margin {mu:.3e}); \
+                     totally asynchronous contraction is not certified"
+                ),
+            });
+        }
+        Ok(Self { q, b, mu, lipschitz })
+    }
+
+    /// Random strictly diagonally dominant SPD instance: off-diagonal
+    /// entries are random in `[−coupling, coupling]` on a sparse pattern
+    /// with `degree` neighbours per row, and the diagonal is set to the
+    /// off-diagonal absolute row sum plus a margin drawn from
+    /// `[margin, 2·margin]`.
+    ///
+    /// # Errors
+    /// Errors on nonpositive `margin`/`coupling` or `degree >= n`.
+    pub fn random_diag_dominant(
+        n: usize,
+        degree: usize,
+        coupling: f64,
+        margin: f64,
+        seed: u64,
+    ) -> crate::Result<Self> {
+        if !(margin > 0.0 && coupling > 0.0) {
+            return Err(OptError::InvalidParameter {
+                name: "margin/coupling",
+                message: "must be positive".into(),
+            });
+        }
+        if degree + 1 > n {
+            return Err(OptError::InvalidParameter {
+                name: "degree",
+                message: format!("need degree + 1 <= n, got degree={degree}, n={n}"),
+            });
+        }
+        let mut rng = asynciter_numerics::rng::rng(seed);
+        let mut trip: Vec<(usize, usize, f64)> = Vec::new();
+        // Symmetric pattern: for i < j pairs chosen from each row's random
+        // neighbour draws.
+        for i in 0..n {
+            let picks = asynciter_numerics::rng::sample_indices(&mut rng, n, degree);
+            for jj in picks {
+                if jj <= i {
+                    continue;
+                }
+                let v = asynciter_numerics::rng::uniform_vec(&mut rng, 1, -coupling, coupling)[0];
+                trip.push((i, jj, v));
+                trip.push((jj, i, v));
+            }
+        }
+        // Accumulate |row sums| then set diagonals.
+        let mut rowsum = vec![0.0; n];
+        for &(r, _, v) in &trip {
+            rowsum[r] += v.abs();
+        }
+        for (i, rs) in rowsum.iter().enumerate() {
+            let m = asynciter_numerics::rng::uniform_vec(&mut rng, 1, margin, 2.0 * margin)[0];
+            trip.push((i, i, rs + m));
+        }
+        let q = CsrMatrix::from_triplets(n, n, &trip)?;
+        let b = asynciter_numerics::rng::normal_vec(&mut rng, n);
+        Self::new(q, b)
+    }
+
+    /// The coupling matrix `Q`.
+    pub fn q(&self) -> &CsrMatrix {
+        &self.q
+    }
+
+    /// The linear term `b`.
+    pub fn b(&self) -> &[f64] {
+        &self.b
+    }
+
+    /// Exact minimiser via dense Cholesky (small/medium `n` only).
+    ///
+    /// # Errors
+    /// Propagates factorisation failures.
+    pub fn minimizer_dense(&self) -> crate::Result<Vec<f64>> {
+        Ok(self.q.to_dense().solve_spd(&self.b)?)
+    }
+
+    /// Certified `‖I − γQ‖_∞` (induced max-norm) — the totally
+    /// asynchronous contraction factor of the gradient step:
+    /// `max_i ( |1 − γ q_ii| + γ Σ_{j≠i} |q_ij| )`.
+    ///
+    /// # Panics
+    /// Panics when `gamma <= 0`.
+    pub fn gradient_step_inf_contraction(&self, gamma: f64) -> f64 {
+        assert!(gamma > 0.0, "gradient_step_inf_contraction: gamma");
+        let diag = self.q.diagonal();
+        let off = self.q.offdiag_abs_row_sums();
+        diag.iter()
+            .zip(&off)
+            .map(|(&d, &o)| (1.0 - gamma * d).abs() + gamma * o)
+            .fold(0.0, f64::max)
+    }
+}
+
+impl SmoothObjective for SparseQuadratic {
+    fn dim(&self) -> usize {
+        self.b.len()
+    }
+
+    fn value(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.dim(), "SparseQuadratic::value: dimension");
+        let mut qx = vec![0.0; self.dim()];
+        self.q.matvec(x, &mut qx);
+        0.5 * asynciter_numerics::vecops::dot(x, &qx)
+            - asynciter_numerics::vecops::dot(&self.b, x)
+    }
+
+    #[inline]
+    fn grad_component(&self, i: usize, x: &[f64]) -> f64 {
+        self.q.row_dot(i, x) - self.b[i]
+    }
+
+    fn grad(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.dim(), "SparseQuadratic::grad: x dimension");
+        assert_eq!(out.len(), self.dim(), "SparseQuadratic::grad: out dim");
+        self.q.matvec(x, out);
+        for (o, b) in out.iter_mut().zip(&self.b) {
+            *o -= b;
+        }
+    }
+
+    fn lipschitz(&self) -> f64 {
+        self.lipschitz
+    }
+
+    fn strong_convexity(&self) -> f64 {
+        self.mu
+    }
+}
+
+/// `f(x) = ½ xᵀQx − bᵀx` with *dense* symmetric positive-definite `Q`
+/// and **no diagonal-dominance requirement** — curvature bounds come from
+/// power iteration instead of Gershgorin.
+///
+/// This is the deliberately "dangerous" quadratic: synchronous gradient
+/// descent converges for every `γ < 2/L` (a Euclidean-norm property),
+/// but totally asynchronous convergence needs `‖I − γQ‖_∞ < 1`, which a
+/// non-dominant `Q` does not grant near `2/L`. The stability-boundary
+/// experiment (X1) maps exactly where asynchronous iterations lose the
+/// step sizes that synchronous ones keep.
+#[derive(Debug, Clone)]
+pub struct DenseQuadratic {
+    q: asynciter_numerics::dense::DenseMatrix,
+    b: Vec<f64>,
+    mu: f64,
+    lipschitz: f64,
+}
+
+impl DenseQuadratic {
+    /// Builds the quadratic; `L = λ_max(Q)` by power iteration,
+    /// `μ = L − λ_max(L·I − Q)` by a shifted power iteration.
+    ///
+    /// # Errors
+    /// Errors when `Q` is not square/symmetric, dimensions mismatch, or
+    /// `Q` is not (numerically) positive definite.
+    pub fn new(
+        q: asynciter_numerics::dense::DenseMatrix,
+        b: Vec<f64>,
+    ) -> crate::Result<Self> {
+        if q.rows() != q.cols() {
+            return Err(OptError::DimensionMismatch {
+                expected: q.rows(),
+                actual: q.cols(),
+                context: "DenseQuadratic::new (square)",
+            });
+        }
+        if q.rows() != b.len() {
+            return Err(OptError::DimensionMismatch {
+                expected: q.rows(),
+                actual: b.len(),
+                context: "DenseQuadratic::new (rhs)",
+            });
+        }
+        if !q.is_symmetric(1e-9) {
+            return Err(OptError::InvalidProblem {
+                message: "Q must be symmetric".into(),
+            });
+        }
+        let n = q.rows();
+        let lipschitz = q.spectral_norm_symmetric(1e-12, 50_000);
+        // Shifted power iteration: λ_max(L·I − Q) = L − λ_min(Q).
+        let shifted = asynciter_numerics::dense::DenseMatrix::from_fn(n, n, |r, c| {
+            let v = -q[(r, c)];
+            if r == c {
+                v + lipschitz
+            } else {
+                v
+            }
+        });
+        let mu = lipschitz - shifted.spectral_norm_symmetric(1e-12, 50_000);
+        if mu <= 0.0 {
+            return Err(OptError::InvalidProblem {
+                message: format!("Q is not positive definite (λ_min ≈ {mu:.3e})"),
+            });
+        }
+        Ok(Self { q, b, mu, lipschitz })
+    }
+
+    /// A random SPD instance with a planted eigenvalue spread and genuine
+    /// off-diagonal mass: `Q = c·A Aᵀ/k + μ·I` with `A` standard normal
+    /// `n × k`, scaled so `λ_max ≈ l`. Not diagonally dominant for small
+    /// `k` — exactly the regime where max-norm contraction fails while
+    /// the spectrum stays well-behaved.
+    ///
+    /// # Errors
+    /// Propagates construction failures; requires `0 < mu < l`, `k ≥ 1`.
+    pub fn random_spd(n: usize, k: usize, mu: f64, l: f64, seed: u64) -> crate::Result<Self> {
+        if !(mu > 0.0 && l > mu) || k == 0 || n == 0 {
+            return Err(OptError::InvalidParameter {
+                name: "n/k/mu/l",
+                message: format!("need n,k >= 1 and 0 < mu < l; got n={n}, k={k}, mu={mu}, l={l}"),
+            });
+        }
+        let mut rng = asynciter_numerics::rng::rng(seed);
+        let a: Vec<Vec<f64>> = (0..n)
+            .map(|_| asynciter_numerics::rng::normal_vec(&mut rng, k))
+            .collect();
+        let mut g = asynciter_numerics::dense::DenseMatrix::from_fn(n, n, |r, c| {
+            asynciter_numerics::vecops::dot(&a[r], &a[c]) / k as f64
+        });
+        // Scale the Gram part so that λ_max(Q) ≈ l after adding μ·I.
+        let top = g.spectral_norm_symmetric(1e-10, 20_000);
+        let scale = (l - mu) / top.max(1e-12);
+        for r in 0..n {
+            for c in 0..n {
+                g[(r, c)] *= scale;
+            }
+            g[(r, r)] += mu;
+        }
+        let b = asynciter_numerics::rng::normal_vec(&mut rng, n);
+        Self::new(g, b)
+    }
+
+    /// Exact minimiser via Cholesky.
+    ///
+    /// # Errors
+    /// Propagates factorisation failures.
+    pub fn minimizer(&self) -> crate::Result<Vec<f64>> {
+        Ok(self.q.solve_spd(&self.b)?)
+    }
+
+    /// `‖I − γQ‖_∞` — the totally asynchronous contraction bound; `≥ 1`
+    /// means asynchronous convergence is *not* certified at this step.
+    ///
+    /// # Panics
+    /// Panics when `gamma <= 0`.
+    pub fn gradient_step_inf_norm(&self, gamma: f64) -> f64 {
+        assert!(gamma > 0.0, "gradient_step_inf_norm: gamma");
+        let n = self.q.rows();
+        let mut worst = 0.0_f64;
+        for r in 0..n {
+            let mut s = 0.0;
+            for c in 0..n {
+                let m = if r == c {
+                    1.0 - gamma * self.q[(r, c)]
+                } else {
+                    -gamma * self.q[(r, c)]
+                };
+                s += m.abs();
+            }
+            worst = worst.max(s);
+        }
+        worst
+    }
+}
+
+impl SmoothObjective for DenseQuadratic {
+    fn dim(&self) -> usize {
+        self.b.len()
+    }
+
+    fn value(&self, x: &[f64]) -> f64 {
+        let mut qx = vec![0.0; self.dim()];
+        self.q.matvec(x, &mut qx);
+        0.5 * asynciter_numerics::vecops::dot(x, &qx)
+            - asynciter_numerics::vecops::dot(&self.b, x)
+    }
+
+    #[inline]
+    fn grad_component(&self, i: usize, x: &[f64]) -> f64 {
+        asynciter_numerics::vecops::dot(self.q.row(i), x) - self.b[i]
+    }
+
+    fn grad(&self, x: &[f64], out: &mut [f64]) {
+        self.q.matvec(x, out);
+        for (o, b) in out.iter_mut().zip(&self.b) {
+            *o -= b;
+        }
+    }
+
+    fn lipschitz(&self) -> f64 {
+        self.lipschitz
+    }
+
+    fn strong_convexity(&self) -> f64 {
+        self.mu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asynciter_numerics::sparse::tridiagonal;
+    use asynciter_numerics::vecops;
+
+    #[test]
+    fn separable_gradient_and_minimizer() {
+        let f = SeparableQuadratic::new(vec![2.0, 4.0], vec![1.0, -1.0]).unwrap();
+        assert_eq!(SeparableSmooth::dim(&f), 2);
+        assert_eq!(SeparableSmooth::grad_component(&f, 0, 2.0), 2.0);
+        assert_eq!(SeparableSmooth::grad_component(&f, 1, 0.0), 4.0);
+        assert_eq!(f.minimizer(), vec![1.0, -1.0]);
+        assert_eq!(f.curvature(), (2.0, 4.0));
+        // Value at minimiser is 0, elsewhere positive.
+        assert_eq!(SeparableSmooth::value(&f, &[1.0, -1.0]), 0.0);
+        assert!(SeparableSmooth::value(&f, &[0.0, 0.0]) > 0.0);
+    }
+
+    #[test]
+    fn separable_random_attains_extremes() {
+        let f = SeparableQuadratic::random(16, 0.5, 8.0, 3).unwrap();
+        let (mu, l) = f.curvature();
+        assert_eq!(mu, 0.5);
+        assert_eq!(l, 8.0);
+        assert!(f.curvatures().iter().all(|&a| (0.5..=8.0).contains(&a)));
+    }
+
+    #[test]
+    fn separable_rejects_bad_input() {
+        assert!(SeparableQuadratic::new(vec![], vec![]).is_err());
+        assert!(SeparableQuadratic::new(vec![1.0], vec![1.0, 2.0]).is_err());
+        assert!(SeparableQuadratic::new(vec![0.0], vec![0.0]).is_err());
+        assert!(SeparableQuadratic::random(1, 1.0, 2.0, 0).is_err());
+        assert!(SeparableQuadratic::random(4, 2.0, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn sparse_quadratic_gradient_matches_definition() {
+        let q = tridiagonal(4, 4.0, -1.0);
+        let b = vec![1.0, 0.0, -1.0, 2.0];
+        let f = SparseQuadratic::new(q, b.clone()).unwrap();
+        let x = [0.5, -0.5, 1.0, 0.0];
+        let mut g = vec![0.0; 4];
+        f.grad(&x, &mut g);
+        for i in 0..4 {
+            assert!((g[i] - f.grad_component(i, &x)).abs() < 1e-15);
+        }
+        // Finite-difference check of component 1.
+        let mut xp = x;
+        let h = 1e-6;
+        xp[1] += h;
+        let fd = (f.value(&xp) - f.value(&x)) / h;
+        assert!((fd - g[1]).abs() < 1e-4, "fd {fd} vs g {}", g[1]);
+    }
+
+    #[test]
+    fn sparse_quadratic_curvature_bounds() {
+        let q = tridiagonal(8, 4.0, -1.0);
+        let f = SparseQuadratic::new(q, vec![0.0; 8]).unwrap();
+        // Gershgorin: mu >= 4 - 2 = 2, L <= 4 + 2 = 6. True eigenvalues of
+        // this Toeplitz matrix lie in (2, 6).
+        assert_eq!(f.strong_convexity(), 2.0);
+        assert_eq!(f.lipschitz(), 6.0);
+    }
+
+    #[test]
+    fn sparse_rejects_non_dominant() {
+        let q = tridiagonal(4, 1.0, -1.0); // margin 1 - 2 < 0 interior
+        assert!(SparseQuadratic::new(q, vec![0.0; 4]).is_err());
+    }
+
+    #[test]
+    fn sparse_rejects_asymmetric() {
+        let q = CsrMatrix::from_triplets(2, 2, &[(0, 0, 3.0), (1, 1, 3.0), (0, 1, 1.0)])
+            .unwrap();
+        assert!(SparseQuadratic::new(q, vec![0.0; 2]).is_err());
+    }
+
+    #[test]
+    fn minimizer_dense_zeroes_gradient() {
+        let f = SparseQuadratic::random_diag_dominant(12, 3, 0.5, 1.0, 7).unwrap();
+        let x = f.minimizer_dense().unwrap();
+        let mut g = vec![0.0; 12];
+        f.grad(&x, &mut g);
+        assert!(vecops::norm_inf(&g) < 1e-9, "residual {}", vecops::norm_inf(&g));
+    }
+
+    #[test]
+    fn random_diag_dominant_is_dominant() {
+        let f = SparseQuadratic::random_diag_dominant(20, 4, 1.0, 0.5, 9).unwrap();
+        assert!(f.q().diagonal_dominance_margin() >= 0.5 - 1e-12);
+        assert!(f.strong_convexity() > 0.0);
+    }
+
+    #[test]
+    fn gradient_step_contracts_for_small_gamma() {
+        let f = SparseQuadratic::random_diag_dominant(16, 3, 0.8, 1.0, 11).unwrap();
+        let gamma = 1.0 / f.lipschitz();
+        let alpha = f.gradient_step_inf_contraction(gamma);
+        assert!(alpha < 1.0, "alpha = {alpha}");
+        // Empirically verify on random pairs.
+        let mut rng = asynciter_numerics::rng::rng(4);
+        let x = asynciter_numerics::rng::normal_vec(&mut rng, 16);
+        let y = asynciter_numerics::rng::normal_vec(&mut rng, 16);
+        let mut gx = vec![0.0; 16];
+        let mut gy = vec![0.0; 16];
+        f.grad(&x, &mut gx);
+        f.grad(&y, &mut gy);
+        let tx: Vec<f64> = x.iter().zip(&gx).map(|(v, g)| v - gamma * g).collect();
+        let ty: Vec<f64> = y.iter().zip(&gy).map(|(v, g)| v - gamma * g).collect();
+        let num = vecops::max_abs_diff(&tx, &ty);
+        let den = vecops::max_abs_diff(&x, &y);
+        assert!(num <= alpha * den + 1e-12, "{num} > {alpha} * {den}");
+    }
+
+    #[test]
+    fn dimension_errors() {
+        let q = tridiagonal(3, 4.0, -1.0);
+        assert!(SparseQuadratic::new(q, vec![0.0; 2]).is_err());
+        assert!(SparseQuadratic::random_diag_dominant(4, 4, 1.0, 1.0, 0).is_err());
+        assert!(SparseQuadratic::random_diag_dominant(4, 1, -1.0, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn dense_quadratic_spectral_bounds() {
+        let f = DenseQuadratic::random_spd(16, 3, 1.0, 10.0, 7).unwrap();
+        assert!((f.strong_convexity() - 1.0).abs() < 0.05, "mu {}", f.strong_convexity());
+        assert!((f.lipschitz() - 10.0).abs() < 0.5, "L {}", f.lipschitz());
+        // Rayleigh quotients fall inside [mu, L].
+        let mut rng = asynciter_numerics::rng::rng(9);
+        for _ in 0..5 {
+            let x = asynciter_numerics::rng::normal_vec(&mut rng, 16);
+            let mut g = vec![0.0; 16];
+            f.grad(&x, &mut g);
+            // Qx = ∇f(x) + b, so xᵀQx = xᵀ∇f(x) + bᵀx.
+            let num = vecops::dot(&x, &g) + vecops::dot(&f.b, &x);
+            let den = vecops::dot(&x, &x);
+            let rayleigh = num / den;
+            assert!(rayleigh >= f.strong_convexity() - 1e-6);
+            assert!(rayleigh <= f.lipschitz() + 1e-6);
+        }
+    }
+
+    #[test]
+    fn dense_quadratic_minimizer_zeroes_gradient() {
+        let f = DenseQuadratic::random_spd(12, 4, 0.5, 6.0, 11).unwrap();
+        let x = f.minimizer().unwrap();
+        let mut g = vec![0.0; 12];
+        f.grad(&x, &mut g);
+        assert!(vecops::norm_inf(&g) < 1e-8);
+    }
+
+    #[test]
+    fn dense_quadratic_low_rank_is_not_inf_contracting_near_two_over_l() {
+        // Low-rank + ridge: dense coupling makes ‖I − γQ‖_∞ ≥ 1 long
+        // before γ reaches the Euclidean stability edge 2/L.
+        let f = DenseQuadratic::random_spd(24, 2, 0.5, 8.0, 13).unwrap();
+        let near_edge = 1.8 / f.lipschitz();
+        assert!(
+            f.gradient_step_inf_norm(near_edge) > 1.0,
+            "expected no inf-norm certificate near 2/L"
+        );
+        // But a sufficiently small step is certified even in inf norm
+        // only if dominance-ish holds — not guaranteed here; merely check
+        // the bound shrinks with γ.
+        assert!(
+            f.gradient_step_inf_norm(0.01) < f.gradient_step_inf_norm(near_edge)
+        );
+    }
+
+    #[test]
+    fn dense_quadratic_validation() {
+        let q = asynciter_numerics::dense::DenseMatrix::zeros(2, 3);
+        assert!(DenseQuadratic::new(q, vec![0.0; 2]).is_err());
+        let q = asynciter_numerics::dense::DenseMatrix::from_vec(
+            2,
+            2,
+            vec![1.0, 0.5, 0.4, 1.0],
+        )
+        .unwrap();
+        assert!(DenseQuadratic::new(q, vec![0.0; 2]).is_err()); // asymmetric
+        assert!(DenseQuadratic::random_spd(8, 0, 1.0, 4.0, 0).is_err());
+        assert!(DenseQuadratic::random_spd(8, 2, 4.0, 1.0, 0).is_err());
+    }
+}

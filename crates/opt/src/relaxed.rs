@@ -1,0 +1,145 @@
+//! Relaxation-parameter wrapper: `F_ω(x) = (1−ω)·x + ω·F(x)`.
+//!
+//! Classical successive relaxation applied to any fixed-point operator.
+//! Under-relaxation (`ω < 1`) trades per-step progress for robustness:
+//! for an `α`-contraction in any norm, `F_ω` contracts with factor
+//! `(1−ω) + ω·α < 1` for every `ω ∈ (0, 1]`, and — more interestingly
+//! for the asynchronous theory — for operators that are only
+//! *nonexpansive* or whose max-norm bound slightly exceeds 1,
+//! under-relaxation with averaging can restore the strict contraction
+//! that totally asynchronous convergence needs. Over-relaxation
+//! (`ω > 1`) accelerates synchronous sweeps but shrinks the admissible
+//! delay range; the `omega` ablation quantifies both effects.
+
+use crate::error::OptError;
+use crate::traits::Operator;
+
+/// `F_ω(x) = (1−ω)x + ωF(x)` for a wrapped operator `F`.
+#[derive(Debug, Clone)]
+pub struct RelaxedOperator<O> {
+    inner: O,
+    omega: f64,
+}
+
+impl<O: Operator> RelaxedOperator<O> {
+    /// Wraps `inner` with relaxation parameter `ω ∈ (0, 2)`.
+    ///
+    /// # Errors
+    /// Errors when `ω` is outside `(0, 2)` or not finite.
+    pub fn new(inner: O, omega: f64) -> crate::Result<Self> {
+        if !omega.is_finite() || omega <= 0.0 || omega >= 2.0 {
+            return Err(OptError::InvalidParameter {
+                name: "omega",
+                message: format!("relaxation parameter must be in (0, 2), got {omega}"),
+            });
+        }
+        Ok(Self { inner, omega })
+    }
+
+    /// The relaxation parameter.
+    pub fn omega(&self) -> f64 {
+        self.omega
+    }
+
+    /// The wrapped operator.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+
+    /// Contraction factor of the relaxed operator given the inner
+    /// operator's max-norm contraction factor `alpha`:
+    /// `|1−ω| + ω·α` (valid for `ω ∈ (0, 2)`; tight for `ω ≤ 1`).
+    pub fn relaxed_factor(&self, alpha: f64) -> f64 {
+        (1.0 - self.omega).abs() + self.omega * alpha
+    }
+}
+
+impl<O: Operator> Operator for RelaxedOperator<O> {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    #[inline]
+    fn component(&self, i: usize, x: &[f64]) -> f64 {
+        (1.0 - self.omega) * x[i] + self.omega * self.inner.component(i, x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::JacobiOperator;
+    use asynciter_numerics::sparse::tridiagonal;
+    use asynciter_numerics::vecops;
+
+    fn jacobi(n: usize) -> JacobiOperator {
+        JacobiOperator::new(tridiagonal(n, 4.0, -1.0), vec![1.0; n]).unwrap()
+    }
+
+    #[test]
+    fn omega_one_is_identity_wrapper() {
+        let op = jacobi(6);
+        let relaxed = RelaxedOperator::new(jacobi(6), 1.0).unwrap();
+        let x = vec![0.3; 6];
+        for i in 0..6 {
+            assert_eq!(relaxed.component(i, &x), op.component(i, &x));
+        }
+    }
+
+    #[test]
+    fn fixed_point_is_preserved_for_all_omega() {
+        let op = jacobi(8);
+        let xstar = op.solve_dense_spd().unwrap();
+        for omega in [0.3, 0.7, 1.0, 1.5] {
+            let relaxed = RelaxedOperator::new(jacobi(8), omega).unwrap();
+            assert!(
+                relaxed.residual_inf(&xstar) < 1e-12,
+                "omega {omega}: fixed point moved"
+            );
+        }
+    }
+
+    #[test]
+    fn under_relaxation_contracts_with_predicted_factor() {
+        let inner = jacobi(8);
+        let alpha = inner.contraction_factor();
+        let relaxed = RelaxedOperator::new(jacobi(8), 0.5).unwrap();
+        let predicted = relaxed.relaxed_factor(alpha);
+        assert!(predicted < 1.0);
+        // Empirical check on random pairs.
+        let mut rng = asynciter_numerics::rng::rng(5);
+        for _ in 0..20 {
+            let x = asynciter_numerics::rng::normal_vec(&mut rng, 8);
+            let y = asynciter_numerics::rng::normal_vec(&mut rng, 8);
+            let mut fx = vec![0.0; 8];
+            let mut fy = vec![0.0; 8];
+            relaxed.apply(&x, &mut fx);
+            relaxed.apply(&y, &mut fy);
+            assert!(
+                vecops::max_abs_diff(&fx, &fy)
+                    <= predicted * vecops::max_abs_diff(&x, &y) + 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn under_relaxation_converges_synchronously() {
+        let op = RelaxedOperator::new(jacobi(8), 0.6).unwrap();
+        let xstar = op.inner().solve_dense_spd().unwrap();
+        let mut x = vec![0.0; 8];
+        let mut next = vec![0.0; 8];
+        for _ in 0..200 {
+            op.apply(&x, &mut next);
+            std::mem::swap(&mut x, &mut next);
+        }
+        assert!(vecops::max_abs_diff(&x, &xstar) < 1e-10);
+    }
+
+    #[test]
+    fn rejects_invalid_omega() {
+        assert!(RelaxedOperator::new(jacobi(4), 0.0).is_err());
+        assert!(RelaxedOperator::new(jacobi(4), 2.0).is_err());
+        assert!(RelaxedOperator::new(jacobi(4), -0.5).is_err());
+        assert!(RelaxedOperator::new(jacobi(4), f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,185 @@
+//! Property-based tests for operators and problems.
+
+use asynciter_opt::bellman_ford::{BellmanFordOperator, Graph};
+use asynciter_opt::network_flow::NetworkFlowProblem;
+use asynciter_opt::prox::{BoxConstraint, ElasticNet, L1, L2Squared, ZeroReg};
+use asynciter_opt::proxgrad::{gamma_max, gradient_step_factor, SeparableProxGrad};
+use asynciter_opt::quadratic::{SeparableQuadratic, SparseQuadratic};
+use asynciter_opt::traits::{Operator, SeparableProx, SmoothObjective};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn proxes_are_nonexpansive(
+        u in -50.0..50.0f64,
+        v in -50.0..50.0f64,
+        gamma in 0.01..5.0f64,
+        lam in 0.0..3.0f64,
+    ) {
+        let proxes: Vec<Box<dyn SeparableProx>> = vec![
+            Box::new(ZeroReg),
+            Box::new(L1::new(lam)),
+            Box::new(L2Squared::new(lam)),
+            Box::new(ElasticNet::new(lam, 0.5 * lam)),
+            Box::new(BoxConstraint::uniform(-1.0, 2.0)),
+        ];
+        for p in &proxes {
+            let pu = p.prox_component(0, u, gamma);
+            let pv = p.prox_component(0, v, gamma);
+            prop_assert!((pu - pv).abs() <= (u - v).abs() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn prox_decreases_moreau_objective(
+        v in -20.0..20.0f64,
+        gamma in 0.05..2.0f64,
+        lam in 0.01..2.0f64,
+        probe in -20.0..20.0f64,
+    ) {
+        // prox minimises g(u) + (u − v)²/(2γ): any probe point must score
+        // at least as high.
+        let g = L1::new(lam);
+        let p = g.prox_component(0, v, gamma);
+        let obj = |u: f64| lam * u.abs() + (u - v) * (u - v) / (2.0 * gamma);
+        prop_assert!(obj(p) <= obj(probe) + 1e-12);
+    }
+
+    #[test]
+    fn soft_threshold_shrinks_towards_zero(
+        v in -30.0..30.0f64,
+        gamma in 0.01..3.0f64,
+        lam in 0.0..3.0f64,
+    ) {
+        let p = L1::new(lam).prox_component(0, v, gamma);
+        prop_assert!(p.abs() <= v.abs() + 1e-15);
+        prop_assert!(p * v >= 0.0, "sign flip: {v} -> {p}");
+    }
+
+    #[test]
+    fn gradient_step_factor_below_one_inside_range(
+        mu in 0.05..2.0f64,
+        spread in 1.0..20.0f64,
+        frac in 0.05..1.0f64,
+    ) {
+        let l = mu * spread;
+        let gamma = frac * gamma_max(mu, l);
+        let alpha = gradient_step_factor(gamma, mu, l);
+        prop_assert!(alpha < 1.0, "alpha = {alpha}");
+        prop_assert!(alpha <= 1.0 - gamma * mu + 1e-12);
+    }
+
+    #[test]
+    fn separable_proxgrad_contracts_pointwise(
+        seed in 0u64..500,
+        frac in 0.1..1.0f64,
+        lam in 0.0..1.0f64,
+    ) {
+        let f = SeparableQuadratic::random(6, 0.5, 4.0, seed).unwrap();
+        let gamma = frac * gamma_max(0.5, 4.0);
+        let op = SeparableProxGrad::new(f, L1::new(lam), gamma).unwrap();
+        let alpha = op.contraction_factor();
+        let mut rng = asynciter_numerics::rng::rng(seed ^ 0xABCD);
+        let x = asynciter_numerics::rng::normal_vec(&mut rng, 6);
+        let y = asynciter_numerics::rng::normal_vec(&mut rng, 6);
+        let mut tx = vec![0.0; 6];
+        let mut ty = vec![0.0; 6];
+        op.apply(&x, &mut tx);
+        op.apply(&y, &mut ty);
+        let num = asynciter_numerics::vecops::max_abs_diff(&tx, &ty);
+        let den = asynciter_numerics::vecops::max_abs_diff(&x, &y);
+        prop_assert!(num <= alpha * den + 1e-10);
+    }
+
+    #[test]
+    fn sparse_quadratic_gershgorin_brackets_rayleigh(
+        seed in 0u64..200,
+    ) {
+        let f = SparseQuadratic::random_diag_dominant(10, 3, 0.5, 1.0, seed).unwrap();
+        // Rayleigh quotient of random vectors lies in [mu, L].
+        let mut rng = asynciter_numerics::rng::rng(seed ^ 0x1234);
+        let x = asynciter_numerics::rng::normal_vec(&mut rng, 10);
+        let mut qx = vec![0.0; 10];
+        f.q().matvec(&x, &mut qx);
+        let num = asynciter_numerics::vecops::dot(&x, &qx);
+        let den = asynciter_numerics::vecops::dot(&x, &x);
+        let rayleigh = num / den;
+        prop_assert!(rayleigh >= f.strong_convexity() - 1e-9);
+        prop_assert!(rayleigh <= f.lipschitz() + 1e-9);
+    }
+
+    #[test]
+    fn bellman_ford_sync_sweeps_match_dijkstra(
+        seed in 0u64..100,
+        n in 5usize..30,
+        dest_frac in 0.0..1.0f64,
+    ) {
+        let g = Graph::random_geometric(n, 0.4, seed).unwrap();
+        let dest = ((n as f64 - 1.0) * dest_frac) as usize;
+        let op = BellmanFordOperator::new(g, dest).unwrap();
+        let exact = op.exact();
+        let mut x = op.initial_estimate();
+        let mut next = vec![0.0; n];
+        for _ in 0..n + 1 {
+            op.apply(&x, &mut next);
+            std::mem::swap(&mut x, &mut next);
+        }
+        for i in 0..n {
+            prop_assert!((x[i] - exact[i]).abs() < 1e-9, "node {i}");
+        }
+    }
+
+    #[test]
+    fn network_flow_exact_prices_balance(
+        seed in 0u64..100,
+        n in 3usize..14,
+        extra in 0usize..10,
+    ) {
+        let prob = NetworkFlowProblem::random(n, extra, seed).unwrap();
+        let p = prob.exact_prices(0).unwrap();
+        prop_assert!(prob.balance_residual(&p) < 1e-7,
+            "residual {}", prob.balance_residual(&p));
+    }
+
+    #[test]
+    fn network_flow_grounding_invariance(
+        seed in 0u64..50,
+    ) {
+        // The optimal flows are independent of which node is grounded.
+        let prob = NetworkFlowProblem::random(8, 6, seed).unwrap();
+        let f0 = prob.flows(&prob.exact_prices(0).unwrap());
+        let f1 = prob.flows(&prob.exact_prices(prob.num_nodes() - 1).unwrap());
+        for (a, b) in f0.iter().zip(&f1) {
+            prop_assert!((a - b).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn update_active_subset_of_apply(
+        seed in 0u64..100,
+        mask in prop::collection::vec(prop::bool::ANY, 8),
+    ) {
+        let f = SparseQuadratic::random_diag_dominant(8, 2, 0.4, 1.0, seed).unwrap();
+        let gamma = 0.5 * gamma_max(f.strong_convexity(), f.lipschitz());
+        let op = asynciter_opt::proxgrad::SparseProxGrad::new(f, L1::new(0.1), gamma).unwrap();
+        let mut rng = asynciter_numerics::rng::rng(seed ^ 0x77);
+        let x = asynciter_numerics::rng::normal_vec(&mut rng, 8);
+        let mut full = vec![0.0; 8];
+        op.apply(&x, &mut full);
+        let active: Vec<usize> = mask
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m)
+            .map(|(i, _)| i)
+            .collect();
+        let mut partial = x.clone();
+        op.update_active(&x, &active, &mut partial);
+        for i in 0..8 {
+            if active.contains(&i) {
+                prop_assert!((partial[i] - full[i]).abs() < 1e-15);
+            } else {
+                prop_assert!((partial[i] - x[i]).abs() < 1e-15);
+            }
+        }
+    }
+}

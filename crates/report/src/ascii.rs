@@ -1,0 +1,196 @@
+//! ASCII line charts and histograms.
+//!
+//! Good enough to eyeball convergence curves and delay envelopes in a
+//! terminal; the CSV twins of every chart carry the precise numbers.
+
+/// One named series of `(x, y)` points.
+#[derive(Debug, Clone)]
+pub struct ChartSeries {
+    /// Legend name.
+    pub name: String,
+    /// Data points (need not be sorted; the chart bins by x).
+    pub points: Vec<(f64, f64)>,
+}
+
+impl ChartSeries {
+    /// Builds a series.
+    pub fn new(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Self {
+            name: name.into(),
+            points,
+        }
+    }
+}
+
+const MARKS: &[char] = &['*', '+', 'o', 'x', '#', '@', '%', '&'];
+
+fn render(
+    series: &[ChartSeries],
+    width: usize,
+    height: usize,
+    logy: bool,
+    title: &str,
+) -> String {
+    let mut pts: Vec<(f64, f64, usize)> = Vec::new();
+    for (si, s) in series.iter().enumerate() {
+        for &(x, y) in &s.points {
+            let y = if logy {
+                if y > 0.0 {
+                    y.log10()
+                } else {
+                    continue;
+                }
+            } else {
+                y
+            };
+            if x.is_finite() && y.is_finite() {
+                pts.push((x, y, si));
+            }
+        }
+    }
+    if pts.is_empty() {
+        return format!("{title}\n(no finite data)\n");
+    }
+    let (mut xmin, mut xmax) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut ymin, mut ymax) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y, _) in &pts {
+        xmin = xmin.min(x);
+        xmax = xmax.max(x);
+        ymin = ymin.min(y);
+        ymax = ymax.max(y);
+    }
+    if xmax == xmin {
+        xmax = xmin + 1.0;
+    }
+    if ymax == ymin {
+        ymax = ymin + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for &(x, y, si) in &pts {
+        let col = (((x - xmin) / (xmax - xmin)) * (width - 1) as f64).round() as usize;
+        let row = (((y - ymin) / (ymax - ymin)) * (height - 1) as f64).round() as usize;
+        let r = height - 1 - row;
+        grid[r][col.min(width - 1)] = MARKS[si % MARKS.len()];
+    }
+    let ylab = |v: f64| {
+        if logy {
+            format!("1e{v:>6.1}")
+        } else {
+            format!("{v:>9.3e}")
+        }
+    };
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    for (r, line) in grid.iter().enumerate() {
+        let yv = ymax - (ymax - ymin) * r as f64 / (height - 1) as f64;
+        let label = if r == 0 || r == height - 1 || r == height / 2 {
+            ylab(yv)
+        } else {
+            " ".repeat(ylab(yv).len())
+        };
+        out.push_str(&format!("{label} |{}\n", line.iter().collect::<String>()));
+    }
+    let pad = " ".repeat(ylab(0.0).len());
+    out.push_str(&format!("{pad} +{}\n", "-".repeat(width)));
+    out.push_str(&format!(
+        "{pad}  x: [{xmin:.3e}, {xmax:.3e}]\n"
+    ));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!("{pad}  {} = {}\n", MARKS[si % MARKS.len()], s.name));
+    }
+    out
+}
+
+/// Renders a linear-scale line chart.
+pub fn line_chart(series: &[ChartSeries], width: usize, height: usize, title: &str) -> String {
+    render(series, width.max(16), height.max(4), false, title)
+}
+
+/// Renders a chart with a log₁₀ y-axis (non-positive values skipped) —
+/// the natural scale for geometric convergence curves.
+pub fn log_line_chart(
+    series: &[ChartSeries],
+    width: usize,
+    height: usize,
+    title: &str,
+) -> String {
+    render(series, width.max(16), height.max(4), true, title)
+}
+
+/// Renders a histogram of bucket counts as horizontal bars.
+pub fn histogram(buckets: &[(String, u64)], width: usize, title: &str) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let max = buckets.iter().map(|&(_, c)| c).max().unwrap_or(0).max(1);
+    let label_w = buckets.iter().map(|(l, _)| l.len()).max().unwrap_or(1);
+    for (label, count) in buckets {
+        let bar = (*count as usize * width.max(8)) / max as usize;
+        out.push_str(&format!(
+            "{label:>label_w$} | {}{} {count}\n",
+            "█".repeat(bar),
+            if bar == 0 && *count > 0 { "·" } else { "" },
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_chart_contains_marks_and_legend() {
+        let s = vec![
+            ChartSeries::new("up", (0..10).map(|i| (i as f64, i as f64)).collect()),
+            ChartSeries::new("down", (0..10).map(|i| (i as f64, 9.0 - i as f64)).collect()),
+        ];
+        let c = line_chart(&s, 40, 10, "test chart");
+        assert!(c.contains("test chart"));
+        assert!(c.contains('*'));
+        assert!(c.contains('+'));
+        assert!(c.contains("up"));
+        assert!(c.contains("down"));
+    }
+
+    #[test]
+    fn log_chart_skips_nonpositive() {
+        let s = vec![ChartSeries::new(
+            "decay",
+            vec![(0.0, 1.0), (1.0, 0.1), (2.0, 0.0), (3.0, -1.0)],
+        )];
+        let c = log_line_chart(&s, 30, 8, "log");
+        assert!(c.contains("decay"));
+        // Two finite log points → chart rendered, no panic.
+        assert!(c.contains("1e"));
+    }
+
+    #[test]
+    fn empty_data_is_graceful() {
+        let c = line_chart(&[ChartSeries::new("none", vec![])], 30, 8, "t");
+        assert!(c.contains("no finite data"));
+    }
+
+    #[test]
+    fn degenerate_ranges_handled() {
+        let s = vec![ChartSeries::new("flat", vec![(1.0, 5.0), (1.0, 5.0)])];
+        let c = line_chart(&s, 20, 5, "flat");
+        assert!(c.contains('*'));
+    }
+
+    #[test]
+    fn histogram_bars_scale() {
+        let h = histogram(
+            &[("a".into(), 10), ("b".into(), 5), ("c".into(), 0)],
+            20,
+            "hist",
+        );
+        assert!(h.contains("hist"));
+        let lines: Vec<&str> = h.lines().collect();
+        let bar_a = lines[1].matches('█').count();
+        let bar_b = lines[2].matches('█').count();
+        assert!(bar_a > bar_b);
+        assert!(lines[3].contains(" 0"));
+    }
+}

@@ -1,0 +1,138 @@
+//! Gantt rendering of simulation timelines (paper Fig. 1 / Fig. 2).
+//!
+//! Each processor gets a lane; updating phases are drawn as boxes
+//! labelled with their global iteration numbers; communications are
+//! listed below the lanes with solid (`──▶`, full updates) or hatched
+//! (`╌╌▶`, partial updates — flexible communication) arrows, exactly the
+//! visual vocabulary of the paper's figures.
+
+/// A renderable phase: `(processor, start, end, iteration number)`.
+pub type GPhase = (usize, u64, u64, u64);
+
+/// A renderable communication:
+/// `(from, to, send_t, recv_t, partial?)`.
+pub type GComm = (usize, usize, u64, u64, bool);
+
+/// Renders the Gantt chart.
+///
+/// `cols` is the target character width of the time axis; the time range
+/// is compressed to fit. Phases shorter than one column still occupy one
+/// cell.
+pub fn render_gantt(
+    num_procs: usize,
+    phases: &[GPhase],
+    comms: &[GComm],
+    cols: usize,
+    title: &str,
+) -> String {
+    let cols = cols.max(32);
+    let horizon = phases
+        .iter()
+        .map(|&(_, _, e, _)| e)
+        .chain(comms.iter().map(|&(_, _, _, r, _)| r))
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let scale = |t: u64| ((t as f64 / horizon as f64) * (cols - 1) as f64).round() as usize;
+
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    // Time axis.
+    out.push_str(&format!(
+        "      t=0{}t={}\n",
+        " ".repeat(cols.saturating_sub(8 + horizon.to_string().len())),
+        horizon
+    ));
+    for p in 0..num_procs {
+        let mut lane = vec![' '; cols];
+        let mut labels = vec![' '; cols];
+        for &(proc, s, e, j) in phases {
+            if proc != p {
+                continue;
+            }
+            let (a, b) = (scale(s), scale(e).max(scale(s) + 1));
+            lane[a] = '[';
+            for c in lane.iter_mut().take(b.min(cols)).skip(a + 1) {
+                *c = '=';
+            }
+            if b < cols {
+                lane[b] = ']';
+            } else {
+                lane[cols - 1] = ']';
+            }
+            // Iteration label centred in the box (digits overwrite '=').
+            let text = j.to_string();
+            let mid = (a + b.min(cols)) / 2;
+            let start = mid.saturating_sub(text.len() / 2).max(a + 1);
+            for (k, ch) in text.chars().enumerate() {
+                let pos = start + k;
+                if pos < b.min(cols) && pos < cols {
+                    labels[pos] = ch;
+                }
+            }
+        }
+        // Merge labels into the lane (labels win over '=').
+        for (l, c) in lane.iter_mut().zip(&labels) {
+            if *c != ' ' {
+                *l = *c;
+            }
+        }
+        out.push_str(&format!("P{p:<3} |{}\n", lane.iter().collect::<String>()));
+    }
+    if !comms.is_empty() {
+        out.push_str("communications (send → recv):\n");
+        let mut sorted: Vec<&GComm> = comms.iter().collect();
+        sorted.sort_by_key(|&&(_, _, s, _, _)| s);
+        for &&(from, to, s, r, partial) in &sorted {
+            let arrow = if partial { "╌╌▶" } else { "──▶" };
+            let kind = if partial { "partial" } else { "full" };
+            out.push_str(&format!(
+                "  P{from} {arrow} P{to}   t={s:<6} → t={r:<6} ({kind})\n"
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_lanes_and_boxes() {
+        let phases = vec![(0, 0, 3, 1), (1, 0, 5, 2), (0, 3, 6, 3)];
+        let comms = vec![(0, 1, 3, 4, false), (1, 0, 5, 6, true)];
+        let g = render_gantt(2, &phases, &comms, 60, "Fig test");
+        assert!(g.contains("Fig test"));
+        assert!(g.contains("P0"));
+        assert!(g.contains("P1"));
+        assert!(g.contains('['));
+        assert!(g.contains(']'));
+        assert!(g.contains("──▶"));
+        assert!(g.contains("╌╌▶"));
+        assert!(g.contains("(full)"));
+        assert!(g.contains("(partial)"));
+    }
+
+    #[test]
+    fn iteration_numbers_appear() {
+        let phases = vec![(0, 0, 10, 7)];
+        let g = render_gantt(1, &phases, &[], 60, "t");
+        assert!(g.contains('7'), "{g}");
+    }
+
+    #[test]
+    fn empty_input_is_graceful() {
+        let g = render_gantt(1, &[], &[], 40, "empty");
+        assert!(g.contains("empty"));
+        assert!(g.contains("P0"));
+    }
+
+    #[test]
+    fn narrow_width_clamped() {
+        let phases = vec![(0, 0, 100, 1)];
+        let g = render_gantt(1, &phases, &[], 1, "narrow");
+        assert!(g.lines().count() >= 3);
+    }
+}

@@ -1,0 +1,20 @@
+//! # asynciter-report
+//!
+//! Output plumbing for the experiment harness: CSV writers, ASCII line
+//! charts and histograms, Gantt timeline rendering (the paper's Fig. 1 /
+//! Fig. 2 as terminal art), and aligned text tables. Everything is
+//! dependency-free and writes either to `String`s or to files under a
+//! results directory.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod ascii;
+pub mod csv;
+pub mod gantt;
+pub mod table;
+
+pub use ascii::{line_chart, log_line_chart, ChartSeries};
+pub use csv::CsvWriter;
+pub use gantt::render_gantt;
+pub use table::TextTable;

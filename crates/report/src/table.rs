@@ -1,0 +1,121 @@
+//! Aligned text tables for experiment summaries.
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Starts a table with the given header.
+    ///
+    /// # Panics
+    /// Panics on an empty header.
+    pub fn new(header: &[&str]) -> Self {
+        assert!(!header.is_empty(), "TextTable: empty header");
+        Self {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics when the arity differs from the header.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "TextTable: row arity");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Convenience: appends a row of `Display` cells.
+    ///
+    /// # Panics
+    /// Panics when the arity differs from the header.
+    pub fn row_display<D: std::fmt::Display>(&mut self, cells: &[D]) -> &mut Self {
+        let cells: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        self.row(&cells)
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with column alignment (left for the first column, right
+    /// for the rest — names left, numbers right).
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (c, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if c > 0 {
+                    line.push_str("  ");
+                }
+                if c == 0 {
+                    line.push_str(&format!("{cell:<w$}"));
+                } else {
+                    line.push_str(&format!("{cell:>w$}"));
+                }
+            }
+            line
+        };
+        let mut out = fmt_row(&self.header);
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligns_columns() {
+        let mut t = TextTable::new(&["name", "value"]);
+        t.row_display(&["a", "1"]).row_display(&["longer", "12345"]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Right-aligned numbers: "1" ends at same column as "12345".
+        assert!(lines[2].ends_with("    1"));
+        assert!(lines[3].ends_with("12345"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        TextTable::new(&["a"]).row(&["x".into(), "y".into()]);
+    }
+
+    #[test]
+    fn separator_matches_width() {
+        let mut t = TextTable::new(&["ab", "cd"]);
+        t.row_display(&["x", "y"]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines[1].len(), lines[0].len());
+    }
+}

@@ -1,0 +1,527 @@
+//! Free-running multi-threaded asynchronous iterations over shared
+//! memory.
+//!
+//! Workers own disjoint component blocks (single-writer discipline) and
+//! loop without any synchronisation: snapshot the shared vector
+//! (component-wise atomic, globally inconsistent — Definition 1's read
+//! model), apply the operator to their block (optionally `m` inner
+//! iterations with mid-phase partial publishing — flexible
+//! communication), and publish. A global atomic counter assigns each
+//! block update its iteration number `j`; because every value a worker
+//! reads was published before it acquired `j`, all recorded labels are
+//! `≤ j − 1` and the emitted trace satisfies condition (a) by
+//! construction.
+
+use crate::error::RuntimeError;
+use crate::imbalance::spin;
+use crate::shared::SharedVec;
+use asynciter_models::partition::Partition;
+use asynciter_models::trace::{LabelStore, Trace};
+use asynciter_opt::traits::Operator;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// How much trace information the run records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceRecord {
+    /// No trace (fastest; benchmark mode).
+    Off,
+    /// Active sets and min labels only.
+    MinOnly,
+    /// Full label vectors per step (memory `O(updates · n)`).
+    Full,
+}
+
+/// Snapshot consistency ablation (DESIGN.md §5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotMode {
+    /// Per-component relaxed-atomic reads: inconsistent snapshots, zero
+    /// coordination — the true asynchronous model.
+    Relaxed,
+    /// Globally consistent snapshots through a readers–writer lock:
+    /// writers take the write lock for publishing, readers the read lock
+    /// for the whole snapshot. What synchronous consistency costs.
+    Locked,
+}
+
+/// Configuration of an asynchronous shared-memory run.
+#[derive(Debug, Clone)]
+pub struct AsyncConfig {
+    /// Number of worker threads (= machines); must divide the component
+    /// space per the supplied partition.
+    pub workers: usize,
+    /// Global budget of block updates.
+    pub max_updates: u64,
+    /// Stop early when the fixed-point residual (checked by worker 0
+    /// every `check_every` of its own updates) falls below this.
+    pub target_residual: Option<f64>,
+    /// Residual check period (worker-0 updates).
+    pub check_every: u64,
+    /// Per-worker spin units per update (load imbalance); empty = none.
+    pub spin_per_update: Vec<u64>,
+    /// Inner iterations per block update (`m ≥ 1`).
+    pub inner_steps: usize,
+    /// Publish partial block values every this many inner steps
+    /// (`≥ inner_steps` disables mid-phase publishing).
+    pub publish_period: usize,
+    /// Trace recording mode.
+    pub record: TraceRecord,
+    /// Snapshot consistency mode.
+    pub snapshot: SnapshotMode,
+}
+
+impl AsyncConfig {
+    /// Baseline configuration: plain async updates, no imbalance, no
+    /// trace.
+    pub fn new(workers: usize, max_updates: u64) -> Self {
+        Self {
+            workers,
+            max_updates,
+            target_residual: None,
+            check_every: 64,
+            spin_per_update: Vec::new(),
+            inner_steps: 1,
+            publish_period: 1,
+            record: TraceRecord::Off,
+            snapshot: SnapshotMode::Relaxed,
+        }
+    }
+
+    /// Sets a residual stopping target.
+    pub fn with_target_residual(mut self, eps: f64) -> Self {
+        self.target_residual = Some(eps);
+        self
+    }
+
+    /// Sets per-worker spin work.
+    pub fn with_spin(mut self, spin: Vec<u64>) -> Self {
+        self.spin_per_update = spin;
+        self
+    }
+
+    /// Sets inner iterations and publish period (flexible communication).
+    pub fn with_flexible(mut self, inner_steps: usize, publish_period: usize) -> Self {
+        self.inner_steps = inner_steps;
+        self.publish_period = publish_period;
+        self
+    }
+
+    /// Sets the trace recording mode.
+    pub fn with_record(mut self, record: TraceRecord) -> Self {
+        self.record = record;
+        self
+    }
+
+    /// Sets the snapshot mode.
+    pub fn with_snapshot(mut self, mode: SnapshotMode) -> Self {
+        self.snapshot = mode;
+        self
+    }
+}
+
+/// Result of an asynchronous shared-memory run.
+#[derive(Debug)]
+pub struct AsyncRunResult {
+    /// Final shared vector.
+    pub final_x: Vec<f64>,
+    /// Total block updates performed.
+    pub total_updates: u64,
+    /// Wall-clock duration of the parallel section.
+    pub wall: Duration,
+    /// Updates per worker (load distribution diagnostic).
+    pub per_worker_updates: Vec<u64>,
+    /// Final fixed-point residual `‖x − F(x)‖_∞`.
+    pub final_residual: f64,
+    /// Recorded trace (when requested).
+    pub trace: Option<Trace>,
+    /// Mid-phase partial publishes performed.
+    pub partial_publishes: u64,
+}
+
+struct Event {
+    j: u64,
+    worker: usize,
+    min_label: u64,
+    labels: Vec<u64>, // empty unless TraceRecord::Full
+}
+
+/// The asynchronous shared-memory runner. See module docs.
+#[derive(Debug, Default)]
+pub struct AsyncSharedRunner;
+
+impl AsyncSharedRunner {
+    /// Runs the asynchronous iteration with `cfg.workers` threads over
+    /// the blocks of `partition`.
+    ///
+    /// # Errors
+    /// Dimension/parameter validation failures.
+    pub fn run(
+        op: &dyn Operator,
+        x0: &[f64],
+        partition: &Partition,
+        cfg: &AsyncConfig,
+    ) -> crate::Result<AsyncRunResult> {
+        let n = op.dim();
+        if x0.len() != n {
+            return Err(RuntimeError::DimensionMismatch {
+                expected: n,
+                actual: x0.len(),
+                context: "AsyncSharedRunner::run (x0)",
+            });
+        }
+        if partition.n() != n {
+            return Err(RuntimeError::DimensionMismatch {
+                expected: n,
+                actual: partition.n(),
+                context: "AsyncSharedRunner::run (partition)",
+            });
+        }
+        if partition.num_machines() != cfg.workers {
+            return Err(RuntimeError::InvalidParameter {
+                name: "workers",
+                message: format!(
+                    "partition has {} machines but cfg.workers = {}",
+                    partition.num_machines(),
+                    cfg.workers
+                ),
+            });
+        }
+        if cfg.workers == 0 || cfg.max_updates == 0 || cfg.inner_steps == 0 {
+            return Err(RuntimeError::InvalidParameter {
+                name: "workers/max_updates/inner_steps",
+                message: "must be positive".into(),
+            });
+        }
+        if cfg.publish_period == 0 {
+            return Err(RuntimeError::InvalidParameter {
+                name: "publish_period",
+                message: "must be positive".into(),
+            });
+        }
+        if !cfg.spin_per_update.is_empty() && cfg.spin_per_update.len() != cfg.workers {
+            return Err(RuntimeError::InvalidParameter {
+                name: "spin_per_update",
+                message: "must be empty or one entry per worker".into(),
+            });
+        }
+
+        let shared = SharedVec::new(x0);
+        let counter = AtomicU64::new(0);
+        let stop = AtomicBool::new(false);
+        let partial_publishes = AtomicU64::new(0);
+        let snapshot_lock = parking_lot::RwLock::new(());
+        let blocks: Vec<Vec<usize>> = (0..cfg.workers)
+            .map(|w| partition.components_of(w))
+            .collect();
+
+        let start = Instant::now();
+        let mut worker_logs: Vec<(Vec<Event>, u64)> = Vec::with_capacity(cfg.workers);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(cfg.workers);
+            for w in 0..cfg.workers {
+                let block = &blocks[w];
+                let shared = &shared;
+                let counter = &counter;
+                let stop = &stop;
+                let partial_publishes = &partial_publishes;
+                let snapshot_lock = &snapshot_lock;
+                let spin_units = cfg.spin_per_update.get(w).copied().unwrap_or(0);
+                handles.push(scope.spawn(move || {
+                    let mut vals = vec![0.0; n];
+                    let mut labels = vec![0u64; n];
+                    let mut inner_new = Vec::with_capacity(block.len());
+                    let mut events: Vec<Event> = Vec::new();
+                    let mut my_updates = 0u64;
+                    loop {
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        // Snapshot (the asynchronous read).
+                        match cfg.snapshot {
+                            SnapshotMode::Relaxed => {
+                                shared.snapshot_labelled(&mut vals, &mut labels);
+                            }
+                            SnapshotMode::Locked => {
+                                let _g = snapshot_lock.read();
+                                shared.snapshot_labelled(&mut vals, &mut labels);
+                            }
+                        }
+                        // Simulated compute load (heterogeneity).
+                        if spin_units > 0 {
+                            spin(spin_units);
+                        }
+                        // m inner iterations on the block, off-block
+                        // frozen at the snapshot.
+                        for r in 1..=cfg.inner_steps {
+                            inner_new.clear();
+                            for &i in block {
+                                inner_new.push(op.component(i, &vals));
+                            }
+                            for (&i, &v) in block.iter().zip(&inner_new) {
+                                vals[i] = v;
+                            }
+                            if r % cfg.publish_period == 0 && r < cfg.inner_steps {
+                                // Mid-phase partial publish (flexible
+                                // communication): label = current global
+                                // count, i.e. "as of now".
+                                let now = counter.load(Ordering::Relaxed);
+                                let guard = (cfg.snapshot == SnapshotMode::Locked)
+                                    .then(|| snapshot_lock.write());
+                                for &i in block {
+                                    shared.write(i, vals[i], now);
+                                }
+                                drop(guard);
+                                partial_publishes
+                                    .fetch_add(block.len() as u64, Ordering::Relaxed);
+                            }
+                        }
+                        // Acquire the global iteration number and publish.
+                        let j = counter.fetch_add(1, Ordering::SeqCst) + 1;
+                        if j > cfg.max_updates {
+                            stop.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                        {
+                            let guard = (cfg.snapshot == SnapshotMode::Locked)
+                                .then(|| snapshot_lock.write());
+                            for &i in block {
+                                shared.write(i, vals[i], j);
+                            }
+                            drop(guard);
+                        }
+                        my_updates += 1;
+                        match cfg.record {
+                            TraceRecord::Off => {}
+                            TraceRecord::MinOnly => {
+                                let min_label =
+                                    labels.iter().copied().min().unwrap_or(0).min(j - 1);
+                                events.push(Event {
+                                    j,
+                                    worker: w,
+                                    min_label,
+                                    labels: Vec::new(),
+                                });
+                            }
+                            TraceRecord::Full => {
+                                // Clamp to j−1: labels were read before j
+                                // was acquired, so this only tightens.
+                                let clamped: Vec<u64> =
+                                    labels.iter().map(|&l| l.min(j - 1)).collect();
+                                let min_label = clamped.iter().copied().min().unwrap_or(0);
+                                events.push(Event {
+                                    j,
+                                    worker: w,
+                                    min_label,
+                                    labels: clamped,
+                                });
+                            }
+                        }
+                        // Residual-based stopping, checked by worker 0.
+                        if w == 0 {
+                            if let Some(eps) = cfg.target_residual {
+                                if my_updates % cfg.check_every.max(1) == 0 {
+                                    shared.snapshot(&mut vals);
+                                    if op.residual_inf(&vals) <= eps {
+                                        stop.store(true, Ordering::Relaxed);
+                                        break;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    (events, my_updates)
+                }));
+            }
+            for h in handles {
+                worker_logs.push(h.join().expect("worker panicked"));
+            }
+        });
+        let wall = start.elapsed();
+
+        let mut final_x = vec![0.0; n];
+        shared.snapshot(&mut final_x);
+        let final_residual = op.residual_inf(&final_x);
+        let per_worker_updates: Vec<u64> = worker_logs.iter().map(|(_, u)| *u).collect();
+        let total_updates = per_worker_updates.iter().sum();
+
+        let trace = match cfg.record {
+            TraceRecord::Off => None,
+            _ => {
+                let mut events: Vec<Event> = worker_logs
+                    .into_iter()
+                    .flat_map(|(e, _)| e)
+                    .collect();
+                events.sort_unstable_by_key(|e| e.j);
+                let store = if cfg.record == TraceRecord::Full {
+                    LabelStore::Full
+                } else {
+                    LabelStore::MinOnly
+                };
+                let mut trace = Trace::new(n, store);
+                let mut min_only_labels = vec![0u64; n];
+                for (idx, e) in events.iter().enumerate() {
+                    // j values are dense 1..=len by the counter contract.
+                    debug_assert_eq!(e.j as usize, idx + 1, "non-dense step numbering");
+                    let active = &blocks[e.worker];
+                    if store == LabelStore::Full {
+                        trace.push_step(active, &e.labels);
+                    } else {
+                        min_only_labels.fill(e.min_label);
+                        trace.push_step(active, &min_only_labels);
+                    }
+                }
+                Some(trace)
+            }
+        };
+
+        Ok(AsyncRunResult {
+            final_x,
+            total_updates,
+            wall,
+            per_worker_updates,
+            final_residual,
+            trace,
+            partial_publishes: partial_publishes.load(Ordering::Relaxed),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asynciter_models::conditions::check_condition_a;
+    use asynciter_numerics::sparse::tridiagonal;
+    use asynciter_numerics::vecops;
+    use asynciter_opt::linear::JacobiOperator;
+
+    fn jacobi(n: usize) -> JacobiOperator {
+        JacobiOperator::new(tridiagonal(n, 4.0, -1.0), vec![1.0; n]).unwrap()
+    }
+
+    #[test]
+    fn converges_to_fixed_point() {
+        let op = jacobi(64);
+        let xstar = op.solve_dense_spd().unwrap();
+        let p = Partition::blocks(64, 4).unwrap();
+        let cfg = AsyncConfig::new(4, 200_000).with_target_residual(1e-12);
+        let res = AsyncSharedRunner::run(&op, &vec![0.0; 64], &p, &cfg).unwrap();
+        assert!(
+            vecops::max_abs_diff(&res.final_x, &xstar) < 1e-9,
+            "error {}",
+            vecops::max_abs_diff(&res.final_x, &xstar)
+        );
+        assert!(res.total_updates > 0);
+        assert_eq!(res.per_worker_updates.len(), 4);
+    }
+
+    #[test]
+    fn trace_satisfies_condition_a_and_is_dense() {
+        let op = jacobi(16);
+        let p = Partition::blocks(16, 4).unwrap();
+        let cfg = AsyncConfig::new(4, 2000).with_record(TraceRecord::Full);
+        let res = AsyncSharedRunner::run(&op, &[0.0; 16], &p, &cfg).unwrap();
+        let trace = res.trace.expect("trace requested");
+        assert_eq!(trace.len() as u64, res.total_updates);
+        check_condition_a(&trace).expect("condition (a) must hold by construction");
+    }
+
+    #[test]
+    fn single_worker_behaves_like_block_gauss_seidel() {
+        let op = jacobi(8);
+        let xstar = op.solve_dense_spd().unwrap();
+        let p = Partition::blocks(8, 1).unwrap();
+        let cfg = AsyncConfig::new(1, 500);
+        let res = AsyncSharedRunner::run(&op, &[0.0; 8], &p, &cfg).unwrap();
+        assert!(vecops::max_abs_diff(&res.final_x, &xstar) < 1e-9);
+        assert_eq!(res.per_worker_updates, vec![500]);
+    }
+
+    #[test]
+    fn flexible_publishing_counts_partials() {
+        let op = jacobi(16);
+        let p = Partition::blocks(16, 2).unwrap();
+        let cfg = AsyncConfig::new(2, 400).with_flexible(4, 1);
+        let res = AsyncSharedRunner::run(&op, &[0.0; 16], &p, &cfg).unwrap();
+        // 3 partial publishes of 8 components per update.
+        assert!(res.partial_publishes > 0);
+        assert!(res.final_residual < 1.0);
+    }
+
+    #[test]
+    fn locked_snapshots_also_converge() {
+        let op = jacobi(32);
+        let xstar = op.solve_dense_spd().unwrap();
+        let p = Partition::blocks(32, 4).unwrap();
+        let cfg = AsyncConfig::new(4, 1_000_000)
+            .with_target_residual(1e-11)
+            .with_snapshot(SnapshotMode::Locked);
+        let res = AsyncSharedRunner::run(&op, &vec![0.0; 32], &p, &cfg).unwrap();
+        assert!(vecops::max_abs_diff(&res.final_x, &xstar) < 1e-8);
+    }
+
+    #[test]
+    fn imbalance_skews_update_counts() {
+        let op = jacobi(32);
+        let p = Partition::blocks(32, 4).unwrap();
+        let cfg = AsyncConfig::new(4, 20_000)
+            .with_spin(crate::imbalance::linear_imbalance(4, 2_000, 16.0));
+        let res = AsyncSharedRunner::run(&op, &vec![0.0; 32], &p, &cfg).unwrap();
+        // The fast worker (index 0) performs several times the updates of
+        // the slow one (index 3) — asynchronous progress is unthrottled.
+        let fast = res.per_worker_updates[0] as f64;
+        let slow = res.per_worker_updates[3] as f64;
+        assert!(
+            fast > 2.0 * slow,
+            "expected skew, got fast {fast} vs slow {slow}"
+        );
+    }
+
+    #[test]
+    fn validation_errors() {
+        let op = jacobi(8);
+        let p = Partition::blocks(8, 2).unwrap();
+        // Wrong worker count vs partition.
+        let cfg = AsyncConfig::new(3, 100);
+        assert!(AsyncSharedRunner::run(&op, &[0.0; 8], &p, &cfg).is_err());
+        // Wrong x0 length.
+        let cfg = AsyncConfig::new(2, 100);
+        assert!(AsyncSharedRunner::run(&op, &[0.0; 7], &p, &cfg).is_err());
+        // Spin length mismatch.
+        let cfg = AsyncConfig::new(2, 100).with_spin(vec![1, 2, 3]);
+        assert!(AsyncSharedRunner::run(&op, &[0.0; 8], &p, &cfg).is_err());
+        // Zero budget.
+        let cfg = AsyncConfig::new(2, 0);
+        assert!(AsyncSharedRunner::run(&op, &[0.0; 8], &p, &cfg).is_err());
+    }
+
+    #[test]
+    fn macro_iterations_exist_on_recorded_trace() {
+        let op = jacobi(16);
+        let p = Partition::blocks(16, 4).unwrap();
+        // Mild spin keeps worker pacing comparable; with completely
+        // free-running threads the OS can stagger thread start-up so much
+        // that one worker performs thousands of updates before the last
+        // one begins, making macro-iterations legitimately sparse.
+        let cfg = AsyncConfig::new(4, 8000)
+            .with_record(TraceRecord::Full)
+            .with_spin(vec![500; 4]);
+        let res = AsyncSharedRunner::run(&op, &[0.0; 16], &p, &cfg).unwrap();
+        let trace = res.trace.unwrap();
+        let m = asynciter_models::macroiter::macro_iterations(&trace);
+        assert!(
+            m.count() > 2,
+            "expected macro-iterations to complete, got {}",
+            m.count()
+        );
+        // Strict macro-iterations carry the freshness guarantee even on
+        // real thread traces.
+        let strict = asynciter_models::macroiter::macro_iterations_strict(&trace);
+        assert_eq!(
+            asynciter_models::macroiter::boundary_freshness_violations(
+                &trace,
+                &strict.boundaries
+            ),
+            0
+        );
+    }
+}

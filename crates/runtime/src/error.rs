@@ -1,0 +1,72 @@
+//! Error type for the runtime crate.
+
+use std::fmt;
+
+/// Errors produced by the multi-threaded runtimes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// Configuration and problem dimensions disagree.
+    DimensionMismatch {
+        /// Expected dimension.
+        expected: usize,
+        /// Actual dimension.
+        actual: usize,
+        /// Context string.
+        context: &'static str,
+    },
+    /// A configuration parameter is invalid.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Constraint description.
+        message: String,
+    },
+    /// A worker thread panicked.
+    WorkerPanicked {
+        /// Worker index.
+        worker: usize,
+    },
+    /// Propagated model error (trace assembly).
+    Model(asynciter_models::ModelError),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::DimensionMismatch {
+                expected,
+                actual,
+                context,
+            } => write!(
+                f,
+                "dimension mismatch in {context}: expected {expected}, got {actual}"
+            ),
+            RuntimeError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+            RuntimeError::WorkerPanicked { worker } => {
+                write!(f, "worker {worker} panicked")
+            }
+            RuntimeError::Model(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<asynciter_models::ModelError> for RuntimeError {
+    fn from(e: asynciter_models::ModelError) -> Self {
+        RuntimeError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = RuntimeError::WorkerPanicked { worker: 3 };
+        assert!(e.to_string().contains("worker 3"));
+    }
+}

@@ -1,0 +1,90 @@
+//! Calibrated artificial load: spin-work injection.
+//!
+//! The paper's efficiency claims rest on *load imbalance*: on real
+//! machines some processors are slower (heterogeneous nodes, competing
+//! jobs), and barrier-synchronous methods run at the pace of the slowest
+//! while asynchronous methods do not. To reproduce that effect on a
+//! single host we inject deterministic spin-work per update, scaled by a
+//! per-worker imbalance factor.
+
+use std::hint::black_box;
+
+/// Spins for roughly `units` arbitrary work quanta (each quantum is a
+/// handful of dependent integer operations the optimiser cannot remove).
+#[inline]
+pub fn spin(units: u64) {
+    let mut acc = 0x9E37_79B9u64;
+    for i in 0..units {
+        // Dependent chain; black_box defeats vectorisation/removal.
+        acc = black_box(acc.wrapping_mul(6364136223846793005).wrapping_add(i));
+    }
+    black_box(acc);
+}
+
+/// Builds a per-worker spin schedule from an imbalance `factor ≥ 1`: the
+/// slowest worker performs `factor ×` the base work, with the remaining
+/// workers interpolated linearly. `factor = 1` yields uniform load.
+///
+/// # Panics
+/// Panics when `workers == 0`, `base == 0` or `factor < 1`.
+pub fn linear_imbalance(workers: usize, base: u64, factor: f64) -> Vec<u64> {
+    assert!(workers > 0, "linear_imbalance: workers");
+    assert!(base > 0, "linear_imbalance: base");
+    assert!(factor >= 1.0, "linear_imbalance: factor >= 1");
+    (0..workers)
+        .map(|w| {
+            let t = if workers == 1 {
+                0.0
+            } else {
+                w as f64 / (workers - 1) as f64
+            };
+            (base as f64 * (1.0 + t * (factor - 1.0))).round() as u64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spin_scales_roughly_linearly() {
+        // Warm up.
+        spin(10_000);
+        let t1 = std::time::Instant::now();
+        spin(2_000_000);
+        let d1 = t1.elapsed();
+        let t2 = std::time::Instant::now();
+        spin(8_000_000);
+        let d2 = t2.elapsed();
+        // Wide bounds: CI hosts run the test suite in parallel and
+        // scheduling noise is large; we only need "more work takes
+        // noticeably longer, roughly proportionally".
+        let ratio = d2.as_secs_f64() / d1.as_secs_f64().max(1e-9);
+        assert!(
+            (1.5..40.0).contains(&ratio),
+            "4x work gave time ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn linear_imbalance_endpoints() {
+        let s = linear_imbalance(4, 100, 4.0);
+        assert_eq!(s[0], 100);
+        assert_eq!(s[3], 400);
+        assert_eq!(s.len(), 4);
+        assert!(s.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn uniform_when_factor_one() {
+        assert_eq!(linear_imbalance(3, 50, 1.0), vec![50, 50, 50]);
+        assert_eq!(linear_imbalance(1, 50, 8.0), vec![50]);
+    }
+
+    #[test]
+    #[should_panic(expected = "factor >= 1")]
+    fn rejects_sub_unit_factor() {
+        linear_imbalance(2, 10, 0.5);
+    }
+}

@@ -1,0 +1,43 @@
+//! # asynciter-runtime
+//!
+//! Real multi-threaded runtimes for asynchronous iterations — the
+//! workspace's stand-in for the paper's Cray T3E / IBM SP4 / Grid5000
+//! campaigns (see DESIGN.md §2 for the substitution argument):
+//!
+//! - [`shared`] — the lock-free shared iterate vector: one atomic
+//!   value+label slot per component, single writer per component,
+//!   wait-free relaxed readers (Hogwild-style inconsistent snapshots,
+//!   exactly the regime Definition 1 models).
+//! - [`async_engine`] — free-running workers updating their blocks
+//!   without any synchronisation; optional inner iterations with partial
+//!   publishing (flexible communication), injected load imbalance, and
+//!   full event tracing back into [`asynciter_models::Trace`].
+//! - [`sync_engine`] — the barrier-synchronous Jacobi baseline with the
+//!   same work model, for the async-vs-sync comparisons (experiment E3).
+//! - [`network`] — a virtual message-passing layer: workers keep local
+//!   copies and exchange labelled messages through a router thread that
+//!   delays, reorders, drops and duplicates them (experiments E5/E6).
+//! - [`termination`] — distributed termination detection in the spirit
+//!   of El Baz \[22\]: local quiescence flags plus in-flight message
+//!   accounting (experiment E10).
+//! - [`imbalance`] — calibrated spin-work injection used to model
+//!   heterogeneous processors.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod async_engine;
+pub mod error;
+pub mod imbalance;
+pub mod network;
+pub mod shared;
+pub mod sync_engine;
+pub mod termination;
+
+pub use async_engine::{AsyncConfig, AsyncRunResult, AsyncSharedRunner, SnapshotMode, TraceRecord};
+pub use error::RuntimeError;
+pub use shared::SharedVec;
+pub use sync_engine::{SpinBarrier, SyncConfig, SyncRunResult, SyncRunner};
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, RuntimeError>;

@@ -1,0 +1,395 @@
+//! Distributed termination detection for asynchronous iterations
+//! (in the spirit of El Baz \[22\]).
+//!
+//! Detecting convergence of an asynchronous iteration is harder than for
+//! synchronous methods: there is no global step at which "everyone is
+//! done", and a locally small residual can be destroyed by a stale
+//! update still propagating. Reference \[22\] anchors detection to the
+//! macro-iteration structure: activity must stay quiescent long enough
+//! that every component has been refreshed from post-quiescence data.
+//!
+//! This module implements that idea for the shared-memory runtime:
+//!
+//! - each worker tracks the max change of its block over consecutive
+//!   updates and declares itself *quiet* after `streak` consecutive
+//!   updates below `eps`;
+//! - a detector terminates the run once **all** workers are quiet *and*
+//!   have remained quiet for `margin` further global updates (the
+//!   flush window standing in for "one more macro-iteration") —
+//!   guaranteeing every component was recomputed from post-quiescence
+//!   values before stopping.
+//!
+//! Experiment E10 compares this against the naive rule (stop at first
+//! all-quiet instant) and measures premature stops.
+
+use crate::error::RuntimeError;
+use crate::shared::SharedVec;
+use asynciter_models::partition::Partition;
+use asynciter_opt::traits::Operator;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Per-worker quiescence tracker.
+#[derive(Debug, Clone)]
+pub struct QuiescenceTracker {
+    eps: f64,
+    required: u64,
+    streak: u64,
+}
+
+impl QuiescenceTracker {
+    /// Quiet after `required` consecutive updates with block change
+    /// `≤ eps`.
+    ///
+    /// # Panics
+    /// Panics when `eps < 0` or `required == 0`.
+    pub fn new(eps: f64, required: u64) -> Self {
+        assert!(eps >= 0.0, "QuiescenceTracker: eps");
+        assert!(required > 0, "QuiescenceTracker: required");
+        Self {
+            eps,
+            required,
+            streak: 0,
+        }
+    }
+
+    /// Feeds the max change of the worker's latest block update; returns
+    /// the updated quiet status.
+    pub fn observe(&mut self, change: f64) -> bool {
+        if change <= self.eps {
+            self.streak += 1;
+        } else {
+            self.streak = 0;
+        }
+        self.streak >= self.required
+    }
+
+    /// Current quiet status.
+    pub fn is_quiet(&self) -> bool {
+        self.streak >= self.required
+    }
+}
+
+/// Number of quiet updates every worker must contribute *inside* the
+/// flush window before detection may fire. One fresh report is not
+/// enough: a worker's solo scheduling burst advances the global counter
+/// without any information exchange, so a peer's single report can sit
+/// exactly at the window edge while everything it ever saw predates the
+/// burst. Requiring several in-window reports from everyone forces real
+/// interleaving — the epoch/macro-iteration intuition ("each machine
+/// made at least two updates on the interval") made safe for shared
+/// memory with a little slack.
+pub const REPORTS_IN_WINDOW: usize = 8;
+
+/// Shared detector state.
+#[derive(Debug)]
+pub struct QuiescenceDetector {
+    quiet: Vec<AtomicBool>,
+    /// Ring of each worker's recent report indices (single writer per
+    /// ring, so a plain rotating cursor is race-free).
+    report_ring: Vec<Vec<AtomicU64>>,
+    cursor: Vec<AtomicU64>,
+    /// Global update index of the most recent non-quiet report.
+    last_disturbance: AtomicU64,
+}
+
+impl QuiescenceDetector {
+    /// Detector over `workers` workers.
+    pub fn new(workers: usize) -> Self {
+        Self {
+            quiet: (0..workers).map(|_| AtomicBool::new(false)).collect(),
+            report_ring: (0..workers)
+                .map(|_| (0..REPORTS_IN_WINDOW).map(|_| AtomicU64::new(0)).collect())
+                .collect(),
+            cursor: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            last_disturbance: AtomicU64::new(0),
+        }
+    }
+
+    /// Worker `w` reports its quiet status after global update `j`.
+    pub fn report(&self, w: usize, j: u64, quiet: bool) {
+        self.quiet[w].store(quiet, Ordering::Release);
+        let c = self.cursor[w].fetch_add(1, Ordering::AcqRel) as usize;
+        self.report_ring[w][c % REPORTS_IN_WINDOW].store(j, Ordering::Release);
+        if !quiet {
+            self.last_disturbance.fetch_max(j, Ordering::AcqRel);
+        }
+    }
+
+    /// True when all workers are quiet, no disturbance has been reported
+    /// within the last `margin` global updates before `current_j`, *and*
+    /// every worker has contributed [`REPORTS_IN_WINDOW`] quiet reports
+    /// inside that window.
+    ///
+    /// The last clause is the crux of sound detection under scheduling
+    /// skew. A worker that went quiet and was then descheduled carries a
+    /// stale flag — the others may meanwhile converge *against its stale
+    /// block*, and stopping there is premature (its block is no longer in
+    /// equilibrium with theirs). A *single* fresh report is still not
+    /// enough (see [`REPORTS_IN_WINDOW`]); demanding several reports from
+    /// everyone inside the window guarantees genuine interleaving: every
+    /// worker recomputed its block repeatedly while every other worker's
+    /// post-quiescence values were visible — the \[22\] principle that
+    /// quiescence must survive a full exchange of post-quiescence
+    /// information.
+    pub fn detect(&self, current_j: u64, margin: u64) -> bool {
+        if !self.quiet.iter().all(|q| q.load(Ordering::Acquire)) {
+            return false;
+        }
+        let window_start = current_j.saturating_sub(margin);
+        if self.last_disturbance.load(Ordering::Acquire) > window_start {
+            return false;
+        }
+        if margin > 0 {
+            for ring in &self.report_ring {
+                // The oldest entry in the ring is the worker's
+                // REPORTS_IN_WINDOW-th most recent report; all ring
+                // entries must fall inside the window.
+                let oldest = ring
+                    .iter()
+                    .map(|r| r.load(Ordering::Acquire))
+                    .min()
+                    .expect("ring nonempty");
+                if oldest < window_start {
+                    return false;
+                }
+            }
+        }
+        current_j.saturating_sub(self.last_disturbance.load(Ordering::Acquire)) >= margin
+    }
+}
+
+/// Configuration of a run with distributed termination detection.
+#[derive(Debug, Clone)]
+pub struct TermConfig {
+    /// Number of workers.
+    pub workers: usize,
+    /// Hard budget of global block updates (safety net).
+    pub max_updates: u64,
+    /// Quiescence threshold on per-update block change.
+    pub eps: f64,
+    /// Consecutive quiet updates a worker needs before declaring quiet.
+    pub streak: u64,
+    /// Post-quiescence flush window in global updates (`0` = the naive
+    /// rule: stop at the first all-quiet instant).
+    pub margin: u64,
+}
+
+/// Result of a terminated run.
+#[derive(Debug)]
+pub struct TermRunResult {
+    /// Final iterate.
+    pub final_x: Vec<f64>,
+    /// Global updates performed until detection (or budget exhaustion).
+    pub total_updates: u64,
+    /// True when the detector fired (false = budget exhausted).
+    pub detected: bool,
+    /// Final fixed-point residual (oracle quality measure).
+    pub final_residual: f64,
+    /// Wall-clock duration.
+    pub wall: Duration,
+}
+
+/// Runs the shared-memory asynchronous iteration with \[22\]-style
+/// termination detection.
+///
+/// # Errors
+/// Dimension/parameter validation failures.
+pub fn run_with_termination(
+    op: &dyn Operator,
+    x0: &[f64],
+    partition: &Partition,
+    cfg: &TermConfig,
+) -> crate::Result<TermRunResult> {
+    let n = op.dim();
+    if x0.len() != n || partition.n() != n {
+        return Err(RuntimeError::DimensionMismatch {
+            expected: n,
+            actual: if x0.len() != n {
+                x0.len()
+            } else {
+                partition.n()
+            },
+            context: "run_with_termination",
+        });
+    }
+    if partition.num_machines() != cfg.workers || cfg.workers == 0 {
+        return Err(RuntimeError::InvalidParameter {
+            name: "workers",
+            message: "partition machine count must equal cfg.workers > 0".into(),
+        });
+    }
+    if cfg.max_updates == 0 || cfg.streak == 0 {
+        return Err(RuntimeError::InvalidParameter {
+            name: "max_updates/streak",
+            message: "must be positive".into(),
+        });
+    }
+
+    let shared = SharedVec::new(x0);
+    let counter = AtomicU64::new(0);
+    let stop = AtomicBool::new(false);
+    let detected = AtomicBool::new(false);
+    let detector = QuiescenceDetector::new(cfg.workers);
+    let blocks: Vec<Vec<usize>> = (0..cfg.workers)
+        .map(|w| partition.components_of(w))
+        .collect();
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for w in 0..cfg.workers {
+            let block = &blocks[w];
+            let shared = &shared;
+            let counter = &counter;
+            let stop = &stop;
+            let detected = &detected;
+            let detector = &detector;
+            scope.spawn(move || {
+                let mut vals = vec![0.0; n];
+                let mut new_vals = Vec::with_capacity(block.len());
+                let mut tracker = QuiescenceTracker::new(cfg.eps, cfg.streak);
+                loop {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    shared.snapshot(&mut vals);
+                    new_vals.clear();
+                    let mut change = 0.0_f64;
+                    for &i in block {
+                        let v = op.component(i, &vals);
+                        change = change.max((v - vals[i]).abs());
+                        new_vals.push(v);
+                    }
+                    let j = counter.fetch_add(1, Ordering::SeqCst) + 1;
+                    if j > cfg.max_updates {
+                        stop.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                    for (&i, &v) in block.iter().zip(&new_vals) {
+                        shared.write(i, v, j);
+                    }
+                    let quiet = tracker.observe(change);
+                    detector.report(w, j, quiet);
+                    // Worker 0 doubles as the detection coordinator.
+                    if w == 0 && detector.detect(j, cfg.margin) {
+                        detected.store(true, Ordering::Relaxed);
+                        stop.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                }
+            });
+        }
+    });
+    let wall = start.elapsed();
+
+    let mut final_x = vec![0.0; n];
+    shared.snapshot(&mut final_x);
+    Ok(TermRunResult {
+        final_residual: op.residual_inf(&final_x),
+        final_x,
+        total_updates: counter.load(Ordering::Relaxed).min(cfg.max_updates),
+        detected: detected.load(Ordering::Relaxed),
+        wall,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asynciter_numerics::sparse::tridiagonal;
+    use asynciter_opt::linear::JacobiOperator;
+
+    fn jacobi(n: usize) -> JacobiOperator {
+        JacobiOperator::new(tridiagonal(n, 4.0, -1.0), vec![1.0; n]).unwrap()
+    }
+
+    #[test]
+    fn tracker_streak_logic() {
+        let mut t = QuiescenceTracker::new(0.1, 3);
+        assert!(!t.observe(0.05));
+        assert!(!t.observe(0.05));
+        assert!(t.observe(0.05));
+        assert!(t.is_quiet());
+        assert!(!t.observe(0.5)); // reset
+        assert!(!t.is_quiet());
+    }
+
+    #[test]
+    fn detector_requires_all_quiet_and_margin() {
+        let d = QuiescenceDetector::new(2);
+        d.report(0, 10, true);
+        assert!(!d.detect(10, 0), "worker 1 never reported");
+        d.report(1, 12, false);
+        assert!(!d.detect(12, 0));
+        d.report(1, 20, true);
+        assert!(d.detect(20, 0), "naive rule fires at first all-quiet");
+        assert!(!d.detect(20, 16), "margin 16 not yet elapsed (last disturbance 12)");
+        // A single quiet report per worker inside the window is NOT
+        // enough; each must contribute REPORTS_IN_WINDOW of them.
+        assert!(!d.detect(30, 16), "stale quiet flags must not count");
+        for k in 0..REPORTS_IN_WINDOW as u64 {
+            d.report(0, 40 + 2 * k, true);
+            d.report(1, 41 + 2 * k, true);
+        }
+        // Window [40, 56+]: all 8 reports of each worker inside, last
+        // disturbance at 12 far outside.
+        assert!(d.detect(40 + 2 * REPORTS_IN_WINDOW as u64, 16));
+        // A fresh disturbance blocks again.
+        d.report(1, 60, false);
+        assert!(!d.detect(61, 16));
+    }
+
+    #[test]
+    fn terminated_run_is_actually_converged() {
+        let op = jacobi(32);
+        let p = Partition::blocks(32, 4).unwrap();
+        let cfg = TermConfig {
+            workers: 4,
+            max_updates: 500_000,
+            eps: 1e-12,
+            streak: 4,
+            margin: 64,
+        };
+        let res = run_with_termination(&op, &vec![0.0; 32], &p, &cfg).unwrap();
+        assert!(res.detected, "detector never fired");
+        assert!(
+            res.final_residual < 1e-9,
+            "premature stop: residual {}",
+            res.final_residual
+        );
+        assert!(res.total_updates < 500_000);
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_not_detected() {
+        let op = jacobi(16);
+        let p = Partition::blocks(16, 2).unwrap();
+        let cfg = TermConfig {
+            workers: 2,
+            max_updates: 10,
+            eps: 0.0, // unreachable quiescence
+            streak: 5,
+            margin: 100,
+        };
+        let res = run_with_termination(&op, &[0.0; 16], &p, &cfg).unwrap();
+        assert!(!res.detected);
+        assert!(res.total_updates <= 10);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let op = jacobi(8);
+        let p = Partition::blocks(8, 2).unwrap();
+        let mut cfg = TermConfig {
+            workers: 3,
+            max_updates: 10,
+            eps: 1e-6,
+            streak: 1,
+            margin: 0,
+        };
+        assert!(run_with_termination(&op, &[0.0; 8], &p, &cfg).is_err());
+        cfg.workers = 2;
+        cfg.streak = 0;
+        assert!(run_with_termination(&op, &[0.0; 8], &p, &cfg).is_err());
+    }
+}

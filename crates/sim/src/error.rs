@@ -1,0 +1,58 @@
+//! Error type for the simulator crate.
+
+use std::fmt;
+
+/// Errors produced by the discrete-event simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// Configuration and problem dimensions disagree.
+    DimensionMismatch {
+        /// Expected dimension.
+        expected: usize,
+        /// Actual dimension.
+        actual: usize,
+        /// Context string.
+        context: &'static str,
+    },
+    /// A configuration parameter is invalid.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Constraint description.
+        message: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::DimensionMismatch {
+                expected,
+                actual,
+                context,
+            } => write!(
+                f,
+                "dimension mismatch in {context}: expected {expected}, got {actual}"
+            ),
+            SimError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = SimError::InvalidParameter {
+            name: "x",
+            message: "bad".into(),
+        };
+        assert!(e.to_string().contains("`x`"));
+    }
+}

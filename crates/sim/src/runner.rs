@@ -1,0 +1,607 @@
+//! The discrete-event simulation loop.
+//!
+//! Each processor owns a block of components and keeps a *local copy* of
+//! the whole iterate (its knowledge of the others). An updating phase:
+//!
+//! 1. captures the local copy at its **start** (the phase's input — this
+//!    is where staleness enters),
+//! 2. runs `inner_steps` iterations of the operator on the owned block
+//!    (off-block frozen),
+//! 3. optionally sends `partial_sends` intermediate block values at
+//!    evenly spaced times inside the phase (flexible communication,
+//!    Fig. 2's hatched arrows),
+//! 4. at its **end** is assigned the next global iteration number `j`
+//!    (completion order = the iteration order of Definition 1),
+//!    publishes locally, and sends the final values to every peer
+//!    (Fig. 1's arrows), each arrival delayed by the latency model.
+//!
+//! Message arrivals update the receiver's local copy (keep-freshest by
+//! sender phase) and its per-component *global-label* bookkeeping, from
+//! which the run emits a [`Trace`] whose labels provably satisfy
+//! condition (a): a phase's read labels come from completions strictly
+//! before its own `j`.
+
+use crate::compute::{ComputeModel, LatencyModel};
+use crate::error::SimError;
+use crate::timeline::{Comm, CommKind, Phase, Timeline};
+use asynciter_models::partition::Partition;
+use asynciter_models::trace::{LabelStore, Trace};
+use asynciter_opt::traits::Operator;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Configuration of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Component → processor assignment.
+    pub partition: Partition,
+    /// Per-processor compute-time models.
+    pub compute: Vec<ComputeModel>,
+    /// Link latency model (shared by all links; latencies are drawn
+    /// independently per message).
+    pub latency: LatencyModel,
+    /// Inner iterations per phase (`m ≥ 1`).
+    pub inner_steps: usize,
+    /// Number of mid-phase partial sends (0 = classic asynchronous).
+    pub partial_sends: usize,
+    /// Total global iterations to simulate.
+    pub max_iterations: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Label retention of the emitted trace.
+    pub record_labels: LabelStore,
+    /// Record consensus error vs `xstar` every this many iterations
+    /// (0 = never).
+    pub error_every: u64,
+}
+
+impl SimConfig {
+    /// A plain configuration with fixed unit compute times and unit
+    /// latency.
+    pub fn uniform(partition: Partition, max_iterations: u64) -> Self {
+        let p = partition.num_machines();
+        Self {
+            partition,
+            compute: vec![ComputeModel::Fixed { ticks: 1 }; p],
+            latency: LatencyModel::Fixed { ticks: 1 },
+            inner_steps: 1,
+            partial_sends: 0,
+            max_iterations,
+            seed: 0,
+            record_labels: LabelStore::Full,
+            error_every: 0,
+        }
+    }
+}
+
+/// Result of a simulation run.
+#[derive(Debug)]
+pub struct SimResult {
+    /// The recorded timeline (Fig. 1/2 data).
+    pub timeline: Timeline,
+    /// The recorded trace (macro-iteration/epoch analysis data).
+    pub trace: Trace,
+    /// Consensus iterate (owner components) at the end.
+    pub final_consensus: Vec<f64>,
+    /// `(j, ‖consensus − x*‖_∞)` samples.
+    pub errors: Vec<(u64, f64)>,
+    /// Simulated completion time of each error sample (same indexing as
+    /// `errors`) — lets experiments convert convergence into simulated
+    /// wall-clock.
+    pub error_times: Vec<u64>,
+    /// Simulated end time.
+    pub end_time: u64,
+}
+
+#[derive(Debug)]
+enum Event {
+    /// Phase of processor `p` completes.
+    PhaseEnd { p: usize },
+    /// A message with block values arrives at `to`.
+    MsgArrive {
+        to: usize,
+        comps: Vec<(u32, f64)>,
+        sender_phase: u64,
+        global_label: u64,
+    },
+}
+
+/// In-flight phase bookkeeping.
+struct InFlight {
+    start: u64,
+    end: u64,
+    phase_idx: u64,
+    read_labels: Vec<u64>,
+    final_values: Vec<f64>,
+}
+
+/// The deterministic simulator. See module docs.
+#[derive(Debug, Default)]
+pub struct Simulator;
+
+impl Simulator {
+    /// Runs the simulation.
+    ///
+    /// # Errors
+    /// Dimension/parameter validation failures.
+    pub fn run(
+        op: &dyn Operator,
+        x0: &[f64],
+        cfg: &SimConfig,
+        xstar: Option<&[f64]>,
+    ) -> crate::Result<SimResult> {
+        let n = op.dim();
+        let procs = cfg.partition.num_machines();
+        if x0.len() != n || cfg.partition.n() != n {
+            return Err(SimError::DimensionMismatch {
+                expected: n,
+                actual: if x0.len() != n {
+                    x0.len()
+                } else {
+                    cfg.partition.n()
+                },
+                context: "Simulator::run",
+            });
+        }
+        if cfg.compute.len() != procs {
+            return Err(SimError::DimensionMismatch {
+                expected: procs,
+                actual: cfg.compute.len(),
+                context: "Simulator::run (compute models)",
+            });
+        }
+        if cfg.max_iterations == 0 || cfg.inner_steps == 0 {
+            return Err(SimError::InvalidParameter {
+                name: "max_iterations/inner_steps",
+                message: "must be positive".into(),
+            });
+        }
+        if cfg.error_every > 0 && xstar.is_none() {
+            return Err(SimError::InvalidParameter {
+                name: "error_every",
+                message: "error recording requires xstar".into(),
+            });
+        }
+
+        let mut rng = asynciter_numerics::rng::rng(cfg.seed);
+        let blocks: Vec<Vec<usize>> = (0..procs)
+            .map(|p| cfg.partition.components_of(p))
+            .collect();
+
+        // Per-processor state.
+        let mut local: Vec<Vec<f64>> = vec![x0.to_vec(); procs];
+        let mut known_label: Vec<Vec<u64>> = vec![vec![0; n]; procs];
+        // Freshest sender phase applied per (proc, component) for
+        // keep-freshest message application.
+        let mut known_phase: Vec<Vec<u64>> = vec![vec![0; n]; procs];
+        let mut phase_count: Vec<u64> = vec![0; procs];
+        let mut last_completed_j: Vec<u64> = vec![0; procs];
+        let mut in_flight: Vec<Option<InFlight>> = (0..procs).map(|_| None).collect();
+
+        let mut heap: BinaryHeap<Reverse<(u64, u64, usize)>> = BinaryHeap::new();
+        let mut events: Vec<Option<Event>> = Vec::new();
+        let mut seq = 0u64;
+        let push = |heap: &mut BinaryHeap<Reverse<(u64, u64, usize)>>,
+                        events: &mut Vec<Option<Event>>,
+                        seq: &mut u64,
+                        t: u64,
+                        e: Event| {
+            events.push(Some(e));
+            heap.push(Reverse((t, *seq, events.len() - 1)));
+            *seq += 1;
+        };
+
+        let mut timeline = Timeline::new(procs);
+        let mut trace = Trace::new(n, cfg.record_labels);
+        let mut errors = Vec::new();
+        let mut error_times = Vec::new();
+        let mut j_global = 0u64;
+        let mut now = 0u64;
+
+        // Schedules the next phase of processor `p` starting at `t`.
+        #[allow(clippy::too_many_arguments)]
+        fn schedule_phase(
+            p: usize,
+            t: u64,
+            op: &dyn Operator,
+            cfg: &SimConfig,
+            blocks: &[Vec<usize>],
+            local: &[Vec<f64>],
+            known_label: &[Vec<u64>],
+            phase_count: &mut [u64],
+            last_completed_j: &[u64],
+            in_flight: &mut [Option<InFlight>],
+            rng: &mut rand::rngs::StdRng,
+            timeline: &mut Timeline,
+            heap: &mut BinaryHeap<Reverse<(u64, u64, usize)>>,
+            events: &mut Vec<Option<Event>>,
+            seq: &mut u64,
+        ) {
+            phase_count[p] += 1;
+            let k = phase_count[p];
+            let dur = cfg.compute[p].duration(k, rng);
+            let end = t + dur;
+            // The phase input is the local copy *now* (stale for
+            // everything updated later).
+            let mut w = local[p].clone();
+            let read_labels = known_label[p].clone();
+            // Inner iterations on the owned block, capturing intermediate
+            // (partial) values after each inner step.
+            let mut partials: Vec<Vec<f64>> = Vec::new();
+            let mut inner_new = Vec::with_capacity(blocks[p].len());
+            for _ in 0..cfg.inner_steps {
+                inner_new.clear();
+                for &i in &blocks[p] {
+                    inner_new.push(op.component(i, &w));
+                }
+                for (&i, &v) in blocks[p].iter().zip(&inner_new) {
+                    w[i] = v;
+                }
+                partials.push(blocks[p].iter().map(|&i| w[i]).collect());
+            }
+            let final_values = partials.pop().expect("inner_steps >= 1");
+            // Mid-phase partial sends at evenly spaced interior times,
+            // carrying the freshest intermediate available then.
+            if cfg.partial_sends > 0 && !partials.is_empty() {
+                let sends = cfg.partial_sends.min(partials.len());
+                for s in 1..=sends {
+                    let send_t = t + dur * s as u64 / (sends as u64 + 1);
+                    let stage =
+                        ((partials.len() * s).div_ceil(sends + 1)).min(partials.len() - 1);
+                    let values = &partials[stage];
+                    for dest in 0..blocks.len() {
+                        if dest == p {
+                            continue;
+                        }
+                        let recv_t = send_t + cfg.latency.latency(rng);
+                        timeline.comms.push(Comm {
+                            from: p,
+                            to: dest,
+                            send_t,
+                            recv_t,
+                            sender_phase: k,
+                            kind: CommKind::Partial,
+                        });
+                        let e = Event::MsgArrive {
+                            to: dest,
+                            comps: blocks[p]
+                                .iter()
+                                .zip(values)
+                                .map(|(&i, &v)| (i as u32, v))
+                                .collect(),
+                            sender_phase: k,
+                            // Partials are at least as fresh as the
+                            // sender's last completed iteration.
+                            global_label: last_completed_j[p],
+                        };
+                        events.push(Some(e));
+                        heap.push(Reverse((recv_t, *seq, events.len() - 1)));
+                        *seq += 1;
+                    }
+                }
+            }
+            in_flight[p] = Some(InFlight {
+                start: t,
+                end,
+                phase_idx: k,
+                read_labels,
+                final_values,
+            });
+            events.push(Some(Event::PhaseEnd { p }));
+            heap.push(Reverse((end, *seq, events.len() - 1)));
+            *seq += 1;
+        }
+
+        for p in 0..procs {
+            schedule_phase(
+                p,
+                0,
+                op,
+                cfg,
+                &blocks,
+                &local,
+                &known_label,
+                &mut phase_count,
+                &last_completed_j,
+                &mut in_flight,
+                &mut rng,
+                &mut timeline,
+                &mut heap,
+                &mut events,
+                &mut seq,
+            );
+        }
+
+        while let Some(Reverse((t, _, idx))) = heap.pop() {
+            if j_global >= cfg.max_iterations {
+                break;
+            }
+            now = t;
+            let event = events[idx].take().expect("event consumed once");
+            match event {
+                Event::MsgArrive {
+                    to,
+                    comps,
+                    sender_phase,
+                    global_label,
+                } => {
+                    for &(c, v) in &comps {
+                        let c = c as usize;
+                        // Keep-freshest by sender phase (single owner per
+                        // component ⇒ phases order that component's
+                        // values); equal phases accept (later partials of
+                        // the same phase are fresher).
+                        if sender_phase >= known_phase[to][c] {
+                            known_phase[to][c] = sender_phase;
+                            local[to][c] = v;
+                            known_label[to][c] = known_label[to][c].max(global_label);
+                        }
+                    }
+                }
+                Event::PhaseEnd { p } => {
+                    let fl = in_flight[p].take().expect("phase in flight");
+                    j_global += 1;
+                    let j = j_global;
+                    last_completed_j[p] = j;
+                    // Publish locally.
+                    for (&i, &v) in blocks[p].iter().zip(&fl.final_values) {
+                        local[p][i] = v;
+                        known_label[p][i] = j;
+                        known_phase[p][i] = fl.phase_idx;
+                    }
+                    timeline.phases.push(Phase {
+                        proc: p,
+                        start: fl.start,
+                        end: fl.end,
+                        j,
+                    });
+                    // Condition (a) by construction: reads predate j.
+                    debug_assert!(fl.read_labels.iter().all(|&l| l < j));
+                    trace.push_step(&blocks[p], &fl.read_labels);
+                    // Final-value messages to all peers.
+                    for dest in 0..procs {
+                        if dest == p {
+                            continue;
+                        }
+                        let recv_t = fl.end + cfg.latency.latency(&mut rng);
+                        timeline.comms.push(Comm {
+                            from: p,
+                            to: dest,
+                            send_t: fl.end,
+                            recv_t,
+                            sender_phase: fl.phase_idx,
+                            kind: CommKind::Full,
+                        });
+                        push(
+                            &mut heap,
+                            &mut events,
+                            &mut seq,
+                            recv_t,
+                            Event::MsgArrive {
+                                to: dest,
+                                comps: blocks[p]
+                                    .iter()
+                                    .zip(&fl.final_values)
+                                    .map(|(&i, &v)| (i as u32, v))
+                                    .collect(),
+                                sender_phase: fl.phase_idx,
+                                global_label: j,
+                            },
+                        );
+                    }
+                    if cfg.error_every > 0 && j % cfg.error_every == 0 {
+                        let xs = xstar.expect("validated above");
+                        let mut consensus = vec![0.0; n];
+                        for (q, block) in blocks.iter().enumerate() {
+                            for &i in block {
+                                consensus[i] = local[q][i];
+                            }
+                        }
+                        errors.push((
+                            j,
+                            asynciter_numerics::vecops::max_abs_diff(&consensus, xs),
+                        ));
+                        error_times.push(fl.end);
+                    }
+                    if j < cfg.max_iterations {
+                        schedule_phase(
+                            p,
+                            fl.end,
+                            op,
+                            cfg,
+                            &blocks,
+                            &local,
+                            &known_label,
+                            &mut phase_count,
+                            &last_completed_j,
+                            &mut in_flight,
+                            &mut rng,
+                            &mut timeline,
+                            &mut heap,
+                            &mut events,
+                            &mut seq,
+                        );
+                    }
+                }
+            }
+        }
+
+        // Phases still in flight at the horizon never received an
+        // iteration number and are absent from `timeline.phases`; drop
+        // their already-scheduled partial communications so the timeline
+        // stays self-consistent.
+        let completed: Vec<u64> = (0..procs)
+            .map(|p| {
+                timeline
+                    .phases
+                    .iter()
+                    .filter(|ph| ph.proc == p)
+                    .map(|ph| ph.j)
+                    .count() as u64
+            })
+            .collect();
+        timeline
+            .comms
+            .retain(|c| c.sender_phase <= completed[c.from]);
+
+        let mut final_consensus = vec![0.0; n];
+        for (q, block) in blocks.iter().enumerate() {
+            for &i in block {
+                final_consensus[i] = local[q][i];
+            }
+        }
+
+        Ok(SimResult {
+            timeline,
+            trace,
+            final_consensus,
+            errors,
+            error_times,
+            end_time: now,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asynciter_models::conditions::check_condition_a;
+    use asynciter_numerics::sparse::tridiagonal;
+    use asynciter_numerics::vecops;
+    use asynciter_opt::linear::JacobiOperator;
+
+    fn jacobi(n: usize) -> JacobiOperator {
+        JacobiOperator::new(tridiagonal(n, 4.0, -1.0), vec![1.0; n]).unwrap()
+    }
+
+    fn base_cfg(n: usize, procs: usize, iters: u64) -> SimConfig {
+        SimConfig::uniform(Partition::blocks(n, procs).unwrap(), iters)
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let op = jacobi(8);
+        let cfg = {
+            let mut c = base_cfg(8, 2, 100);
+            c.compute = vec![
+                ComputeModel::Uniform { lo: 1, hi: 5 },
+                ComputeModel::Uniform { lo: 2, hi: 9 },
+            ];
+            c.latency = LatencyModel::Jitter { lo: 0, hi: 7 };
+            c.seed = 42;
+            c
+        };
+        let a = Simulator::run(&op, &[0.0; 8], &cfg, None).unwrap();
+        let b = Simulator::run(&op, &[0.0; 8], &cfg, None).unwrap();
+        assert_eq!(a.final_consensus, b.final_consensus);
+        assert_eq!(a.timeline.phases, b.timeline.phases);
+        assert_eq!(a.end_time, b.end_time);
+    }
+
+    #[test]
+    fn timeline_is_valid_and_trace_satisfies_condition_a() {
+        let op = jacobi(12);
+        let mut cfg = base_cfg(12, 3, 300);
+        cfg.compute = vec![
+            ComputeModel::Fixed { ticks: 2 },
+            ComputeModel::Uniform { lo: 1, hi: 6 },
+            ComputeModel::HeavyTail {
+                scale: 1,
+                alpha: 1.5,
+            },
+        ];
+        cfg.latency = LatencyModel::Jitter { lo: 0, hi: 10 };
+        cfg.seed = 7;
+        let res = Simulator::run(&op, &[0.0; 12], &cfg, None).unwrap();
+        res.timeline.validate().expect("valid timeline");
+        check_condition_a(&res.trace).expect("condition (a)");
+        assert_eq!(res.trace.len(), 300);
+    }
+
+    #[test]
+    fn converges_to_fixed_point() {
+        let op = jacobi(12);
+        let xstar = op.solve_dense_spd().unwrap();
+        let mut cfg = base_cfg(12, 3, 2000);
+        cfg.latency = LatencyModel::Jitter { lo: 0, hi: 4 };
+        cfg.seed = 3;
+        let res = Simulator::run(&op, &[0.0; 12], &cfg, Some(&xstar)).unwrap();
+        assert!(
+            vecops::max_abs_diff(&res.final_consensus, &xstar) < 1e-9,
+            "error {}",
+            vecops::max_abs_diff(&res.final_consensus, &xstar)
+        );
+    }
+
+    #[test]
+    fn partial_sends_appear_in_timeline() {
+        let op = jacobi(8);
+        let mut cfg = base_cfg(8, 2, 50);
+        cfg.inner_steps = 4;
+        cfg.partial_sends = 2;
+        cfg.compute = vec![ComputeModel::Fixed { ticks: 8 }; 2];
+        let res = Simulator::run(&op, &[0.0; 8], &cfg, None).unwrap();
+        assert!(res.timeline.partial_count() > 0);
+        res.timeline.validate().unwrap();
+        // Partials are sent strictly inside phases.
+        for c in &res.timeline.comms {
+            if c.kind == CommKind::Partial {
+                let phase = res
+                    .timeline
+                    .phases
+                    .iter()
+                    .find(|p| p.proc == c.from && p.start < c.send_t && c.send_t < p.end);
+                assert!(
+                    phase.is_some(),
+                    "partial send at {} not inside any phase of {}",
+                    c.send_t,
+                    c.from
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn heterogeneous_speeds_skew_phase_counts() {
+        let op = jacobi(8);
+        let mut cfg = base_cfg(8, 2, 300);
+        cfg.compute = vec![
+            ComputeModel::Fixed { ticks: 1 },
+            ComputeModel::Fixed { ticks: 10 },
+        ];
+        let res = Simulator::run(&op, &[0.0; 8], &cfg, None).unwrap();
+        let fast = res.timeline.phases_of(0).len();
+        let slow = res.timeline.phases_of(1).len();
+        assert!(
+            fast > 5 * slow,
+            "expected ~10x skew, got {fast} vs {slow}"
+        );
+    }
+
+    #[test]
+    fn errors_recorded_when_requested() {
+        let op = jacobi(8);
+        let xstar = op.solve_dense_spd().unwrap();
+        let mut cfg = base_cfg(8, 2, 200);
+        cfg.error_every = 20;
+        let res = Simulator::run(&op, &[0.0; 8], &cfg, Some(&xstar)).unwrap();
+        assert_eq!(res.errors.len(), 10);
+        assert!(res.errors.first().unwrap().1 >= res.errors.last().unwrap().1);
+        assert_eq!(res.error_times.len(), 10);
+        assert!(res.error_times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn validation_errors() {
+        let op = jacobi(8);
+        let mut cfg = base_cfg(8, 2, 10);
+        cfg.compute.pop();
+        assert!(Simulator::run(&op, &[0.0; 8], &cfg, None).is_err());
+        let cfg = base_cfg(8, 2, 0);
+        assert!(Simulator::run(&op, &[0.0; 8], &cfg, None).is_err());
+        let mut cfg = base_cfg(8, 2, 10);
+        cfg.error_every = 5;
+        assert!(Simulator::run(&op, &[0.0; 8], &cfg, None).is_err());
+        assert!(Simulator::run(&op, &[0.0; 7], &cfg, None).is_err());
+    }
+}

@@ -1,0 +1,210 @@
+//! Timeline recording: updating phases and communications.
+//!
+//! The data behind the paper's Fig. 1 / Fig. 2: for each processor the
+//! sequence of updating phases (rectangles labelled by iteration
+//! numbers) and for each exchanged value an arrow `(send time, receive
+//! time)`, full (solid) or partial (hatched — flexible communication).
+
+/// A single updating phase of one processor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Phase {
+    /// Processor index.
+    pub proc: usize,
+    /// Start tick.
+    pub start: u64,
+    /// End tick (exclusive; `end > start`).
+    pub end: u64,
+    /// Global iteration number assigned at completion.
+    pub j: u64,
+}
+
+/// The kind of a communication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommKind {
+    /// End-of-phase exchange of the completed update (Fig. 1 arrows).
+    Full,
+    /// Mid-phase partial update (Fig. 2 hatched arrows).
+    Partial,
+}
+
+/// One communication: a value leaving `from` at `send_t` and becoming
+/// visible at `to` at `recv_t`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comm {
+    /// Sender processor.
+    pub from: usize,
+    /// Receiver processor.
+    pub to: usize,
+    /// Send tick.
+    pub send_t: u64,
+    /// Receive tick.
+    pub recv_t: u64,
+    /// Sender-local phase index the value belongs to.
+    pub sender_phase: u64,
+    /// Communication kind.
+    pub kind: CommKind,
+}
+
+/// A recorded simulation timeline.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    /// Number of processors.
+    pub num_procs: usize,
+    /// All phases, in completion order.
+    pub phases: Vec<Phase>,
+    /// All communications, in scheduling order.
+    pub comms: Vec<Comm>,
+}
+
+impl Timeline {
+    /// Creates an empty timeline over `num_procs` processors.
+    pub fn new(num_procs: usize) -> Self {
+        Self {
+            num_procs,
+            phases: Vec::new(),
+            comms: Vec::new(),
+        }
+    }
+
+    /// Latest tick referenced by any phase or communication.
+    pub fn horizon(&self) -> u64 {
+        let p = self.phases.iter().map(|p| p.end).max().unwrap_or(0);
+        let c = self.comms.iter().map(|c| c.recv_t).max().unwrap_or(0);
+        p.max(c)
+    }
+
+    /// Phases of one processor, in time order.
+    pub fn phases_of(&self, proc: usize) -> Vec<&Phase> {
+        self.phases.iter().filter(|p| p.proc == proc).collect()
+    }
+
+    /// Number of partial communications.
+    pub fn partial_count(&self) -> usize {
+        self.comms
+            .iter()
+            .filter(|c| c.kind == CommKind::Partial)
+            .count()
+    }
+
+    /// Validates structural invariants: phases per processor are
+    /// non-overlapping and time-ordered; communications respect
+    /// `send_t ≤ recv_t`; iteration numbers are dense starting at 1 in
+    /// completion order.
+    pub fn validate(&self) -> Result<(), String> {
+        for proc in 0..self.num_procs {
+            let ps = self.phases_of(proc);
+            for w in ps.windows(2) {
+                if w[1].start < w[0].end {
+                    return Err(format!(
+                        "processor {proc}: phases {} and {} overlap",
+                        w[0].j, w[1].j
+                    ));
+                }
+            }
+        }
+        for p in &self.phases {
+            if p.end <= p.start {
+                return Err(format!("phase {} has nonpositive duration", p.j));
+            }
+        }
+        for c in &self.comms {
+            if c.recv_t < c.send_t {
+                return Err(format!(
+                    "communication {}→{} travels back in time",
+                    c.from, c.to
+                ));
+            }
+        }
+        let mut sorted: Vec<u64> = self.phases.iter().map(|p| p.j).collect();
+        sorted.sort_unstable();
+        for (k, &j) in sorted.iter().enumerate() {
+            if j != k as u64 + 1 {
+                return Err(format!("iteration numbers not dense: expected {}, got {j}", k + 1));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Timeline {
+        let mut t = Timeline::new(2);
+        t.phases.push(Phase {
+            proc: 0,
+            start: 0,
+            end: 2,
+            j: 1,
+        });
+        t.phases.push(Phase {
+            proc: 1,
+            start: 0,
+            end: 3,
+            j: 2,
+        });
+        t.phases.push(Phase {
+            proc: 0,
+            start: 2,
+            end: 4,
+            j: 3,
+        });
+        t.comms.push(Comm {
+            from: 0,
+            to: 1,
+            send_t: 2,
+            recv_t: 3,
+            sender_phase: 1,
+            kind: CommKind::Full,
+        });
+        t
+    }
+
+    #[test]
+    fn horizon_and_filters() {
+        let t = toy();
+        assert_eq!(t.horizon(), 4);
+        assert_eq!(t.phases_of(0).len(), 2);
+        assert_eq!(t.phases_of(1).len(), 1);
+        assert_eq!(t.partial_count(), 0);
+    }
+
+    #[test]
+    fn validate_accepts_toy() {
+        assert!(toy().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_overlap() {
+        let mut t = toy();
+        t.phases.push(Phase {
+            proc: 0,
+            start: 3,
+            end: 5,
+            j: 4,
+        });
+        assert!(t.validate().unwrap_err().contains("overlap"));
+    }
+
+    #[test]
+    fn validate_rejects_time_travel() {
+        let mut t = toy();
+        t.comms.push(Comm {
+            from: 1,
+            to: 0,
+            send_t: 5,
+            recv_t: 4,
+            sender_phase: 1,
+            kind: CommKind::Partial,
+        });
+        assert!(t.validate().unwrap_err().contains("back in time"));
+    }
+
+    #[test]
+    fn validate_rejects_sparse_numbering() {
+        let mut t = toy();
+        t.phases[2].j = 7;
+        assert!(t.validate().is_err());
+    }
+}

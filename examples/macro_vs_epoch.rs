@@ -1,0 +1,58 @@
+//! Macro-iterations (Definition 2) vs the epoch sequence of
+//! Mishchenko–Iutzeler–Malick on the same trace: why macro-iterations
+//! tolerate out-of-order messages and epochs do not (paper §III).
+//!
+//! ```sh
+//! cargo run --release --example macro_vs_epoch
+//! ```
+
+use asynciter::models::conditions::labels_monotone;
+use asynciter::models::epoch::epoch_sequence;
+use asynciter::models::macroiter::{
+    boundary_freshness_violations, macro_iterations, macro_iterations_strict,
+};
+use asynciter::models::partition::Partition;
+use asynciter::models::schedule::{record, ChaoticBounded};
+use asynciter::models::LabelStore;
+
+fn main() {
+    let n = 12;
+    let steps = 20_000;
+    let partition = Partition::identity(n);
+
+    for (name, fifo) in [("FIFO delivery", true), ("out-of-order delivery", false)] {
+        let mut gen = ChaoticBounded::new(n, n, n, 48, fifo, 2022);
+        let trace = record(&mut gen, steps, LabelStore::Full);
+        let monotone = labels_monotone(&trace).expect("full labels");
+
+        let epochs = epoch_sequence(&trace, &partition, 2);
+        let literal = macro_iterations(&trace);
+        let strict = macro_iterations_strict(&trace);
+
+        println!("── {name} (labels monotone: {monotone}) ──");
+        println!(
+            "  epochs:                {:>6}   freshness violations: {:>6}",
+            epochs.count(),
+            boundary_freshness_violations(&trace, &epochs.boundaries)
+        );
+        println!(
+            "  macro-iters (literal): {:>6}   freshness violations: {:>6}",
+            literal.count(),
+            boundary_freshness_violations(&trace, &literal.boundaries)
+        );
+        println!(
+            "  macro-iters (strict):  {:>6}   freshness violations: {:>6}",
+            strict.count(),
+            boundary_freshness_violations(&trace, &strict.boundaries)
+        );
+        println!();
+    }
+
+    println!(
+        "Epochs count updates per machine and tick at the same rate either way — blind \n\
+         to stale reads, they accumulate freshness violations under reordering. \n\
+         Macro-iterations are defined through the labels actually read, so their \n\
+         boundaries stretch exactly as much as the staleness requires: the paper's \n\
+         claim that macro-iterations subsume out-of-order messages, quantified."
+    );
+}

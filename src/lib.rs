@@ -1,0 +1,25 @@
+//! # asynciter — facade crate
+//!
+//! Re-exports the full `asynciter` workspace behind a single dependency.
+//! See the workspace README for the architecture overview and the crate
+//! docs of each member for details:
+//!
+//! - [`numerics`] — linear algebra, weighted max norms, RNG, statistics.
+//! - [`models`] — the formal model: schedules, conditions (a)–(d),
+//!   macro-iterations, epochs, Baudet's example.
+//! - [`opt`] — operators and problems (prox-gradient, network flow,
+//!   obstacle, Bellman–Ford, …).
+//! - [`core`] — asynchronous iteration engines (Definitions 1 and 3),
+//!   contraction theory, stopping rules.
+//! - [`runtime`] — multi-threaded shared-memory and message-passing
+//!   runtimes.
+//! - [`sim`] — deterministic discrete-event simulator (paper Figs. 1–2).
+//! - [`report`] — CSV/ASCII-chart output used by the experiment binaries.
+
+pub use asynciter_core as core;
+pub use asynciter_models as models;
+pub use asynciter_numerics as numerics;
+pub use asynciter_opt as opt;
+pub use asynciter_report as report;
+pub use asynciter_runtime as runtime;
+pub use asynciter_sim as sim;

@@ -1,0 +1,192 @@
+//! End-to-end integration: the full pipeline from problem construction
+//! through asynchronous execution to trace analysis and Theorem-1
+//! verification, across crate boundaries.
+
+use asynciter::core::engine::{EngineConfig, ReplayEngine};
+use asynciter::core::flexible::{FlexibleConfig, FlexibleEngine};
+use asynciter::core::stopping::StoppingRule;
+use asynciter::core::theory;
+use asynciter::models::conditions::{check_condition_a, check_condition_c};
+use asynciter::models::epoch::epoch_sequence;
+use asynciter::models::macroiter::{
+    boundary_freshness_violations, macro_iterations, macro_iterations_strict,
+};
+use asynciter::models::partition::Partition;
+use asynciter::models::schedule::{ChaoticBounded, RecordedSchedule, UnboundedSqrtDelay};
+use asynciter::models::LabelStore;
+use asynciter::numerics::norm::WeightedMaxNorm;
+use asynciter::numerics::vecops;
+use asynciter::opt::prox::L1;
+use asynciter::opt::proxgrad::{gamma_max, SeparableProxGrad, SparseProxGrad};
+use asynciter::opt::quadratic::{SeparableQuadratic, SparseQuadratic};
+use asynciter::runtime::async_engine::{AsyncConfig, AsyncSharedRunner, TraceRecord};
+
+/// The paper's headline pipeline: Definition-4 operator + admissible
+/// schedule → replay → strict macro-iterations → inequality (5).
+#[test]
+fn theorem1_pipeline_separable() {
+    let n = 48;
+    let f = SeparableQuadratic::random(n, 1.0, 6.0, 11).unwrap();
+    let gamma = gamma_max(1.0, 6.0);
+    let op = SeparableProxGrad::new(f, L1::new(0.1), gamma).unwrap();
+    let rho = op.rho();
+    let (xstar, _) = op.solve_exact().unwrap();
+    let x0 = vec![0.0; n];
+
+    let mut gen = UnboundedSqrtDelay::new(n, n / 4, n / 2, 1.0, 5);
+    let cfg = EngineConfig::fixed(12_000).with_error_every(50);
+    let run = ReplayEngine::run(&op, &x0, &mut gen, &cfg, Some(&xstar)).unwrap();
+
+    check_condition_a(&run.trace).unwrap();
+    let macros = macro_iterations_strict(&run.trace);
+    assert!(macros.count() > 5, "macro-iterations must complete");
+    assert_eq!(
+        boundary_freshness_violations(&run.trace, &macros.boundaries),
+        0
+    );
+    let r0 = theory::initial_error_sq(&x0, &xstar);
+    let worst = theory::thm1_worst_ratio(&run.errors, &macros, rho, r0, 1e-12);
+    assert!(worst <= 1.0, "Theorem 1 violated: {worst}");
+}
+
+/// Flexible communication with constraint-(3) enforcement is a certified
+/// Definition-3 iteration: it converges and obeys the bound.
+#[test]
+fn theorem1_pipeline_flexible() {
+    let n = 32;
+    let f = SeparableQuadratic::random(n, 1.0, 4.0, 3).unwrap();
+    let gamma = gamma_max(1.0, 4.0);
+    let op = SeparableProxGrad::new(f, L1::new(0.05), gamma).unwrap();
+    let rho = op.rho();
+    let (xstar, _) = op.solve_exact().unwrap();
+    let x0 = vec![0.0; n];
+
+    let mut gen = asynciter::models::schedule::BlockRoundRobin::new(
+        Partition::blocks(n, 4).unwrap(),
+        6,
+    );
+    let cfg = FlexibleConfig::new(3_000, 4)
+        .with_publish_period(1)
+        .with_error_every(20)
+        .with_enforcement();
+    let norm = WeightedMaxNorm::uniform(n);
+    let run = FlexibleEngine::run(&op, &x0, &mut gen, &cfg, &norm, Some(&xstar)).unwrap();
+    assert!(run.partial_reads > 0, "partials must actually be consumed");
+
+    let macros = macro_iterations_strict(&run.trace);
+    let r0 = theory::initial_error_sq(&x0, &xstar);
+    let worst = theory::thm1_worst_ratio(&run.errors, &macros, rho, r0, 1e-12);
+    assert!(worst <= 1.0, "Theorem 1 violated under flexible comm: {worst}");
+    assert!(vecops::max_abs_diff(&run.final_x, &xstar) < 1e-9);
+}
+
+/// Threaded runtime → recorded trace → offline analysis → deterministic
+/// replay of the *same* schedule through the replay engine.
+#[test]
+fn threaded_trace_analysis_and_replay() {
+    let n = 32;
+    let f = SparseQuadratic::random_diag_dominant(n, 3, 0.4, 1.0, 9).unwrap();
+    use asynciter::opt::traits::SmoothObjective;
+    let gamma = 0.9 * gamma_max(f.strong_convexity(), f.lipschitz());
+    let op = SparseProxGrad::new(f, L1::new(0.05), gamma).unwrap();
+    let (xstar, _) = op.solve_exact().unwrap();
+    let partition = Partition::blocks(n, 4).unwrap();
+
+    let cfg = AsyncConfig::new(4, 4_000)
+        .with_record(TraceRecord::Full)
+        .with_spin(vec![200; 4]);
+    let run = AsyncSharedRunner::run(&op, &vec![0.0; n], &partition, &cfg).unwrap();
+    let trace = run.trace.expect("trace recorded");
+
+    // Offline analysis: condition (a), coverage, macro/epoch structure.
+    check_condition_a(&trace).unwrap();
+    check_condition_c(&trace, trace.len() as u64).unwrap();
+    let lit = macro_iterations(&trace);
+    let strict = macro_iterations_strict(&trace);
+    assert!(lit.count() >= strict.count());
+    assert_eq!(
+        boundary_freshness_violations(&trace, &strict.boundaries),
+        0
+    );
+    let epochs = epoch_sequence(&trace, &partition, 2);
+    assert!(epochs.count() >= strict.count());
+
+    // Deterministic replay of the recorded schedule reproduces a
+    // convergent run (values need not match the racy original, but the
+    // schedule is admissible so the replay must converge too).
+    let mut replay = RecordedSchedule::new(trace.clone()).unwrap();
+    let steps = trace.len() as u64;
+    let rep = ReplayEngine::run(
+        &op,
+        &vec![0.0; n],
+        &mut replay,
+        &EngineConfig::fixed(steps),
+        Some(&xstar),
+    )
+    .unwrap();
+    let err = vecops::max_abs_diff(&rep.final_x, &xstar);
+    assert!(err < 1e-6, "replayed schedule did not converge: {err}");
+}
+
+/// The \[15\]-style macro-contraction stopping rule certifies its target
+/// accuracy for a coupled prox-gradient operator under out-of-order
+/// delays.
+#[test]
+fn macro_contraction_stopping_certifies() {
+    let n = 24;
+    let f = SparseQuadratic::random_diag_dominant(n, 3, 0.3, 1.0, 21).unwrap();
+    use asynciter::opt::traits::SmoothObjective;
+    let gamma = 0.9 * gamma_max(f.strong_convexity(), f.lipschitz());
+    let op = SparseProxGrad::new(f, L1::new(0.1), gamma).unwrap();
+    let (xstar, _) = op.solve_exact().unwrap();
+    let alpha = op.contraction_factor();
+    let eps = 1e-7;
+
+    let mut gen = ChaoticBounded::new(n, n / 4, n / 2, 16, false, 2);
+    let cfg = EngineConfig::fixed(10_000_000)
+        .with_labels(LabelStore::MinOnly)
+        .with_stopping(StoppingRule::MacroContraction {
+            eps,
+            alpha,
+            norm: WeightedMaxNorm::uniform(n),
+        });
+    let run = ReplayEngine::run(&op, &vec![0.0; n], &mut gen, &cfg, None).unwrap();
+    assert!(run.stopped_early);
+    let err = vecops::max_abs_diff(&run.final_x, &xstar);
+    assert!(err <= eps, "certified {eps} but true error {err}");
+}
+
+/// Sanity: the same operator under five different delay regimes lands on
+/// the same fixed point.
+#[test]
+fn all_regimes_agree_on_the_fixed_point() {
+    use asynciter::models::schedule::{
+        CyclicCoordinate, HeavyTailDelay, ScheduleGen, SyncJacobi,
+    };
+    let n = 24;
+    let f = SparseQuadratic::random_diag_dominant(n, 3, 0.4, 1.0, 31).unwrap();
+    use asynciter::opt::traits::SmoothObjective;
+    let gamma = 0.8 * gamma_max(f.strong_convexity(), f.lipschitz());
+    let op = SparseProxGrad::new(f, L1::new(0.08), gamma).unwrap();
+    let (xstar, _) = op.solve_exact().unwrap();
+
+    let gens: Vec<Box<dyn ScheduleGen>> = vec![
+        Box::new(SyncJacobi::new(n)),
+        Box::new(CyclicCoordinate::new(n)),
+        Box::new(ChaoticBounded::new(n, n / 4, n / 2, 20, false, 4)),
+        Box::new(UnboundedSqrtDelay::new(n, n / 4, n / 2, 1.5, 5)),
+        Box::new(HeavyTailDelay::new(n, n / 4, n / 2, 1.3, 6)),
+    ];
+    for mut gen in gens {
+        let run = ReplayEngine::run(
+            &op,
+            &vec![0.0; n],
+            gen.as_mut(),
+            &EngineConfig::fixed(30_000).with_labels(LabelStore::MinOnly),
+            None,
+        )
+        .unwrap();
+        let err = vecops::max_abs_diff(&run.final_x, &xstar);
+        assert!(err < 1e-8, "{}: error {err}", gen.describe());
+    }
+}

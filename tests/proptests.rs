@@ -1,0 +1,128 @@
+//! Workspace-level property tests: invariants that must hold for *every*
+//! admissible schedule, operator and engine combination.
+
+use asynciter::core::engine::{EngineConfig, ReplayEngine};
+use asynciter::core::flexible::{FlexibleConfig, FlexibleEngine};
+use asynciter::models::conditions::check_condition_a;
+use asynciter::models::macroiter::{
+    boundary_freshness_violations, macro_iterations, macro_iterations_strict,
+};
+use asynciter::models::schedule::{record, ChaoticBounded, ScheduleGen, UnboundedSqrtDelay};
+use asynciter::models::LabelStore;
+use asynciter::numerics::norm::WeightedMaxNorm;
+use asynciter::numerics::vecops;
+use asynciter::opt::linear::JacobiOperator;
+use asynciter::opt::prox::L1;
+use asynciter::opt::proxgrad::{gamma_max, SeparableProxGrad};
+use asynciter::opt::quadratic::SeparableQuadratic;
+use proptest::prelude::*;
+
+fn arbitrary_bounded_schedule(n: usize) -> impl Strategy<Value = ChaoticBounded> {
+    (1u64..64, 0u64..10_000, proptest::bool::ANY).prop_map(move |(b, seed, fifo)| {
+        ChaoticBounded::new(n, 1.max(n / 4), n / 2 + 1, b, fifo, seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every generated schedule satisfies condition (a) and yields
+    /// strictly increasing macro boundaries with zero strict-boundary
+    /// freshness violations.
+    #[test]
+    fn schedules_admissible_and_macros_sound(mut gen in arbitrary_bounded_schedule(10)) {
+        let trace = record(&mut gen as &mut dyn ScheduleGen, 1500, LabelStore::Full);
+        prop_assert!(check_condition_a(&trace).is_ok());
+        let lit = macro_iterations(&trace);
+        prop_assert!(lit.boundaries.windows(2).all(|w| w[0] < w[1]));
+        let strict = macro_iterations_strict(&trace);
+        prop_assert!(strict.count() <= lit.count());
+        prop_assert_eq!(
+            boundary_freshness_violations(&trace, &strict.boundaries),
+            0
+        );
+    }
+
+    /// For a max-norm contraction, the replay engine converges under
+    /// every admissible bounded schedule, and the error at the end is
+    /// bounded by the contraction telescoped over macro-iterations.
+    #[test]
+    fn replay_converges_for_all_bounded_schedules(
+        mut gen in arbitrary_bounded_schedule(12),
+    ) {
+        let op = JacobiOperator::new(
+            asynciter::numerics::sparse::tridiagonal(12, 4.0, -1.0),
+            vec![1.0; 12],
+        ).unwrap();
+        let xstar = op.solve_dense_spd().unwrap();
+        let run = ReplayEngine::run(
+            &op,
+            &[0.0; 12],
+            &mut gen as &mut dyn ScheduleGen,
+            &EngineConfig::fixed(6_000).with_labels(LabelStore::MinOnly),
+            None,
+        ).unwrap();
+        let err = vecops::max_abs_diff(&run.final_x, &xstar);
+        prop_assert!(err < 1e-6, "error {err}");
+    }
+
+    /// Theorem 1 holds for random separable instances, random admissible
+    /// step sizes and random unbounded-delay schedules.
+    #[test]
+    fn theorem1_random_instances(
+        seed in 0u64..5_000,
+        frac in 0.2..1.0f64,
+        lam in 0.0..0.5f64,
+        c in 0.5..2.0f64,
+    ) {
+        let n = 16;
+        let f = SeparableQuadratic::random(n, 1.0, 8.0, seed).unwrap();
+        let gamma = frac * gamma_max(1.0, 8.0);
+        let op = SeparableProxGrad::new(f, L1::new(lam), gamma).unwrap();
+        let rho = op.rho();
+        let (xstar, _) = op.solve_exact().unwrap();
+        let x0 = vec![0.0; n];
+        let mut gen = UnboundedSqrtDelay::new(n, n / 4, n / 2, c, seed ^ 0xF00D);
+        let cfg = EngineConfig::fixed(3_000).with_error_every(25);
+        let run = ReplayEngine::run(&op, &x0, &mut gen, &cfg, Some(&xstar)).unwrap();
+        let macros = macro_iterations_strict(&run.trace);
+        let r0 = asynciter::core::theory::initial_error_sq(&x0, &xstar);
+        let worst = asynciter::core::theory::thm1_worst_ratio(
+            &run.errors, &macros, rho, r0, 1e-12,
+        );
+        prop_assert!(worst <= 1.0, "ratio {worst}");
+    }
+
+    /// The flexible engine with enforcement never violates constraint (3)
+    /// in effect and converges for every publish configuration.
+    #[test]
+    fn flexible_engine_safe_for_all_configs(
+        m in 1usize..6,
+        p in 1usize..8,
+        q in 0.0..1.0f64,
+        seed in 0u64..1_000,
+    ) {
+        let n = 12;
+        let op = JacobiOperator::new(
+            asynciter::numerics::sparse::tridiagonal(n, 4.0, -1.0),
+            vec![1.0; n],
+        ).unwrap();
+        let xstar = op.solve_dense_spd().unwrap();
+        let mut gen = asynciter::models::schedule::BlockRoundRobin::new(
+            asynciter::models::partition::Partition::blocks(n, 3).unwrap(),
+            5,
+        );
+        let cfg = FlexibleConfig::new(1_200, m)
+            .with_publish_period(p)
+            .with_partial_prob(q)
+            .with_seed(seed)
+            .with_enforcement();
+        let norm = WeightedMaxNorm::uniform(n);
+        let run = FlexibleEngine::run(&op, &vec![0.0; n], &mut gen, &cfg, &norm, Some(&xstar))
+            .unwrap();
+        prop_assert!(
+            vecops::max_abs_diff(&run.final_x, &xstar) < 1e-7,
+            "m={m} p={p} q={q}"
+        );
+    }
+}
