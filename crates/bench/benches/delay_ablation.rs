@@ -18,8 +18,7 @@ fn steps_to_eps(op: &JacobiOperator, gen: &mut dyn ScheduleGen, xstar: &[f64]) -
             eps: 1e-10,
             check_every: 16,
         });
-    let res =
-        ReplayEngine::run(op, &vec![0.0; op.a().rows()], gen, &cfg, Some(xstar)).unwrap();
+    let res = ReplayEngine::run(op, &vec![0.0; op.a().rows()], gen, &cfg, Some(xstar)).unwrap();
     assert!(res.stopped_early);
     res.steps_run
 }

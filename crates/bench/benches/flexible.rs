@@ -23,8 +23,7 @@ fn flexible(c: &mut Criterion) {
     for p in [1usize, 4, 8] {
         group.bench_with_input(BenchmarkId::new("p", p), &p, |b, &p| {
             b.iter(|| {
-                let mut gen =
-                    BlockRoundRobin::new(Partition::blocks(n, 8).unwrap(), 10);
+                let mut gen = BlockRoundRobin::new(Partition::blocks(n, 8).unwrap(), 10);
                 let cfg = FlexibleConfig::new(500, m).with_publish_period(p);
                 FlexibleEngine::run(&op, &vec![0.0; n], &mut gen, &cfg, &norm, None).unwrap()
             })

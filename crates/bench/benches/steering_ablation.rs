@@ -23,6 +23,7 @@ fn steering_ablation(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
 
+    #[allow(clippy::type_complexity)]
     let make: Vec<(&str, Box<dyn Fn() -> Box<dyn ScheduleGen>>)> = vec![
         (
             "cyclic",
@@ -30,9 +31,7 @@ fn steering_ablation(c: &mut Criterion) {
         ),
         (
             "block_rr_8",
-            Box::new(move || {
-                Box::new(BlockRoundRobin::new(Partition::blocks(n, 8).unwrap(), 2))
-            }),
+            Box::new(move || Box::new(BlockRoundRobin::new(Partition::blocks(n, 8).unwrap(), 2))),
         ),
         (
             "random_thin",
@@ -62,8 +61,7 @@ fn steering_ablation(c: &mut Criterion) {
                         eps: 1e-10,
                         check_every: 16,
                     });
-                ReplayEngine::run(&op, &vec![0.0; n], gen.as_mut(), &cfg, Some(&xstar))
-                    .unwrap()
+                ReplayEngine::run(&op, &vec![0.0; n], gen.as_mut(), &cfg, Some(&xstar)).unwrap()
             })
         });
     }

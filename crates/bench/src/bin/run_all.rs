@@ -3,6 +3,7 @@
 fn main() {
     let (seed, quick) = asynciter_bench::parse_args();
     use asynciter_bench::experiments as e;
+    #[allow(clippy::type_complexity)]
     let experiments: Vec<(&str, fn(u64, bool))> = vec![
         ("F1", e::fig1::run),
         ("F2", e::fig2::run),
@@ -25,5 +26,8 @@ fn main() {
         f(seed, quick);
         println!(">>> {name} finished in {:.1}s\n", t.elapsed().as_secs_f64());
     }
-    println!("all experiments regenerated in {:.1}s", t0.elapsed().as_secs_f64());
+    println!(
+        "all experiments regenerated in {:.1}s",
+        t0.elapsed().as_secs_f64()
+    );
 }

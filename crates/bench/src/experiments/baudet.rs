@@ -12,9 +12,7 @@
 use crate::ExpContext;
 use asynciter_models::analysis::{delay_growth_exponent, windowed_max};
 use asynciter_models::baudet::{baudet_trace, p1_read_delays};
-use asynciter_models::conditions::{
-    check_condition_a, check_condition_b, check_condition_d,
-};
+use asynciter_models::conditions::{check_condition_a, check_condition_b, check_condition_d};
 use asynciter_report::ascii::{line_chart, ChartSeries};
 use asynciter_report::csv::CsvWriter;
 use asynciter_sim::runner::Simulator;
@@ -48,8 +46,13 @@ pub fn run(seed: u64, quick: bool) {
 
     // Simulator reproduction (independent implementation).
     let op = scenario::two_component_operator();
-    let sim = Simulator::run(&op, &[0.0, 0.0], &scenario::baudet(steps.min(100_000)), None)
-        .expect("simulation");
+    let sim = Simulator::run(
+        &op,
+        &[0.0, 0.0],
+        &scenario::baudet(steps.min(100_000)),
+        None,
+    )
+    .expect("simulation");
     let sim_delays: Vec<(u64, u64)> = asynciter_models::analysis::delay_series(&sim.trace, 1)
         .expect("labels stored")
         .into_iter()
@@ -57,8 +60,8 @@ pub fn run(seed: u64, quick: bool) {
         .filter(|(_, (_, s))| s.active.as_slice() == [0])
         .map(|(d, _)| d)
         .collect();
-    let (cs, ps, rs2) = delay_growth_exponent(&sim_delays, (sim_delays.len() / 64).max(16))
-        .expect("fit");
+    let (cs, ps, rs2) =
+        delay_growth_exponent(&sim_delays, (sim_delays.len() / 64).max(16)).expect("fit");
     ctx.log(format!(
         "simulator trace: d(j) ≈ {cs:.3} · j^{ps:.3}  (r² = {rs2:.4})"
     ));

@@ -14,7 +14,7 @@
 //! under out-of-order labels cross-checks the deterministic path.
 
 use crate::ExpContext;
-use asynciter_core::engine::{EngineConfig, ReplayEngine};
+use asynciter_core::session::{Replay, Session};
 use asynciter_models::partition::Partition;
 use asynciter_models::schedule::ChaoticBounded;
 use asynciter_opt::bellman_ford::{BellmanFordOperator, Graph};
@@ -101,15 +101,13 @@ pub fn run(seed: u64, quick: bool) {
     let n = graph.num_nodes();
     let op = BellmanFordOperator::new(graph, 3).expect("operator");
     let exact = op.exact();
-    let mut gen = ChaoticBounded::new(n, 2, 6, 30, false, seed + 7);
-    let res = ReplayEngine::run(
-        &op,
-        &op.initial_estimate(),
-        &mut gen,
-        &EngineConfig::fixed(if quick { 3_000 } else { 10_000 }),
-        None,
-    )
-    .expect("replay");
+    let res = Session::new(&op)
+        .steps(if quick { 3_000 } else { 10_000 })
+        .schedule(ChaoticBounded::new(n, 2, 6, 30, false, seed + 7))
+        .x0(op.initial_estimate())
+        .backend(Replay)
+        .run()
+        .expect("replay");
     let err = res
         .final_x
         .iter()
@@ -120,6 +118,7 @@ pub fn run(seed: u64, quick: bool) {
         "replay engine (out-of-order labels, b=30, dest=UTAH): max error {err:.2e}"
     ));
     assert!(err < 1e-9, "replay routing failed: {err}");
-    csv.save(&ctx.dir().join("bellman_ford.csv")).expect("save csv");
+    csv.save(&ctx.dir().join("bellman_ford.csv"))
+        .expect("save csv");
     ctx.finish();
 }

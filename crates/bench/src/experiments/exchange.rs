@@ -37,7 +37,12 @@ pub fn run(seed: u64, quick: bool) {
         "obstacle problem {grid}×{grid} (n={n}), {workers} workers, {budget} updates/worker, \
          exchange period sweep"
     ));
-    let mut table = TextTable::new(&["exchange every", "messages", "final residual", "error to u*"]);
+    let mut table = TextTable::new(&[
+        "exchange every",
+        "messages",
+        "final residual",
+        "error to u*",
+    ]);
     let mut csv = CsvWriter::new(&["exchange_every", "messages", "residual", "error"]);
 
     let mut rows: Vec<(u64, u64, f64, f64)> = Vec::new();

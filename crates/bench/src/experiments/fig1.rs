@@ -35,7 +35,15 @@ pub fn run(seed: u64, quick: bool) {
         .timeline
         .comms
         .iter()
-        .map(|c| (c.from, c.to, c.send_t, c.recv_t, c.kind == CommKind::Partial))
+        .map(|c| {
+            (
+                c.from,
+                c.to,
+                c.send_t,
+                c.recv_t,
+                c.kind == CommKind::Partial,
+            )
+        })
         .collect();
     let chart = render_gantt(
         2,
@@ -62,9 +70,7 @@ pub fn run(seed: u64, quick: bool) {
     assert_eq!(idle0, 0, "asynchronous processors never wait");
     ctx.log(format!(
         "first communication: P{} → P{} carrying x({})",
-        comms[0].0,
-        comms[0].1,
-        res.timeline.comms[0].sender_phase
+        comms[0].0, comms[0].1, res.timeline.comms[0].sender_phase
     ));
 
     let mut csv = CsvWriter::new(&["proc", "start", "end", "j"]);

@@ -33,7 +33,15 @@ pub fn run(seed: u64, quick: bool) {
         .timeline
         .comms
         .iter()
-        .map(|c| (c.from, c.to, c.send_t, c.recv_t, c.kind == CommKind::Partial))
+        .map(|c| {
+            (
+                c.from,
+                c.to,
+                c.send_t,
+                c.recv_t,
+                c.kind == CommKind::Partial,
+            )
+        })
         .collect();
     let chart = render_gantt(
         2,

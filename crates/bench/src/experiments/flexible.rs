@@ -15,14 +15,14 @@
 //!    without mid-phase publishing.
 
 use crate::ExpContext;
-use asynciter_core::flexible::{FlexibleConfig, FlexibleEngine};
+use asynciter_core::session::{Flexible, Session};
+use asynciter_core::stopping::StoppingRule;
 use asynciter_models::partition::Partition;
 use asynciter_models::schedule::BlockRoundRobin;
-use asynciter_numerics::norm::WeightedMaxNorm;
 use asynciter_opt::linear::JacobiOperator;
 use asynciter_report::csv::CsvWriter;
 use asynciter_report::table::TextTable;
-use asynciter_runtime::async_engine::{AsyncConfig, AsyncSharedRunner};
+use asynciter_runtime::session::SharedMem;
 
 fn outer_steps_to_eps(
     op: &JacobiOperator,
@@ -34,15 +34,24 @@ fn outer_steps_to_eps(
     seed: u64,
 ) -> Option<u64> {
     let xstar = op.solve_dense_spd().expect("reference");
-    let mut gen = BlockRoundRobin::new(Partition::blocks(n, 8).expect("partition"), 10);
-    let cfg = FlexibleConfig::new(max_outer, m)
-        .with_publish_period(p)
-        .with_error_every(1)
-        .with_seed(seed);
-    let norm = WeightedMaxNorm::uniform(n);
-    let res = FlexibleEngine::run(op, &vec![0.0; n], &mut gen, &cfg, &norm, Some(&xstar))
+    let res = Session::new(op)
+        .steps(max_outer)
+        .schedule(BlockRoundRobin::new(
+            Partition::blocks(n, 8).expect("partition"),
+            10,
+        ))
+        .xstar(xstar)
+        .error_every(1)
+        .seed(seed)
+        .backend(Flexible {
+            m,
+            partial: true,
+            publish_period: Some(p),
+            ..Flexible::default()
+        })
+        .run()
         .expect("flexible run");
-    res.errors.iter().find(|&&(_, e)| e <= eps).map(|&(j, _)| j)
+    res.steps_to_error(eps)
 }
 
 /// Runs E4.
@@ -112,17 +121,30 @@ pub fn run(seed: u64, quick: bool) {
     let m = 8usize;
     let mut wall = Vec::new();
     for (name, p) in [("flexible p=2", 2usize), ("standard p=m", m)] {
-        let cfg = AsyncConfig::new(workers, 10_000_000)
-            .with_target_residual(target)
-            .with_spin(spin.clone())
-            .with_flexible(m, p);
-        let res = AsyncSharedRunner::run(&opb, &vec![0.0; big_n], &partition, &cfg)
+        let res = Session::new(&opb)
+            .steps(10_000_000)
+            .stopping(StoppingRule::Residual {
+                eps: target,
+                check_every: 64,
+            })
+            .backend(SharedMem {
+                threads: workers,
+                partition: Some(partition.clone()),
+                inner_steps: m,
+                publish_period: p,
+                spin: spin.clone(),
+                ..SharedMem::default()
+            })
+            .run()
             .expect("async run");
-        assert!(res.final_residual <= target * 10.0, "{name} did not converge");
+        assert!(
+            res.final_residual <= target * 10.0,
+            "{name} did not converge"
+        );
         ctx.log(format!(
             "Part 2 (threads): {name:<14} wall {:>8.1} ms, {} outer updates, {} partial publishes",
             res.wall.as_secs_f64() * 1e3,
-            res.total_updates,
+            res.steps,
             res.partial_publishes
         ));
         wall.push(res.wall.as_secs_f64());

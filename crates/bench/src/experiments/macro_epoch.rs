@@ -118,6 +118,7 @@ pub fn run(seed: u64, quick: bool) {
         "out-of-order traces: epochs accumulate {epoch_viol_ooo} freshness violations while \
          strict macro-iterations have none — the paper's generality claim, quantified."
     ));
-    csv.save(&ctx.dir().join("macro_vs_epoch.csv")).expect("save csv");
+    csv.save(&ctx.dir().join("macro_vs_epoch.csv"))
+        .expect("save csv");
     ctx.finish();
 }

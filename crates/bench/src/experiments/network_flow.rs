@@ -16,7 +16,8 @@
 //! the final flows.
 
 use crate::ExpContext;
-use asynciter_core::engine::{EngineConfig, ReplayEngine};
+use asynciter_core::session::{Replay, Session};
+use asynciter_core::stopping::StoppingRule;
 use asynciter_core::theory::{perron_weights, weighted_norm_bound};
 use asynciter_models::partition::Partition;
 use asynciter_models::schedule::{ChaoticBounded, ScheduleGen, SyncJacobi, UnboundedSqrtDelay};
@@ -25,8 +26,7 @@ use asynciter_opt::network_flow::{NetworkFlowProblem, PriceRelaxation};
 use asynciter_report::ascii::{log_line_chart, ChartSeries};
 use asynciter_report::csv::CsvWriter;
 use asynciter_report::table::TextTable;
-use asynciter_runtime::async_engine::{AsyncConfig, AsyncSharedRunner};
-use asynciter_runtime::sync_engine::{SyncConfig, SyncRunner};
+use asynciter_runtime::session::{Barrier, SharedMem};
 
 /// Builds the linear iteration matrix `|M|` of the grounded relaxation
 /// (for the Perron certificate): `M[i][v] = (Σ_{arcs i↔v} 1/r_a) / κ_i`
@@ -37,6 +37,7 @@ fn iteration_matrix(op: &PriceRelaxation) -> CsrMatrix {
     let n = p.num_nodes();
     let mut weights = vec![0.0; n];
     let mut trip: Vec<(usize, usize, f64)> = Vec::new();
+    #[allow(clippy::needless_range_loop)]
     for i in 0..n {
         if i == op.ground() {
             continue;
@@ -89,56 +90,73 @@ pub fn run(seed: u64, quick: bool) {
          Perron-weighted σ = {sigma:.4} (< 1: certifies totally asynchronous convergence)"
     ));
     assert!(sigma < 1.0, "Perron certificate failed: {sigma}");
-    assert!(inf_bound >= 0.999, "instance should not be trivially inf-contracting");
+    assert!(
+        inf_bound >= 0.999,
+        "instance should not be trivially inf-contracting"
+    );
 
     // Convergence under schedules.
     let steps: u64 = if quick { 30_000 } else { 120_000 };
     let x0 = vec![0.0; nodes];
     let mut table = TextTable::new(&["schedule", "steps", "balance residual", "error ‖p−p*‖_u"]);
     let mut csv = CsvWriter::new(&["schedule", "steps", "residual", "werror"]);
-    let wnorm = asynciter_numerics::norm::WeightedMaxNorm::new(
-        u.iter().map(|&w| w.max(1e-6)).collect(),
-    )
-    .expect("weights");
+    let wnorm =
+        asynciter_numerics::norm::WeightedMaxNorm::new(u.iter().map(|&w| w.max(1e-6)).collect())
+            .expect("weights");
     let mut series = Vec::new();
     let cases: Vec<(&str, Box<dyn ScheduleGen>)> = vec![
         ("sync", Box::new(SyncJacobi::new(nodes))),
         (
             "chaotic-ooo(b=16)",
-            Box::new(ChaoticBounded::new(nodes, nodes / 4, nodes / 2, 16, false, seed)),
+            Box::new(ChaoticBounded::new(
+                nodes,
+                nodes / 4,
+                nodes / 2,
+                16,
+                false,
+                seed,
+            )),
         ),
         (
             "unbounded-sqrt",
-            Box::new(UnboundedSqrtDelay::new(nodes, nodes / 4, nodes / 2, 1.0, seed + 1)),
+            Box::new(UnboundedSqrtDelay::new(
+                nodes,
+                nodes / 4,
+                nodes / 2,
+                1.0,
+                seed + 1,
+            )),
         ),
     ];
-    for (name, mut gen) in cases {
+    for (name, gen) in cases {
         let steps_case = if name == "sync" { steps / 20 } else { steps };
-        let cfg = EngineConfig::fixed(steps_case)
-            .with_labels(asynciter_models::LabelStore::MinOnly)
-            .with_error_every((steps_case / 100).max(1));
-        let res = ReplayEngine::run(&op, &x0, &mut gen, &cfg, Some(&pstar)).expect("replay");
+        let res = Session::new(&op)
+            .steps(steps_case)
+            .schedule(gen)
+            .x0(x0.clone())
+            .xstar(pstar.clone())
+            .error_every((steps_case / 100).max(1))
+            .backend(Replay)
+            .run()
+            .expect("replay");
         let resid = problem.balance_residual(&res.final_x);
         let werr = wnorm.dist(&res.final_x, &pstar);
         table.row(&[
             name.to_string(),
-            res.steps_run.to_string(),
+            res.steps.to_string(),
             format!("{resid:.3e}"),
             format!("{werr:.3e}"),
         ]);
         csv.row_strings(&[
             name.into(),
-            res.steps_run.to_string(),
+            res.steps.to_string(),
             format!("{resid:.6e}"),
             format!("{werr:.6e}"),
         ]);
         assert!(resid < 1e-6, "{name}: residual {resid}");
         series.push(ChartSeries::new(
             name,
-            res.errors
-                .iter()
-                .map(|&(j, e)| (j as f64, e))
-                .collect(),
+            res.errors.iter().map(|&(j, e)| (j as f64, e)).collect(),
         ));
     }
     ctx.log(table.render());
@@ -172,34 +190,46 @@ pub fn run(seed: u64, quick: bool) {
         if quick { 2_000 } else { 5_000 },
         4.0,
     );
-    let sync_res = SyncRunner::run(
-        &op,
-        &x0,
-        &partition,
-        &SyncConfig::new(workers, 1_000_000)
-            .with_target_change(1e-11)
-            .with_spin(spin.clone()),
-    )
-    .expect("sync");
-    let async_res = AsyncSharedRunner::run(
-        &op,
-        &x0,
-        &partition,
-        &AsyncConfig::new(workers, 100_000_000)
-            .with_target_residual(1e-10)
-            .with_spin(spin),
-    )
-    .expect("async");
+    let sync_res = Session::new(&op)
+        .steps(1_000_000)
+        .x0(x0.clone())
+        .stopping(StoppingRule::Residual {
+            eps: 1e-11,
+            check_every: 1,
+        })
+        .backend(Barrier {
+            threads: workers,
+            partition: Some(partition.clone()),
+            spin: spin.clone(),
+        })
+        .run()
+        .expect("sync");
+    let async_res = Session::new(&op)
+        .steps(100_000_000)
+        .x0(x0.clone())
+        .stopping(StoppingRule::Residual {
+            eps: 1e-10,
+            check_every: 64,
+        })
+        .backend(SharedMem {
+            threads: workers,
+            partition: Some(partition.clone()),
+            spin,
+            ..SharedMem::default()
+        })
+        .run()
+        .expect("async");
     ctx.log(format!(
         "threads (4 workers, 4x imbalance): sync {:.1} ms ({} sweeps) vs async {:.1} ms \
          ({} updates); both residuals ≤ 1e-9: sync {:.1e}, async {:.1e}",
         sync_res.wall.as_secs_f64() * 1e3,
-        sync_res.sweeps,
+        sync_res.steps,
         async_res.wall.as_secs_f64() * 1e3,
-        async_res.total_updates,
+        async_res.steps,
         sync_res.final_residual,
         async_res.final_residual,
     ));
-    csv.save(&ctx.dir().join("network_flow.csv")).expect("save csv");
+    csv.save(&ctx.dir().join("network_flow.csv"))
+        .expect("save csv");
     ctx.finish();
 }

@@ -11,7 +11,7 @@
 //! damping (`θ`) ablation under out-of-order delays.
 
 use crate::ExpContext;
-use asynciter_core::engine::{EngineConfig, ReplayEngine};
+use asynciter_core::session::{Replay, Session};
 use asynciter_core::stopping::StoppingRule;
 use asynciter_models::schedule::ChaoticBounded;
 use asynciter_opt::newton::DiagNewton;
@@ -22,15 +22,18 @@ use asynciter_report::csv::CsvWriter;
 use asynciter_report::table::TextTable;
 
 fn steps_to_eps(op: &dyn Operator, n: usize, xstar: &[f64], eps: f64, seed: u64) -> Option<u64> {
-    let mut gen = ChaoticBounded::new(n, n / 4, n / 2, 12, false, seed);
-    let cfg = EngineConfig::fixed(3_000_000)
-        .with_labels(asynciter_models::LabelStore::MinOnly)
-        .with_stopping(StoppingRule::ErrorBelow {
+    let res = Session::new(op)
+        .steps(3_000_000)
+        .schedule(ChaoticBounded::new(n, n / 4, n / 2, 12, false, seed))
+        .xstar(xstar.to_vec())
+        .stopping(StoppingRule::ErrorBelow {
             eps,
             check_every: 8,
-        });
-    let res = ReplayEngine::run(op, &vec![0.0; n], &mut gen, &cfg, Some(xstar)).expect("run");
-    res.stopped_early.then_some(res.steps_run)
+        })
+        .backend(Replay)
+        .run()
+        .expect("run");
+    res.stopped_early.then_some(res.steps)
 }
 
 /// Runs E9.
@@ -39,7 +42,12 @@ pub fn run(seed: u64, quick: bool) {
     let n = if quick { 24 } else { 64 };
     let eps = 1e-9;
 
-    let mut table = TextTable::new(&["condition number", "gradient steps", "newton steps", "speedup"]);
+    let mut table = TextTable::new(&[
+        "condition number",
+        "gradient steps",
+        "newton steps",
+        "speedup",
+    ]);
     let mut csv = CsvWriter::new(&["kappa", "gradient", "newton", "speedup"]);
     let mut speedups = Vec::new();
     for kappa in [4.0, 16.0, 64.0, 256.0] {
@@ -49,7 +57,10 @@ pub fn run(seed: u64, quick: bool) {
         let newton = DiagNewton::at_reference(f, &vec![0.0; n], 0.9).expect("newton");
         let gs = steps_to_eps(&grad, n, &xstar, eps, seed + 1);
         let ns = steps_to_eps(&newton, n, &xstar, eps, seed + 1);
-        let (gs, ns) = (gs.expect("gradient converged"), ns.expect("newton converged"));
+        let (gs, ns) = (
+            gs.expect("gradient converged"),
+            ns.expect("newton converged"),
+        );
         let speedup = gs as f64 / ns as f64;
         speedups.push((kappa, speedup));
         table.row(&[

@@ -13,7 +13,7 @@
 //! iterate.
 
 use crate::ExpContext;
-use asynciter_core::engine::{EngineConfig, ReplayEngine};
+use asynciter_core::session::{Replay, Session};
 use asynciter_core::stopping::StoppingRule;
 use asynciter_models::schedule::{
     ChaoticBounded, CyclicCoordinate, ScheduleGen, SyncJacobi, UnboundedSqrtDelay,
@@ -53,11 +53,7 @@ pub fn run(seed: u64, quick: bool) {
     let mut csv = CsvWriter::new(&["schedule", "steps", "sweeps_eq", "feas", "resid", "comp"]);
     let cases: Vec<(&str, Box<dyn ScheduleGen>, f64)> = vec![
         ("sync-jacobi", Box::new(SyncJacobi::new(n)), n as f64),
-        (
-            "gauss-seidel",
-            Box::new(CyclicCoordinate::new(n)),
-            1.0,
-        ),
+        ("gauss-seidel", Box::new(CyclicCoordinate::new(n)), 1.0),
         (
             "chaotic-ooo(b=20)",
             Box::new(ChaoticBounded::new(n, n / 8, n / 2, 20, false, seed)),
@@ -69,21 +65,25 @@ pub fn run(seed: u64, quick: bool) {
             (n as f64) * 5.0 / 16.0,
         ),
     ];
-    for (name, mut gen, comps_per_step) in cases {
-        let cfg = EngineConfig::fixed(20_000_000)
-            .with_labels(asynciter_models::LabelStore::MinOnly)
-            .with_stopping(StoppingRule::ErrorBelow {
+    for (name, gen, comps_per_step) in cases {
+        let res = Session::new(&op)
+            .steps(20_000_000)
+            .schedule(gen)
+            .x0(x0.clone())
+            .xstar(ustar.clone())
+            .stopping(StoppingRule::ErrorBelow {
                 eps,
                 check_every: (n as u64) / 2,
-            });
-        let res =
-            ReplayEngine::run(&op, &x0, &mut gen, &cfg, Some(&ustar)).expect("replay");
+            })
+            .backend(Replay)
+            .run()
+            .expect("replay");
         assert!(res.stopped_early, "{name} did not reach eps");
         let (feas, resid, comp) = op.problem().complementarity_residuals(&res.final_x);
-        let sweeps = res.steps_run as f64 * comps_per_step / n as f64;
+        let sweeps = res.steps as f64 * comps_per_step / n as f64;
         table.row(&[
             name.to_string(),
-            res.steps_run.to_string(),
+            res.steps.to_string(),
             format!("{sweeps:.0}"),
             format!("{feas:.1e}"),
             format!("{resid:.1e}"),
@@ -91,13 +91,16 @@ pub fn run(seed: u64, quick: bool) {
         ]);
         csv.row_strings(&[
             name.into(),
-            res.steps_run.to_string(),
+            res.steps.to_string(),
             format!("{sweeps:.1}"),
             format!("{feas:.3e}"),
             format!("{resid:.3e}"),
             format!("{comp:.3e}"),
         ]);
-        assert!(feas < 1e-8 && comp < 1e-4, "{name}: LCP residuals too large");
+        assert!(
+            feas < 1e-8 && comp < 1e-4,
+            "{name}: LCP residuals too large"
+        );
     }
     ctx.log(table.render());
 
@@ -138,8 +141,14 @@ pub fn run(seed: u64, quick: bool) {
          labels (re-reading an older, larger snapshot breaks per-step monotonicity while \
          convergence itself is untouched)"
     ));
-    assert_eq!(fifo_viol, 0, "FIFO asynchronous iterates must decrease monotonically");
-    assert!(ooo_viol > 0, "out-of-order reads should break strict monotonicity");
+    assert_eq!(
+        fifo_viol, 0,
+        "FIFO asynchronous iterates must decrease monotonically"
+    );
+    assert!(
+        ooo_viol > 0,
+        "out-of-order reads should break strict monotonicity"
+    );
     csv.save(&ctx.dir().join("obstacle.csv")).expect("save csv");
     ctx.finish();
 }

@@ -7,45 +7,49 @@
 //! iterations was better than the one of their synchronous counterparts"
 //! on the Cray T3E / IBM SP4 / Grid5000 campaigns.
 //!
-//! Two measurements:
+//! All runs go through the unified `Session` API — one problem, one
+//! builder, backends swapped per measurement:
 //!
-//! 1. **Deterministic** (asserted): the discrete-event simulator runs the
+//! 1. **Deterministic** (asserted): the `Sim` backend runs the
 //!    asynchronous iteration with per-processor compute times scaled by
 //!    the imbalance factor and reports the *simulated* time to reach `ε`;
 //!    the synchronous comparator is the *idealised* barrier method
 //!    (sweeps × slowest-worker time, barrier itself free — a bound no
 //!    real implementation beats). The async/sync ratio must shrink as
 //!    imbalance grows.
-//! 2. **Threads** (reported, loosely asserted): the shared-memory runtime
-//!    vs the spin-barrier synchronous runner with injected spin-work.
-//!    Wall-clock on a shared/virtualised host is noisy, so only the
-//!    directional claim at max imbalance is asserted.
+//! 2. **Threads** (reported, loosely asserted): the `SharedMem` backend
+//!    vs the `Barrier` backend with injected spin-work. Wall-clock on a
+//!    shared/virtualised host is noisy, so only the directional claim at
+//!    max imbalance is asserted.
 
 use crate::ExpContext;
+use asynciter_core::session::{Replay, Session};
+use asynciter_core::stopping::StoppingRule;
 use asynciter_models::partition::Partition;
 use asynciter_opt::linear::JacobiOperator;
-use asynciter_opt::traits::Operator;
 use asynciter_report::csv::CsvWriter;
 use asynciter_report::table::TextTable;
-use asynciter_runtime::async_engine::{AsyncConfig, AsyncSharedRunner};
 use asynciter_runtime::imbalance::linear_imbalance;
-use asynciter_runtime::sync_engine::{SyncConfig, SyncRunner};
+use asynciter_runtime::session::{Barrier, SharedMem};
 use asynciter_sim::compute::{ComputeModel, LatencyModel};
-use asynciter_sim::runner::{SimConfig, Simulator};
+use asynciter_sim::runner::SimConfig;
+use asynciter_sim::session::Sim;
 
-/// Sequential Jacobi sweeps to reach `eps` against the exact solution.
+/// Sequential Jacobi sweeps to reach `eps`, measured through the replay
+/// backend with its default synchronous schedule and the oracle rule.
 fn sweeps_to_eps(op: &JacobiOperator, xstar: &[f64], eps: f64) -> u64 {
-    let n = op.dim();
-    let mut x = vec![0.0; n];
-    let mut next = vec![0.0; n];
-    for k in 1..=1_000_000u64 {
-        op.apply(&x, &mut next);
-        std::mem::swap(&mut x, &mut next);
-        if asynciter_numerics::vecops::max_abs_diff(&x, xstar) <= eps {
-            return k;
-        }
-    }
-    panic!("sequential Jacobi did not reach eps");
+    let run = Session::new(op)
+        .steps(1_000_000)
+        .xstar(xstar.to_vec())
+        .stopping(StoppingRule::ErrorBelow {
+            eps,
+            check_every: 1,
+        })
+        .backend(Replay)
+        .run()
+        .expect("sequential baseline");
+    assert!(run.stopped_early, "sequential Jacobi did not reach eps");
+    run.steps
 }
 
 /// Runs E3.
@@ -59,7 +63,6 @@ pub fn run(seed: u64, quick: bool) {
     let eps = 1e-6;
     let workers = 4usize;
     let partition = Partition::blocks(n, workers).expect("partition");
-    let x0 = vec![0.0; n];
     let base_ticks = 10u64;
 
     // ---- Part 1: deterministic (simulated time). ----
@@ -68,12 +71,7 @@ pub fn run(seed: u64, quick: bool) {
         "Part 1 (simulated): 2-D Laplacian {grid}×{grid} (n={n}), target ‖x−x*‖ ≤ {eps:.0e}; \
          sequential Jacobi needs {k_sync} sweeps"
     ));
-    let mut table = TextTable::new(&[
-        "imbalance",
-        "ideal sync ticks",
-        "async ticks",
-        "async/sync",
-    ]);
+    let mut table = TextTable::new(&["imbalance", "ideal sync ticks", "async ticks", "async/sync"]);
     let mut csv = CsvWriter::new(&["part", "imbalance", "sync", "async", "ratio"]);
     let mut sim_ratios = Vec::new();
     for factor in [1.0f64, 2.0, 4.0, 8.0] {
@@ -90,18 +88,20 @@ pub fn run(seed: u64, quick: bool) {
             latency: LatencyModel::Fixed { ticks: 1 },
             inner_steps: 1,
             partial_sends: 0,
-            max_iterations: 40 * k_sync * workers as u64,
+            max_iterations: 0, // set by the session's step budget
             seed,
             record_labels: asynciter_models::LabelStore::MinOnly,
-            error_every: workers as u64,
+            error_every: 0, // set by the session's error_every
         };
-        let res = Simulator::run(&op, &x0, &cfg, Some(&xstar)).expect("simulation");
+        let res = Session::new(&op)
+            .steps(40 * k_sync * workers as u64)
+            .xstar(xstar.clone())
+            .error_every(workers as u64)
+            .backend(Sim(cfg))
+            .run()
+            .expect("simulation");
         let async_ticks = res
-            .errors
-            .iter()
-            .zip(&res.error_times)
-            .find(|((_, e), _)| *e <= eps)
-            .map(|((_, _), &t)| t)
+            .sim_time_to_error(eps)
             .expect("async simulation reached eps");
         let ratio = async_ticks as f64 / sync_ticks as f64;
         sim_ratios.push((factor, ratio));
@@ -141,23 +141,40 @@ pub fn run(seed: u64, quick: bool) {
         "Part 2 (threads): {workers} workers, base spin {base_spin} units/update, \
          target residual {target:.0e}"
     ));
+    let sync_session = |spin: Vec<u64>, sweeps: u64, target: Option<f64>| {
+        let mut s = Session::new(&op).steps(sweeps).backend(Barrier {
+            threads: workers,
+            partition: Some(partition.clone()),
+            spin,
+        });
+        if let Some(eps) = target {
+            s = s.stopping(StoppingRule::Residual {
+                eps,
+                check_every: 1,
+            });
+        }
+        s.run().expect("sync run")
+    };
+    let async_session = |spin: Vec<u64>, updates: u64, target: Option<f64>| {
+        let mut s = Session::new(&op).steps(updates).backend(SharedMem {
+            threads: workers,
+            partition: Some(partition.clone()),
+            spin,
+            ..SharedMem::default()
+        });
+        if let Some(eps) = target {
+            s = s.stopping(StoppingRule::Residual {
+                eps,
+                check_every: 64,
+            });
+        }
+        s.run().expect("async run")
+    };
     // Warm-up (page-in, CPU frequency) before timing.
     {
         let spin = linear_imbalance(workers, base_spin, 1.0);
-        let _ = SyncRunner::run(
-            &op,
-            &x0,
-            &partition,
-            &SyncConfig::new(workers, 50).with_spin(spin.clone()),
-        )
-        .expect("warmup sync");
-        let _ = AsyncSharedRunner::run(
-            &op,
-            &x0,
-            &partition,
-            &AsyncConfig::new(workers, 2_000).with_spin(spin),
-        )
-        .expect("warmup async");
+        let _ = sync_session(spin.clone(), 50, None);
+        let _ = async_session(spin, 2_000, None);
     }
     let mut thread_table = TextTable::new(&[
         "imbalance",
@@ -178,32 +195,28 @@ pub fn run(seed: u64, quick: bool) {
         let mut async_updates = 0;
         let mut skew = 0.0;
         for _ in 0..3 {
-            let sync = SyncRunner::run(
-                &op,
-                &x0,
-                &partition,
-                &SyncConfig::new(workers, 1_000_000)
-                    .with_target_change(target / 10.0)
-                    .with_spin(spin.clone()),
-            )
-            .expect("sync run");
-            assert!(sync.final_residual <= target * 10.0, "sync did not converge");
+            let sync = sync_session(spin.clone(), 1_000_000, Some(target / 10.0));
+            assert!(
+                sync.final_residual <= target * 10.0,
+                "sync did not converge"
+            );
             sync_times.push(sync.wall.as_secs_f64() * 1e3);
-            sync_sweeps = sync.sweeps;
-            let asy = AsyncSharedRunner::run(
-                &op,
-                &x0,
-                &partition,
-                &AsyncConfig::new(workers, 100_000_000)
-                    .with_target_residual(target)
-                    .with_spin(spin.clone()),
-            )
-            .expect("async run");
-            assert!(asy.final_residual <= target * 10.0, "async did not converge");
+            sync_sweeps = sync.steps;
+            let asy = async_session(spin.clone(), 100_000_000, Some(target));
+            assert!(
+                asy.final_residual <= target * 10.0,
+                "async did not converge"
+            );
             async_times.push(asy.wall.as_secs_f64() * 1e3);
-            async_updates = asy.total_updates;
+            async_updates = asy.steps;
             skew = asy.per_worker_updates.iter().max().copied().unwrap_or(1) as f64
-                / asy.per_worker_updates.iter().min().copied().unwrap_or(1).max(1) as f64;
+                / asy
+                    .per_worker_updates
+                    .iter()
+                    .min()
+                    .copied()
+                    .unwrap_or(1)
+                    .max(1) as f64;
         }
         let sync_ms = asynciter_numerics::stats::median(&sync_times).expect("times");
         let async_ms = asynciter_numerics::stats::median(&async_times).expect("times");

@@ -24,9 +24,8 @@
 //! under every admissible schedule.
 
 use crate::ExpContext;
-use asynciter_core::engine::{EngineConfig, ReplayEngine};
-use asynciter_models::schedule::{ChaoticBounded, ScheduleGen};
-use asynciter_models::LabelStore;
+use asynciter_core::session::{Replay, Session};
+use asynciter_models::schedule::ChaoticBounded;
 use asynciter_opt::proxgrad::GradientOperator;
 use asynciter_opt::quadratic::DenseQuadratic;
 use asynciter_opt::traits::{Operator, SmoothObjective};
@@ -66,14 +65,12 @@ fn classify(
     // this is exactly synchronous gradient descent. (Subset updates
     // would confound the comparison — they act like coordinate descent,
     // which is stable at larger steps.)
-    let mut gen = ChaoticBounded::new(n, n, n, delay_b, false, seed);
-    let run = ReplayEngine::run(
-        &op,
-        &x0,
-        &mut gen as &mut dyn ScheduleGen,
-        &EngineConfig::fixed(sweeps).with_labels(LabelStore::MinOnly),
-        None,
-    );
+    let run = Session::new(&op)
+        .steps(sweeps)
+        .schedule(ChaoticBounded::new(n, n, n, delay_b, false, seed))
+        .x0(x0)
+        .backend(Replay)
+        .run();
     match run {
         Err(_) => Outcome::Diverged, // non-finite iterate
         Ok(res) => {
@@ -138,8 +135,13 @@ pub fn run(seed: u64, quick: bool) {
         "1.7",
         "1.9",
     ]);
-    let mut csv =
-        CsvWriter::new(&["delay_b", "gamma_frac", "gamma", "outcome", "inf_norm_bound"]);
+    let mut csv = CsvWriter::new(&[
+        "delay_b",
+        "gamma_frac",
+        "gamma",
+        "outcome",
+        "inf_norm_bound",
+    ]);
     let mut grid: Vec<(u64, Vec<Outcome>)> = Vec::new();
     for &b in &delays {
         let mut row = vec![if b == 1 {
@@ -207,17 +209,15 @@ pub fn run(seed: u64, quick: bool) {
     ));
     // Synchronous run converges (rate ρ(M) ≈ 0.953).
     {
-        let mut gen = asynciter_models::schedule::SyncJacobi::new(3);
-        let res = ReplayEngine::run(
-            &op,
+        let res = Session::new(&op)
+            .steps(600)
             // Off-kernel start: (1,1,1) spans M's nullspace and would
-            // collapse in one sweep.
-            &[1.0, -0.5, 0.25],
-            &mut gen,
-            &EngineConfig::fixed(600).with_labels(LabelStore::MinOnly),
-            None,
-        )
-        .expect("sync run");
+            // collapse in one sweep. No schedule: the replay backend
+            // defaults to the synchronous Jacobi steering.
+            .x0(vec![1.0, -0.5, 0.25])
+            .backend(Replay)
+            .run()
+            .expect("sync run");
         let final_norm = asynciter_numerics::vecops::norm_inf(&res.final_x);
         ctx.log(format!(
             "  synchronous: ‖x(600 sweeps)‖_∞ = {final_norm:.3e} (converges at rate ρ(M))"
@@ -275,6 +275,7 @@ pub fn run(seed: u64, quick: bool) {
          same operator converges synchronously and diverges under an admissible \
          asynchronous schedule.",
     );
-    csv.save(&ctx.dir().join("stepsize_delay.csv")).expect("save csv");
+    csv.save(&ctx.dir().join("stepsize_delay.csv"))
+        .expect("save csv");
     ctx.finish();
 }

@@ -17,7 +17,7 @@
 //!    stops and detection overhead.
 
 use crate::ExpContext;
-use asynciter_core::engine::{EngineConfig, ReplayEngine};
+use asynciter_core::session::{Replay, Session};
 use asynciter_core::stopping::StoppingRule;
 use asynciter_models::partition::Partition;
 use asynciter_models::schedule::ChaoticBounded;
@@ -42,29 +42,40 @@ pub fn run(seed: u64, quick: bool) {
     let mut certified = 0usize;
     let mut total_steps = 0u64;
     for t in 0..trials {
-        let mut gen = ChaoticBounded::new(n, n / 4, n / 2, 24, false, seed + t as u64);
-        let cfg = EngineConfig::fixed(50_000_000)
-            .with_labels(asynciter_models::LabelStore::MinOnly)
-            .with_stopping(StoppingRule::MacroContraction {
+        let res = Session::new(&op)
+            .steps(50_000_000)
+            .schedule(ChaoticBounded::new(
+                n,
+                n / 4,
+                n / 2,
+                24,
+                false,
+                seed + t as u64,
+            ))
+            .stopping(StoppingRule::MacroContraction {
                 eps,
                 alpha,
                 norm: WeightedMaxNorm::uniform(n),
-            });
-        let res =
-            ReplayEngine::run(&op, &vec![0.0; n], &mut gen, &cfg, None).expect("replay");
+            })
+            .backend(Replay)
+            .run()
+            .expect("replay");
         assert!(res.stopped_early, "macro rule never fired (trial {t})");
-        let err = asynciter_numerics::vecops::max_abs_diff(&res.final_x, &xstar);
+        let err = res.final_error(&xstar);
         if err <= eps {
             certified += 1;
         }
-        total_steps += res.steps_run;
+        total_steps += res.steps;
     }
     ctx.log(format!(
         "Part 1 ([15] macro-contraction rule, ε={eps:.0e}, α={alpha:.3}): \
          {certified}/{trials} stops certified (true error ≤ ε), mean stop step {}",
         total_steps / trials as u64
     ));
-    assert_eq!(certified, trials, "macro-contraction rule must never stop early");
+    assert_eq!(
+        certified, trials,
+        "macro-contraction rule must never stop early"
+    );
 
     // Part 2: threaded quiescence detection, margin sweep.
     let workers = 4;
@@ -80,7 +91,14 @@ pub fn run(seed: u64, quick: bool) {
         "mean updates",
         "mean residual",
     ]);
-    let mut csv = CsvWriter::new(&["margin", "runs", "detected", "premature", "mean_updates", "mean_residual"]);
+    let mut csv = CsvWriter::new(&[
+        "margin",
+        "runs",
+        "detected",
+        "premature",
+        "mean_updates",
+        "mean_residual",
+    ]);
     for margin in [0u64, 64, 1024, 16384] {
         let mut detected = 0usize;
         let mut premature = 0usize;
@@ -94,8 +112,7 @@ pub fn run(seed: u64, quick: bool) {
                 streak: 6,
                 margin,
             };
-            let res =
-                run_with_termination(&op, &vec![0.0; n], &partition, &cfg).expect("run");
+            let res = run_with_termination(&op, &vec![0.0; n], &partition, &cfg).expect("run");
             if res.detected {
                 detected += 1;
                 if res.final_residual > good_resid {
@@ -141,6 +158,7 @@ pub fn run(seed: u64, quick: bool) {
          the [22] principle: quiescence must outlast a full exchange of post-quiescence \
          information, and the window must exceed the scheduler's burst length",
     );
-    csv.save(&ctx.dir().join("termination.csv")).expect("save csv");
+    csv.save(&ctx.dir().join("termination.csv"))
+        .expect("save csv");
     ctx.finish();
 }

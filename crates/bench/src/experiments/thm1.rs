@@ -18,8 +18,8 @@
 //! diagonally-dominant lasso case are exercised.
 
 use crate::ExpContext;
-use asynciter_core::engine::{EngineConfig, ReplayEngine};
 use asynciter_core::flexible::{FlexibleConfig, FlexibleEngine};
+use asynciter_core::session::{RecordMode, Replay, Session};
 use asynciter_core::theory;
 use asynciter_models::macroiter::macro_iterations_strict;
 use asynciter_models::partition::Partition;
@@ -52,9 +52,17 @@ fn run_case(
     xstar: &[f64],
     x0: &[f64],
 ) -> Case {
-    let cfg = EngineConfig::fixed(steps).with_error_every((steps / 200).max(1));
-    let res = ReplayEngine::run(op, x0, gen, &cfg, Some(xstar)).expect("replay");
-    let macros = macro_iterations_strict(&res.trace);
+    let res = Session::new(op)
+        .steps(steps)
+        .schedule(&mut *gen)
+        .x0(x0.to_vec())
+        .xstar(xstar.to_vec())
+        .error_every((steps / 200).max(1))
+        .record(RecordMode::Full)
+        .backend(Replay)
+        .run()
+        .expect("replay");
+    let macros = macro_iterations_strict(res.trace.as_ref().expect("trace"));
     let r0_sq = theory::initial_error_sq(x0, xstar);
     // Skip samples at the f64 saturation floor (see thm1_worst_ratio docs).
     let floor = 1e-12 * r0_sq.sqrt().max(1.0);
@@ -72,6 +80,7 @@ fn run_case(
 }
 
 /// Runs T1.
+#[allow(clippy::vec_init_then_push)]
 pub fn run(seed: u64, quick: bool) {
     let mut ctx = ExpContext::new("T1", seed);
     let n = if quick { 32 } else { 128 };
@@ -161,7 +170,12 @@ pub fn run(seed: u64, quick: bool) {
         });
     }
 
-    let mut table = TextTable::new(&["schedule", "macro-iters k", "worst err²/bound", "bound holds"]);
+    let mut table = TextTable::new(&[
+        "schedule",
+        "macro-iters k",
+        "worst err²/bound",
+        "bound holds",
+    ]);
     let mut csv = CsvWriter::new(&["part", "schedule", "macros", "worst_ratio", "holds"]);
     for c in &cases {
         table.row(&[
@@ -223,7 +237,9 @@ pub fn run(seed: u64, quick: bool) {
     let rho_b = gammab * q.strong_convexity();
     let opb = SparseProxGrad::new(q, L1::new(lasso.lambda), gammab).expect("operator");
     let (xstar_b, pstar_b) = opb.solve_exact().expect("fixed point");
-    let cd = lasso.reference_solution(1e-14, 200_000).expect("CD reference");
+    let cd = lasso
+        .reference_solution(1e-14, 200_000)
+        .expect("CD reference");
     let agree = asynciter_numerics::vecops::max_abs_diff(&cd, &pstar_b);
     ctx.log(format!(
         "Part B: lasso n={bn} (ridge boost {:.3e}); prox-grad solution agrees with coordinate \

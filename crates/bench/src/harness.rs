@@ -1,7 +1,35 @@
-//! Shared experiment plumbing: results directories, artefact saving and
-//! a tiny experiment context that stamps every run with its parameters.
+//! Shared experiment plumbing: results directories, artefact saving, a
+//! tiny experiment context that stamps every run with its parameters, and
+//! a cross-backend comparison helper built on the unified `Session` API.
 
+use asynciter_core::session::{RunReport, Session};
+use asynciter_opt::traits::Operator;
 use std::path::{Path, PathBuf};
+
+/// Runs the same problem once per backend (each closure configures and
+/// executes one `Session`) and returns the reports — the
+/// same-problem/any-backend comparison as a one-liner. Panics on a
+/// failed run, which is what experiment binaries want.
+///
+/// ```
+/// use asynciter_bench::harness::compare_backends;
+/// use asynciter_core::session::{Replay, Session};
+/// use asynciter_opt::linear::JacobiOperator;
+/// use asynciter_numerics::sparse::tridiagonal;
+///
+/// let op = JacobiOperator::new(tridiagonal(8, 4.0, -1.0), vec![1.0; 8]).unwrap();
+/// let reports = compare_backends(&op, vec![
+///     Box::new(|s: Session| s.steps(100).backend(Replay).run().unwrap()),
+/// ]);
+/// assert_eq!(reports[0].backend, "replay");
+/// ```
+#[allow(clippy::type_complexity)]
+pub fn compare_backends<'a, O: Operator>(
+    op: &'a O,
+    runs: Vec<Box<dyn FnOnce(Session<'a>) -> RunReport + 'a>>,
+) -> Vec<RunReport> {
+    runs.into_iter().map(|f| f(Session::new(op))).collect()
+}
 
 /// The workspace results directory for an experiment id (e.g. `"F1"`),
 /// honouring the `ASYNCITER_RESULTS` environment variable and defaulting
@@ -93,7 +121,10 @@ mod tests {
         let summary = std::fs::read_to_string(dir.join("summary.txt")).unwrap();
         assert!(summary.contains("hello"));
         assert!(summary.contains("seed 7"));
-        assert_eq!(std::fs::read_to_string(dir.join("a.txt")).unwrap(), "artefact");
+        assert_eq!(
+            std::fs::read_to_string(dir.join("a.txt")).unwrap(),
+            "artefact"
+        );
         std::env::remove_var("ASYNCITER_RESULTS");
         std::fs::remove_dir_all(&tmp).ok();
     }

@@ -15,7 +15,7 @@
 pub mod experiments;
 pub mod harness;
 
-pub use harness::{results_dir, save_text, ExpContext};
+pub use harness::{compare_backends, results_dir, save_text, ExpContext};
 
 /// Parses an optional `--seed N` / `--quick` command line for the
 /// experiment binaries. Returns `(seed, quick)`.

@@ -1,0 +1,343 @@
+//! Offline stand-in for the subset of the `criterion` API the workspace
+//! benches use. It is a real (if simple) harness: each benchmark is warmed
+//! up, then timed over repeated iterations for roughly the configured
+//! measurement time, and the mean/min per-iteration times are printed in a
+//! criterion-like format. Statistical machinery (outlier analysis, HTML
+//! reports) is intentionally absent.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Sampling strategy selector (accepted for compatibility; the harness
+/// always samples flat).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SamplingMode {
+    /// Automatic mode.
+    Auto,
+    /// Fixed iteration batches.
+    Flat,
+    /// Linearly growing batches.
+    Linear,
+}
+
+/// Throughput annotation printed alongside timings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id `"{name}/{param}"`.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        Self {
+            name: format!("{}/{}", name.into(), param),
+        }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter(param: impl Display) -> Self {
+        Self {
+            name: param.to_string(),
+        }
+    }
+}
+
+/// Things usable as benchmark names (`&str` or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The rendered name.
+    fn into_name(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_name(self) -> String {
+        self.name
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_name(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_name(self) -> String {
+        self
+    }
+}
+
+/// Per-iteration timer handed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f` over the batch of iterations this sample requested.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn fmt_time(d: Duration) -> String {
+    let ns = d.as_secs_f64() * 1e9;
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Settings {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(300),
+            throughput: None,
+        }
+    }
+}
+
+fn run_benchmark(name: &str, settings: &Settings, f: &mut dyn FnMut(&mut Bencher)) {
+    // Warm-up: single iterations until the warm-up budget is spent; the
+    // measured single-iteration time calibrates the batch size.
+    let warm_start = Instant::now();
+    let mut per_iter = Duration::from_nanos(0);
+    let mut warm_iters = 0u64;
+    while warm_start.elapsed() < settings.warm_up_time || warm_iters == 0 {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter += b.elapsed;
+        warm_iters += 1;
+        if warm_iters >= 1000 {
+            break;
+        }
+    }
+    per_iter /= warm_iters as u32;
+
+    // Batch so one sample costs ~ measurement_time / sample_size.
+    let sample_budget = settings.measurement_time / settings.sample_size.max(1) as u32;
+    let iters_per_sample = if per_iter.is_zero() {
+        1000
+    } else {
+        (sample_budget.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+    };
+
+    let mut mean_sum = Duration::ZERO;
+    let mut best = Duration::MAX;
+    for _ in 0..settings.sample_size.max(1) {
+        let mut b = Bencher {
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per = b.elapsed / iters_per_sample as u32;
+        mean_sum += per;
+        best = best.min(per);
+    }
+    let mean = mean_sum / settings.sample_size.max(1) as u32;
+
+    let mut line = format!(
+        "{name:<48} time: [{} mean, {} best]",
+        fmt_time(mean),
+        fmt_time(best)
+    );
+    if let Some(tp) = settings.throughput {
+        let per_sec = |count: u64| {
+            if mean.is_zero() {
+                f64::INFINITY
+            } else {
+                count as f64 / mean.as_secs_f64()
+            }
+        };
+        match tp {
+            Throughput::Elements(n) => {
+                line.push_str(&format!("  thrpt: {:.3e} elem/s", per_sec(n)));
+            }
+            Throughput::Bytes(n) => {
+                line.push_str(&format!("  thrpt: {:.3e} B/s", per_sec(n)));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    settings: Settings,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n;
+        self
+    }
+
+    /// Sets the measurement-time budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up budget.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    /// Sets the sampling mode (accepted for compatibility).
+    pub fn sampling_mode(&mut self, _mode: SamplingMode) -> &mut Self {
+        self
+    }
+
+    /// Sets the throughput annotation.
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.settings.throughput = Some(tp);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.into_name());
+        run_benchmark(&name, &self.settings, &mut f);
+        self
+    }
+
+    /// Runs one parameterised benchmark in the group.
+    pub fn bench_with_input<I, P, F>(&mut self, id: I, input: &P, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        P: ?Sized,
+        F: FnMut(&mut Bencher, &P),
+    {
+        let name = format!("{}/{}", self.name, id.into_name());
+        run_benchmark(&name, &self.settings, &mut |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let settings = self.settings.clone();
+        BenchmarkGroup {
+            name: name.into(),
+            settings,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let settings = self.settings.clone();
+        run_benchmark(name, &settings, &mut f);
+        self
+    }
+}
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub use std::hint::black_box;
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(1))
+            .throughput(Throughput::Elements(4))
+            .sampling_mode(SamplingMode::Flat);
+        let mut count = 0u64;
+        group.bench_function("noop", |b| {
+            b.iter(|| {
+                count += 1;
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("param", 3), &3u64, |b, &p| {
+            b.iter(|| p * 2)
+        });
+        group.finish();
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("a", 7).into_name(), "a/7");
+        assert_eq!(BenchmarkId::from_parameter("x").into_name(), "x");
+    }
+}

@@ -1,0 +1,72 @@
+//! Offline stand-in for the subset of `parking_lot` this workspace uses:
+//! an [`RwLock`] whose `read`/`write` return guards directly (no
+//! poisoning), layered over `std::sync::RwLock`.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+use std::sync::{RwLockReadGuard, RwLockWriteGuard};
+
+/// A reader–writer lock with `parking_lot`-style (non-poisoning) API.
+#[derive(Debug, Default)]
+pub struct RwLock<T> {
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates the lock.
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Acquires a shared read guard.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Acquires an exclusive write guard.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Consumes the lock, returning the value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::RwLock;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let l = RwLock::new(1u32);
+        assert_eq!(*l.read(), 1);
+        *l.write() = 5;
+        assert_eq!(*l.read(), 5);
+        assert_eq!(l.into_inner(), 5);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writer() {
+        let l = RwLock::new(0u64);
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        *l.write() += 1;
+                    }
+                });
+            }
+            s.spawn(|| {
+                for _ in 0..1000 {
+                    let _ = *l.read();
+                }
+            });
+        });
+        assert_eq!(*l.read(), 2000);
+    }
+}

@@ -1,0 +1,321 @@
+//! Offline stand-in for the subset of the `rand` API this workspace uses.
+//!
+//! The workspace builds hermetically (no network, no registry), so instead
+//! of the crates.io `rand` it ships this small deterministic implementation
+//! with source-compatible signatures:
+//!
+//! - [`rngs::StdRng`] — a seedable, cloneable PRNG (xoshiro256++ seeded
+//!   through the SplitMix64 finaliser, the same construction
+//!   `rand::StdRng::seed_from_u64` documents).
+//! - [`SeedableRng::seed_from_u64`] — deterministic seeding.
+//! - [`RngExt::random_range`] — uniform sampling from `Range` /
+//!   `RangeInclusive` over the integer and float types the workspace
+//!   samples.
+//! - [`RngExt::random`] — a full-width draw for types with a canonical
+//!   uniform distribution.
+//!
+//! Determinism (same seed → same stream, forever) is the property the
+//! experiments rely on; statistical quality is that of xoshiro256++, which
+//! is more than adequate for schedule generation and fault injection.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level uniform word source.
+pub trait RngCore {
+    /// Next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a `u64` seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard PRNG: xoshiro256++ with SplitMix64
+    /// seed expansion. `Clone` + `Debug` + `Send`, like the real `StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            Self { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++ (Blackman & Vigna).
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// A half-open or closed sampling interval, built from range syntax.
+#[derive(Debug, Clone, Copy)]
+pub struct RangeSpec<T> {
+    lo: T,
+    hi: T,
+    inclusive: bool,
+}
+
+impl<T> From<Range<T>> for RangeSpec<T> {
+    fn from(r: Range<T>) -> Self {
+        Self {
+            lo: r.start,
+            hi: r.end,
+            inclusive: false,
+        }
+    }
+}
+
+impl<T: Copy> From<RangeInclusive<T>> for RangeSpec<T> {
+    fn from(r: RangeInclusive<T>) -> Self {
+        Self {
+            lo: *r.start(),
+            hi: *r.end(),
+            inclusive: true,
+        }
+    }
+}
+
+/// Types that can be drawn uniformly from a [`RangeSpec`].
+pub trait SampleUniform: Sized {
+    /// Draws one sample from `spec` using `rng`.
+    ///
+    /// # Panics
+    /// Panics when the range is empty.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, spec: RangeSpec<Self>) -> Self;
+}
+
+/// Types with a canonical full-width uniform draw ([`RngExt::random`]).
+pub trait Standard: Sized {
+    /// Draws one sample.
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+#[inline]
+fn mul_shift(word: u64, span: u64) -> u64 {
+    ((word as u128 * span as u128) >> 64) as u64
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, spec: RangeSpec<Self>) -> Self {
+                let (lo, hi) = (spec.lo as u64, spec.hi as u64);
+                assert!(
+                    if spec.inclusive { lo <= hi } else { lo < hi },
+                    "random_range: empty range"
+                );
+                let span = (hi - lo).wrapping_add(if spec.inclusive { 1 } else { 0 });
+                if span == 0 {
+                    // Inclusive full-width range: any word is valid.
+                    return rng.next_u64() as $t;
+                }
+                (lo + mul_shift(rng.next_u64(), span)) as $t
+            }
+        }
+
+        impl Standard for $t {
+            #[inline]
+            fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(u8, u16, u32, u64, usize);
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, spec: RangeSpec<Self>) -> Self {
+        if spec.inclusive {
+            assert!(spec.lo <= spec.hi, "random_range: empty float range");
+            if spec.lo == spec.hi {
+                return spec.lo;
+            }
+            // 53 uniform mantissa bits → u ∈ [0, 1] inclusive.
+            let u = (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+            return spec.lo + u * (spec.hi - spec.lo);
+        }
+        assert!(spec.lo < spec.hi, "random_range: empty float range");
+        // 53 uniform mantissa bits → u ∈ [0, 1).
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let v = spec.lo + u * (spec.hi - spec.lo);
+        // Guard against rounding up to `hi` (works for either sign of hi).
+        if v >= spec.hi {
+            spec.lo.max(spec.hi.next_down())
+        } else {
+            v
+        }
+    }
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ergonomic sampling methods, blanket-implemented for every [`RngCore`].
+pub trait RngExt: RngCore {
+    /// Uniform draw from a `lo..hi` or `lo..=hi` range.
+    ///
+    /// # Panics
+    /// Panics when the range is empty.
+    #[inline]
+    fn random_range<T, S>(&mut self, range: S) -> T
+    where
+        T: SampleUniform,
+        S: Into<RangeSpec<T>>,
+    {
+        T::sample_range(self, range.into())
+    }
+
+    /// Full-width uniform draw (`u64`, `f64` in `[0,1)`, `bool`, …).
+    #[inline]
+    fn random<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..32 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(10);
+        assert_ne!(a.random::<u64>(), c.random::<u64>());
+    }
+
+    #[test]
+    fn int_ranges_respect_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: u64 = r.random_range(3..=7);
+            assert!((3..=7).contains(&x));
+            let y: usize = r.random_range(0..5);
+            assert!(y < 5);
+            let z: u32 = r.random_range(0..2u32);
+            assert!(z < 2);
+        }
+    }
+
+    #[test]
+    fn int_range_covers_all_values() {
+        let mut r = StdRng::seed_from_u64(2);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            seen[r.random_range(0..5usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn float_range_half_open() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x: f64 = r.random_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&x));
+            let y: f64 = r.random_range(-2.0..5.0);
+            assert!((-2.0..5.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn float_mean_is_central() {
+        let mut r = StdRng::seed_from_u64(4);
+        let mean: f64 = (0..20_000).map(|_| r.random_range(0.0..1.0)).sum::<f64>() / 20_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn inclusive_float_ranges() {
+        let mut r = StdRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let x: f64 = r.random_range(-2.0..=-1.0);
+            assert!((-2.0..=-1.0).contains(&x));
+        }
+        // Degenerate inclusive range returns the point.
+        assert_eq!(r.random_range(3.5..=3.5), 3.5);
+    }
+
+    #[test]
+    fn negative_exclusive_float_range_stays_in_bounds() {
+        let mut r = StdRng::seed_from_u64(12);
+        for _ in 0..10_000 {
+            let x: f64 = r.random_range(-2.0..-1.0);
+            assert!((-2.0..-1.0).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut r = StdRng::seed_from_u64(5);
+        let _: usize = r.random_range(3..3);
+    }
+
+    #[test]
+    fn clone_forks_the_stream() {
+        let mut a = StdRng::seed_from_u64(6);
+        let _ = a.random::<u64>();
+        let mut b = a.clone();
+        assert_eq!(a.random::<u64>(), b.random::<u64>());
+    }
+}

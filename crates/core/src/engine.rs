@@ -298,13 +298,13 @@ impl ReplayEngine {
 mod tests {
     use super::*;
     use asynciter_models::schedule::{ChaoticBounded, CyclicCoordinate, SyncJacobi};
-    use asynciter_opt::linear::JacobiOperator;
-    use asynciter_opt::prox::L1;
-    use asynciter_opt::traits::SmoothObjective;
-    use asynciter_opt::proxgrad::{gamma_max, SparseProxGrad};
-    use asynciter_opt::quadratic::SparseQuadratic;
     use asynciter_numerics::sparse::tridiagonal;
     use asynciter_numerics::vecops;
+    use asynciter_opt::linear::JacobiOperator;
+    use asynciter_opt::prox::L1;
+    use asynciter_opt::proxgrad::{gamma_max, SparseProxGrad};
+    use asynciter_opt::quadratic::SparseQuadratic;
+    use asynciter_opt::traits::SmoothObjective;
 
     fn jacobi() -> JacobiOperator {
         JacobiOperator::new(tridiagonal(6, 4.0, -1.0), vec![1.0; 6]).unwrap()
@@ -430,9 +430,8 @@ mod tests {
         t.push_step(&[0], &[0, 0]); // j=3: stale! x0 := x1(0) + 1 = 1 (not 2)
         t.push_step(&[0], &[0, 2]); // j=4: x0 := x1(2) + 1 = 2
         let mut gen = asynciter_models::schedule::RecordedSchedule::new(t).unwrap();
-        let res =
-            ReplayEngine::run(&Shift, &[0.0, 0.0], &mut gen, &EngineConfig::fixed(4), None)
-                .unwrap();
+        let res = ReplayEngine::run(&Shift, &[0.0, 0.0], &mut gen, &EngineConfig::fixed(4), None)
+            .unwrap();
         assert_eq!(res.final_x, vec![2.0, 1.0]);
     }
 
@@ -457,10 +456,12 @@ mod tests {
             Err(CoreError::DimensionMismatch { .. })
         ));
         let mut gen = SyncJacobi::new(6);
-        assert!(ReplayEngine::run(&op, &[0.0; 5], &mut gen, &EngineConfig::fixed(1), None)
-            .is_err());
-        assert!(ReplayEngine::run(&op, &[0.0; 6], &mut gen, &EngineConfig::fixed(0), None)
-            .is_err());
+        assert!(
+            ReplayEngine::run(&op, &[0.0; 5], &mut gen, &EngineConfig::fixed(1), None).is_err()
+        );
+        assert!(
+            ReplayEngine::run(&op, &[0.0; 6], &mut gen, &EngineConfig::fixed(0), None).is_err()
+        );
         // error_every without xstar.
         let cfg = EngineConfig::fixed(5).with_error_every(1);
         assert!(ReplayEngine::run(&op, &[0.0; 6], &mut gen, &cfg, None).is_err());

@@ -30,6 +30,13 @@ pub enum CoreError {
         /// Offending component.
         component: usize,
     },
+    /// A session backend failed or was asked for something it cannot do.
+    Backend {
+        /// Backend name.
+        backend: &'static str,
+        /// What went wrong.
+        message: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -51,6 +58,9 @@ impl fmt::Display for CoreError {
                 f,
                 "iterate became non-finite at step {at_step}, component {component}"
             ),
+            CoreError::Backend { backend, message } => {
+                write!(f, "backend `{backend}`: {message}")
+            }
         }
     }
 }

@@ -214,7 +214,8 @@ impl FlexibleEngine {
             for h in 0..n {
                 let (ps, pv) = latest_partial[h];
                 if ps > buf.labels[h] && cfg.partial_prob > 0.0 {
-                    let take = cfg.partial_prob >= 1.0 || rng.random_range(0.0..1.0) < cfg.partial_prob;
+                    let take =
+                        cfg.partial_prob >= 1.0 || rng.random_range(0.0..1.0) < cfg.partial_prob;
                     if !take {
                         continue;
                     }
@@ -294,9 +295,9 @@ mod tests {
     use super::*;
     use asynciter_models::partition::Partition;
     use asynciter_models::schedule::BlockRoundRobin;
-    use asynciter_opt::linear::JacobiOperator;
     use asynciter_numerics::sparse::tridiagonal;
     use asynciter_numerics::vecops;
+    use asynciter_opt::linear::JacobiOperator;
 
     fn jacobi(n: usize) -> JacobiOperator {
         JacobiOperator::new(tridiagonal(n, 4.0, -1.0), vec![1.0; n]).unwrap()
@@ -314,8 +315,7 @@ mod tests {
         let cfg = FlexibleConfig::new(3000, 4).with_error_every(100);
         let norm = WeightedMaxNorm::uniform(12);
         let res =
-            FlexibleEngine::run(&op, &[0.0; 12], &mut gen, &cfg, &norm, Some(&xstar))
-                .unwrap();
+            FlexibleEngine::run(&op, &[0.0; 12], &mut gen, &cfg, &norm, Some(&xstar)).unwrap();
         assert!(vecops::max_abs_diff(&res.final_x, &xstar) < 1e-10);
         assert!(res.partial_reads > 0, "no partials were consumed");
         assert!(res.publishes > 0);
@@ -331,8 +331,7 @@ mod tests {
         let cfg = FlexibleConfig::new(5000, 6).with_publish_period(2);
         let norm = WeightedMaxNorm::uniform(10);
         let res =
-            FlexibleEngine::run(&op, &[0.0; 10], &mut gen, &cfg, &norm, Some(&xstar))
-                .unwrap();
+            FlexibleEngine::run(&op, &[0.0; 10], &mut gen, &cfg, &norm, Some(&xstar)).unwrap();
         assert!(res.constraint_checked > 100);
         let rate = res.constraint_violations as f64 / res.constraint_checked as f64;
         assert!(rate < 0.01, "violation rate {rate}");
@@ -348,8 +347,7 @@ mod tests {
             .with_enforcement();
         let norm = WeightedMaxNorm::uniform(10);
         let res =
-            FlexibleEngine::run(&op, &[0.0; 10], &mut gen, &cfg, &norm, Some(&xstar))
-                .unwrap();
+            FlexibleEngine::run(&op, &[0.0; 10], &mut gen, &cfg, &norm, Some(&xstar)).unwrap();
         // Enforcement falls back on violations, so convergence holds and
         // the run is a certified Definition-3 iteration.
         assert!(vecops::max_abs_diff(&res.final_x, &xstar) < 1e-10);
@@ -364,8 +362,8 @@ mod tests {
             let mut gen = block_schedule(12, 3, 4);
             // Short run so neither variant hits the f64 precision floor.
             let cfg = FlexibleConfig::new(45, m);
-            let res = FlexibleEngine::run(&op, &[0.0; 12], &mut gen, &cfg, &norm, Some(&xstar))
-                .unwrap();
+            let res =
+                FlexibleEngine::run(&op, &[0.0; 12], &mut gen, &cfg, &norm, Some(&xstar)).unwrap();
             vecops::max_abs_diff(&res.final_x, &xstar)
         };
         let e1 = err_after(1);
@@ -385,8 +383,8 @@ mod tests {
             let cfg = FlexibleConfig::new(400, 6)
                 .with_publish_period(2)
                 .with_partial_prob(q);
-            let res = FlexibleEngine::run(&op, &[0.0; 12], &mut gen, &cfg, &norm, Some(&xstar))
-                .unwrap();
+            let res =
+                FlexibleEngine::run(&op, &[0.0; 12], &mut gen, &cfg, &norm, Some(&xstar)).unwrap();
             vecops::max_abs_diff(&res.final_x, &xstar)
         };
         let with_partials = err_with_prob(1.0);
@@ -413,9 +411,7 @@ mod tests {
         // Wrong norm dimension.
         let wrong_norm = WeightedMaxNorm::uniform(5);
         let cfg = FlexibleConfig::new(10, 2);
-        assert!(
-            FlexibleEngine::run(&op, &[0.0; 4], &mut gen, &cfg, &wrong_norm, None).is_err()
-        );
+        assert!(FlexibleEngine::run(&op, &[0.0; 4], &mut gen, &cfg, &wrong_norm, None).is_err());
     }
 
     #[test]

@@ -19,6 +19,12 @@
 //! - [`stopping`] — stopping rules: plain residual tests and the
 //!   macro-iteration-based criterion in the spirit of Miellou–Spiteri–
 //!   El Baz \[15\], with an online macro-iteration tracker.
+//! - [`session`] — the **unified execution API**: one fluent [`Session`]
+//!   builder, one [`session::Backend`] trait and one [`session::RunReport`]
+//!   shared by every engine in the workspace (replay, flexible, the
+//!   threaded runtimes of `asynciter-runtime`, the simulator of
+//!   `asynciter-sim`). New code should start here; the per-engine entry
+//!   points below remain as thin compatibility shims.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -26,12 +32,14 @@
 pub mod engine;
 pub mod error;
 pub mod flexible;
+pub mod session;
 pub mod stopping;
 pub mod theory;
 
 pub use engine::{EngineConfig, ReplayEngine, RunResult};
 pub use error::CoreError;
 pub use flexible::{FlexibleConfig, FlexibleEngine, FlexibleRunResult};
+pub use session::{Flexible, Problem, RecordMode, Replay, RunControl, RunReport, Session};
 pub use stopping::{OnlineMacroTracker, StoppingRule};
 
 /// Convenience result alias for this crate.

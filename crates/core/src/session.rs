@@ -1,0 +1,712 @@
+//! The unified `Session` execution API.
+//!
+//! The paper studies *one* iterate sequence — Eq. (1) with unbounded
+//! delays, out-of-order labels and flexible partial updates — but the
+//! workspace grew five ways of running it (deterministic replay, flexible
+//! communication, free-running threads, barrier-synchronous threads, and
+//! the discrete-event simulator), each with its own config and result
+//! types. This module collapses them behind three small pieces:
+//!
+//! - [`Problem`] — what is solved: the operator, the initial iterate and
+//!   (for experiments) the known fixed point.
+//! - [`RunControl`] — how long and what to observe: step budget, error /
+//!   residual sampling, stopping rule, trace recording, seed, and the
+//!   schedule for replay-style backends.
+//! - [`Backend`] — *where* Eq. (1) executes. [`Replay`] and [`Flexible`]
+//!   live here; `SharedMem { threads }` and `Barrier { threads }` in
+//!   `asynciter-runtime`; `Sim(config)` in `asynciter-sim`. Every backend
+//!   populates the same [`RunReport`].
+//!
+//! The fluent [`Session`] builder wires the three together:
+//!
+//! ```
+//! use asynciter_core::session::{RecordMode, Replay, Session};
+//! use asynciter_models::schedule::ChaoticBounded;
+//! use asynciter_opt::linear::JacobiOperator;
+//! use asynciter_numerics::sparse::tridiagonal;
+//!
+//! let op = JacobiOperator::new(tridiagonal(8, 4.0, -1.0), vec![1.0; 8]).unwrap();
+//! let report = Session::new(&op)
+//!     .steps(2_000)
+//!     .schedule(ChaoticBounded::new(8, 2, 4, 10, false, 7))
+//!     .record(RecordMode::Full)
+//!     .backend(Replay)
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(report.steps, 2_000);
+//! assert!(report.macro_iterations > 0);
+//! ```
+//!
+//! Because every backend speaks [`RunReport`], same-problem/any-backend
+//! comparisons (async vs sync vs simulated speedup sweeps) are one-liners:
+//! build the session once per backend and diff the reports.
+
+use crate::engine::{EngineConfig, ReplayEngine};
+use crate::error::CoreError;
+use crate::flexible::{FlexibleConfig, FlexibleEngine};
+use crate::stopping::StoppingRule;
+use asynciter_models::macroiter::macro_iterations;
+use asynciter_models::schedule::{ScheduleGen, SyncJacobi};
+use asynciter_models::trace::{LabelStore, Trace};
+use asynciter_numerics::norm::WeightedMaxNorm;
+use asynciter_opt::traits::Operator;
+use std::time::Duration;
+
+/// What is being solved: the fixed-point operator plus starting data.
+pub struct Problem<'a> {
+    /// The operator `F` of Eq. (1).
+    pub op: &'a dyn Operator,
+    /// Initial iterate `x(0)`.
+    pub x0: Vec<f64>,
+    /// Known fixed point `x*` (experiments only: error recording and
+    /// oracle stopping; the algorithms never read it).
+    pub xstar: Option<Vec<f64>>,
+}
+
+impl Problem<'_> {
+    /// Dimension `n`.
+    pub fn n(&self) -> usize {
+        self.op.dim()
+    }
+}
+
+/// How much trace information a run keeps (unifies the engines'
+/// `LabelStore` / `TraceRecord` knobs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecordMode {
+    /// No trace in the report (fastest; macro-iterations still counted
+    /// where the backend computes a trace anyway).
+    #[default]
+    Off,
+    /// Active sets and minimum labels only.
+    MinOnly,
+    /// Full label vectors per step.
+    Full,
+}
+
+impl RecordMode {
+    /// The label retention used when a trace is materialised.
+    pub fn label_store(self) -> LabelStore {
+        match self {
+            RecordMode::Full => LabelStore::Full,
+            _ => LabelStore::MinOnly,
+        }
+    }
+
+    /// Whether the report should carry the trace.
+    pub fn keeps_trace(self) -> bool {
+        self != RecordMode::Off
+    }
+}
+
+/// Backend-independent run controls.
+///
+/// `schedule` is the explicit `(𝒮, ℒ)` realisation consumed by
+/// schedule-driven backends ([`Replay`], [`Flexible`]); thread and
+/// simulator backends generate their own schedules and ignore it. It is
+/// `&mut` state: backends `take()` it while running.
+pub struct RunControl<'a> {
+    /// Step budget: iterations (replay/flexible), block updates
+    /// (shared-memory), sweeps (barrier) or global iterations (sim).
+    pub max_steps: u64,
+    /// Record `‖x(j) − x*‖_∞` every this many steps (0 = never; needs
+    /// `Problem::xstar`).
+    pub error_every: u64,
+    /// Record `‖x − F(x)‖_∞` every this many steps (0 = never).
+    pub residual_every: u64,
+    /// Optional online stopping rule.
+    pub stopping: Option<StoppingRule>,
+    /// Trace retention.
+    pub record: RecordMode,
+    /// Seed for backends with internal randomness. `None` when the user
+    /// never called [`Session::seed`]: backends with their own configured
+    /// seed (e.g. `Sim`) keep it, others default to 0. `Some(s)` always
+    /// overrides.
+    pub seed: Option<u64>,
+    /// Schedule for schedule-driven backends.
+    pub schedule: Option<Box<dyn ScheduleGen + 'a>>,
+}
+
+impl<'a> RunControl<'a> {
+    /// Removes and returns the schedule, defaulting to the synchronous
+    /// Jacobi steering over `n` components when none was supplied.
+    pub fn take_schedule(&mut self, n: usize) -> Box<dyn ScheduleGen + 'a> {
+        self.schedule
+            .take()
+            .unwrap_or_else(|| Box::new(SyncJacobi::new(n)))
+    }
+}
+
+/// The one result type every backend populates.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Name of the backend that produced this report.
+    pub backend: &'static str,
+    /// Final iterate (consensus vector for distributed backends).
+    pub final_x: Vec<f64>,
+    /// Steps actually executed, in the backend's step unit (see
+    /// [`RunControl::max_steps`]).
+    pub steps: u64,
+    /// Completed macro-iterations (Definition 2) of the executed
+    /// schedule, when the backend materialised a trace; 0 otherwise.
+    pub macro_iterations: u64,
+    /// `(j, ‖x(j) − x*‖_∞)` samples (empty unless requested).
+    pub errors: Vec<(u64, f64)>,
+    /// Simulated completion time of each error sample, same indexing as
+    /// `errors` (simulator backend only; empty elsewhere). Lets
+    /// experiments convert convergence into simulated wall-clock.
+    pub error_times: Vec<u64>,
+    /// `(j, ‖x(j) − F(x(j))‖_∞)` samples (empty unless requested).
+    pub residuals: Vec<(u64, f64)>,
+    /// Fixed-point residual of `final_x`.
+    pub final_residual: f64,
+    /// True when a stopping rule (or residual target) fired early.
+    pub stopped_early: bool,
+    /// Updates per worker (thread backends; empty otherwise).
+    pub per_worker_updates: Vec<u64>,
+    /// Mid-phase partial publishes / partial sends (flexible
+    /// communication; 0 for backends without partials).
+    pub partial_publishes: u64,
+    /// Reads that consumed (upgraded to) a published partial value
+    /// (flexible backend only; thread/sim backends apply partials
+    /// directly to shared or local state and report 0).
+    pub partial_reads: u64,
+    /// The recorded trace (when [`RecordMode`] keeps it).
+    pub trace: Option<Trace>,
+    /// Simulated end time in ticks (simulator backend only).
+    pub sim_time: Option<u64>,
+    /// Wall-clock time: the backend's parallel-section time when it
+    /// measures one, otherwise the whole `Session::run` call.
+    pub wall: Duration,
+}
+
+impl RunReport {
+    /// `‖final_x − xstar‖_∞`.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn final_error(&self, xstar: &[f64]) -> f64 {
+        asynciter_numerics::vecops::max_abs_diff(&self.final_x, xstar)
+    }
+
+    /// First recorded step whose error sample is `≤ eps` (requires error
+    /// recording).
+    pub fn steps_to_error(&self, eps: f64) -> Option<u64> {
+        self.errors
+            .iter()
+            .find(|&&(_, e)| e <= eps)
+            .map(|&(j, _)| j)
+    }
+
+    /// Simulated time at which the error first dropped to `≤ eps`
+    /// (simulator backend with error recording).
+    pub fn sim_time_to_error(&self, eps: f64) -> Option<u64> {
+        self.errors
+            .iter()
+            .zip(&self.error_times)
+            .find(|((_, e), _)| *e <= eps)
+            .map(|(_, &t)| t)
+    }
+}
+
+/// Counts completed macro-iterations of a trace (0 for `None`/empty).
+pub fn macro_count(trace: Option<&Trace>) -> u64 {
+    match trace {
+        Some(t) if !t.is_empty() => macro_iterations(t).count() as u64,
+        _ => 0,
+    }
+}
+
+/// An execution engine for Eq. (1). Implementations translate the
+/// backend-independent [`Problem`] + [`RunControl`] into their native
+/// configuration, run, and translate the native result into a
+/// [`RunReport`].
+pub trait Backend {
+    /// Short backend name for reports and error messages.
+    fn name(&self) -> &'static str;
+
+    /// Executes the iteration.
+    ///
+    /// # Errors
+    /// Dimension/parameter validation failures, divergence, or a control
+    /// the backend cannot honour (reported, never silently dropped).
+    fn run(&mut self, problem: &Problem<'_>, ctl: &mut RunControl<'_>) -> crate::Result<RunReport>;
+}
+
+impl Backend for Box<dyn Backend + '_> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn run(&mut self, problem: &Problem<'_>, ctl: &mut RunControl<'_>) -> crate::Result<RunReport> {
+        (**self).run(problem, ctl)
+    }
+}
+
+/// Builds a [`CoreError`] for a control option a backend does not
+/// support.
+pub fn unsupported(backend: &'static str, what: &str) -> CoreError {
+    CoreError::Backend {
+        backend,
+        message: format!("{what} is not supported by this backend"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The fluent builder
+// ---------------------------------------------------------------------------
+
+/// Fluent builder for a single run: problem, controls, backend.
+///
+/// See the [module docs](self) for a complete example. Unset fields get
+/// conservative defaults: `x0 = 0`, 10 000 steps, no recording, no
+/// stopping rule, and the [`Replay`] backend over a synchronous schedule.
+pub struct Session<'a> {
+    op: &'a dyn Operator,
+    x0: Option<Vec<f64>>,
+    xstar: Option<Vec<f64>>,
+    max_steps: u64,
+    error_every: u64,
+    residual_every: u64,
+    stopping: Option<StoppingRule>,
+    record: RecordMode,
+    seed: Option<u64>,
+    schedule: Option<Box<dyn ScheduleGen + 'a>>,
+    backend: Option<Box<dyn Backend + 'a>>,
+}
+
+impl<'a> Session<'a> {
+    /// Starts a session solving the fixed point of `op`.
+    pub fn new(op: &'a dyn Operator) -> Self {
+        Self {
+            op,
+            x0: None,
+            xstar: None,
+            max_steps: 10_000,
+            error_every: 0,
+            residual_every: 0,
+            stopping: None,
+            record: RecordMode::Off,
+            seed: None,
+            schedule: None,
+            backend: None,
+        }
+    }
+
+    /// Sets the initial iterate (default: the zero vector).
+    #[must_use]
+    pub fn x0(mut self, x0: impl Into<Vec<f64>>) -> Self {
+        self.x0 = Some(x0.into());
+        self
+    }
+
+    /// Declares the known fixed point (enables error recording and
+    /// oracle stopping).
+    #[must_use]
+    pub fn xstar(mut self, xstar: impl Into<Vec<f64>>) -> Self {
+        self.xstar = Some(xstar.into());
+        self
+    }
+
+    /// Sets the step budget (see [`RunControl::max_steps`] for units).
+    #[must_use]
+    pub fn steps(mut self, max_steps: u64) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Installs the schedule `(𝒮, ℒ)` for schedule-driven backends.
+    #[must_use]
+    pub fn schedule(mut self, gen: impl ScheduleGen + 'a) -> Self {
+        self.schedule = Some(Box::new(gen));
+        self
+    }
+
+    /// Installs an online stopping rule.
+    #[must_use]
+    pub fn stopping(mut self, rule: StoppingRule) -> Self {
+        self.stopping = Some(rule);
+        self
+    }
+
+    /// Sets the trace retention mode.
+    #[must_use]
+    pub fn record(mut self, mode: RecordMode) -> Self {
+        self.record = mode;
+        self
+    }
+
+    /// Samples `‖x(j) − x*‖_∞` every `every` steps (requires
+    /// [`Session::xstar`]).
+    #[must_use]
+    pub fn error_every(mut self, every: u64) -> Self {
+        self.error_every = every;
+        self
+    }
+
+    /// Samples the fixed-point residual every `every` steps.
+    #[must_use]
+    pub fn residual_every(mut self, every: u64) -> Self {
+        self.residual_every = every;
+        self
+    }
+
+    /// Sets the seed for backends with internal randomness (always
+    /// overrides a backend-configured seed).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Selects the backend (default: [`Replay`]).
+    #[must_use]
+    pub fn backend(mut self, backend: impl Backend + 'a) -> Self {
+        self.backend = Some(Box::new(backend));
+        self
+    }
+
+    /// Executes the run.
+    ///
+    /// # Errors
+    /// Whatever the backend reports: validation failures, divergence, or
+    /// unsupported controls.
+    pub fn run(self) -> crate::Result<RunReport> {
+        let n = self.op.dim();
+        let problem = Problem {
+            op: self.op,
+            x0: self.x0.unwrap_or_else(|| vec![0.0; n]),
+            xstar: self.xstar,
+        };
+        let mut ctl = RunControl {
+            max_steps: self.max_steps,
+            error_every: self.error_every,
+            residual_every: self.residual_every,
+            stopping: self.stopping,
+            record: self.record,
+            seed: self.seed,
+            schedule: self.schedule,
+        };
+        let mut backend: Box<dyn Backend + 'a> = self.backend.unwrap_or(Box::new(Replay));
+        let start = std::time::Instant::now();
+        let mut report = backend.run(&problem, &mut ctl)?;
+        if report.wall == Duration::ZERO {
+            report.wall = start.elapsed();
+        }
+        Ok(report)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Core backends: Replay (Definition 1) and Flexible (Definition 3)
+// ---------------------------------------------------------------------------
+
+/// The deterministic Definition-1 replay backend
+/// ([`ReplayEngine`] behind the [`Backend`] interface).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Replay;
+
+impl Backend for Replay {
+    fn name(&self) -> &'static str {
+        "replay"
+    }
+
+    fn run(&mut self, problem: &Problem<'_>, ctl: &mut RunControl<'_>) -> crate::Result<RunReport> {
+        let mut gen = ctl.take_schedule(problem.n());
+        let cfg = EngineConfig {
+            num_steps: ctl.max_steps,
+            record_labels: ctl.record.label_store(),
+            error_every: ctl.error_every,
+            residual_every: ctl.residual_every,
+            stopping: ctl.stopping.clone(),
+        };
+        let res = ReplayEngine::run(
+            problem.op,
+            &problem.x0,
+            gen.as_mut(),
+            &cfg,
+            problem.xstar.as_deref(),
+        )?;
+        let final_residual = problem.op.residual_inf(&res.final_x);
+        let macro_iterations = macro_count(Some(&res.trace));
+        Ok(RunReport {
+            backend: self.name(),
+            final_x: res.final_x,
+            steps: res.steps_run,
+            macro_iterations,
+            errors: res.errors,
+            error_times: Vec::new(),
+            residuals: res.residuals,
+            final_residual,
+            stopped_early: res.stopped_early,
+            per_worker_updates: Vec::new(),
+            partial_publishes: 0,
+            partial_reads: 0,
+            trace: ctl.record.keeps_trace().then_some(res.trace),
+            sim_time: None,
+            wall: Duration::ZERO,
+        })
+    }
+}
+
+/// The Definition-3 flexible-communication backend
+/// ([`FlexibleEngine`] behind the [`Backend`] interface).
+///
+/// `m` inner iterations run per outer update; with `partial` set the
+/// in-progress block is published halfway (override with
+/// `publish_period`) and readers may consume those partials.
+/// Constructible with functional-update syntax:
+/// `Flexible { m: 4, partial: true, ..Flexible::default() }`.
+#[derive(Debug, Clone)]
+pub struct Flexible {
+    /// Inner iterations `m ≥ 1` per outer update.
+    pub m: usize,
+    /// Publish mid-phase partials (flexible communication); `false`
+    /// degenerates to the standard asynchronous iteration.
+    pub partial: bool,
+    /// Probability that a read upgrades to an available fresher partial.
+    pub partial_prob: f64,
+    /// Publish period override (default: `m/2` when `partial`, disabled
+    /// otherwise).
+    pub publish_period: Option<usize>,
+    /// Enforce constraint (3) against the known fixed point (certified
+    /// Definition-3 iteration).
+    pub enforce_constraint: bool,
+    /// The weighted max norm `‖·‖_u` of constraint (3) (default:
+    /// uniform weights).
+    pub norm: Option<WeightedMaxNorm>,
+}
+
+impl Default for Flexible {
+    fn default() -> Self {
+        Self {
+            m: 1,
+            partial: true,
+            partial_prob: 1.0,
+            publish_period: None,
+            enforce_constraint: false,
+            norm: None,
+        }
+    }
+}
+
+impl Backend for Flexible {
+    fn name(&self) -> &'static str {
+        "flexible"
+    }
+
+    fn run(&mut self, problem: &Problem<'_>, ctl: &mut RunControl<'_>) -> crate::Result<RunReport> {
+        if ctl.stopping.is_some() {
+            return Err(unsupported(self.name(), "a stopping rule"));
+        }
+        if ctl.residual_every > 0 {
+            return Err(unsupported(self.name(), "residual sampling"));
+        }
+        if !self.partial && self.publish_period.is_some() {
+            return Err(CoreError::InvalidParameter {
+                name: "publish_period",
+                message: "set together with partial: false — a partial-free baseline \
+                          cannot publish mid-phase"
+                    .into(),
+            });
+        }
+        let n = problem.n();
+        let mut gen = ctl.take_schedule(n);
+        let publish_period = self.publish_period.unwrap_or(if self.partial {
+            (self.m / 2).max(1)
+        } else {
+            // publish_period == m disables mid-phase publishing.
+            self.m.max(1)
+        });
+        let cfg = FlexibleConfig {
+            num_steps: ctl.max_steps,
+            inner_steps: self.m,
+            publish_period,
+            partial_prob: self.partial_prob,
+            seed: ctl.seed.unwrap_or(0),
+            record_labels: ctl.record.label_store(),
+            error_every: ctl.error_every,
+            enforce_constraint: self.enforce_constraint,
+        };
+        let norm = match &self.norm {
+            Some(u) => u.clone(),
+            None => WeightedMaxNorm::uniform(n),
+        };
+        let res = FlexibleEngine::run(
+            problem.op,
+            &problem.x0,
+            gen.as_mut(),
+            &cfg,
+            &norm,
+            problem.xstar.as_deref(),
+        )?;
+        let final_residual = problem.op.residual_inf(&res.final_x);
+        let macro_iterations = macro_count(Some(&res.trace));
+        Ok(RunReport {
+            backend: self.name(),
+            final_x: res.final_x,
+            steps: ctl.max_steps,
+            macro_iterations,
+            errors: res.errors,
+            error_times: Vec::new(),
+            residuals: Vec::new(),
+            final_residual,
+            stopped_early: false,
+            per_worker_updates: Vec::new(),
+            partial_publishes: res.publishes,
+            partial_reads: res.partial_reads,
+            trace: ctl.record.keeps_trace().then_some(res.trace),
+            sim_time: None,
+            wall: Duration::ZERO,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asynciter_models::schedule::{ChaoticBounded, SyncJacobi};
+    use asynciter_numerics::sparse::tridiagonal;
+    use asynciter_numerics::vecops;
+    use asynciter_opt::linear::JacobiOperator;
+
+    fn jacobi(n: usize) -> JacobiOperator {
+        JacobiOperator::new(tridiagonal(n, 4.0, -1.0), vec![1.0; n]).unwrap()
+    }
+
+    #[test]
+    fn session_defaults_run_replay_sync() {
+        let op = jacobi(6);
+        let report = Session::new(&op).steps(50).run().unwrap();
+        assert_eq!(report.backend, "replay");
+        assert_eq!(report.steps, 50);
+        // Synchronous default schedule: one macro-iteration per step.
+        assert_eq!(report.macro_iterations, 50);
+        assert!(report.final_residual < 1e-10);
+        assert!(report.trace.is_none(), "RecordMode::Off keeps no trace");
+        assert!(report.wall > Duration::ZERO);
+    }
+
+    #[test]
+    fn session_matches_legacy_replay_exactly() {
+        let op = jacobi(8);
+        let report = Session::new(&op)
+            .steps(500)
+            .schedule(ChaoticBounded::new(8, 2, 4, 10, false, 3))
+            .record(RecordMode::Full)
+            .backend(Replay)
+            .run()
+            .unwrap();
+        let mut gen = ChaoticBounded::new(8, 2, 4, 10, false, 3);
+        let legacy =
+            ReplayEngine::run(&op, &[0.0; 8], &mut gen, &EngineConfig::fixed(500), None).unwrap();
+        assert_eq!(report.final_x, legacy.final_x);
+        assert_eq!(report.trace.unwrap().len(), legacy.trace.len());
+    }
+
+    #[test]
+    fn session_error_recording_and_stopping() {
+        let op = jacobi(6);
+        let xstar = op.solve_dense_spd().unwrap();
+        let report = Session::new(&op)
+            .steps(100_000)
+            .schedule(SyncJacobi::new(6))
+            .xstar(xstar.clone())
+            .error_every(5)
+            .stopping(StoppingRule::Residual {
+                eps: 1e-10,
+                check_every: 5,
+            })
+            .run()
+            .unwrap();
+        assert!(report.stopped_early);
+        assert!(report.steps < 100_000);
+        assert!(!report.errors.is_empty());
+        assert!(report.final_error(&xstar) < 1e-9);
+    }
+
+    #[test]
+    fn flexible_backend_runs_and_counts_partials() {
+        let op = jacobi(12);
+        let xstar = op.solve_dense_spd().unwrap();
+        let report = Session::new(&op)
+            .steps(2_000)
+            .schedule(asynciter_models::schedule::BlockRoundRobin::new(
+                asynciter_models::Partition::blocks(12, 3).unwrap(),
+                4,
+            ))
+            .xstar(xstar.clone())
+            .backend(Flexible {
+                m: 4,
+                partial: true,
+                ..Flexible::default()
+            })
+            .run()
+            .unwrap();
+        assert_eq!(report.backend, "flexible");
+        assert!(report.partial_publishes > 0);
+        assert!(report.partial_reads > 0);
+        assert!(report.final_error(&xstar) < 1e-10);
+    }
+
+    #[test]
+    fn flexible_without_partials_matches_flexible_engine_baseline() {
+        let op = jacobi(8);
+        let report = Session::new(&op)
+            .steps(200)
+            .backend(Flexible {
+                m: 3,
+                partial: false,
+                ..Flexible::default()
+            })
+            .run()
+            .unwrap();
+        // publish_period = m disables mid-phase publishing entirely.
+        assert_eq!(report.partial_publishes, 0);
+        assert_eq!(report.partial_reads, 0);
+    }
+
+    #[test]
+    fn unsupported_controls_are_reported_not_dropped() {
+        let op = jacobi(4);
+        let err = Session::new(&op)
+            .steps(10)
+            .stopping(StoppingRule::Residual {
+                eps: 1e-3,
+                check_every: 1,
+            })
+            .backend(Flexible::default())
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Backend { .. }), "{err}");
+    }
+
+    #[test]
+    fn record_off_still_counts_macro_iterations() {
+        let op = jacobi(6);
+        let report = Session::new(&op)
+            .steps(300)
+            .schedule(ChaoticBounded::new(6, 1, 3, 8, false, 9))
+            .run()
+            .unwrap();
+        assert!(report.trace.is_none());
+        assert!(report.macro_iterations > 0);
+    }
+
+    #[test]
+    fn reports_are_deterministic_for_deterministic_backends() {
+        let op = jacobi(6);
+        let run = || {
+            Session::new(&op)
+                .steps(400)
+                .schedule(ChaoticBounded::new(6, 1, 3, 8, false, 7))
+                .run()
+                .unwrap()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.final_x, b.final_x);
+        assert_eq!(a.macro_iterations, b.macro_iterations);
+        let diff = vecops::max_abs_diff(&a.final_x, &b.final_x);
+        assert_eq!(diff, 0.0);
+    }
+}

@@ -148,11 +148,11 @@ impl StopState {
         match rule {
             StoppingRule::Residual { eps, check_every } => {
                 let period = (*check_every).max(1);
-                j % period == 0 && op.residual_inf(cur) <= *eps
+                j.is_multiple_of(period) && op.residual_inf(cur) <= *eps
             }
             StoppingRule::ErrorBelow { eps, check_every } => {
                 let period = (*check_every).max(1);
-                if j % period != 0 {
+                if !j.is_multiple_of(period) {
                     return false;
                 }
                 let xs = xstar.expect("ErrorBelow stopping rule requires xstar");
@@ -183,9 +183,9 @@ mod tests {
     use super::*;
     use crate::engine::{EngineConfig, ReplayEngine};
     use asynciter_models::schedule::{ChaoticBounded, CyclicCoordinate, SyncJacobi};
-    use asynciter_opt::linear::JacobiOperator;
     use asynciter_numerics::sparse::tridiagonal;
     use asynciter_numerics::vecops;
+    use asynciter_opt::linear::JacobiOperator;
 
     fn jacobi(n: usize) -> JacobiOperator {
         JacobiOperator::new(tridiagonal(n, 4.0, -1.0), vec![1.0; n]).unwrap()

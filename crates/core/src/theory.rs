@@ -116,14 +116,14 @@ pub fn perron_weights(m: &CsrMatrix, iters: usize) -> Option<(Vec<f64>, f64)> {
             next[i] = s;
         }
         let norm = next.iter().cloned().fold(0.0_f64, f64::max);
-        if !(norm > 0.0) || !norm.is_finite() {
+        if !norm.is_finite() || norm <= 0.0 {
             return None;
         }
         for (u_i, n_i) in u.iter_mut().zip(&next) {
             *u_i = n_i / norm;
         }
     }
-    if u.iter().any(|&v| !(v > 0.0)) {
+    if u.iter().any(|&v| v.is_nan() || v <= 0.0) {
         return None;
     }
     // The Collatz–Wielandt upper bound max_i (|M|u)_i / u_i: converges to
@@ -245,7 +245,10 @@ mod tests {
         let expected = (std::f64::consts::PI / (n as f64 + 1.0)).cos();
         // Collatz–Wielandt converges to ρ(|M|) from above.
         assert!(sigma >= expected - 1e-9, "sigma {sigma} below ρ {expected}");
-        assert!((sigma - expected).abs() < 1e-6, "sigma {sigma} vs {expected}");
+        assert!(
+            (sigma - expected).abs() < 1e-6,
+            "sigma {sigma} vs {expected}"
+        );
         let bound = weighted_norm_bound(&m, &u);
         assert!(bound < 1.0, "weighted bound {bound}");
         assert!((bound - sigma).abs() < 1e-12);

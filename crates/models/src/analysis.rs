@@ -114,10 +114,7 @@ pub fn windowed_max(series: &[(u64, u64)], window: usize) -> Vec<(f64, f64)> {
 /// Fits the delay growth envelope `d(j) ≈ c · j^p` of a component's delay
 /// series via windowed maxima; returns `(c, p, r²)` or `None` when the fit
 /// is impossible (constant/degenerate envelope).
-pub fn delay_growth_exponent(
-    series: &[(u64, u64)],
-    window: usize,
-) -> Option<(f64, f64, f64)> {
+pub fn delay_growth_exponent(series: &[(u64, u64)], window: usize) -> Option<(f64, f64, f64)> {
     let env = windowed_max(series, window);
     let (xs, ys): (Vec<f64>, Vec<f64>) = env.into_iter().unzip();
     stats::fit_power_law(&xs, &ys)

@@ -365,7 +365,12 @@ mod tests {
         t.push_step(&[0], &[0, 0]);
         t.push_step(&[1], &[2, 1]); // l_0(2) = 2 > 1.
         match check_condition_a(&t) {
-            Err(ModelError::ConditionViolated { condition: "a", at_step: 2, component: 0, .. }) => {}
+            Err(ModelError::ConditionViolated {
+                condition: "a",
+                at_step: 2,
+                component: 0,
+                ..
+            }) => {}
             other => panic!("expected (a) violation, got {other:?}"),
         }
     }
@@ -387,7 +392,11 @@ mod tests {
         let mut g = FrozenLabelAdversary::new(inner, 1, 5);
         let t = record(&mut g, 400, LabelStore::Full);
         match check_condition_b(&t, 4, 0) {
-            Err(ModelError::ConditionViolated { condition: "b", component: 1, .. }) => {}
+            Err(ModelError::ConditionViolated {
+                condition: "b",
+                component: 1,
+                ..
+            }) => {}
             other => panic!("expected (b) violation on component 1, got {other:?}"),
         }
     }
@@ -407,7 +416,11 @@ mod tests {
         let mut g = StarvedComponent::new(inner, 2, 20);
         let t = record(&mut g, 200, LabelStore::Full);
         match check_condition_c(&t, 50) {
-            Err(ModelError::ConditionViolated { condition: "c", component: 2, .. }) => {}
+            Err(ModelError::ConditionViolated {
+                condition: "c",
+                component: 2,
+                ..
+            }) => {}
             other => panic!("expected (c) violation on component 2, got {other:?}"),
         }
     }
@@ -425,7 +438,7 @@ mod tests {
 
         let mut t = Trace::new(1, LabelStore::Full);
         t.push_step(&[0], &[0]); // j=1
-        // gap of 3 then update at j=5.
+                                 // gap of 3 then update at j=5.
         t.push_step(&[0], &[0]);
         let _ = t;
     }

@@ -82,7 +82,11 @@ fn macro_iterations_impl(trace: &Trace, strict: bool) -> MacroIterations {
                 // Require that everything still in flight after j reads
                 // labels >= jk; the suffix minimum over steps r > j is
                 // suffix[j] (suffix[k] = min over 1-based steps r >= k+1).
-                let future_min = if j < len { suffix[j as usize] } else { u64::MAX };
+                let future_min = if j < len {
+                    suffix[j as usize]
+                } else {
+                    u64::MAX
+                };
                 if future_min < jk {
                     continue;
                 }

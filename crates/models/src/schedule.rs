@@ -308,7 +308,11 @@ impl ScheduleGen for ChaoticBounded {
             self.k_min,
             self.k_max,
             self.b,
-            if self.monotone { "fifo" } else { "out-of-order" }
+            if self.monotone {
+                "fifo"
+            } else {
+                "out-of-order"
+            }
         )
     }
 }
@@ -695,11 +699,7 @@ mod tests {
         let mut g = UnboundedSqrtDelay::new(4, 4, 4, 1.0, 3);
         let t = run(&mut g, 5000);
         // Delays beyond any small constant appear...
-        let max_delay = t
-            .iter()
-            .map(|(j, s)| j - s.min_label)
-            .max()
-            .unwrap();
+        let max_delay = t.iter().map(|(j, s)| j - s.min_label).max().unwrap();
         assert!(max_delay > 16, "max delay {max_delay}");
         // ...but labels still grow: the suffix minimum at the end is large.
         let suffix = t.min_label_suffix();

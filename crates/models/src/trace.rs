@@ -121,7 +121,10 @@ impl Trace {
     /// Panics when `j` is 0 or beyond the recorded range.
     #[inline]
     pub fn step(&self, j: u64) -> &TraceStep {
-        assert!(j >= 1 && (j as usize) <= self.steps.len(), "step: j out of range");
+        assert!(
+            j >= 1 && (j as usize) <= self.steps.len(),
+            "step: j out of range"
+        );
         &self.steps[j as usize - 1]
     }
 
@@ -137,7 +140,10 @@ impl Trace {
         if self.store != LabelStore::Full {
             return Err(ModelError::LabelsNotStored);
         }
-        assert!(j >= 1 && (j as usize) <= self.labels.len(), "labels: j out of range");
+        assert!(
+            j >= 1 && (j as usize) <= self.labels.len(),
+            "labels: j out of range"
+        );
         Ok(&self.labels[j as usize - 1])
     }
 

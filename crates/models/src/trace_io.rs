@@ -81,9 +81,7 @@ fn parse_err(line: usize, message: impl Into<String>) -> ModelError {
 /// underlying [`Trace::push_step`], surfacing corruption loudly.
 pub fn read_trace(input: &mut dyn BufRead) -> crate::Result<Trace> {
     let mut lines = input.lines().enumerate();
-    let (_, header) = lines
-        .next()
-        .ok_or_else(|| parse_err(1, "empty input"))?;
+    let (_, header) = lines.next().ok_or_else(|| parse_err(1, "empty input"))?;
     let header = header.map_err(|e| parse_err(1, e.to_string()))?;
     let parts: Vec<&str> = header.split_whitespace().collect();
     if parts.len() != 4 || parts[0] != "asynciter-trace" || parts[1] != "v1" {
@@ -223,19 +221,14 @@ mod tests {
         // Missing separator.
         assert!(trace_from_str("asynciter-trace v1 n=2 labels=full\n1 a 0 l 0 0\n").is_err());
         // Wrong label count.
-        assert!(
-            trace_from_str("asynciter-trace v1 n=2 labels=full\n1 a 0 | l 0\n").is_err()
-        );
+        assert!(trace_from_str("asynciter-trace v1 n=2 labels=full\n1 a 0 | l 0\n").is_err());
         // Non-consecutive step numbering.
-        assert!(
-            trace_from_str("asynciter-trace v1 n=2 labels=full\n2 a 0 | l 0 0\n").is_err()
-        );
+        assert!(trace_from_str("asynciter-trace v1 n=2 labels=full\n2 a 0 | l 0 0\n").is_err());
     }
 
     #[test]
     fn blank_lines_ignored() {
-        let t = trace_from_str("asynciter-trace v1 n=2 labels=full\n\n1 a 0 | l 0 0\n\n")
-            .unwrap();
+        let t = trace_from_str("asynciter-trace v1 n=2 labels=full\n\n1 a 0 | l 0 0\n\n").unwrap();
         assert_eq!(t.len(), 1);
     }
 

@@ -304,12 +304,7 @@ mod tests {
 
     fn spd3() -> DenseMatrix {
         // Diagonally dominant symmetric -> SPD.
-        DenseMatrix::from_vec(
-            3,
-            3,
-            vec![4.0, 1.0, 0.5, 1.0, 5.0, -1.0, 0.5, -1.0, 6.0],
-        )
-        .unwrap()
+        DenseMatrix::from_vec(3, 3, vec![4.0, 1.0, 0.5, 1.0, 5.0, -1.0, 0.5, -1.0, 6.0]).unwrap()
     }
 
     #[test]

@@ -86,7 +86,10 @@ mod tests {
             actual: 5,
             context: "dot",
         };
-        assert_eq!(e.to_string(), "dimension mismatch in dot: expected 3, got 5");
+        assert_eq!(
+            e.to_string(),
+            "dimension mismatch in dot: expected 3, got 5"
+        );
     }
 
     #[test]

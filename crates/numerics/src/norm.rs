@@ -106,7 +106,11 @@ impl WeightedMaxNorm {
     /// Index attaining the max along with the attained value, or `None`
     /// for zero-dimensional input.
     pub fn argmax(&self, x: &[f64]) -> Option<(usize, f64)> {
-        assert_eq!(x.len(), self.u.len(), "WeightedMaxNorm::argmax: dim mismatch");
+        assert_eq!(
+            x.len(),
+            self.u.len(),
+            "WeightedMaxNorm::argmax: dim mismatch"
+        );
         let mut best: Option<(usize, f64)> = None;
         for (i, (&v, &w)) in x.iter().zip(&self.u).enumerate() {
             let m = v.abs() / w;

@@ -290,8 +290,7 @@ mod tests {
 
     #[test]
     fn from_triplets_merges_duplicates() {
-        let a =
-            CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 0, 2.0), (1, 1, 5.0)]).unwrap();
+        let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 0, 2.0), (1, 1, 5.0)]).unwrap();
         assert_eq!(a.get(0, 0), 3.0);
         assert_eq!(a.get(1, 1), 5.0);
         assert_eq!(a.get(0, 1), 0.0);
@@ -396,7 +395,9 @@ mod tests {
         assert!(!a.is_symmetric(1e-14));
         let b = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0), (1, 0, 1.0)]).unwrap();
         assert!(b.is_symmetric(1e-14));
-        assert!(!CsrMatrix::from_triplets(2, 3, &[]).unwrap().is_symmetric(1.0));
+        assert!(!CsrMatrix::from_triplets(2, 3, &[])
+            .unwrap()
+            .is_symmetric(1.0));
     }
 
     #[test]

@@ -39,7 +39,7 @@ impl Graph {
                     message: format!("arc ({u},{v}) out of range"),
                 });
             }
-            if !(w >= 0.0) || !w.is_finite() {
+            if !w.is_finite() || w < 0.0 {
                 return Err(OptError::InvalidProblem {
                     message: format!("arc ({u},{v}) has invalid weight {w}"),
                 });
@@ -130,29 +130,29 @@ impl Graph {
         // 11 ILLINOIS 12 CASE  13 CMU    14 AMES   15 MITRE
         // 16 BURROUGHS 17 NBS
         let edges: &[(usize, usize, f64)] = &[
-            (0, 1, 0.56),  // UCLA–SRI
-            (0, 2, 0.18),  // UCLA–UCSB
-            (0, 6, 0.02),  // UCLA–RAND
-            (1, 2, 0.44),  // SRI–UCSB
-            (1, 3, 1.20),  // SRI–UTAH
-            (1, 10, 0.03), // SRI–STANFORD
-            (1, 14, 0.04), // SRI–AMES
-            (3, 11, 1.90), // UTAH–ILLINOIS
-            (6, 7, 0.02),  // RAND–SDC
-            (7, 3, 0.95),  // SDC–UTAH
-            (4, 5, 0.01),  // BBN–MIT
-            (4, 8, 0.01),  // BBN–HARVARD
-            (5, 9, 0.02),  // MIT–LINCOLN
-            (8, 13, 0.90), // HARVARD–CMU
-            (9, 12, 0.80), // LINCOLN–CASE
-            (11, 5, 1.60), // ILLINOIS–MIT
-            (12, 13, 0.20),// CASE–CMU
-            (13, 4, 0.90), // CMU–BBN
-            (6, 15, 3.70), // RAND–MITRE
-            (15, 16, 0.20),// MITRE–BURROUGHS
-            (15, 17, 0.03),// MITRE–NBS
-            (16, 4, 0.60), // BURROUGHS–BBN
-            (14, 2, 0.45), // AMES–UCSB
+            (0, 1, 0.56),   // UCLA–SRI
+            (0, 2, 0.18),   // UCLA–UCSB
+            (0, 6, 0.02),   // UCLA–RAND
+            (1, 2, 0.44),   // SRI–UCSB
+            (1, 3, 1.20),   // SRI–UTAH
+            (1, 10, 0.03),  // SRI–STANFORD
+            (1, 14, 0.04),  // SRI–AMES
+            (3, 11, 1.90),  // UTAH–ILLINOIS
+            (6, 7, 0.02),   // RAND–SDC
+            (7, 3, 0.95),   // SDC–UTAH
+            (4, 5, 0.01),   // BBN–MIT
+            (4, 8, 0.01),   // BBN–HARVARD
+            (5, 9, 0.02),   // MIT–LINCOLN
+            (8, 13, 0.90),  // HARVARD–CMU
+            (9, 12, 0.80),  // LINCOLN–CASE
+            (11, 5, 1.60),  // ILLINOIS–MIT
+            (12, 13, 0.20), // CASE–CMU
+            (13, 4, 0.90),  // CMU–BBN
+            (6, 15, 3.70),  // RAND–MITRE
+            (15, 16, 0.20), // MITRE–BURROUGHS
+            (15, 17, 0.03), // MITRE–NBS
+            (16, 4, 0.60),  // BURROUGHS–BBN
+            (14, 2, 0.45),  // AMES–UCSB
         ];
         Self::undirected(18, edges).expect("static topology is valid")
     }
@@ -171,7 +171,7 @@ impl Graph {
                 message: "need at least two nodes".into(),
             });
         }
-        if !(radius > 0.0) {
+        if radius.is_nan() || radius <= 0.0 {
             return Err(OptError::InvalidParameter {
                 name: "radius",
                 message: "must be positive".into(),

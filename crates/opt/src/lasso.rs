@@ -67,7 +67,7 @@ impl LassoProblem {
                 message: format!("need 1 <= sparsity <= n, got {sparsity}"),
             });
         }
-        if !(lambda > 0.0) {
+        if lambda.is_nan() || lambda <= 0.0 {
             return Err(OptError::InvalidParameter {
                 name: "lambda",
                 message: "must be positive".into(),
@@ -110,7 +110,7 @@ impl LassoProblem {
                 context: "LassoProblem::from_design",
             });
         }
-        if !(lambda > 0.0) {
+        if lambda.is_nan() || lambda <= 0.0 {
             return Err(OptError::InvalidParameter {
                 name: "lambda",
                 message: "must be positive".into(),
@@ -253,11 +253,7 @@ mod tests {
     fn reference_agrees_with_proxgrad_fixed_point() {
         let p = instance();
         let x_cd = p.reference_solution(1e-14, 100_000).unwrap();
-        let gamma = 0.9
-            * gamma_max(
-                p.quadratic.strong_convexity(),
-                p.quadratic.lipschitz(),
-            );
+        let gamma = 0.9 * gamma_max(p.quadratic.strong_convexity(), p.quadratic.lipschitz());
         let op = SparseProxGrad::new(p.quadratic.clone(), L1::new(p.lambda), gamma).unwrap();
         let (_, p_star) = op.solve_exact().unwrap();
         assert!(
@@ -291,7 +287,12 @@ mod tests {
         // its mass on the true support.
         let p = LassoProblem::random(16, 400, 3, 0.02, 0.005, 11).unwrap();
         let x = p.reference_solution(1e-12, 100_000).unwrap();
-        let mut mags: Vec<(usize, f64)> = x.iter().cloned().enumerate().map(|(i, v)| (i, v.abs())).collect();
+        let mut mags: Vec<(usize, f64)> = x
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, v)| (i, v.abs()))
+            .collect();
         mags.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
         // Top-3 magnitudes should dwarf the rest.
         assert!(mags[2].1 > 5.0 * mags[3].1, "mags = {mags:?}");

@@ -146,8 +146,7 @@ mod tests {
 
     #[test]
     fn rejects_zero_diagonal() {
-        let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 1, 1.0), (1, 0, 1.0)])
-            .unwrap();
+        let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 1, 1.0), (1, 0, 1.0)]).unwrap();
         assert!(JacobiOperator::new(a, vec![1.0, 1.0]).is_err());
     }
 

@@ -48,7 +48,7 @@ impl LogisticRegression {
                 message: format!("label z[{h}] = {v} must be ±1"),
             });
         }
-        if !(lambda > 0.0) {
+        if lambda.is_nan() || lambda <= 0.0 {
             return Err(OptError::InvalidParameter {
                 name: "lambda",
                 message: "must be positive (strong convexity)".into(),
@@ -176,8 +176,7 @@ impl SmoothObjective for LogisticRegression {
             let margin = self.z[h] * asynciter_numerics::vecops::dot(self.a.row(h), x);
             loss += log1p_exp(-margin);
         }
-        loss / m as f64
-            + 0.5 * self.lambda * x.iter().map(|v| v * v).sum::<f64>()
+        loss / m as f64 + 0.5 * self.lambda * x.iter().map(|v| v * v).sum::<f64>()
     }
 
     fn grad_component(&self, i: usize, x: &[f64]) -> f64 {

@@ -76,7 +76,7 @@ impl NetworkFlowProblem {
                     message: format!("arc {k} has invalid endpoints {}→{}", a.tail, a.head),
                 });
             }
-            if !(a.r > 0.0) || !a.r.is_finite() {
+            if !a.r.is_finite() || a.r <= 0.0 {
                 return Err(OptError::InvalidProblem {
                     message: format!("arc {k} has nonpositive curvature r = {}", a.r),
                 });
@@ -142,9 +142,8 @@ impl NetworkFlowProblem {
             arcs.push(Arc {
                 tail,
                 head,
-                r: asynciter_numerics::rng::uniform_vec(&mut rng, 1, 0.5_f64.ln(), 2.0_f64.ln())
-                    [0]
-                .exp(),
+                r: asynciter_numerics::rng::uniform_vec(&mut rng, 1, 0.5_f64.ln(), 2.0_f64.ln())[0]
+                    .exp(),
                 t: asynciter_numerics::rng::normal(&mut rng),
             });
         }
@@ -157,9 +156,8 @@ impl NetworkFlowProblem {
             arcs.push(Arc {
                 tail,
                 head,
-                r: asynciter_numerics::rng::uniform_vec(&mut rng, 1, 0.5_f64.ln(), 2.0_f64.ln())
-                    [0]
-                .exp(),
+                r: asynciter_numerics::rng::uniform_vec(&mut rng, 1, 0.5_f64.ln(), 2.0_f64.ln())[0]
+                    .exp(),
                 t: asynciter_numerics::rng::normal(&mut rng),
             });
         }
@@ -306,10 +304,7 @@ impl PriceRelaxation {
         if ground >= problem.num_nodes() {
             return Err(OptError::InvalidParameter {
                 name: "ground",
-                message: format!(
-                    "ground {ground} out of range 0..{}",
-                    problem.num_nodes()
-                ),
+                message: format!("ground {ground} out of range 0..{}", problem.num_nodes()),
             });
         }
         let kappa: Vec<f64> = (0..problem.num_nodes())
@@ -468,35 +463,60 @@ mod tests {
         // Unbalanced supplies.
         assert!(NetworkFlowProblem::new(
             2,
-            vec![Arc { tail: 0, head: 1, r: 1.0, t: 0.0 }],
+            vec![Arc {
+                tail: 0,
+                head: 1,
+                r: 1.0,
+                t: 0.0
+            }],
             vec![1.0, 0.0],
         )
         .is_err());
         // Self-loop.
         assert!(NetworkFlowProblem::new(
             2,
-            vec![Arc { tail: 0, head: 0, r: 1.0, t: 0.0 }],
+            vec![Arc {
+                tail: 0,
+                head: 0,
+                r: 1.0,
+                t: 0.0
+            }],
             vec![0.0, 0.0],
         )
         .is_err());
         // Nonpositive curvature.
         assert!(NetworkFlowProblem::new(
             2,
-            vec![Arc { tail: 0, head: 1, r: 0.0, t: 0.0 }],
+            vec![Arc {
+                tail: 0,
+                head: 1,
+                r: 0.0,
+                t: 0.0
+            }],
             vec![0.0, 0.0],
         )
         .is_err());
         // Disconnected.
         assert!(NetworkFlowProblem::new(
             3,
-            vec![Arc { tail: 0, head: 1, r: 1.0, t: 0.0 }],
+            vec![Arc {
+                tail: 0,
+                head: 1,
+                r: 1.0,
+                t: 0.0
+            }],
             vec![0.0, 0.0, 0.0],
         )
         .is_err());
         // Supply length.
         assert!(NetworkFlowProblem::new(
             2,
-            vec![Arc { tail: 0, head: 1, r: 1.0, t: 0.0 }],
+            vec![Arc {
+                tail: 0,
+                head: 1,
+                r: 1.0,
+                t: 0.0
+            }],
             vec![0.0],
         )
         .is_err());

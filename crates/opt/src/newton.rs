@@ -59,7 +59,7 @@ impl<F: SmoothObjective> DiagNewton<F> {
             let hii = (f.grad_component(i, &xp) - f.grad_component(i, &xm)) / (2.0 * h);
             xp[i] = x_ref[i];
             xm[i] = x_ref[i];
-            if !(hii > 0.0) || !hii.is_finite() {
+            if !hii.is_finite() || hii <= 0.0 {
                 return Err(OptError::InvalidProblem {
                     message: format!("estimated curvature h[{i}] = {hii} not positive"),
                 });
@@ -120,12 +120,12 @@ mod tests {
         let f = SparseQuadratic::random_diag_dominant(8, 2, 0.4, 1.0, 3).unwrap();
         let diag = f.q().diagonal();
         let op = DiagNewton::at_reference(f, &[0.3; 8], 1.0).unwrap();
-        for i in 0..8 {
+        for (i, (&inv, &d)) in op.inv_diag().iter().zip(&diag).enumerate() {
             assert!(
-                (1.0 / op.inv_diag()[i] - diag[i]).abs() < 1e-4,
+                (1.0 / inv - d).abs() < 1e-4,
                 "i={i}: {} vs {}",
-                1.0 / op.inv_diag()[i],
-                diag[i]
+                1.0 / inv,
+                d
             );
         }
     }

@@ -80,9 +80,12 @@ impl ObstacleProblem {
     /// # Errors
     /// Propagates grid validation.
     pub fn bump(nx: usize, ny: usize, height: f64) -> crate::Result<Self> {
-        Self::new(nx, ny, |_, _| 0.0, move |x, y| {
-            height - 8.0 * ((x - 0.5).powi(2) + (y - 0.5).powi(2))
-        })
+        Self::new(
+            nx,
+            ny,
+            |_, _| 0.0,
+            move |x, y| height - 8.0 * ((x - 0.5).powi(2) + (y - 0.5).powi(2)),
+        )
     }
 
     /// Grid dimensions `(nx, ny)`.
@@ -188,12 +191,7 @@ pub struct ProjectedJacobi {
 impl ProjectedJacobi {
     /// Builds the operator.
     pub fn new(problem: ObstacleProblem) -> Self {
-        let inv_diag = problem
-            .a
-            .diagonal()
-            .into_iter()
-            .map(|d| 1.0 / d)
-            .collect();
+        let inv_diag = problem.a.diagonal().into_iter().map(|d| 1.0 / d).collect();
         Self { problem, inv_diag }
     }
 
@@ -206,11 +204,7 @@ impl ProjectedJacobi {
     /// from above starts here): the unconstrained Jacobi fixed point is
     /// bounded by `max(b)/min(diag)`-ish; we use a crude safe upper bound.
     pub fn upper_start(&self) -> Vec<f64> {
-        let bmax = self
-            .problem
-            .b
-            .iter()
-            .fold(0.0_f64, |m, &v| m.max(v.abs()));
+        let bmax = self.problem.b.iter().fold(0.0_f64, |m, &v| m.max(v.abs()));
         let pmax = self
             .problem
             .psi

@@ -53,7 +53,7 @@ pub fn gradient_step_factor(gamma: f64, mu: f64, l: f64) -> f64 {
 }
 
 fn validate_gamma(gamma: f64, mu: f64, l: f64) -> crate::Result<()> {
-    if !(gamma > 0.0) || !gamma.is_finite() {
+    if !gamma.is_finite() || gamma <= 0.0 {
         return Err(OptError::InvalidParameter {
             name: "gamma",
             message: format!("step size must be finite and positive, got {gamma}"),
@@ -336,7 +336,11 @@ impl<F: SmoothObjective, P: SeparableProx> ForwardBackward<F, P> {
     /// # Errors
     /// Errors on step-size or dimension violations.
     pub fn new(f: F, g: P, gamma: f64) -> crate::Result<Self> {
-        validate_gamma(gamma, f.strong_convexity().max(f64::MIN_POSITIVE), f.lipschitz())?;
+        validate_gamma(
+            gamma,
+            f.strong_convexity().max(f64::MIN_POSITIVE),
+            f.lipschitz(),
+        )?;
         if let Some(d) = g.dim_hint() {
             if d != f.dim() {
                 return Err(OptError::DimensionMismatch {
@@ -398,8 +402,11 @@ impl<F: SmoothObjective, P: SeparableProx> Operator for ForwardBackward<F, P> {
 
     #[inline]
     fn component(&self, i: usize, x: &[f64]) -> f64 {
-        self.g
-            .prox_component(i, x[i] - self.gamma * self.f.grad_component(i, x), self.gamma)
+        self.g.prox_component(
+            i,
+            x[i] - self.gamma * self.f.grad_component(i, x),
+            self.gamma,
+        )
     }
 }
 
@@ -417,7 +424,7 @@ impl<F: SmoothObjective> GradientOperator<F> {
     /// # Errors
     /// Errors on nonpositive `γ`.
     pub fn new(f: F, gamma: f64) -> crate::Result<Self> {
-        if !(gamma > 0.0) || !gamma.is_finite() {
+        if !gamma.is_finite() || gamma <= 0.0 {
             return Err(OptError::InvalidParameter {
                 name: "gamma",
                 message: format!("step size must be finite and positive, got {gamma}"),
@@ -451,7 +458,7 @@ impl<F: SmoothObjective> Operator for GradientOperator<F> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::prox::{BoxConstraint, L1, ZeroReg};
+    use crate::prox::{BoxConstraint, ZeroReg, L1};
     use crate::quadratic::{SeparableQuadratic, SparseQuadratic};
     use asynciter_numerics::vecops;
 
@@ -498,8 +505,8 @@ mod tests {
         // p* solves min f + g: optimality 0 ∈ ∇f(p) + ∂g(p) componentwise.
         let f = op.f();
         let lam = 0.5;
-        for i in 0..3 {
-            let gpi = SeparableSmooth::grad_component(f, i, pstar[i]);
+        for (i, &pi) in pstar.iter().enumerate().take(3) {
+            let gpi = SeparableSmooth::grad_component(f, i, pi);
             if pstar[i] > 1e-12 {
                 assert!((gpi + lam).abs() < 1e-9, "i={i}: {gpi}");
             } else if pstar[i] < -1e-12 {
@@ -528,10 +535,7 @@ mod tests {
             let mut ty = vec![0.0; 3];
             op.apply(&x, &mut tx);
             op.apply(&y, &mut ty);
-            assert!(
-                vecops::max_abs_diff(&tx, &ty)
-                    <= alpha * vecops::max_abs_diff(&x, &y) + 1e-12
-            );
+            assert!(vecops::max_abs_diff(&tx, &ty) <= alpha * vecops::max_abs_diff(&x, &y) + 1e-12);
         }
     }
 
@@ -602,10 +606,7 @@ mod tests {
             let mut ty = vec![0.0; 14];
             op.apply(&x, &mut tx);
             op.apply(&y, &mut ty);
-            assert!(
-                vecops::max_abs_diff(&tx, &ty)
-                    <= alpha * vecops::max_abs_diff(&x, &y) + 1e-12
-            );
+            assert!(vecops::max_abs_diff(&tx, &ty) <= alpha * vecops::max_abs_diff(&x, &y) + 1e-12);
         }
     }
 

@@ -42,7 +42,11 @@ impl SeparableQuadratic {
                 context: "SeparableQuadratic::new",
             });
         }
-        if let Some((i, &v)) = a.iter().enumerate().find(|(_, &v)| !(v > 0.0) || !v.is_finite()) {
+        if let Some((i, &v)) = a
+            .iter()
+            .enumerate()
+            .find(|(_, &v)| !v.is_finite() || v <= 0.0)
+        {
             return Err(OptError::InvalidParameter {
                 name: "a",
                 message: format!("curvature a[{i}] = {v} must be finite and > 0"),
@@ -175,7 +179,12 @@ impl SparseQuadratic {
                 ),
             });
         }
-        Ok(Self { q, b, mu, lipschitz })
+        Ok(Self {
+            q,
+            b,
+            mu,
+            lipschitz,
+        })
     }
 
     /// Random strictly diagonally dominant SPD instance: off-diagonal
@@ -278,8 +287,7 @@ impl SmoothObjective for SparseQuadratic {
         assert_eq!(x.len(), self.dim(), "SparseQuadratic::value: dimension");
         let mut qx = vec![0.0; self.dim()];
         self.q.matvec(x, &mut qx);
-        0.5 * asynciter_numerics::vecops::dot(x, &qx)
-            - asynciter_numerics::vecops::dot(&self.b, x)
+        0.5 * asynciter_numerics::vecops::dot(x, &qx) - asynciter_numerics::vecops::dot(&self.b, x)
     }
 
     #[inline]
@@ -330,10 +338,7 @@ impl DenseQuadratic {
     /// # Errors
     /// Errors when `Q` is not square/symmetric, dimensions mismatch, or
     /// `Q` is not (numerically) positive definite.
-    pub fn new(
-        q: asynciter_numerics::dense::DenseMatrix,
-        b: Vec<f64>,
-    ) -> crate::Result<Self> {
+    pub fn new(q: asynciter_numerics::dense::DenseMatrix, b: Vec<f64>) -> crate::Result<Self> {
         if q.rows() != q.cols() {
             return Err(OptError::DimensionMismatch {
                 expected: q.rows(),
@@ -370,7 +375,12 @@ impl DenseQuadratic {
                 message: format!("Q is not positive definite (λ_min ≈ {mu:.3e})"),
             });
         }
-        Ok(Self { q, b, mu, lipschitz })
+        Ok(Self {
+            q,
+            b,
+            mu,
+            lipschitz,
+        })
     }
 
     /// A random SPD instance with a planted eigenvalue spread and genuine
@@ -449,8 +459,7 @@ impl SmoothObjective for DenseQuadratic {
     fn value(&self, x: &[f64]) -> f64 {
         let mut qx = vec![0.0; self.dim()];
         self.q.matvec(x, &mut qx);
-        0.5 * asynciter_numerics::vecops::dot(x, &qx)
-            - asynciter_numerics::vecops::dot(&self.b, x)
+        0.5 * asynciter_numerics::vecops::dot(x, &qx) - asynciter_numerics::vecops::dot(&self.b, x)
     }
 
     #[inline]
@@ -519,8 +528,8 @@ mod tests {
         let x = [0.5, -0.5, 1.0, 0.0];
         let mut g = vec![0.0; 4];
         f.grad(&x, &mut g);
-        for i in 0..4 {
-            assert!((g[i] - f.grad_component(i, &x)).abs() < 1e-15);
+        for (i, &gi) in g.iter().enumerate() {
+            assert!((gi - f.grad_component(i, &x)).abs() < 1e-15);
         }
         // Finite-difference check of component 1.
         let mut xp = x;
@@ -548,8 +557,7 @@ mod tests {
 
     #[test]
     fn sparse_rejects_asymmetric() {
-        let q = CsrMatrix::from_triplets(2, 2, &[(0, 0, 3.0), (1, 1, 3.0), (0, 1, 1.0)])
-            .unwrap();
+        let q = CsrMatrix::from_triplets(2, 2, &[(0, 0, 3.0), (1, 1, 3.0), (0, 1, 1.0)]).unwrap();
         assert!(SparseQuadratic::new(q, vec![0.0; 2]).is_err());
     }
 
@@ -559,7 +567,11 @@ mod tests {
         let x = f.minimizer_dense().unwrap();
         let mut g = vec![0.0; 12];
         f.grad(&x, &mut g);
-        assert!(vecops::norm_inf(&g) < 1e-9, "residual {}", vecops::norm_inf(&g));
+        assert!(
+            vecops::norm_inf(&g) < 1e-9,
+            "residual {}",
+            vecops::norm_inf(&g)
+        );
     }
 
     #[test]
@@ -601,7 +613,11 @@ mod tests {
     #[test]
     fn dense_quadratic_spectral_bounds() {
         let f = DenseQuadratic::random_spd(16, 3, 1.0, 10.0, 7).unwrap();
-        assert!((f.strong_convexity() - 1.0).abs() < 0.05, "mu {}", f.strong_convexity());
+        assert!(
+            (f.strong_convexity() - 1.0).abs() < 0.05,
+            "mu {}",
+            f.strong_convexity()
+        );
         assert!((f.lipschitz() - 10.0).abs() < 0.5, "L {}", f.lipschitz());
         // Rayleigh quotients fall inside [mu, L].
         let mut rng = asynciter_numerics::rng::rng(9);
@@ -640,21 +656,15 @@ mod tests {
         // But a sufficiently small step is certified even in inf norm
         // only if dominance-ish holds — not guaranteed here; merely check
         // the bound shrinks with γ.
-        assert!(
-            f.gradient_step_inf_norm(0.01) < f.gradient_step_inf_norm(near_edge)
-        );
+        assert!(f.gradient_step_inf_norm(0.01) < f.gradient_step_inf_norm(near_edge));
     }
 
     #[test]
     fn dense_quadratic_validation() {
         let q = asynciter_numerics::dense::DenseMatrix::zeros(2, 3);
         assert!(DenseQuadratic::new(q, vec![0.0; 2]).is_err());
-        let q = asynciter_numerics::dense::DenseMatrix::from_vec(
-            2,
-            2,
-            vec![1.0, 0.5, 0.4, 1.0],
-        )
-        .unwrap();
+        let q = asynciter_numerics::dense::DenseMatrix::from_vec(2, 2, vec![1.0, 0.5, 0.4, 1.0])
+            .unwrap();
         assert!(DenseQuadratic::new(q, vec![0.0; 2]).is_err()); // asymmetric
         assert!(DenseQuadratic::random_spd(8, 0, 1.0, 4.0, 0).is_err());
         assert!(DenseQuadratic::random_spd(8, 2, 4.0, 1.0, 0).is_err());

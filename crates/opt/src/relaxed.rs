@@ -116,8 +116,7 @@ mod tests {
             relaxed.apply(&x, &mut fx);
             relaxed.apply(&y, &mut fy);
             assert!(
-                vecops::max_abs_diff(&fx, &fy)
-                    <= predicted * vecops::max_abs_diff(&x, &y) + 1e-12
+                vecops::max_abs_diff(&fx, &fy) <= predicted * vecops::max_abs_diff(&x, &y) + 1e-12
             );
         }
     }

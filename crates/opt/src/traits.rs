@@ -215,9 +215,7 @@ mod tests {
 
     #[test]
     fn residual_at_fixed_point_is_zero() {
-        let f = ConstMap {
-            c: vec![1.0, 2.0],
-        };
+        let f = ConstMap { c: vec![1.0, 2.0] };
         assert_eq!(f.residual_inf(&[1.0, 2.0]), 0.0);
         assert_eq!(f.residual_inf(&[0.0, 2.0]), 1.0);
     }

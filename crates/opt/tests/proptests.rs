@@ -2,7 +2,7 @@
 
 use asynciter_opt::bellman_ford::{BellmanFordOperator, Graph};
 use asynciter_opt::network_flow::NetworkFlowProblem;
-use asynciter_opt::prox::{BoxConstraint, ElasticNet, L1, L2Squared, ZeroReg};
+use asynciter_opt::prox::{BoxConstraint, ElasticNet, L2Squared, ZeroReg, L1};
 use asynciter_opt::proxgrad::{gamma_max, gradient_step_factor, SeparableProxGrad};
 use asynciter_opt::quadratic::{SeparableQuadratic, SparseQuadratic};
 use asynciter_opt::traits::{Operator, SeparableProx, SmoothObjective};

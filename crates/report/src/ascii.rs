@@ -24,13 +24,7 @@ impl ChartSeries {
 
 const MARKS: &[char] = &['*', '+', 'o', 'x', '#', '@', '%', '&'];
 
-fn render(
-    series: &[ChartSeries],
-    width: usize,
-    height: usize,
-    logy: bool,
-    title: &str,
-) -> String {
+fn render(series: &[ChartSeries], width: usize, height: usize, logy: bool, title: &str) -> String {
     let mut pts: Vec<(f64, f64, usize)> = Vec::new();
     for (si, s) in series.iter().enumerate() {
         for &(x, y) in &s.points {
@@ -93,11 +87,13 @@ fn render(
     }
     let pad = " ".repeat(ylab(0.0).len());
     out.push_str(&format!("{pad} +{}\n", "-".repeat(width)));
-    out.push_str(&format!(
-        "{pad}  x: [{xmin:.3e}, {xmax:.3e}]\n"
-    ));
+    out.push_str(&format!("{pad}  x: [{xmin:.3e}, {xmax:.3e}]\n"));
     for (si, s) in series.iter().enumerate() {
-        out.push_str(&format!("{pad}  {} = {}\n", MARKS[si % MARKS.len()], s.name));
+        out.push_str(&format!(
+            "{pad}  {} = {}\n",
+            MARKS[si % MARKS.len()],
+            s.name
+        ));
     }
     out
 }
@@ -109,12 +105,7 @@ pub fn line_chart(series: &[ChartSeries], width: usize, height: usize, title: &s
 
 /// Renders a chart with a log₁₀ y-axis (non-positive values skipped) —
 /// the natural scale for geometric convergence curves.
-pub fn log_line_chart(
-    series: &[ChartSeries],
-    width: usize,
-    height: usize,
-    title: &str,
-) -> String {
+pub fn log_line_chart(series: &[ChartSeries], width: usize, height: usize, title: &str) -> String {
     render(series, width.max(16), height.max(4), true, title)
 }
 
@@ -144,7 +135,10 @@ mod tests {
     fn line_chart_contains_marks_and_legend() {
         let s = vec![
             ChartSeries::new("up", (0..10).map(|i| (i as f64, i as f64)).collect()),
-            ChartSeries::new("down", (0..10).map(|i| (i as f64, 9.0 - i as f64)).collect()),
+            ChartSeries::new(
+                "down",
+                (0..10).map(|i| (i as f64, 9.0 - i as f64)).collect(),
+            ),
         ];
         let c = line_chart(&s, 40, 10, "test chart");
         assert!(c.contains("test chart"));

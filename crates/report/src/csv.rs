@@ -67,11 +67,7 @@ impl CsvWriter {
     /// Panics when the arity differs from the header.
     pub fn row_strings(&mut self, cells: &[String]) -> &mut Self {
         assert_eq!(cells.len(), self.columns, "CsvWriter: row arity");
-        let line = cells
-            .iter()
-            .map(|c| quote(c))
-            .collect::<Vec<_>>()
-            .join(",");
+        let line = cells.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",");
         self.buf.push_str(&line);
         self.buf.push('\n');
         self

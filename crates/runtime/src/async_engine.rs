@@ -218,8 +218,7 @@ impl AsyncSharedRunner {
         let mut worker_logs: Vec<(Vec<Event>, u64)> = Vec::with_capacity(cfg.workers);
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(cfg.workers);
-            for w in 0..cfg.workers {
-                let block = &blocks[w];
+            for (w, block) in blocks.iter().enumerate() {
                 let shared = &shared;
                 let counter = &counter;
                 let stop = &stop;
@@ -271,8 +270,7 @@ impl AsyncSharedRunner {
                                     shared.write(i, vals[i], now);
                                 }
                                 drop(guard);
-                                partial_publishes
-                                    .fetch_add(block.len() as u64, Ordering::Relaxed);
+                                partial_publishes.fetch_add(block.len() as u64, Ordering::Relaxed);
                             }
                         }
                         // Acquire the global iteration number and publish.
@@ -319,7 +317,7 @@ impl AsyncSharedRunner {
                         // Residual-based stopping, checked by worker 0.
                         if w == 0 {
                             if let Some(eps) = cfg.target_residual {
-                                if my_updates % cfg.check_every.max(1) == 0 {
+                                if my_updates.is_multiple_of(cfg.check_every.max(1)) {
                                     shared.snapshot(&mut vals);
                                     if op.residual_inf(&vals) <= eps {
                                         stop.store(true, Ordering::Relaxed);
@@ -347,10 +345,7 @@ impl AsyncSharedRunner {
         let trace = match cfg.record {
             TraceRecord::Off => None,
             _ => {
-                let mut events: Vec<Event> = worker_logs
-                    .into_iter()
-                    .flat_map(|(e, _)| e)
-                    .collect();
+                let mut events: Vec<Event> = worker_logs.into_iter().flat_map(|(e, _)| e).collect();
                 events.sort_unstable_by_key(|e| e.j);
                 let store = if cfg.record == TraceRecord::Full {
                     LabelStore::Full
@@ -498,13 +493,16 @@ mod tests {
     fn macro_iterations_exist_on_recorded_trace() {
         let op = jacobi(16);
         let p = Partition::blocks(16, 4).unwrap();
-        // Mild spin keeps worker pacing comparable; with completely
+        // Spin work keeps worker pacing comparable; with completely
         // free-running threads the OS can stagger thread start-up so much
         // that one worker performs thousands of updates before the last
-        // one begins, making macro-iterations legitimately sparse.
-        let cfg = AsyncConfig::new(4, 8000)
+        // one begins, making macro-iterations legitimately sparse. On a
+        // single-core host a macro-iteration needs a full scheduling
+        // rotation over all workers, so updates must be slow enough (and
+        // the budget large enough) for several rotations to complete.
+        let cfg = AsyncConfig::new(4, 16_000)
             .with_record(TraceRecord::Full)
-            .with_spin(vec![500; 4]);
+            .with_spin(vec![2_000; 4]);
         let res = AsyncSharedRunner::run(&op, &[0.0; 16], &p, &cfg).unwrap();
         let trace = res.trace.unwrap();
         let m = asynciter_models::macroiter::macro_iterations(&trace);
@@ -517,10 +515,7 @@ mod tests {
         // real thread traces.
         let strict = asynciter_models::macroiter::macro_iterations_strict(&trace);
         assert_eq!(
-            asynciter_models::macroiter::boundary_freshness_violations(
-                &trace,
-                &strict.boundaries
-            ),
+            asynciter_models::macroiter::boundary_freshness_violations(&trace, &strict.boundaries),
             0
         );
     }

@@ -22,6 +22,8 @@
 //!   accounting (experiment E10).
 //! - [`imbalance`] — calibrated spin-work injection used to model
 //!   heterogeneous processors.
+//! - [`session`] — [`SharedMem`] and [`Barrier`] backends plugging both
+//!   runtimes into the unified `asynciter_core::session::Session` API.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -30,12 +32,14 @@ pub mod async_engine;
 pub mod error;
 pub mod imbalance;
 pub mod network;
+pub mod session;
 pub mod shared;
 pub mod sync_engine;
 pub mod termination;
 
 pub use async_engine::{AsyncConfig, AsyncRunResult, AsyncSharedRunner, SnapshotMode, TraceRecord};
 pub use error::RuntimeError;
+pub use session::{Barrier, SharedMem};
 pub use shared::SharedVec;
 pub use sync_engine::{SpinBarrier, SyncConfig, SyncRunResult, SyncRunner};
 

@@ -237,13 +237,12 @@ impl NetworkRunner {
                     let mut pending: Vec<(usize, BlockMsg)> = Vec::new();
                     let mut st = NetStats::default();
                     let mut finished = 0usize;
-                    let deliver =
-                        |dest: usize, msg: BlockMsg, st: &mut NetStats| {
-                            st.delivered += 1;
-                            // Send failure only if the receiver is gone,
-                            // which cannot happen before Finished.
-                            let _ = inbox_txs[dest].send(msg);
-                        };
+                    let deliver = |dest: usize, msg: BlockMsg, st: &mut NetStats| {
+                        st.delivered += 1;
+                        // Send failure only if the receiver is gone,
+                        // which cannot happen before Finished.
+                        let _ = inbox_txs[dest].send(msg);
+                    };
                     while finished < workers {
                         match router_rx.recv() {
                             Ok(RouterIn::Finished) => finished += 1,
@@ -281,8 +280,7 @@ impl NetworkRunner {
                                         // held message after this newer
                                         // one — out-of-order delivery.
                                         if pending.len() > 4 {
-                                            let k =
-                                                rng.random_range(0..pending.len());
+                                            let k = rng.random_range(0..pending.len());
                                             let (d, m) = pending.swap_remove(k);
                                             deliver(d, m, &mut st);
                                         }
@@ -320,9 +318,9 @@ impl NetworkRunner {
                     let mut label = 0u64;
                     let mut discarded = 0u64;
                     let apply = |x: &mut Vec<f64>,
-                                     known: &mut Vec<u64>,
-                                     m: BlockMsg,
-                                     discarded: &mut u64| {
+                                 known: &mut Vec<u64>,
+                                 m: BlockMsg,
+                                 discarded: &mut u64| {
                         for &(c, v) in &m.comps {
                             let c = c as usize;
                             match policy {
@@ -356,9 +354,7 @@ impl NetworkRunner {
                         // asynchronous — nobody waits for a *specific*
                         // peer or update).
                         if !got_any && cfg.workers > 1 {
-                            if let Ok(m) =
-                                rx.recv_timeout(std::time::Duration::from_micros(500))
-                            {
+                            if let Ok(m) = rx.recv_timeout(std::time::Duration::from_micros(500)) {
                                 apply(&mut x, &mut known, m, &mut discarded);
                             }
                         }
@@ -498,11 +494,11 @@ mod tests {
             .with_faults(0.25, 0.1, 0.05)
             .with_seed(3);
         let res = NetworkRunner::run(&op, &x0, &p, &cfg).unwrap();
-        for i in 0..n {
+        for (i, (got, want)) in res.consensus.iter().zip(&exact).enumerate() {
             assert!(
-                (res.consensus[i] - exact[i]).abs() < 1e-9,
+                (got - want).abs() < 1e-9,
                 "node {i}: {} vs {}",
-                res.consensus[i],
+                got,
                 exact[i]
             );
         }

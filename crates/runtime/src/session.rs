@@ -1,0 +1,436 @@
+//! Thread-runtime backends for the unified [`Session`] API.
+//!
+//! [`SharedMem`] runs the free-running shared-memory workers
+//! ([`crate::async_engine::AsyncSharedRunner`]) and [`Barrier`] the
+//! barrier-synchronous Jacobi baseline ([`crate::sync_engine::SyncRunner`])
+//! behind `asynciter_core::session::Backend`, so async-vs-sync
+//! comparisons are two sessions differing only in the `.backend(..)`
+//! call.
+//!
+//! [`Session`]: asynciter_core::session::Session
+
+use crate::async_engine::{
+    AsyncConfig, AsyncRunResult, AsyncSharedRunner, SnapshotMode, TraceRecord,
+};
+use crate::sync_engine::{SyncConfig, SyncRunner};
+use asynciter_core::session::{
+    macro_count, unsupported, Backend, Problem, RecordMode, RunControl, RunReport,
+};
+use asynciter_core::stopping::StoppingRule;
+use asynciter_core::CoreError;
+use asynciter_models::partition::Partition;
+use asynciter_models::trace::Trace;
+
+fn to_core(backend: &'static str, e: crate::RuntimeError) -> CoreError {
+    CoreError::Backend {
+        backend,
+        message: e.to_string(),
+    }
+}
+
+fn resolve_partition(
+    backend: &'static str,
+    explicit: &Option<Partition>,
+    n: usize,
+    threads: usize,
+) -> Result<Partition, CoreError> {
+    match explicit {
+        Some(p) => Ok(p.clone()),
+        None => Partition::blocks(n, threads).map_err(|e| CoreError::Backend {
+            backend,
+            message: format!("cannot partition {n} components over {threads} threads: {e}"),
+        }),
+    }
+}
+
+/// Free-running asynchronous shared-memory backend: `threads` workers,
+/// lock-free labelled iterate vector, optional flexible communication.
+///
+/// `RunControl::max_steps` is the global block-update budget; a
+/// [`StoppingRule::Residual`] stopping rule maps onto the runner's
+/// residual target. Constructible with functional-update syntax:
+/// `SharedMem { threads: 4, ..SharedMem::default() }`.
+#[derive(Debug, Clone)]
+pub struct SharedMem {
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Component→worker map (default: contiguous equal blocks).
+    pub partition: Option<Partition>,
+    /// Inner iterations per block update (`m ≥ 1`).
+    pub inner_steps: usize,
+    /// Publish partials every this many inner steps (`≥ inner_steps`
+    /// disables mid-phase publishing).
+    pub publish_period: usize,
+    /// Per-worker spin units per update (load imbalance); empty = none.
+    pub spin: Vec<u64>,
+    /// Snapshot consistency mode.
+    pub snapshot: SnapshotMode,
+}
+
+impl Default for SharedMem {
+    fn default() -> Self {
+        Self {
+            threads: 1,
+            partition: None,
+            inner_steps: 1,
+            publish_period: 1,
+            spin: Vec::new(),
+            snapshot: SnapshotMode::Relaxed,
+        }
+    }
+}
+
+impl SharedMem {
+    fn report(&self, res: AsyncRunResult, keep_trace: bool) -> RunReport {
+        let trace: Option<Trace> = res.trace;
+        let macro_iterations = macro_count(trace.as_ref());
+        RunReport {
+            backend: "shared-mem",
+            final_x: res.final_x,
+            steps: res.total_updates,
+            macro_iterations,
+            errors: Vec::new(),
+            error_times: Vec::new(),
+            residuals: Vec::new(),
+            final_residual: res.final_residual,
+            stopped_early: false,
+            per_worker_updates: res.per_worker_updates,
+            partial_publishes: res.partial_publishes,
+            partial_reads: 0,
+            trace: keep_trace.then_some(trace).flatten(),
+            sim_time: None,
+            wall: res.wall,
+        }
+    }
+}
+
+impl Backend for SharedMem {
+    fn name(&self) -> &'static str {
+        "shared-mem"
+    }
+
+    fn run(
+        &mut self,
+        problem: &Problem<'_>,
+        ctl: &mut RunControl,
+    ) -> asynciter_core::Result<RunReport> {
+        if ctl.error_every > 0 {
+            return Err(unsupported(self.name(), "error sampling"));
+        }
+        if ctl.residual_every > 0 {
+            return Err(unsupported(self.name(), "residual sampling"));
+        }
+        if ctl.schedule.is_some() {
+            return Err(unsupported(
+                self.name(),
+                "an explicit schedule (free-running workers generate their own)",
+            ));
+        }
+        let n = problem.n();
+        let partition = resolve_partition(self.name(), &self.partition, n, self.threads)?;
+        let mut cfg = AsyncConfig::new(self.threads, ctl.max_steps)
+            .with_flexible(self.inner_steps, self.publish_period)
+            .with_spin(self.spin.clone())
+            .with_snapshot(self.snapshot)
+            .with_record(match ctl.record {
+                RecordMode::Off => TraceRecord::Off,
+                RecordMode::MinOnly => TraceRecord::MinOnly,
+                RecordMode::Full => TraceRecord::Full,
+            });
+        let mut target = None;
+        match &ctl.stopping {
+            None => {}
+            Some(StoppingRule::Residual { eps, check_every }) => {
+                cfg = cfg.with_target_residual(*eps);
+                cfg.check_every = (*check_every).max(1);
+                target = Some(*eps);
+            }
+            Some(_) => {
+                return Err(unsupported(
+                    self.name(),
+                    "a non-residual stopping rule (only StoppingRule::Residual maps onto the \
+                     shared-memory runner)",
+                ));
+            }
+        }
+        let res = AsyncSharedRunner::run(problem.op, &problem.x0, &partition, &cfg)
+            .map_err(|e| to_core(self.name(), e))?;
+        let stopped_early = target
+            .is_some_and(|eps| res.final_residual <= eps && res.total_updates < ctl.max_steps);
+        let mut report = self.report(res, ctl.record.keeps_trace());
+        report.stopped_early = stopped_early;
+        Ok(report)
+    }
+}
+
+/// Barrier-synchronous Jacobi backend: the same work model as
+/// [`SharedMem`] but every sweep fenced by barriers — the synchronous
+/// baseline of the async-vs-sync comparisons.
+///
+/// `RunControl::max_steps` is the sweep budget; a
+/// [`StoppingRule::Residual`] rule maps onto the runner's sweep-change
+/// target. With `RecordMode` on, the (deterministic) synchronous trace —
+/// every component active each sweep, labels `j − 1` — is materialised
+/// so macro-iteration accounting works like any other backend. Like any
+/// recorded trace this costs `O(sweeps · n)` memory; leave recording off
+/// for large sweep budgets (the macro-iteration count is reported either
+/// way).
+#[derive(Debug, Clone)]
+pub struct Barrier {
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Component→worker map (default: contiguous equal blocks).
+    pub partition: Option<Partition>,
+    /// Per-worker spin units per sweep (load imbalance); empty = none.
+    pub spin: Vec<u64>,
+}
+
+impl Default for Barrier {
+    fn default() -> Self {
+        Self {
+            threads: 1,
+            partition: None,
+            spin: Vec::new(),
+        }
+    }
+}
+
+/// The synchronous-Jacobi trace: all components active, labels `j − 1`
+/// (the canonical `SyncJacobi` schedule, materialised).
+fn sync_trace(n: usize, sweeps: u64, record: RecordMode) -> Option<Trace> {
+    record.keeps_trace().then(|| {
+        asynciter_models::schedule::record(
+            &mut asynciter_models::schedule::SyncJacobi::new(n),
+            sweeps,
+            record.label_store(),
+        )
+    })
+}
+
+impl Backend for Barrier {
+    fn name(&self) -> &'static str {
+        "barrier"
+    }
+
+    fn run(
+        &mut self,
+        problem: &Problem<'_>,
+        ctl: &mut RunControl,
+    ) -> asynciter_core::Result<RunReport> {
+        if ctl.error_every > 0 {
+            return Err(unsupported(self.name(), "error sampling"));
+        }
+        if ctl.residual_every > 0 {
+            return Err(unsupported(self.name(), "residual sampling"));
+        }
+        if ctl.schedule.is_some() {
+            return Err(unsupported(
+                self.name(),
+                "an explicit schedule (sweeps are synchronous by construction)",
+            ));
+        }
+        let n = problem.n();
+        let partition = resolve_partition(self.name(), &self.partition, n, self.threads)?;
+        let mut cfg = SyncConfig::new(self.threads, ctl.max_steps).with_spin(self.spin.clone());
+        match &ctl.stopping {
+            None => {}
+            Some(StoppingRule::Residual { eps, .. }) => {
+                cfg = cfg.with_target_change(*eps);
+            }
+            Some(_) => {
+                return Err(unsupported(
+                    self.name(),
+                    "a non-residual stopping rule (only StoppingRule::Residual maps onto the \
+                     barrier runner's sweep-change target)",
+                ));
+            }
+        }
+        let res = SyncRunner::run(problem.op, &problem.x0, &partition, &cfg)
+            .map_err(|e| to_core(self.name(), e))?;
+        let trace = sync_trace(n, res.sweeps, ctl.record);
+        let macro_iterations = if trace.is_some() {
+            macro_count(trace.as_ref())
+        } else {
+            // The synchronous schedule completes one macro-iteration per
+            // sweep by construction.
+            res.sweeps
+        };
+        Ok(RunReport {
+            backend: self.name(),
+            final_x: res.final_x,
+            steps: res.sweeps,
+            macro_iterations,
+            errors: Vec::new(),
+            error_times: Vec::new(),
+            residuals: Vec::new(),
+            final_residual: res.final_residual,
+            stopped_early: res.sweeps < ctl.max_steps,
+            per_worker_updates: vec![res.sweeps; self.threads],
+            partial_publishes: 0,
+            partial_reads: 0,
+            trace,
+            sim_time: None,
+            wall: res.wall,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asynciter_core::session::{RecordMode, Replay, Session};
+    use asynciter_numerics::sparse::tridiagonal;
+    use asynciter_numerics::vecops;
+    use asynciter_opt::linear::JacobiOperator;
+
+    fn jacobi(n: usize) -> JacobiOperator {
+        JacobiOperator::new(tridiagonal(n, 4.0, -1.0), vec![1.0; n]).unwrap()
+    }
+
+    #[test]
+    fn shared_mem_backend_converges() {
+        let op = jacobi(32);
+        let xstar = op.solve_dense_spd().unwrap();
+        let report = Session::new(&op)
+            .steps(200_000)
+            .stopping(StoppingRule::Residual {
+                eps: 1e-12,
+                check_every: 64,
+            })
+            .backend(SharedMem {
+                threads: 2,
+                ..SharedMem::default()
+            })
+            .run()
+            .unwrap();
+        assert_eq!(report.backend, "shared-mem");
+        assert!(report.final_error(&xstar) < 1e-9);
+        assert!(report.stopped_early);
+        assert_eq!(report.per_worker_updates.len(), 2);
+        assert!(report.wall > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn shared_mem_records_admissible_trace() {
+        let op = jacobi(16);
+        let report = Session::new(&op)
+            .steps(1_000)
+            .record(RecordMode::Full)
+            .backend(SharedMem {
+                threads: 2,
+                ..SharedMem::default()
+            })
+            .run()
+            .unwrap();
+        let trace = report.trace.expect("trace recorded");
+        assert_eq!(trace.len() as u64, report.steps);
+        asynciter_models::conditions::check_condition_a(&trace).unwrap();
+    }
+
+    #[test]
+    fn barrier_single_thread_matches_replay_bitwise() {
+        // Serial schedule, zero delay: the barrier runner must reproduce
+        // the replay engine's synchronous Jacobi bit for bit.
+        let op = jacobi(16);
+        let sync = Session::new(&op)
+            .steps(30)
+            .backend(Barrier {
+                threads: 1,
+                ..Barrier::default()
+            })
+            .run()
+            .unwrap();
+        let replay = Session::new(&op).steps(30).backend(Replay).run().unwrap();
+        assert_eq!(sync.final_x, replay.final_x);
+        assert_eq!(sync.steps, 30);
+        assert_eq!(sync.macro_iterations, 30);
+    }
+
+    #[test]
+    fn barrier_trace_is_synchronous() {
+        let op = jacobi(8);
+        let report = Session::new(&op)
+            .steps(12)
+            .record(RecordMode::Full)
+            .backend(Barrier {
+                threads: 2,
+                ..Barrier::default()
+            })
+            .run()
+            .unwrap();
+        let trace = report.trace.expect("sync trace materialised");
+        assert_eq!(trace.len(), 12);
+        for (j, step) in trace.iter() {
+            assert_eq!(step.active.len(), 8);
+            assert_eq!(step.min_label, j - 1);
+        }
+        assert_eq!(report.macro_iterations, 12);
+    }
+
+    #[test]
+    fn unsupported_controls_error_cleanly() {
+        let op = jacobi(8);
+        let err = Session::new(&op)
+            .steps(10)
+            .error_every(2)
+            .xstar(vec![0.0; 8])
+            .backend(SharedMem {
+                threads: 2,
+                ..SharedMem::default()
+            })
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Backend { .. }), "{err}");
+        let err = Session::new(&op)
+            .steps(10)
+            .stopping(StoppingRule::ErrorBelow {
+                eps: 1e-6,
+                check_every: 1,
+            })
+            .backend(Barrier {
+                threads: 2,
+                ..Barrier::default()
+            })
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Backend { .. }), "{err}");
+    }
+
+    #[test]
+    fn async_and_sync_agree_on_fixed_point() {
+        let op = jacobi(24);
+        let xstar = op.solve_dense_spd().unwrap();
+        for report in [
+            Session::new(&op)
+                // Generous cap: with a residual target the run stops at
+                // convergence; coarse interleaving on loaded single-core
+                // hosts just consumes more of the budget first.
+                .steps(2_000_000)
+                .stopping(StoppingRule::Residual {
+                    eps: 1e-12,
+                    check_every: 32,
+                })
+                .backend(SharedMem {
+                    threads: 3,
+                    ..SharedMem::default()
+                })
+                .run()
+                .unwrap(),
+            Session::new(&op)
+                .steps(10_000)
+                .stopping(StoppingRule::Residual {
+                    eps: 1e-13,
+                    check_every: 1,
+                })
+                .backend(Barrier {
+                    threads: 3,
+                    ..Barrier::default()
+                })
+                .run()
+                .unwrap(),
+        ] {
+            let err = vecops::max_abs_diff(&report.final_x, &xstar);
+            assert!(err < 1e-8, "{}: error {err}", report.backend);
+        }
+    }
+}

@@ -172,7 +172,7 @@ mod tests {
                 s.spawn(move || {
                     let mut j = 1u64;
                     while !stop.load(Ordering::Relaxed) {
-                        v.write(0, if j % 2 == 0 { a } else { b }, j);
+                        v.write(0, if j.is_multiple_of(2) { a } else { b }, j);
                         j += 1;
                     }
                 });

@@ -179,8 +179,7 @@ impl SyncRunner {
 
         let start = Instant::now();
         std::thread::scope(|scope| {
-            for w in 0..cfg.workers {
-                let block = &blocks[w];
+            for (w, block) in blocks.iter().enumerate() {
                 let bufs = &bufs;
                 let barrier = &barrier;
                 let stop = &stop;
@@ -205,8 +204,7 @@ impl SyncRunner {
                             if let Some(eps) = cfg.target_change {
                                 let mut change = 0.0_f64;
                                 for i in 0..n {
-                                    change =
-                                        change.max((write.value(i) - read.value(i)).abs());
+                                    change = change.max((write.value(i) - read.value(i)).abs());
                                 }
                                 if change <= eps {
                                     stop.store(true, Ordering::Relaxed);
@@ -285,8 +283,7 @@ mod tests {
             &op,
             &[0.0; 16],
             &p,
-            &SyncConfig::new(4, 30)
-                .with_spin(crate::imbalance::linear_imbalance(4, 1000, 8.0)),
+            &SyncConfig::new(4, 30).with_spin(crate::imbalance::linear_imbalance(4, 1000, 8.0)),
         )
         .unwrap();
         assert!(vecops::max_abs_diff(&plain.final_x, &skewed.final_x) < 1e-15);

@@ -237,8 +237,7 @@ pub fn run_with_termination(
 
     let start = Instant::now();
     std::thread::scope(|scope| {
-        for w in 0..cfg.workers {
-            let block = &blocks[w];
+        for (w, block) in blocks.iter().enumerate() {
             let shared = &shared;
             let counter = &counter;
             let stop = &stop;
@@ -323,7 +322,10 @@ mod tests {
         assert!(!d.detect(12, 0));
         d.report(1, 20, true);
         assert!(d.detect(20, 0), "naive rule fires at first all-quiet");
-        assert!(!d.detect(20, 16), "margin 16 not yet elapsed (last disturbance 12)");
+        assert!(
+            !d.detect(20, 16),
+            "margin 16 not yet elapsed (last disturbance 12)"
+        );
         // A single quiet report per worker inside the window is NOT
         // enough; each must contribute REPORTS_IN_WINDOW of them.
         assert!(!d.detect(30, 16), "stale quiet flags must not count");

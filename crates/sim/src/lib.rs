@@ -26,10 +26,12 @@ pub mod compute;
 pub mod error;
 pub mod runner;
 pub mod scenario;
+pub mod session;
 pub mod timeline;
 
 pub use error::SimError;
 pub use runner::{SimConfig, SimResult, Simulator};
+pub use session::Sim;
 pub use timeline::{CommKind, Timeline};
 
 /// Convenience result alias for this crate.

@@ -164,9 +164,7 @@ impl Simulator {
         }
 
         let mut rng = asynciter_numerics::rng::rng(cfg.seed);
-        let blocks: Vec<Vec<usize>> = (0..procs)
-            .map(|p| cfg.partition.components_of(p))
-            .collect();
+        let blocks: Vec<Vec<usize>> = (0..procs).map(|p| cfg.partition.components_of(p)).collect();
 
         // Per-processor state.
         let mut local: Vec<Vec<f64>> = vec![x0.to_vec(); procs];
@@ -182,10 +180,10 @@ impl Simulator {
         let mut events: Vec<Option<Event>> = Vec::new();
         let mut seq = 0u64;
         let push = |heap: &mut BinaryHeap<Reverse<(u64, u64, usize)>>,
-                        events: &mut Vec<Option<Event>>,
-                        seq: &mut u64,
-                        t: u64,
-                        e: Event| {
+                    events: &mut Vec<Option<Event>>,
+                    seq: &mut u64,
+                    t: u64,
+                    e: Event| {
             events.push(Some(e));
             heap.push(Reverse((t, *seq, events.len() - 1)));
             *seq += 1;
@@ -246,8 +244,7 @@ impl Simulator {
                 let sends = cfg.partial_sends.min(partials.len());
                 for s in 1..=sends {
                     let send_t = t + dur * s as u64 / (sends as u64 + 1);
-                    let stage =
-                        ((partials.len() * s).div_ceil(sends + 1)).min(partials.len() - 1);
+                    let stage = ((partials.len() * s).div_ceil(sends + 1)).min(partials.len() - 1);
                     let values = &partials[stage];
                     for dest in 0..blocks.len() {
                         if dest == p {
@@ -389,7 +386,7 @@ impl Simulator {
                             },
                         );
                     }
-                    if cfg.error_every > 0 && j % cfg.error_every == 0 {
+                    if cfg.error_every > 0 && j.is_multiple_of(cfg.error_every) {
                         let xs = xstar.expect("validated above");
                         let mut consensus = vec![0.0; n];
                         for (q, block) in blocks.iter().enumerate() {
@@ -397,10 +394,7 @@ impl Simulator {
                                 consensus[i] = local[q][i];
                             }
                         }
-                        errors.push((
-                            j,
-                            asynciter_numerics::vecops::max_abs_diff(&consensus, xs),
-                        ));
+                        errors.push((j, asynciter_numerics::vecops::max_abs_diff(&consensus, xs)));
                         error_times.push(fl.end);
                     }
                     if j < cfg.max_iterations {
@@ -431,14 +425,7 @@ impl Simulator {
         // their already-scheduled partial communications so the timeline
         // stays self-consistent.
         let completed: Vec<u64> = (0..procs)
-            .map(|p| {
-                timeline
-                    .phases
-                    .iter()
-                    .filter(|ph| ph.proc == p)
-                    .map(|ph| ph.j)
-                    .count() as u64
-            })
+            .map(|p| timeline.phases.iter().filter(|ph| ph.proc == p).count() as u64)
             .collect();
         timeline
             .comms
@@ -572,10 +559,7 @@ mod tests {
         let res = Simulator::run(&op, &[0.0; 8], &cfg, None).unwrap();
         let fast = res.timeline.phases_of(0).len();
         let slow = res.timeline.phases_of(1).len();
-        assert!(
-            fast > 5 * slow,
-            "expected ~10x skew, got {fast} vs {slow}"
-        );
+        assert!(fast > 5 * slow, "expected ~10x skew, got {fast} vs {slow}");
     }
 
     #[test]

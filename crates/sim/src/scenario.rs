@@ -15,13 +15,14 @@
 use crate::compute::{ComputeModel, LatencyModel};
 use crate::runner::SimConfig;
 use asynciter_models::partition::Partition;
-use asynciter_opt::linear::JacobiOperator;
 use asynciter_numerics::sparse::CsrMatrix;
+use asynciter_opt::linear::JacobiOperator;
 
 /// The 2×2 strictly diagonally dominant system used by the figure
 /// scenarios: `F(x) = ((1 + x₂)/2, (2 + x₁)/3)`, a max-norm contraction
-/// with factor `1/2` and fixed point `(4/5, 14/15· …)` — any 2-component
-/// contraction works; this one keeps the arithmetic human-checkable.
+/// with factor `1/2` and fixed point `(1, 1)` (solve `2x₁ − x₂ = 1`,
+/// `−x₁ + 3x₂ = 2`) — any 2-component contraction works; this one keeps
+/// the arithmetic human-checkable.
 pub fn two_component_operator() -> JacobiOperator {
     let a = CsrMatrix::from_triplets(
         2,
@@ -99,6 +100,9 @@ mod tests {
         // Fixed point: 2x₀ − x₁ = 1, −x₀ + 3x₁ = 2 → x = (1, 1).
         assert!((xstar[0] - 1.0).abs() < 1e-12);
         assert!((xstar[1] - 1.0).abs() < 1e-12);
+        // And F fixes (1, 1) exactly: (1+1)/2 = 1, (2+1)/3 = 1.
+        assert_eq!(op.component(0, &[1.0, 1.0]), 1.0);
+        assert_eq!(op.component(1, &[1.0, 1.0]), 1.0);
     }
 
     #[test]

@@ -119,7 +119,10 @@ impl Timeline {
         sorted.sort_unstable();
         for (k, &j) in sorted.iter().enumerate() {
             if j != k as u64 + 1 {
-                return Err(format!("iteration numbers not dense: expected {}, got {j}", k + 1));
+                return Err(format!(
+                    "iteration numbers not dense: expected {}, got {j}",
+                    k + 1
+                ));
             }
         }
         Ok(())

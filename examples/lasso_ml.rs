@@ -1,17 +1,17 @@
 //! Machine-learning workload (paper §V): train an ℓ₁-regularised
-//! regression model with free-running asynchronous worker threads, then
-//! check the result against a sequential reference solver.
+//! regression model with free-running asynchronous worker threads via the
+//! `Session` API, then check the result against a sequential reference
+//! solver.
 //!
 //! ```sh
 //! cargo run --release --example lasso_ml
 //! ```
 
-use asynciter::models::partition::Partition;
 use asynciter::opt::lasso::LassoProblem;
 use asynciter::opt::prox::L1;
 use asynciter::opt::proxgrad::{gamma_max, SparseProxGrad};
 use asynciter::opt::traits::{SeparableProx, SmoothObjective};
-use asynciter::runtime::async_engine::{AsyncConfig, AsyncSharedRunner, TraceRecord};
+use asynciter::prelude::*;
 
 fn main() {
     // A lasso instance: 128 features, 1024 samples, 12-sparse ground
@@ -36,17 +36,26 @@ fn main() {
     let op = SparseProxGrad::new(q, L1::new(problem.lambda), gamma).expect("operator");
 
     // Hogwild-style training: 4 threads own 32 coordinates each and
-    // update them from inconsistent snapshots without any locks.
+    // update them from inconsistent snapshots without any locks; the
+    // residual stopping rule maps onto the runner's target.
     let workers = 4;
-    let partition = Partition::blocks(n, workers).expect("partition");
-    let cfg = AsyncConfig::new(workers, 2_000_000)
-        .with_target_residual(1e-12)
-        .with_record(TraceRecord::MinOnly);
-    let run = AsyncSharedRunner::run(&op, &vec![0.0; n], &partition, &cfg).expect("run");
+    let run = Session::new(&op)
+        .steps(2_000_000)
+        .stopping(StoppingRule::Residual {
+            eps: 1e-12,
+            check_every: 64,
+        })
+        .record(RecordMode::MinOnly)
+        .backend(SharedMem {
+            threads: workers,
+            ..SharedMem::default()
+        })
+        .run()
+        .expect("run");
     println!(
         "async training: {} block updates across {workers} threads in {:.1} ms \
          (final residual {:.2e})",
-        run.total_updates,
+        run.steps,
         run.wall.as_secs_f64() * 1e3,
         run.final_residual
     );

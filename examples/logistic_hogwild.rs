@@ -1,7 +1,8 @@
 //! Machine learning per §V of the paper: ℓ₂-regularised logistic
 //! regression trained by free-running asynchronous worker threads
-//! (Hogwild-style), with a diagonal modified-Newton variant (\[25\]) racing
-//! the plain gradient operator.
+//! (Hogwild-style) through the `Session` API, with a diagonal
+//! modified-Newton variant (\[25\]) racing the plain gradient operator —
+//! the same session, only the operator differs.
 //!
 //! Unlike the quadratic workloads, the logistic gradient couples every
 //! coordinate through the data, so this exercises the regime where the
@@ -13,12 +14,11 @@
 //! cargo run --release --example logistic_hogwild
 //! ```
 
-use asynciter::models::partition::Partition;
 use asynciter::opt::logistic::LogisticRegression;
 use asynciter::opt::newton::DiagNewton;
 use asynciter::opt::proxgrad::GradientOperator;
 use asynciter::opt::traits::{Operator, SmoothObjective};
-use asynciter::runtime::async_engine::{AsyncConfig, AsyncSharedRunner};
+use asynciter::prelude::*;
 
 fn main() {
     // Two well-separated Gaussian classes, 800 samples, 32 features.
@@ -38,20 +38,29 @@ fn main() {
     );
 
     let workers = 4;
-    let partition = Partition::blocks(n, workers).expect("partition");
+    // One session shape for both operators: 400k-update budget, residual
+    // target 1e-9, Hogwild backend.
+    let train = |op: &dyn Operator| -> RunReport {
+        Session::new(op)
+            .steps(400_000)
+            .stopping(StoppingRule::Residual {
+                eps: 1e-9,
+                check_every: 64,
+            })
+            .backend(SharedMem {
+                threads: workers,
+                ..SharedMem::default()
+            })
+            .run()
+            .expect("training run")
+    };
 
     // Plain asynchronous gradient with the conservative step 1/L.
     let grad = GradientOperator::new(model.clone(), 1.0 / model.lipschitz()).expect("op");
-    let run = AsyncSharedRunner::run(
-        &grad,
-        &vec![0.0; n],
-        &partition,
-        &AsyncConfig::new(workers, 400_000).with_target_residual(1e-9),
-    )
-    .expect("gradient run");
+    let run = train(&grad);
     println!(
         "async gradient:  {:>6} block updates, {:>7.1} ms, loss {:.6}, accuracy {:.1}%",
-        run.total_updates,
+        run.steps,
         run.wall.as_secs_f64() * 1e3,
         model.value(&run.final_x),
         100.0 * model.accuracy(&run.final_x)
@@ -60,16 +69,10 @@ fn main() {
     // Diagonal modified Newton ([25]): per-coordinate curvature scaling,
     // frozen at the origin.
     let newton = DiagNewton::at_reference(model.clone(), &vec![0.0; n], 0.9).expect("op");
-    let run_n = AsyncSharedRunner::run(
-        &newton,
-        &vec![0.0; n],
-        &partition,
-        &AsyncConfig::new(workers, 400_000).with_target_residual(1e-9),
-    )
-    .expect("newton run");
+    let run_n = train(&newton);
     println!(
         "async diag-Newton: {:>4} block updates, {:>7.1} ms, loss {:.6}, accuracy {:.1}%",
-        run_n.total_updates,
+        run_n.steps,
         run_n.wall.as_secs_f64() * 1e3,
         model.value(&run_n.final_x),
         100.0 * model.accuracy(&run_n.final_x)
@@ -81,12 +84,12 @@ fn main() {
     println!("weight error vs reference: gradient {g_err:.2e}, newton {n_err:.2e}");
     assert!(g_err < 1e-5 && n_err < 1e-5, "training did not converge");
     assert!(
-        run_n.total_updates < run.total_updates,
+        run_n.steps < run.steps,
         "diagonal Newton should need fewer updates"
     );
     println!(
         "modified Newton converged in {:.1}x fewer block updates",
-        run.total_updates as f64 / run_n.total_updates as f64
+        run.steps as f64 / run_n.steps as f64
     );
     let _ = grad.residual_inf(&run.final_x);
 }

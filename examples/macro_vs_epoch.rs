@@ -2,6 +2,9 @@
 //! Mishchenko–Iutzeler–Malick on the same trace: why macro-iterations
 //! tolerate out-of-order messages and epochs do not (paper §III).
 //!
+//! The traces are produced by real `Session` replay runs — the recorded
+//! trace of a run *is* the `(𝒮, ℒ)` realisation executed.
+//!
 //! ```sh
 //! cargo run --release --example macro_vs_epoch
 //! ```
@@ -11,18 +14,27 @@ use asynciter::models::epoch::epoch_sequence;
 use asynciter::models::macroiter::{
     boundary_freshness_violations, macro_iterations, macro_iterations_strict,
 };
-use asynciter::models::partition::Partition;
-use asynciter::models::schedule::{record, ChaoticBounded};
-use asynciter::models::LabelStore;
+use asynciter::prelude::*;
 
 fn main() {
     let n = 12;
     let steps = 20_000;
     let partition = Partition::identity(n);
+    let op = asynciter::opt::linear::JacobiOperator::new(
+        asynciter::numerics::sparse::tridiagonal(n, 4.0, -1.0),
+        vec![1.0; n],
+    )
+    .expect("operator");
 
     for (name, fifo) in [("FIFO delivery", true), ("out-of-order delivery", false)] {
-        let mut gen = ChaoticBounded::new(n, n, n, 48, fifo, 2022);
-        let trace = record(&mut gen, steps, LabelStore::Full);
+        let run = Session::new(&op)
+            .steps(steps)
+            .schedule(ChaoticBounded::new(n, n, n, 48, fifo, 2022))
+            .record(RecordMode::Full)
+            .backend(Replay)
+            .run()
+            .expect("replay run");
+        let trace = run.trace.expect("trace recorded");
         let monotone = labels_monotone(&trace).expect("full labels");
 
         let epochs = epoch_sequence(&trace, &partition, 2);

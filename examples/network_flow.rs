@@ -8,9 +8,9 @@
 //! ```
 
 use asynciter::core::theory::perron_weights;
-use asynciter::models::partition::Partition;
 use asynciter::numerics::sparse::CsrMatrix;
 use asynciter::opt::network_flow::{NetworkFlowProblem, PriceRelaxation};
+use asynciter::prelude::*;
 use asynciter::runtime::network::{ApplyPolicy, NetConfig, NetworkRunner};
 
 fn main() {
@@ -38,8 +38,10 @@ fn main() {
     // Distributed execution: 4 machines exchange labelled price messages
     // through a channel that reorders (30%), drops (10%) and duplicates
     // (5%) them.
+    // σ ≈ 0.99 means ~2000 effective sweeps for 1e-6: budget accordingly
+    // (workers may interleave coarsely on single-core hosts).
     let partition = Partition::blocks(nodes, 4).expect("partition");
-    let cfg = NetConfig::new(4, 1200)
+    let cfg = NetConfig::new(4, 8_000)
         .with_faults(0.3, 0.1, 0.05)
         .with_policy(ApplyPolicy::KeepFreshest)
         .with_seed(7);
@@ -57,6 +59,31 @@ fn main() {
     let resid = problem.balance_residual(&run.consensus);
     println!("price error vs exact dual: {err:.2e}; balance residual: {resid:.2e}");
     assert!(resid < 1e-6, "did not converge");
+
+    // Cross-check through the unified Session API: the same operator
+    // under a chaotic out-of-order replay schedule lands on the same
+    // prices — message passing and deterministic replay are two backends
+    // of one iteration.
+    let replay = Session::new(&op)
+        .steps(200_000)
+        .schedule(ChaoticBounded::new(
+            nodes,
+            nodes / 4,
+            nodes / 2,
+            24,
+            false,
+            8,
+        ))
+        .backend(Replay)
+        .run()
+        .expect("replay session");
+    let agree = asynciter::numerics::vecops::max_abs_diff(&replay.final_x, &run.consensus);
+    println!(
+        "session replay backend agrees with message passing to {agree:.2e} \
+         ({} macro-iterations)",
+        replay.macro_iterations
+    );
+    assert!(agree < 1e-6, "backends disagree");
 
     // Recover the primal flows and verify conservation at every node.
     let flows = problem.flows(&run.consensus);

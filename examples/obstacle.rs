@@ -7,10 +7,8 @@
 //! cargo run --release --example obstacle
 //! ```
 
-use asynciter::core::engine::{EngineConfig, ReplayEngine};
-use asynciter::core::stopping::StoppingRule;
-use asynciter::models::schedule::ChaoticBounded;
 use asynciter::opt::obstacle::{ObstacleProblem, ProjectedJacobi};
+use asynciter::prelude::*;
 
 fn main() {
     let grid = 28;
@@ -28,24 +26,22 @@ fn main() {
 
     // Asynchronous projected relaxation with FIFO bounded delays,
     // stopped by the oracle rule for the demo.
-    let mut schedule = ChaoticBounded::new(n, n / 8, n / 2, 12, true, 3);
-    let cfg = EngineConfig::fixed(50_000_000)
-        .with_labels(asynciter::models::LabelStore::MinOnly)
-        .with_stopping(StoppingRule::ErrorBelow {
+    let run = Session::new(&op)
+        .steps(50_000_000)
+        .schedule(ChaoticBounded::new(n, n / 8, n / 2, 12, true, 3))
+        .x0(op.upper_start())
+        .xstar(reference)
+        .stopping(StoppingRule::ErrorBelow {
             eps: 1e-9,
             check_every: n as u64,
-        });
-    let run = ReplayEngine::run(
-        &op,
-        &op.upper_start(),
-        &mut schedule,
-        &cfg,
-        Some(&reference),
-    )
-    .expect("run");
+        })
+        .backend(Replay)
+        .run()
+        .expect("run");
     println!(
-        "asynchronous projected Jacobi reached 1e-9 in {} component updates",
-        run.steps_run
+        "asynchronous projected Jacobi reached 1e-9 in {} component updates \
+         ({} macro-iterations)",
+        run.steps, run.macro_iterations
     );
 
     let (feas, resid, comp) = op.problem().complementarity_residuals(&run.final_x);

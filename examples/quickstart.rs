@@ -1,17 +1,17 @@
-//! Quickstart: run a totally asynchronous prox-gradient iteration and
-//! verify Theorem 1's macro-iteration bound — in ~60 lines.
+//! Quickstart: run a totally asynchronous prox-gradient iteration through
+//! the unified `Session` API and verify Theorem 1's macro-iteration bound
+//! — in ~60 lines.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use asynciter::core::engine::{EngineConfig, ReplayEngine};
 use asynciter::core::theory;
 use asynciter::models::macroiter::macro_iterations_strict;
-use asynciter::models::schedule::ChaoticBounded;
 use asynciter::opt::prox::L1;
 use asynciter::opt::proxgrad::{gamma_max, SeparableProxGrad};
 use asynciter::opt::quadratic::SeparableQuadratic;
+use asynciter::prelude::*;
 
 fn main() {
     // Problem (4) of the paper: min f(x) + g(x) with f separable,
@@ -29,29 +29,35 @@ fn main() {
     let (xstar, solution) = op.solve_exact().expect("fixed point");
     println!("operator: gamma = {gamma:.4}, rho = {rho:.4}");
 
-    // A totally asynchronous schedule: random subsets of components
-    // updated with random bounded delays, *out of order* (labels can go
-    // backwards in time — condition (b) still holds).
-    let mut schedule = ChaoticBounded::new(n, n / 4, n / 2, 16, false, 7);
-
-    // Execute Eq. (1) exactly and record errors.
-    let cfg = EngineConfig::fixed(20_000).with_error_every(100);
-    let x0 = vec![0.0; n];
-    let run = ReplayEngine::run(&op, &x0, &mut schedule, &cfg, Some(&xstar)).expect("run");
+    // Execute Eq. (1) exactly under a totally asynchronous schedule —
+    // random subsets of components updated with random bounded delays,
+    // *out of order* (labels can go backwards in time; condition (b)
+    // still holds) — and record the error curve.
+    let run = Session::new(&op)
+        .steps(20_000)
+        .schedule(ChaoticBounded::new(n, n / 4, n / 2, 16, false, 7))
+        .xstar(xstar.clone())
+        .error_every(100)
+        .record(RecordMode::Full)
+        .backend(Replay)
+        .run()
+        .expect("run");
 
     // Theorem 1: ||x(j) - x*||^2 <= (1 - rho)^k * max_i ||x_i(0) - x_i*||^2
     // with k the macro-iteration index of j (Definition 2).
-    let macros = macro_iterations_strict(&run.trace);
+    let trace = run.trace.as_ref().expect("trace recorded");
+    let macros = macro_iterations_strict(trace);
+    let x0 = vec![0.0; n];
     let r0_sq = theory::initial_error_sq(&x0, &xstar);
     let worst = theory::thm1_worst_ratio(&run.errors, &macros, rho, r0_sq, 1e-12);
     println!(
         "completed {} asynchronous steps = {} macro-iterations",
-        run.steps_run,
+        run.steps,
         macros.count()
     );
     println!(
         "final error {:.3e}; worst measured^2/bound ratio {:.3e} (<= 1: Theorem 1 holds)",
-        asynciter::numerics::vecops::max_abs_diff(&run.final_x, &xstar),
+        run.final_error(&xstar),
         worst
     );
     assert!(worst <= 1.0, "Theorem 1 bound violated");

@@ -6,13 +6,29 @@
 //! cargo run --release --example routing_bellman_ford
 //! ```
 
-use asynciter::models::partition::Partition;
 use asynciter::opt::bellman_ford::{BellmanFordOperator, Graph};
+use asynciter::prelude::*;
 use asynciter::runtime::network::{ApplyPolicy, NetConfig, NetworkRunner};
 
 const NAMES: [&str; 18] = [
-    "UCLA", "SRI", "UCSB", "UTAH", "BBN", "MIT", "RAND", "SDC", "HARVARD", "LINCOLN",
-    "STANFORD", "ILLINOIS", "CASE", "CMU", "AMES", "MITRE", "BURROUGHS", "NBS",
+    "UCLA",
+    "SRI",
+    "UCSB",
+    "UTAH",
+    "BBN",
+    "MIT",
+    "RAND",
+    "SDC",
+    "HARVARD",
+    "LINCOLN",
+    "STANFORD",
+    "ILLINOIS",
+    "CASE",
+    "CMU",
+    "AMES",
+    "MITRE",
+    "BURROUGHS",
+    "NBS",
 ];
 
 fn main() {
@@ -38,7 +54,10 @@ fn main() {
     let run = NetworkRunner::run(&op, &op.initial_estimate(), &partition, &cfg).expect("run");
     println!(
         "channel: {} sent / {} delivered / {} dropped / {} reordered / {} duplicated",
-        run.stats.sent, run.stats.delivered, run.stats.dropped, run.stats.held,
+        run.stats.sent,
+        run.stats.delivered,
+        run.stats.dropped,
+        run.stats.held,
         run.stats.duplicated
     );
 
@@ -55,4 +74,27 @@ fn main() {
     println!("\nworst deviation from Dijkstra: {worst:.2e}");
     assert!(worst < 1e-9, "routing disagrees with Dijkstra");
     println!("asynchronous Bellman–Ford is exact despite loss + reordering + duplication.");
+
+    // The same routing problem through the unified Session API on the
+    // deterministic simulator backend: six simulated IMP clusters with
+    // jittered links compute the identical table.
+    let sim_cfg = SimConfig::uniform(Partition::blocks(n, 6).expect("partition"), 1);
+    let sim = Session::new(&op)
+        .x0(op.initial_estimate())
+        .steps(2_000)
+        .backend(Sim(sim_cfg))
+        .run()
+        .expect("sim session");
+    let sim_worst = (0..n)
+        .map(|i| (sim.final_x[i] - exact[i]).abs())
+        .fold(0.0_f64, f64::max);
+    println!(
+        "simulator backend: {} phases over {} simulated ticks, worst deviation {sim_worst:.2e}",
+        sim.steps,
+        sim.sim_time.unwrap_or(0)
+    );
+    assert!(
+        sim_worst < 1e-9,
+        "simulated routing disagrees with Dijkstra"
+    );
 }

@@ -1,16 +1,61 @@
 //! # asynciter — facade crate
 //!
-//! Re-exports the full `asynciter` workspace behind a single dependency.
-//! See the workspace README for the architecture overview and the crate
-//! docs of each member for details:
+//! Asynchronous iterations with unbounded delays, out-of-order messages
+//! and flexible communication (El-Baz, IPPS 2022), as one workspace
+//! behind a single dependency.
+//!
+//! ## The unified `Session` API
+//!
+//! Every engine in the workspace executes the *same* iterate sequence —
+//! Eq. (1) of the paper — so every run is expressed the same way: build a
+//! [`prelude::Session`], pick a [`prelude::Backend`], read a
+//! [`prelude::RunReport`]:
+//!
+//! ```
+//! use asynciter::prelude::*;
+//!
+//! let op = asynciter::opt::linear::JacobiOperator::new(
+//!     asynciter::numerics::sparse::tridiagonal(16, 4.0, -1.0),
+//!     vec![1.0; 16],
+//! ).unwrap();
+//!
+//! // Deterministic replay of a chaotic out-of-order schedule …
+//! let replay = Session::new(&op)
+//!     .steps(4_000)
+//!     .schedule(ChaoticBounded::new(16, 4, 8, 12, false, 7))
+//!     .record(RecordMode::Full)
+//!     .backend(Replay)
+//!     .run()
+//!     .unwrap();
+//!
+//! // … and the same problem on free-running threads: same report shape.
+//! // (A residual target, not a fixed budget: free-running workers may
+//! // interleave arbitrarily coarsely, so "enough updates" is not a
+//! // well-defined number — "run until converged" is.)
+//! let threaded = Session::new(&op)
+//!     .steps(5_000_000)
+//!     .stopping(StoppingRule::Residual { eps: 1e-10, check_every: 16 })
+//!     .backend(SharedMem { threads: 2, ..SharedMem::default() })
+//!     .run()
+//!     .unwrap();
+//!
+//! assert!(replay.final_residual < 1e-10);
+//! assert!(threaded.final_residual < 1e-10);
+//! ```
+//!
+//! Backends: [`prelude::Replay`], [`prelude::Flexible`] (Definition 3),
+//! [`prelude::SharedMem`], [`prelude::Barrier`] (real threads), and
+//! [`prelude::Sim`] (deterministic discrete-event simulation).
+//!
+//! ## Crates
 //!
 //! - [`numerics`] — linear algebra, weighted max norms, RNG, statistics.
 //! - [`models`] — the formal model: schedules, conditions (a)–(d),
 //!   macro-iterations, epochs, Baudet's example.
 //! - [`opt`] — operators and problems (prox-gradient, network flow,
 //!   obstacle, Bellman–Ford, …).
-//! - [`core`] — asynchronous iteration engines (Definitions 1 and 3),
-//!   contraction theory, stopping rules.
+//! - [`core`] — engines (Definitions 1 and 3), the [`prelude::Session`]
+//!   API, contraction theory, stopping rules.
 //! - [`runtime`] — multi-threaded shared-memory and message-passing
 //!   runtimes.
 //! - [`sim`] — deterministic discrete-event simulator (paper Figs. 1–2).
@@ -23,3 +68,28 @@ pub use asynciter_opt as opt;
 pub use asynciter_report as report;
 pub use asynciter_runtime as runtime;
 pub use asynciter_sim as sim;
+
+/// One-stop imports for the unified execution API.
+///
+/// Brings in the [`Session`] builder, all five backends, the shared
+/// report/control types, and the handful of model types almost every run
+/// touches (schedules, partitions, stopping rules, the `Operator` trait).
+pub mod prelude {
+    pub use asynciter_core::session::{
+        macro_count, Backend, Flexible, Problem, RecordMode, Replay, RunControl, RunReport, Session,
+    };
+    pub use asynciter_core::stopping::StoppingRule;
+    pub use asynciter_core::CoreError;
+    pub use asynciter_models::partition::Partition;
+    pub use asynciter_models::schedule::{
+        BlockRoundRobin, ChaoticBounded, CyclicCoordinate, HeavyTailDelay, RecordedSchedule,
+        ScheduleGen, SyncJacobi, UnboundedSqrtDelay,
+    };
+    pub use asynciter_models::trace::{LabelStore, Trace};
+    pub use asynciter_numerics::norm::WeightedMaxNorm;
+    pub use asynciter_opt::traits::Operator;
+    pub use asynciter_runtime::session::{Barrier, SharedMem};
+    pub use asynciter_runtime::SnapshotMode;
+    pub use asynciter_sim::runner::SimConfig;
+    pub use asynciter_sim::session::Sim;
+}

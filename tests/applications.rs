@@ -1,20 +1,14 @@
 //! Application-level integration: the paper's surveyed domains running
-//! on the workspace engines, checked against independent references.
+//! on the workspace engines — through the unified `Session` API wherever
+//! a backend exists — checked against independent references.
 
-use asynciter::core::engine::{EngineConfig, ReplayEngine};
-use asynciter::core::stopping::StoppingRule;
-use asynciter::models::partition::Partition;
-use asynciter::models::schedule::ChaoticBounded;
-use asynciter::models::LabelStore;
-use asynciter::numerics::vecops;
 use asynciter::opt::bellman_ford::{BellmanFordOperator, Graph};
 use asynciter::opt::network_flow::{NetworkFlowProblem, PriceRelaxation};
 use asynciter::opt::newton::DiagNewton;
 use asynciter::opt::obstacle::{ObstacleProblem, ProjectedJacobi};
-use asynciter::opt::traits::Operator;
+use asynciter::prelude::*;
 use asynciter::runtime::network::{ApplyPolicy, NetConfig, NetworkRunner};
 use asynciter::sim::compute::{ComputeModel, LatencyModel};
-use asynciter::sim::runner::{SimConfig, Simulator};
 
 /// Network flow: the asynchronous dual relaxation recovers the exact
 /// optimal flows under severe delays.
@@ -25,19 +19,16 @@ fn network_flow_async_matches_exact_dual() {
     let op = PriceRelaxation::new(problem.clone(), 0).unwrap();
     let n = problem.num_nodes();
 
-    let mut gen = ChaoticBounded::new(n, n / 4, n / 2, 24, false, 8);
-    let run = ReplayEngine::run(
-        &op,
-        &vec![0.0; n],
-        &mut gen,
-        &EngineConfig::fixed(200_000).with_labels(LabelStore::MinOnly),
-        None,
-    )
-    .unwrap();
+    let run = Session::new(&op)
+        .steps(200_000)
+        .schedule(ChaoticBounded::new(n, n / 4, n / 2, 24, false, 8))
+        .backend(Replay)
+        .run()
+        .unwrap();
     assert!(problem.balance_residual(&run.final_x) < 1e-8);
     let f_async = problem.flows(&run.final_x);
     let f_exact = problem.flows(&exact);
-    assert!(vecops::max_abs_diff(&f_async, &f_exact) < 1e-7);
+    assert!(asynciter::numerics::vecops::max_abs_diff(&f_async, &f_exact) < 1e-7);
 }
 
 /// Obstacle problem: asynchronous projected relaxation solves the LCP.
@@ -48,22 +39,26 @@ fn obstacle_async_solves_lcp() {
     let n = problem.dim();
     let op = ProjectedJacobi::new(problem);
 
-    let mut gen = ChaoticBounded::new(n, n / 8, n / 2, 16, false, 12);
-    let cfg = EngineConfig::fixed(20_000_000)
-        .with_labels(LabelStore::MinOnly)
-        .with_stopping(StoppingRule::ErrorBelow {
+    let run = Session::new(&op)
+        .steps(20_000_000)
+        .schedule(ChaoticBounded::new(n, n / 8, n / 2, 16, false, 12))
+        .x0(op.upper_start())
+        .xstar(reference)
+        .stopping(StoppingRule::ErrorBelow {
             eps: 1e-9,
             check_every: n as u64,
-        });
-    let run = ReplayEngine::run(&op, &op.upper_start(), &mut gen, &cfg, Some(&reference))
+        })
+        .backend(Replay)
+        .run()
         .unwrap();
     assert!(run.stopped_early);
     let (feas, resid, comp) = op.problem().complementarity_residuals(&run.final_x);
     assert!(feas < 1e-8 && resid < 1e-4 && comp < 1e-4);
 }
 
-/// Bellman–Ford over the simulator: heterogeneous processors with
-/// heavy-tailed compute times and jittered links still route exactly.
+/// Bellman–Ford over the simulator backend: heterogeneous processors
+/// with heavy-tailed compute times and jittered links still route
+/// exactly.
 #[test]
 fn bellman_ford_on_simulator_routes_exactly() {
     let graph = Graph::arpanet();
@@ -71,31 +66,30 @@ fn bellman_ford_on_simulator_routes_exactly() {
     let op = BellmanFordOperator::new(graph, 0).unwrap();
     let exact = op.exact();
 
-    let cfg = SimConfig {
-        partition: Partition::blocks(n, 6).unwrap(),
-        compute: vec![
-            ComputeModel::Fixed { ticks: 1 },
-            ComputeModel::Uniform { lo: 1, hi: 4 },
-            ComputeModel::HeavyTail { scale: 1, alpha: 1.4 },
-            ComputeModel::Fixed { ticks: 2 },
-            ComputeModel::Uniform { lo: 2, hi: 6 },
-            ComputeModel::Baudet { scale: 1 },
-        ],
-        latency: LatencyModel::Jitter { lo: 0, hi: 9 },
-        inner_steps: 1,
-        partial_sends: 0,
-        max_iterations: 4_000,
-        seed: 3,
-        record_labels: LabelStore::MinOnly,
-        error_every: 0,
-    };
-    let res = Simulator::run(&op, &op.initial_estimate(), &cfg, None).unwrap();
-    for i in 0..n {
-        assert!(
-            (res.final_consensus[i] - exact[i]).abs() < 1e-9,
-            "node {i}"
-        );
+    let mut cfg = SimConfig::uniform(Partition::blocks(n, 6).unwrap(), 1);
+    cfg.compute = vec![
+        ComputeModel::Fixed { ticks: 1 },
+        ComputeModel::Uniform { lo: 1, hi: 4 },
+        ComputeModel::HeavyTail {
+            scale: 1,
+            alpha: 1.4,
+        },
+        ComputeModel::Fixed { ticks: 2 },
+        ComputeModel::Uniform { lo: 2, hi: 6 },
+        ComputeModel::Baudet { scale: 1 },
+    ];
+    cfg.latency = LatencyModel::Jitter { lo: 0, hi: 9 };
+    cfg.seed = 3;
+    let run = Session::new(&op)
+        .x0(op.initial_estimate())
+        .steps(4_000)
+        .backend(Sim(cfg))
+        .run()
+        .unwrap();
+    for (i, (got, want)) in run.final_x.iter().zip(&exact).enumerate() {
+        assert!((got - want).abs() < 1e-9, "node {i}");
     }
+    assert!(run.sim_time.is_some());
 }
 
 /// Message-passing Bellman–Ford under the nastiest channel settings the
@@ -112,8 +106,8 @@ fn bellman_ford_message_passing_hostile_channel() {
         .with_policy(ApplyPolicy::AsReceived)
         .with_seed(23);
     let res = NetworkRunner::run(&op, &op.initial_estimate(), &partition, &cfg).unwrap();
-    for i in 0..n {
-        assert!((res.consensus[i] - exact[i]).abs() < 1e-9, "node {i}");
+    for (i, (got, want)) in res.consensus.iter().zip(&exact).enumerate() {
+        assert!((got - want).abs() < 1e-9, "node {i}");
     }
 }
 
@@ -131,21 +125,24 @@ fn newton_and_gradient_share_fixed_point_async() {
     let grad = GradientOperator::new(f, gamma_max(1.0, 64.0)).unwrap();
 
     let run_steps = |op: &dyn Operator, steps: u64, seed: u64| {
-        let mut gen = ChaoticBounded::new(n, n / 4, n / 2, 12, false, seed);
-        ReplayEngine::run(
-            op,
-            &vec![0.0; n],
-            &mut gen,
-            &EngineConfig::fixed(steps).with_labels(LabelStore::MinOnly),
-            None,
-        )
-        .unwrap()
-        .final_x
+        Session::new(op)
+            .steps(steps)
+            .schedule(ChaoticBounded::new(n, n / 4, n / 2, 12, false, seed))
+            .backend(Replay)
+            .run()
+            .unwrap()
+            .final_x
     };
     let xn = run_steps(&newton, 4_000, 3);
     let xg = run_steps(&grad, 80_000, 3);
-    assert!(vecops::max_abs_diff(&xn, &xstar) < 1e-9, "newton");
-    assert!(vecops::max_abs_diff(&xg, &xstar) < 1e-6, "gradient");
+    assert!(
+        asynciter::numerics::vecops::max_abs_diff(&xn, &xstar) < 1e-9,
+        "newton"
+    );
+    assert!(
+        asynciter::numerics::vecops::max_abs_diff(&xg, &xstar) < 1e-6,
+        "gradient"
+    );
 }
 
 /// The simulator and the analytic Baudet construction agree on the
@@ -157,15 +154,21 @@ fn baudet_simulator_and_analytic_agree() {
     use asynciter::sim::scenario;
 
     let analytic = baudet_trace(60_000);
-    let (_, p_analytic, _) =
-        delay_growth_exponent(&p1_read_delays(&analytic), 1024).unwrap();
+    let (_, p_analytic, _) = delay_growth_exponent(&p1_read_delays(&analytic), 1024).unwrap();
 
     let op = scenario::two_component_operator();
-    let sim = Simulator::run(&op, &[0.0, 0.0], &scenario::baudet(60_000), None).unwrap();
-    let series: Vec<(u64, u64)> = asynciter::models::analysis::delay_series(&sim.trace, 1)
+    let sim = Session::new(&op)
+        .x0(vec![0.0, 0.0])
+        .steps(60_000)
+        .record(RecordMode::Full)
+        .backend(Sim(scenario::baudet(60_000)))
+        .run()
+        .unwrap();
+    let trace = sim.trace.expect("trace recorded");
+    let series: Vec<(u64, u64)> = asynciter::models::analysis::delay_series(&trace, 1)
         .unwrap()
         .into_iter()
-        .zip(sim.trace.iter())
+        .zip(trace.iter())
         .filter(|(_, (_, s))| s.active.as_slice() == [0])
         .map(|(d, _)| d)
         .collect();
@@ -195,15 +198,12 @@ fn sparse_logistic_async_forward_backward() {
     let gamma = 1.0 / model.lipschitz();
     let op = ForwardBackward::new(model.clone(), L1::new(lambda), gamma).unwrap();
 
-    let mut gen = ChaoticBounded::new(n, n / 4, n / 2, 16, false, 7);
-    let run = ReplayEngine::run(
-        &op,
-        &vec![0.0; n],
-        &mut gen,
-        &EngineConfig::fixed(60_000).with_labels(LabelStore::MinOnly),
-        None,
-    )
-    .unwrap();
+    let run = Session::new(&op)
+        .steps(60_000)
+        .schedule(ChaoticBounded::new(n, n / 4, n / 2, 16, false, 7))
+        .backend(Replay)
+        .run()
+        .unwrap();
     let x = &run.final_x;
     // KKT of min f + λ‖·‖₁ at the fixed point of FB.
     let mut grad = vec![0.0; n];
@@ -229,10 +229,8 @@ fn sparse_logistic_async_forward_backward() {
 /// read it back, and deterministically replay it.
 #[test]
 fn archive_and_replay_threaded_trace() {
-    use asynciter::models::schedule::RecordedSchedule;
     use asynciter::models::trace_io::{trace_from_str, trace_to_string};
     use asynciter::opt::linear::JacobiOperator;
-    use asynciter::runtime::async_engine::{AsyncConfig, AsyncSharedRunner, TraceRecord};
 
     let n = 16;
     let op = JacobiOperator::new(
@@ -241,28 +239,40 @@ fn archive_and_replay_threaded_trace() {
     )
     .unwrap();
     let xstar = op.solve_dense_spd().unwrap();
-    let partition = Partition::blocks(n, 4).unwrap();
-    // Mild spin keeps worker pacing comparable so the recorded schedule
-    // contains enough macro-iterations for an accurate replay (OS
-    // start-up skew would otherwise let one worker hog the budget).
-    let cfg = AsyncConfig::new(4, 4000)
-        .with_record(TraceRecord::Full)
-        .with_spin(vec![300; 4]);
-    let run = AsyncSharedRunner::run(&op, &vec![0.0; n], &partition, &cfg).unwrap();
+    // Record until the run actually converged: the schedule then provably
+    // contains enough macro-iteration structure for the replay to
+    // converge too, regardless of how coarsely the OS interleaves the
+    // workers (on a single-core host a fixed small budget can be spent
+    // almost entirely by one worker).
+    let run = Session::new(&op)
+        .steps(500_000)
+        .stopping(StoppingRule::Residual {
+            eps: 1e-13,
+            check_every: 32,
+        })
+        .record(RecordMode::Full)
+        .backend(SharedMem {
+            threads: 4,
+            spin: vec![300; 4],
+            ..SharedMem::default()
+        })
+        .run()
+        .unwrap();
     let trace = run.trace.unwrap();
 
     let archived = trace_to_string(&trace).unwrap();
     let restored = trace_from_str(&archived).unwrap();
     let steps = restored.len() as u64;
-    let mut replay = RecordedSchedule::new(restored).unwrap();
-    let rep = ReplayEngine::run(
-        &op,
-        &vec![0.0; n],
-        &mut replay,
-        &EngineConfig::fixed(steps),
-        Some(&xstar),
-    )
-    .unwrap();
-    let err = asynciter::numerics::vecops::max_abs_diff(&rep.final_x, &xstar);
-    assert!(err < 1e-5, "replayed archived schedule did not converge: {err}");
+    let rep = Session::new(&op)
+        .steps(steps)
+        .schedule(RecordedSchedule::new(restored).unwrap())
+        .xstar(xstar.clone())
+        .backend(Replay)
+        .run()
+        .unwrap();
+    let err = rep.final_error(&xstar);
+    assert!(
+        err < 1e-5,
+        "replayed archived schedule did not converge: {err}"
+    );
 }

@@ -1,0 +1,184 @@
+//! Backend equivalence: with a serial schedule (all components active,
+//! zero delay) the `Replay`, `Barrier { threads: 1 }` and `Sim` backends
+//! must produce **bit-identical** iterates on the quickstart problem —
+//! they are three executions of the same Eq. (1) sequence — plus
+//! edge-case tests for `History::value_at`.
+
+use asynciter::core::engine::History;
+use asynciter::opt::prox::L1;
+use asynciter::opt::proxgrad::{gamma_max, SeparableProxGrad};
+use asynciter::opt::quadratic::SeparableQuadratic;
+use asynciter::prelude::*;
+
+/// The quickstart problem: the Definition-4 prox-gradient operator on a
+/// random separable quadratic with an ℓ₁ regulariser.
+fn quickstart_operator(n: usize) -> SeparableProxGrad<SeparableQuadratic, L1> {
+    let (mu, l) = (1.0, 10.0);
+    let f = SeparableQuadratic::random(n, mu, l, 42).expect("instance");
+    SeparableProxGrad::new(f, L1::new(0.2), gamma_max(mu, l)).expect("operator")
+}
+
+#[test]
+fn replay_barrier_sim_bit_identical_on_quickstart() {
+    let n = 64;
+    let steps = 200;
+    let op = quickstart_operator(n);
+
+    // Replay with the synchronous (serial, zero-delay) schedule.
+    let replay = Session::new(&op)
+        .steps(steps)
+        .schedule(SyncJacobi::new(n))
+        .backend(Replay)
+        .run()
+        .unwrap();
+
+    // One barrier-synchronous thread: sweeps == synchronous iterations.
+    let barrier = Session::new(&op)
+        .steps(steps)
+        .backend(Barrier {
+            threads: 1,
+            ..Barrier::default()
+        })
+        .run()
+        .unwrap();
+
+    // One simulated processor, unit compute, one inner step per phase.
+    let sim = Session::new(&op)
+        .steps(steps)
+        .backend(Sim(SimConfig::uniform(
+            Partition::blocks(n, 1).unwrap(),
+            steps,
+        )))
+        .run()
+        .unwrap();
+
+    assert_eq!(replay.steps, steps);
+    assert_eq!(barrier.steps, steps);
+    assert_eq!(sim.steps, steps);
+    // Bit-identical, not approximately equal: same arithmetic, same
+    // order, same IEEE results.
+    for i in 0..n {
+        assert_eq!(
+            replay.final_x[i].to_bits(),
+            barrier.final_x[i].to_bits(),
+            "replay vs barrier at component {i}"
+        );
+        assert_eq!(
+            replay.final_x[i].to_bits(),
+            sim.final_x[i].to_bits(),
+            "replay vs sim at component {i}"
+        );
+    }
+    // The shared report makes cross-backend accounting directly
+    // comparable too.
+    assert_eq!(
+        replay.final_residual.to_bits(),
+        barrier.final_residual.to_bits()
+    );
+    assert_eq!(
+        replay.final_residual.to_bits(),
+        sim.final_residual.to_bits()
+    );
+}
+
+#[test]
+fn equivalence_holds_with_recording_and_error_curves() {
+    let n = 32;
+    let steps = 100;
+    let op = quickstart_operator(n);
+    let (xstar, _) = op.solve_exact().unwrap();
+
+    // Boxed backends implement `Backend`, so runtime backend selection
+    // needs no adapter.
+    let session = |backend: Box<dyn Backend>| {
+        Session::new(&op)
+            .steps(steps)
+            .xstar(xstar.clone())
+            .error_every(10)
+            .record(RecordMode::Full)
+            .backend(backend)
+            .run()
+            .unwrap()
+    };
+
+    let replay = session(Box::new(Replay));
+    let sim = session(Box::new(Sim(SimConfig::uniform(
+        Partition::blocks(n, 1).unwrap(),
+        steps,
+    ))));
+
+    assert_eq!(replay.errors.len(), sim.errors.len());
+    for ((ja, ea), (jb, eb)) in replay.errors.iter().zip(&sim.errors) {
+        assert_eq!(ja, jb);
+        assert_eq!(
+            ea.to_bits(),
+            eb.to_bits(),
+            "error curves diverge at step {ja}"
+        );
+    }
+    // Both traces describe the same synchronous schedule.
+    let ta = replay.trace.unwrap();
+    let tb = sim.trace.unwrap();
+    assert_eq!(ta.len(), tb.len());
+    assert_eq!(replay.macro_iterations, sim.macro_iterations);
+}
+
+// ---------------------------------------------------------------------------
+// History::value_at edge cases
+// ---------------------------------------------------------------------------
+
+#[test]
+fn history_value_at_label_zero_returns_initial() {
+    let mut h = History::new(&[7.5, -2.0]);
+    h.push(0, 5, 8.5);
+    // Label 0 always addresses x(0), even after updates.
+    assert_eq!(h.value_at(0, 0), 7.5);
+    assert_eq!(h.value_at(1, 0), -2.0);
+}
+
+#[test]
+fn history_value_at_beyond_last_update_clamps_to_latest() {
+    let mut h = History::new(&[1.0]);
+    h.push(0, 3, 2.0);
+    h.push(0, 9, 3.0);
+    // Any label at or past the last update sees the latest value …
+    assert_eq!(h.value_at(0, 9), 3.0);
+    assert_eq!(h.value_at(0, 10), 3.0);
+    assert_eq!(h.value_at(0, u64::MAX), 3.0);
+    // … and labels just before it see the previous one.
+    assert_eq!(h.value_at(0, 8), 2.0);
+}
+
+#[test]
+fn history_value_at_out_of_order_lookups() {
+    // Out-of-order queries (labels going backwards between calls) must
+    // be pure lookups with no hidden state: interleave old and new
+    // labels and expect exact step-function semantics.
+    let mut h = History::new(&[0.0]);
+    for (j, v) in [(2u64, 10.0), (4, 20.0), (8, 30.0), (16, 40.0)] {
+        h.push(0, j, v);
+    }
+    let expect = |l: u64| match l {
+        0..=1 => 0.0,
+        2..=3 => 10.0,
+        4..=7 => 20.0,
+        8..=15 => 30.0,
+        _ => 40.0,
+    };
+    // Deliberately non-monotone query order.
+    for l in [16, 3, 8, 0, 15, 4, 2, 7, 1, 100, 5] {
+        assert_eq!(h.value_at(0, l), expect(l), "label {l}");
+    }
+}
+
+#[test]
+fn history_assemble_honours_mixed_stale_labels() {
+    let mut h = History::new(&[1.0, 2.0, 3.0]);
+    h.push(0, 1, 10.0);
+    h.push(1, 2, 20.0);
+    h.push(2, 3, 30.0);
+    let mut out = [0.0; 3];
+    // Component 0 fresh, 1 stale (pre-update), 2 beyond-last.
+    h.assemble(&[1, 1, 7], &mut out);
+    assert_eq!(out, [10.0, 2.0, 30.0]);
+}

@@ -1,25 +1,19 @@
 //! End-to-end integration: the full pipeline from problem construction
 //! through asynchronous execution to trace analysis and Theorem-1
-//! verification, across crate boundaries.
+//! verification, across crate boundaries — all runs expressed through
+//! the unified `Session` API.
 
-use asynciter::core::engine::{EngineConfig, ReplayEngine};
-use asynciter::core::flexible::{FlexibleConfig, FlexibleEngine};
-use asynciter::core::stopping::StoppingRule;
 use asynciter::core::theory;
 use asynciter::models::conditions::{check_condition_a, check_condition_c};
 use asynciter::models::epoch::epoch_sequence;
 use asynciter::models::macroiter::{
     boundary_freshness_violations, macro_iterations, macro_iterations_strict,
 };
-use asynciter::models::partition::Partition;
-use asynciter::models::schedule::{ChaoticBounded, RecordedSchedule, UnboundedSqrtDelay};
-use asynciter::models::LabelStore;
-use asynciter::numerics::norm::WeightedMaxNorm;
 use asynciter::numerics::vecops;
 use asynciter::opt::prox::L1;
 use asynciter::opt::proxgrad::{gamma_max, SeparableProxGrad, SparseProxGrad};
 use asynciter::opt::quadratic::{SeparableQuadratic, SparseQuadratic};
-use asynciter::runtime::async_engine::{AsyncConfig, AsyncSharedRunner, TraceRecord};
+use asynciter::prelude::*;
 
 /// The paper's headline pipeline: Definition-4 operator + admissible
 /// schedule → replay → strict macro-iterations → inequality (5).
@@ -33,17 +27,22 @@ fn theorem1_pipeline_separable() {
     let (xstar, _) = op.solve_exact().unwrap();
     let x0 = vec![0.0; n];
 
-    let mut gen = UnboundedSqrtDelay::new(n, n / 4, n / 2, 1.0, 5);
-    let cfg = EngineConfig::fixed(12_000).with_error_every(50);
-    let run = ReplayEngine::run(&op, &x0, &mut gen, &cfg, Some(&xstar)).unwrap();
+    let run = Session::new(&op)
+        .steps(12_000)
+        .schedule(UnboundedSqrtDelay::new(n, n / 4, n / 2, 1.0, 5))
+        .x0(x0.clone())
+        .xstar(xstar.clone())
+        .error_every(50)
+        .record(RecordMode::Full)
+        .backend(Replay)
+        .run()
+        .unwrap();
 
-    check_condition_a(&run.trace).unwrap();
-    let macros = macro_iterations_strict(&run.trace);
+    let trace = run.trace.as_ref().expect("trace recorded");
+    check_condition_a(trace).unwrap();
+    let macros = macro_iterations_strict(trace);
     assert!(macros.count() > 5, "macro-iterations must complete");
-    assert_eq!(
-        boundary_freshness_violations(&run.trace, &macros.boundaries),
-        0
-    );
+    assert_eq!(boundary_freshness_violations(trace, &macros.boundaries), 0);
     let r0 = theory::initial_error_sq(&x0, &xstar);
     let worst = theory::thm1_worst_ratio(&run.errors, &macros, rho, r0, 1e-12);
     assert!(worst <= 1.0, "Theorem 1 violated: {worst}");
@@ -61,27 +60,37 @@ fn theorem1_pipeline_flexible() {
     let (xstar, _) = op.solve_exact().unwrap();
     let x0 = vec![0.0; n];
 
-    let mut gen = asynciter::models::schedule::BlockRoundRobin::new(
-        Partition::blocks(n, 4).unwrap(),
-        6,
-    );
-    let cfg = FlexibleConfig::new(3_000, 4)
-        .with_publish_period(1)
-        .with_error_every(20)
-        .with_enforcement();
-    let norm = WeightedMaxNorm::uniform(n);
-    let run = FlexibleEngine::run(&op, &x0, &mut gen, &cfg, &norm, Some(&xstar)).unwrap();
+    let run = Session::new(&op)
+        .steps(3_000)
+        .schedule(BlockRoundRobin::new(Partition::blocks(n, 4).unwrap(), 6))
+        .x0(x0.clone())
+        .xstar(xstar.clone())
+        .error_every(20)
+        .record(RecordMode::Full)
+        .backend(Flexible {
+            m: 4,
+            partial: true,
+            publish_period: Some(1),
+            enforce_constraint: true,
+            ..Flexible::default()
+        })
+        .run()
+        .unwrap();
     assert!(run.partial_reads > 0, "partials must actually be consumed");
 
-    let macros = macro_iterations_strict(&run.trace);
+    let trace = run.trace.as_ref().expect("trace recorded");
+    let macros = macro_iterations_strict(trace);
     let r0 = theory::initial_error_sq(&x0, &xstar);
     let worst = theory::thm1_worst_ratio(&run.errors, &macros, rho, r0, 1e-12);
-    assert!(worst <= 1.0, "Theorem 1 violated under flexible comm: {worst}");
-    assert!(vecops::max_abs_diff(&run.final_x, &xstar) < 1e-9);
+    assert!(
+        worst <= 1.0,
+        "Theorem 1 violated under flexible comm: {worst}"
+    );
+    assert!(run.final_error(&xstar) < 1e-9);
 }
 
 /// Threaded runtime → recorded trace → offline analysis → deterministic
-/// replay of the *same* schedule through the replay engine.
+/// replay of the *same* schedule through the replay backend.
 #[test]
 fn threaded_trace_analysis_and_replay() {
     let n = 32;
@@ -92,10 +101,24 @@ fn threaded_trace_analysis_and_replay() {
     let (xstar, _) = op.solve_exact().unwrap();
     let partition = Partition::blocks(n, 4).unwrap();
 
-    let cfg = AsyncConfig::new(4, 4_000)
-        .with_record(TraceRecord::Full)
-        .with_spin(vec![200; 4]);
-    let run = AsyncSharedRunner::run(&op, &vec![0.0; n], &partition, &cfg).unwrap();
+    // Run until the residual target is met so the recorded schedule is
+    // guaranteed to contain a converging macro-iteration structure even
+    // on single-core hosts where thread interleaving is coarse.
+    let run = Session::new(&op)
+        .steps(400_000)
+        .stopping(StoppingRule::Residual {
+            eps: 1e-12,
+            check_every: 64,
+        })
+        .record(RecordMode::Full)
+        .backend(SharedMem {
+            threads: 4,
+            partition: Some(partition.clone()),
+            spin: vec![200; 4],
+            ..SharedMem::default()
+        })
+        .run()
+        .unwrap();
     let trace = run.trace.expect("trace recorded");
 
     // Offline analysis: condition (a), coverage, macro/epoch structure.
@@ -104,27 +127,22 @@ fn threaded_trace_analysis_and_replay() {
     let lit = macro_iterations(&trace);
     let strict = macro_iterations_strict(&trace);
     assert!(lit.count() >= strict.count());
-    assert_eq!(
-        boundary_freshness_violations(&trace, &strict.boundaries),
-        0
-    );
+    assert_eq!(boundary_freshness_violations(&trace, &strict.boundaries), 0);
     let epochs = epoch_sequence(&trace, &partition, 2);
     assert!(epochs.count() >= strict.count());
 
     // Deterministic replay of the recorded schedule reproduces a
     // convergent run (values need not match the racy original, but the
     // schedule is admissible so the replay must converge too).
-    let mut replay = RecordedSchedule::new(trace.clone()).unwrap();
     let steps = trace.len() as u64;
-    let rep = ReplayEngine::run(
-        &op,
-        &vec![0.0; n],
-        &mut replay,
-        &EngineConfig::fixed(steps),
-        Some(&xstar),
-    )
-    .unwrap();
-    let err = vecops::max_abs_diff(&rep.final_x, &xstar);
+    let rep = Session::new(&op)
+        .steps(steps)
+        .schedule(RecordedSchedule::new(trace).unwrap())
+        .xstar(xstar.clone())
+        .backend(Replay)
+        .run()
+        .unwrap();
+    let err = rep.final_error(&xstar);
     assert!(err < 1e-6, "replayed schedule did not converge: {err}");
 }
 
@@ -142,27 +160,26 @@ fn macro_contraction_stopping_certifies() {
     let alpha = op.contraction_factor();
     let eps = 1e-7;
 
-    let mut gen = ChaoticBounded::new(n, n / 4, n / 2, 16, false, 2);
-    let cfg = EngineConfig::fixed(10_000_000)
-        .with_labels(LabelStore::MinOnly)
-        .with_stopping(StoppingRule::MacroContraction {
+    let run = Session::new(&op)
+        .steps(10_000_000)
+        .schedule(ChaoticBounded::new(n, n / 4, n / 2, 16, false, 2))
+        .stopping(StoppingRule::MacroContraction {
             eps,
             alpha,
             norm: WeightedMaxNorm::uniform(n),
-        });
-    let run = ReplayEngine::run(&op, &vec![0.0; n], &mut gen, &cfg, None).unwrap();
+        })
+        .backend(Replay)
+        .run()
+        .unwrap();
     assert!(run.stopped_early);
-    let err = vecops::max_abs_diff(&run.final_x, &xstar);
+    let err = run.final_error(&xstar);
     assert!(err <= eps, "certified {eps} but true error {err}");
 }
 
 /// Sanity: the same operator under five different delay regimes lands on
-/// the same fixed point.
+/// the same fixed point — one session per schedule, nothing else varies.
 #[test]
 fn all_regimes_agree_on_the_fixed_point() {
-    use asynciter::models::schedule::{
-        CyclicCoordinate, HeavyTailDelay, ScheduleGen, SyncJacobi,
-    };
     let n = 24;
     let f = SparseQuadratic::random_diag_dominant(n, 3, 0.4, 1.0, 31).unwrap();
     use asynciter::opt::traits::SmoothObjective;
@@ -177,16 +194,15 @@ fn all_regimes_agree_on_the_fixed_point() {
         Box::new(UnboundedSqrtDelay::new(n, n / 4, n / 2, 1.5, 5)),
         Box::new(HeavyTailDelay::new(n, n / 4, n / 2, 1.3, 6)),
     ];
-    for mut gen in gens {
-        let run = ReplayEngine::run(
-            &op,
-            &vec![0.0; n],
-            gen.as_mut(),
-            &EngineConfig::fixed(30_000).with_labels(LabelStore::MinOnly),
-            None,
-        )
-        .unwrap();
+    for gen in gens {
+        let desc = gen.describe();
+        let run = Session::new(&op)
+            .steps(30_000)
+            .schedule(gen)
+            .backend(Replay)
+            .run()
+            .unwrap();
         let err = vecops::max_abs_diff(&run.final_x, &xstar);
-        assert!(err < 1e-8, "{}: error {err}", gen.describe());
+        assert!(err < 1e-8, "{desc}: error {err}");
     }
 }

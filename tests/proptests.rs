@@ -1,20 +1,17 @@
 //! Workspace-level property tests: invariants that must hold for *every*
-//! admissible schedule, operator and engine combination.
+//! admissible schedule, operator and engine combination — executed
+//! through the unified `Session` API.
 
-use asynciter::core::engine::{EngineConfig, ReplayEngine};
-use asynciter::core::flexible::{FlexibleConfig, FlexibleEngine};
 use asynciter::models::conditions::check_condition_a;
 use asynciter::models::macroiter::{
     boundary_freshness_violations, macro_iterations, macro_iterations_strict,
 };
-use asynciter::models::schedule::{record, ChaoticBounded, ScheduleGen, UnboundedSqrtDelay};
-use asynciter::models::LabelStore;
-use asynciter::numerics::norm::WeightedMaxNorm;
-use asynciter::numerics::vecops;
+use asynciter::models::schedule::record;
 use asynciter::opt::linear::JacobiOperator;
 use asynciter::opt::prox::L1;
 use asynciter::opt::proxgrad::{gamma_max, SeparableProxGrad};
 use asynciter::opt::quadratic::SeparableQuadratic;
+use asynciter::prelude::*;
 use proptest::prelude::*;
 
 fn arbitrary_bounded_schedule(n: usize) -> impl Strategy<Value = ChaoticBounded> {
@@ -43,26 +40,24 @@ proptest! {
         );
     }
 
-    /// For a max-norm contraction, the replay engine converges under
-    /// every admissible bounded schedule, and the error at the end is
-    /// bounded by the contraction telescoped over macro-iterations.
+    /// For a max-norm contraction, the replay backend converges under
+    /// every admissible bounded schedule.
     #[test]
     fn replay_converges_for_all_bounded_schedules(
-        mut gen in arbitrary_bounded_schedule(12),
+        gen in arbitrary_bounded_schedule(12),
     ) {
         let op = JacobiOperator::new(
             asynciter::numerics::sparse::tridiagonal(12, 4.0, -1.0),
             vec![1.0; 12],
         ).unwrap();
         let xstar = op.solve_dense_spd().unwrap();
-        let run = ReplayEngine::run(
-            &op,
-            &[0.0; 12],
-            &mut gen as &mut dyn ScheduleGen,
-            &EngineConfig::fixed(6_000).with_labels(LabelStore::MinOnly),
-            None,
-        ).unwrap();
-        let err = vecops::max_abs_diff(&run.final_x, &xstar);
+        let run = Session::new(&op)
+            .steps(6_000)
+            .schedule(gen)
+            .backend(Replay)
+            .run()
+            .unwrap();
+        let err = run.final_error(&xstar);
         prop_assert!(err < 1e-6, "error {err}");
     }
 
@@ -82,10 +77,17 @@ proptest! {
         let rho = op.rho();
         let (xstar, _) = op.solve_exact().unwrap();
         let x0 = vec![0.0; n];
-        let mut gen = UnboundedSqrtDelay::new(n, n / 4, n / 2, c, seed ^ 0xF00D);
-        let cfg = EngineConfig::fixed(3_000).with_error_every(25);
-        let run = ReplayEngine::run(&op, &x0, &mut gen, &cfg, Some(&xstar)).unwrap();
-        let macros = macro_iterations_strict(&run.trace);
+        let run = Session::new(&op)
+            .steps(3_000)
+            .schedule(UnboundedSqrtDelay::new(n, n / 4, n / 2, c, seed ^ 0xF00D))
+            .x0(x0.clone())
+            .xstar(xstar.clone())
+            .error_every(25)
+            .record(RecordMode::Full)
+            .backend(Replay)
+            .run()
+            .unwrap();
+        let macros = macro_iterations_strict(run.trace.as_ref().unwrap());
         let r0 = asynciter::core::theory::initial_error_sq(&x0, &xstar);
         let worst = asynciter::core::theory::thm1_worst_ratio(
             &run.errors, &macros, rho, r0, 1e-12,
@@ -93,8 +95,8 @@ proptest! {
         prop_assert!(worst <= 1.0, "ratio {worst}");
     }
 
-    /// The flexible engine with enforcement never violates constraint (3)
-    /// in effect and converges for every publish configuration.
+    /// The flexible backend with enforcement never violates constraint
+    /// (3) in effect and converges for every publish configuration.
     #[test]
     fn flexible_engine_safe_for_all_configs(
         m in 1usize..6,
@@ -108,20 +110,23 @@ proptest! {
             vec![1.0; n],
         ).unwrap();
         let xstar = op.solve_dense_spd().unwrap();
-        let mut gen = asynciter::models::schedule::BlockRoundRobin::new(
-            asynciter::models::partition::Partition::blocks(n, 3).unwrap(),
-            5,
-        );
-        let cfg = FlexibleConfig::new(1_200, m)
-            .with_publish_period(p)
-            .with_partial_prob(q)
-            .with_seed(seed)
-            .with_enforcement();
-        let norm = WeightedMaxNorm::uniform(n);
-        let run = FlexibleEngine::run(&op, &vec![0.0; n], &mut gen, &cfg, &norm, Some(&xstar))
+        let run = Session::new(&op)
+            .steps(1_200)
+            .schedule(BlockRoundRobin::new(Partition::blocks(n, 3).unwrap(), 5))
+            .xstar(xstar.clone())
+            .seed(seed)
+            .backend(Flexible {
+                m,
+                partial: true,
+                publish_period: Some(p),
+                partial_prob: q,
+                enforce_constraint: true,
+                ..Flexible::default()
+            })
+            .run()
             .unwrap();
         prop_assert!(
-            vecops::max_abs_diff(&run.final_x, &xstar) < 1e-7,
+            run.final_error(&xstar) < 1e-7,
             "m={m} p={p} q={q}"
         );
     }
