@@ -1,0 +1,9 @@
+//! The benchmark-gate binary: runs the backend × problem × delay-model
+//! scenario matrix, writes `BENCH_gate.json`, and with `--check`
+//! compares against a committed baseline (non-zero exit on regression).
+//! All logic lives in `asynciter_bench::gate`; this is the thin shell.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(asynciter_bench::gate::gate_main(&args));
+}

@@ -1,0 +1,1190 @@
+//! The benchmark gate: a machine-readable scenario matrix with a
+//! regression comparator.
+//!
+//! The paper's claim is that asynchronous iterations converge under
+//! unbounded delays, out-of-order messages and flexible communication.
+//! This module turns that claim into a standing, machine-checked
+//! artefact: it sweeps the cross-product of
+//!
+//! - **backends** — `replay`, `flexible`, `shared-mem`, `barrier`, `sim`
+//!   (every engine behind the unified `Session` API),
+//! - **problems** — Jacobi/quadratic, lasso via prox-gradient,
+//!   Bellman–Ford routing, and the obstacle problem,
+//! - **delay models** — no delay, bounded, unbounded heavy-tail,
+//!   out-of-order, and flexible partial communication,
+//!
+//! records one [`GateRecord`] per cell (residual, steps, wall time,
+//! simulated time, macro-iterations, per-worker updates) into
+//! `BENCH_gate.json`, and — in `--check` mode — compares the fresh
+//! matrix against a committed baseline, failing with a non-zero exit
+//! when any cell's convergence regresses or its timing degrades beyond
+//! a ratio.
+//!
+//! Not every backend can realise every delay model natively (a barrier
+//! cannot reorder messages). Instead of holes in the matrix, each cell
+//! carries a `fidelity` tag: `exact` (the model is realised literally),
+//! `approx` (an analogous mechanism, e.g. thread load imbalance for
+//! bounded delays), or `baseline` (the backend runs its closest
+//! admissible variant as the control for that environment). The
+//! comparator treats all three alike — every cell is gated.
+//!
+//! Timing rules are deliberately asymmetric: simulated ticks are
+//! deterministic and compared tightly, while wall-clock is only checked
+//! for cells that took long enough to measure reliably
+//! ([`CheckConfig::min_wall_secs`]) and with a generous ratio, so
+//! single-core CI hosts do not flake. Comparator unit tests inject
+//! timings instead of running live clocks.
+
+use crate::harness::try_compare_backends;
+use asynciter_core::session::{Flexible, Replay, RunReport, Session};
+use asynciter_core::stopping::StoppingRule;
+use asynciter_core::CoreError;
+use asynciter_models::partition::Partition;
+use asynciter_models::schedule::{BlockRoundRobin, ChaoticBounded, HeavyTailDelay};
+use asynciter_opt::bellman_ford::{BellmanFordOperator, Graph};
+use asynciter_opt::lasso::LassoProblem;
+use asynciter_opt::linear::JacobiOperator;
+use asynciter_opt::obstacle::{ObstacleProblem, ProjectedJacobi};
+use asynciter_opt::prox::L1;
+use asynciter_opt::proxgrad::{gamma_max, SparseProxGrad};
+use asynciter_opt::traits::{Operator, SmoothObjective};
+use asynciter_report::json::{GateDoc, GateRecord};
+use asynciter_report::TextTable;
+use asynciter_runtime::session::{Barrier, SharedMem};
+use asynciter_sim::compute::{ComputeModel, LatencyModel};
+use asynciter_sim::runner::SimConfig;
+use asynciter_sim::session::Sim;
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+// ---------------------------------------------------------------------------
+// Matrix axes
+// ---------------------------------------------------------------------------
+
+/// The problem axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProblemId {
+    /// Diagonally dominant tridiagonal linear system, Jacobi operator.
+    Jacobi,
+    /// Lasso regression via the sparse prox-gradient operator.
+    Lasso,
+    /// Shortest paths on the Arpanet topology (Bellman–Ford operator).
+    BellmanFord,
+    /// Membrane obstacle problem (projected Jacobi).
+    Obstacle,
+}
+
+impl ProblemId {
+    /// Every problem, sweep order.
+    pub const ALL: [ProblemId; 4] = [
+        ProblemId::Jacobi,
+        ProblemId::Lasso,
+        ProblemId::BellmanFord,
+        ProblemId::Obstacle,
+    ];
+
+    /// Stable identifier used in records and baselines.
+    pub fn id(self) -> &'static str {
+        match self {
+            ProblemId::Jacobi => "jacobi",
+            ProblemId::Lasso => "lasso",
+            ProblemId::BellmanFord => "bellman-ford",
+            ProblemId::Obstacle => "obstacle",
+        }
+    }
+}
+
+/// The backend axis (the five `Session` engines).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendId {
+    /// Deterministic Definition-1 replay.
+    Replay,
+    /// Definition-3 flexible communication.
+    Flexible,
+    /// Free-running shared-memory threads.
+    SharedMem,
+    /// Barrier-synchronous threads.
+    Barrier,
+    /// Discrete-event simulator.
+    Sim,
+}
+
+impl BackendId {
+    /// Every backend, sweep order.
+    pub const ALL: [BackendId; 5] = [
+        BackendId::Replay,
+        BackendId::Flexible,
+        BackendId::SharedMem,
+        BackendId::Barrier,
+        BackendId::Sim,
+    ];
+
+    /// Stable identifier used in records and baselines.
+    pub fn id(self) -> &'static str {
+        match self {
+            BackendId::Replay => "replay",
+            BackendId::Flexible => "flexible",
+            BackendId::SharedMem => "shared-mem",
+            BackendId::Barrier => "barrier",
+            BackendId::Sim => "sim",
+        }
+    }
+}
+
+/// The delay-model axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DelayId {
+    /// Synchronous: every read is fresh.
+    NoDelay,
+    /// Delays bounded by a constant (condition (d)).
+    Bounded,
+    /// Pareto-tailed delays — unbounded, infinite variance.
+    UnboundedHeavyTail,
+    /// Non-monotone labels: later updates may read older data.
+    OutOfOrder,
+    /// Flexible communication: mid-phase partial updates are published.
+    FlexiblePartial,
+}
+
+impl DelayId {
+    /// Every delay model, sweep order.
+    pub const ALL: [DelayId; 5] = [
+        DelayId::NoDelay,
+        DelayId::Bounded,
+        DelayId::UnboundedHeavyTail,
+        DelayId::OutOfOrder,
+        DelayId::FlexiblePartial,
+    ];
+
+    /// Stable identifier used in records and baselines.
+    pub fn id(self) -> &'static str {
+        match self {
+            DelayId::NoDelay => "no-delay",
+            DelayId::Bounded => "bounded",
+            DelayId::UnboundedHeavyTail => "unbounded-heavy-tail",
+            DelayId::OutOfOrder => "out-of-order",
+            DelayId::FlexiblePartial => "flexible-partial",
+        }
+    }
+}
+
+/// Run size: `Quick` is the CI gate (small instances, seconds), `Full`
+/// the nightly-scale sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateMode {
+    /// CI-sized instances.
+    Quick,
+    /// Larger instances and budgets.
+    Full,
+}
+
+impl GateMode {
+    /// Stable identifier stamped into the document.
+    pub fn id(self) -> &'static str {
+        match self {
+            GateMode::Quick => "quick",
+            GateMode::Full => "full",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Problem instances and budgets
+// ---------------------------------------------------------------------------
+
+/// A constructed problem instance: the operator and its canonical start.
+struct GateProblem {
+    op: Box<dyn Operator>,
+    x0: Vec<f64>,
+}
+
+fn build_problem(pid: ProblemId, mode: GateMode, seed: u64) -> GateProblem {
+    let full = mode == GateMode::Full;
+    match pid {
+        ProblemId::Jacobi => {
+            let n = if full { 64 } else { 16 };
+            let op = JacobiOperator::new(
+                asynciter_numerics::sparse::tridiagonal(n, 4.0, -1.0),
+                vec![1.0; n],
+            )
+            .expect("static Jacobi instance is valid");
+            GateProblem {
+                x0: vec![0.0; op.dim()],
+                op: Box::new(op),
+            }
+        }
+        ProblemId::Lasso => {
+            let (n, m, k) = if full { (48, 480, 8) } else { (12, 72, 3) };
+            let problem =
+                LassoProblem::random(n, m, k, 0.05, 0.01, seed).expect("static lasso instance");
+            let q = problem.quadratic.clone();
+            let gamma = 0.9 * gamma_max(q.strong_convexity(), q.lipschitz());
+            let op = SparseProxGrad::new(q, L1::new(problem.lambda), gamma)
+                .expect("gamma within Theorem-1 range");
+            GateProblem {
+                x0: vec![0.0; n],
+                op: Box::new(op),
+            }
+        }
+        ProblemId::BellmanFord => {
+            let graph = if full {
+                Graph::random_geometric(64, 0.25, seed).expect("static geometric graph")
+            } else {
+                Graph::arpanet()
+            };
+            let op = BellmanFordOperator::new(graph, 0).expect("destination 0 exists");
+            GateProblem {
+                x0: op.initial_estimate(),
+                op: Box::new(op),
+            }
+        }
+        ProblemId::Obstacle => {
+            let g = if full { 16 } else { 8 };
+            let problem = ObstacleProblem::bump(g, g, 0.6).expect("static obstacle instance");
+            let op = ProjectedJacobi::new(problem);
+            GateProblem {
+                x0: op.upper_start(),
+                op: Box::new(op),
+            }
+        }
+    }
+}
+
+/// Step budget per cell, in the backend's step unit (iterations, block
+/// updates, sweeps or phases).
+///
+/// Deterministic backends get fixed budgets that converge each quick
+/// cell well below the comparator's residual floor (the
+/// slowly-contracting obstacle problem proportionally more). Two
+/// backends are special-cased for single-core CI hosts:
+///
+/// - `shared-mem` workers are free-running, so under coarse OS
+///   interleaving one worker can burn any fixed global budget before
+///   its peer runs; those cells get a huge budget plus a residual
+///   stopping rule (the same pattern the runtime's own tests use).
+/// - `barrier` sweeps cost one spin-barrier crossing per worker, which
+///   on a single core means a scheduling quantum each; budgets are kept
+///   small since sweeps converge geometrically anyway.
+fn step_budget(pid: ProblemId, bid: BackendId, mode: GateMode) -> u64 {
+    let quick = match (pid, bid) {
+        (_, BackendId::SharedMem) => 2_000_000,
+        (ProblemId::Obstacle, BackendId::Replay | BackendId::Flexible) => 12_000,
+        (ProblemId::Obstacle, BackendId::Barrier) => 150,
+        (ProblemId::Obstacle, BackendId::Sim) => 2_000,
+        (_, BackendId::Replay | BackendId::Flexible) => 2_500,
+        (_, BackendId::Barrier) => 80,
+        (_, BackendId::Sim) => 600,
+    };
+    match mode {
+        GateMode::Quick => quick,
+        GateMode::Full => match bid {
+            BackendId::SharedMem => quick,
+            _ => quick * 4,
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cell execution
+// ---------------------------------------------------------------------------
+
+/// Worker/processor count for thread and simulator cells.
+fn workers(did: DelayId) -> usize {
+    match did {
+        // Extra interleaving makes free-running reordering more likely.
+        DelayId::OutOfOrder => 3,
+        _ => 2,
+    }
+}
+
+/// `(fidelity, note)` for a cell — how faithfully this backend realises
+/// this delay model (see the module docs).
+fn fidelity_of(bid: BackendId, did: DelayId) -> (&'static str, &'static str) {
+    use BackendId::*;
+    use DelayId::*;
+    match (bid, did) {
+        (Replay, FlexiblePartial) => (
+            "baseline",
+            "replay cannot publish partials; runs the bounded-delay schedule as control",
+        ),
+        (SharedMem, NoDelay) => ("exact", "single worker: every read is fresh"),
+        (SharedMem, Bounded) => ("approx", "bounded staleness via mild worker load imbalance"),
+        (SharedMem, UnboundedHeavyTail) => {
+            ("approx", "severe straggler approximates heavy-tail delays")
+        }
+        (SharedMem, OutOfOrder) => ("approx", "free-running races reorder block publishes"),
+        (Barrier, NoDelay | Bounded) => (
+            "exact",
+            "barrier sweeps are synchronous; imbalance only stretches wall time",
+        ),
+        (Barrier, UnboundedHeavyTail) => (
+            "baseline",
+            "barriers flatten unbounded delays; synchronous control under a severe straggler",
+        ),
+        (Barrier, OutOfOrder) => (
+            "baseline",
+            "barriers forbid reordering; plain synchronous control",
+        ),
+        (Barrier, FlexiblePartial) => (
+            "baseline",
+            "barrier runner has no partial publishing; plain synchronous control",
+        ),
+        _ => ("exact", ""),
+    }
+}
+
+/// Spin schedules for thread cells: `(uniform, mild imbalance, severe
+/// straggler)` per delay model.
+fn thread_spin(did: DelayId, threads: usize) -> Vec<u64> {
+    match did {
+        DelayId::Bounded => (0..threads as u64).map(|w| w * 160).collect(),
+        DelayId::UnboundedHeavyTail => (0..threads as u64).map(|w| w * 1_200).collect(),
+        _ => Vec::new(),
+    }
+}
+
+fn sim_partition(n: usize, procs: usize) -> Result<Partition, CoreError> {
+    Partition::blocks(n, procs).map_err(|e| CoreError::Backend {
+        backend: "sim",
+        message: format!("cannot partition {n} components over {procs} processors: {e}"),
+    })
+}
+
+/// Simulator realisation of each delay model.
+fn sim_config(n: usize, did: DelayId, steps: u64, seed: u64) -> Result<SimConfig, CoreError> {
+    let procs = workers(did);
+    let mut cfg = SimConfig::uniform(sim_partition(n, procs)?, steps);
+    cfg.seed = seed;
+    match did {
+        DelayId::NoDelay => {}
+        DelayId::Bounded => {
+            cfg.compute = vec![ComputeModel::Uniform { lo: 1, hi: 4 }; procs];
+            cfg.latency = LatencyModel::Jitter { lo: 1, hi: 3 };
+        }
+        DelayId::UnboundedHeavyTail => {
+            cfg.compute = vec![
+                ComputeModel::HeavyTail {
+                    scale: 1,
+                    alpha: 1.3,
+                };
+                procs
+            ];
+            cfg.latency = LatencyModel::HeavyTail {
+                scale: 1,
+                alpha: 1.3,
+            };
+        }
+        DelayId::OutOfOrder => {
+            cfg.compute = vec![ComputeModel::Uniform { lo: 1, hi: 3 }; procs];
+            // Jitter wider than the send period reorders messages.
+            cfg.latency = LatencyModel::Jitter { lo: 1, hi: 12 };
+        }
+        DelayId::FlexiblePartial => {
+            cfg.compute = vec![ComputeModel::Uniform { lo: 1, hi: 4 }; procs];
+            cfg.latency = LatencyModel::Jitter { lo: 1, hi: 3 };
+            cfg.inner_steps = 4;
+            cfg.partial_sends = 2;
+        }
+    }
+    Ok(cfg)
+}
+
+/// Schedule parameters shared by the schedule-driven backends.
+fn active_range(n: usize) -> (usize, usize) {
+    (1, (n / 4).max(2).min(n))
+}
+
+/// Configures and runs one cell's session.
+fn run_session(
+    s: Session<'_>,
+    n: usize,
+    bid: BackendId,
+    did: DelayId,
+    steps: u64,
+    seed: u64,
+) -> asynciter_core::Result<RunReport> {
+    let (k_min, k_max) = active_range(n);
+    let threads = workers(did);
+    match bid {
+        BackendId::Replay => {
+            let s = match did {
+                DelayId::NoDelay => s, // default synchronous Jacobi schedule
+                DelayId::Bounded | DelayId::FlexiblePartial => {
+                    s.schedule(ChaoticBounded::new(n, k_min, k_max, 8, true, seed))
+                }
+                DelayId::OutOfOrder => {
+                    s.schedule(ChaoticBounded::new(n, k_min, k_max, 8, false, seed))
+                }
+                DelayId::UnboundedHeavyTail => {
+                    s.schedule(HeavyTailDelay::new(n, k_min, k_max, 1.5, seed))
+                }
+            };
+            s.backend(Replay).run()
+        }
+        BackendId::Flexible => {
+            let (s, backend) = match did {
+                DelayId::FlexiblePartial => {
+                    let partition =
+                        Partition::blocks(n, threads).map_err(|e| CoreError::Backend {
+                            backend: "flexible",
+                            message: format!("cannot partition {n} over {threads} blocks: {e}"),
+                        })?;
+                    (
+                        s.schedule(BlockRoundRobin::new(partition, 4)),
+                        Flexible {
+                            m: 4,
+                            partial: true,
+                            ..Flexible::default()
+                        },
+                    )
+                }
+                other => {
+                    let s = match other {
+                        DelayId::NoDelay => s, // default synchronous schedule
+                        DelayId::Bounded => {
+                            s.schedule(ChaoticBounded::new(n, k_min, k_max, 8, true, seed))
+                        }
+                        DelayId::OutOfOrder => {
+                            s.schedule(ChaoticBounded::new(n, k_min, k_max, 8, false, seed))
+                        }
+                        DelayId::UnboundedHeavyTail => {
+                            s.schedule(HeavyTailDelay::new(n, k_min, k_max, 1.5, seed))
+                        }
+                        DelayId::FlexiblePartial => unreachable!(),
+                    };
+                    (
+                        s,
+                        Flexible {
+                            m: 2,
+                            partial: false,
+                            ..Flexible::default()
+                        },
+                    )
+                }
+            };
+            s.backend(backend).run()
+        }
+        BackendId::SharedMem => {
+            let threads = if did == DelayId::NoDelay { 1 } else { threads };
+            let (inner_steps, publish_period) = if did == DelayId::FlexiblePartial {
+                (4, 2)
+            } else {
+                (1, 1)
+            };
+            // Free-running workers need a convergence target, not a step
+            // count: see `step_budget`.
+            s.stopping(StoppingRule::Residual {
+                eps: 1e-9,
+                check_every: 64,
+            })
+            .backend(SharedMem {
+                threads,
+                inner_steps,
+                publish_period,
+                spin: thread_spin(did, threads),
+                ..SharedMem::default()
+            })
+            .run()
+        }
+        BackendId::Barrier => s
+            .backend(Barrier {
+                // Always two workers: extra threads only multiply
+                // spin-barrier crossings, which serialise on one core.
+                threads: 2,
+                spin: thread_spin(did, 2),
+                ..Barrier::default()
+            })
+            .run(),
+        BackendId::Sim => {
+            let cfg = sim_config(n, did, steps, seed)?;
+            s.backend(Sim(cfg)).run()
+        }
+    }
+}
+
+/// Runs one cell through [`try_compare_backends`], turning failures into
+/// recorded `"failed"` cells instead of aborting the matrix.
+fn run_cell(
+    gp: &GateProblem,
+    pid: ProblemId,
+    bid: BackendId,
+    did: DelayId,
+    mode: GateMode,
+    seed: u64,
+) -> GateRecord {
+    let (fidelity, note) = fidelity_of(bid, did);
+    let steps = step_budget(pid, bid, mode);
+    let n = gp.op.dim();
+    let x0 = gp.x0.clone();
+    let result = try_compare_backends(
+        gp.op.as_ref(),
+        vec![Box::new(move |s: Session| {
+            run_session(s.x0(x0).steps(steps).seed(seed), n, bid, did, steps, seed)
+        })],
+    );
+    let mut record = GateRecord {
+        problem: pid.id().to_string(),
+        backend: bid.id().to_string(),
+        delay: did.id().to_string(),
+        fidelity: fidelity.to_string(),
+        status: "ok".to_string(),
+        note: note.to_string(),
+        seed,
+        steps: 0,
+        wall_secs: 0.0,
+        sim_time: None,
+        final_residual: f64::NAN,
+        macro_iterations: 0,
+        per_worker_updates: Vec::new(),
+    };
+    match result {
+        Ok(mut reports) => {
+            let report = reports.pop().expect("one run per cell");
+            record.steps = report.steps;
+            record.wall_secs = report.wall_secs();
+            record.sim_time = report.sim_time;
+            record.final_residual = report.final_residual;
+            record.macro_iterations = report.macro_iterations;
+            record.per_worker_updates = report.per_worker_updates;
+        }
+        Err(e) => {
+            record.status = "failed".to_string();
+            record.note = e.to_string();
+        }
+    }
+    record
+}
+
+/// Runs the whole scenario matrix and returns the document.
+pub fn run_matrix(mode: GateMode, seed: u64) -> GateDoc {
+    let mut records =
+        Vec::with_capacity(ProblemId::ALL.len() * BackendId::ALL.len() * DelayId::ALL.len());
+    for &pid in &ProblemId::ALL {
+        let gp = build_problem(pid, mode, seed);
+        for &bid in &BackendId::ALL {
+            for &did in &DelayId::ALL {
+                records.push(run_cell(&gp, pid, bid, did, mode, seed));
+            }
+        }
+    }
+    GateDoc::new(mode.id(), records)
+}
+
+/// Distinct axis values among the `ok` records of a document — the
+/// coverage the acceptance gate asserts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Coverage {
+    /// Backends with at least one ok cell.
+    pub backends: BTreeSet<String>,
+    /// Problems with at least one ok cell.
+    pub problems: BTreeSet<String>,
+    /// Delay models with at least one ok cell.
+    pub delays: BTreeSet<String>,
+}
+
+/// Computes [`Coverage`] over the document's ok records.
+pub fn coverage(doc: &GateDoc) -> Coverage {
+    let mut c = Coverage {
+        backends: BTreeSet::new(),
+        problems: BTreeSet::new(),
+        delays: BTreeSet::new(),
+    };
+    for r in doc.records.iter().filter(|r| r.is_ok()) {
+        c.backends.insert(r.backend.clone());
+        c.problems.insert(r.problem.clone());
+        c.delays.insert(r.delay.clone());
+    }
+    c
+}
+
+// ---------------------------------------------------------------------------
+// The comparator
+// ---------------------------------------------------------------------------
+
+/// Regression thresholds. Defaults are tuned so deterministic metrics
+/// (residuals, simulated ticks) are held tightly while wall-clock — the
+/// only host-dependent metric — is gated loosely and only for cells
+/// long enough to time reliably.
+#[derive(Debug, Clone)]
+pub struct CheckConfig {
+    /// A current residual at or below this passes outright (absorbs
+    /// nondeterministic noise near machine precision in converged cells).
+    pub residual_floor: f64,
+    /// Otherwise the current residual must stay within `ratio ×`
+    /// baseline.
+    pub residual_ratio: f64,
+    /// Wall-time regression ratio.
+    pub wall_ratio: f64,
+    /// Wall-time checks only apply when the *baseline* cell took at
+    /// least this long (sub-millisecond cells are pure noise).
+    pub min_wall_secs: f64,
+    /// Simulated-tick regression ratio (deterministic, so tight).
+    pub sim_time_ratio: f64,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        Self {
+            residual_floor: 1e-5,
+            residual_ratio: 25.0,
+            wall_ratio: 8.0,
+            min_wall_secs: 0.05,
+            sim_time_ratio: 1.25,
+        }
+    }
+}
+
+/// Per-cell comparison verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within thresholds.
+    Pass,
+    /// Cell exists only in the current run (informational).
+    NewCell,
+    /// Baseline cell did not run ok; nothing to gate against.
+    BaselineNotOk,
+    /// Baseline cell is missing from the current run.
+    MissingCell,
+    /// The current run failed where the baseline succeeded.
+    RunFailed,
+    /// Convergence regressed beyond the residual thresholds.
+    ResidualRegression,
+    /// Wall-clock time regressed beyond the ratio.
+    WallRegression,
+    /// Simulated ticks regressed beyond the ratio.
+    SimTimeRegression,
+}
+
+impl Verdict {
+    /// Whether this verdict fails the gate.
+    pub fn is_failure(&self) -> bool {
+        matches!(
+            self,
+            Verdict::MissingCell
+                | Verdict::RunFailed
+                | Verdict::ResidualRegression
+                | Verdict::WallRegression
+                | Verdict::SimTimeRegression
+        )
+    }
+
+    /// Short label for the diff table.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Verdict::Pass => "pass",
+            Verdict::NewCell => "new",
+            Verdict::BaselineNotOk => "no-base",
+            Verdict::MissingCell => "MISSING",
+            Verdict::RunFailed => "FAILED",
+            Verdict::ResidualRegression => "RESIDUAL",
+            Verdict::WallRegression => "WALL",
+            Verdict::SimTimeRegression => "SIM-TIME",
+        }
+    }
+}
+
+/// One row of the comparison: the cell, both measurements, the verdict.
+#[derive(Debug, Clone)]
+pub struct CellOutcome {
+    /// `problem|backend|delay`.
+    pub key: String,
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Baseline residual (`NAN` when absent).
+    pub base_residual: f64,
+    /// Current residual (`NAN` when absent).
+    pub cur_residual: f64,
+    /// Baseline time metric: simulated ticks when present, else wall
+    /// seconds.
+    pub base_time: f64,
+    /// Current time metric, same unit as `base_time`.
+    pub cur_time: f64,
+    /// Extra context for failures.
+    pub detail: String,
+}
+
+/// The full comparison result.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// One outcome per compared cell (baseline order, then new cells).
+    pub cells: Vec<CellOutcome>,
+}
+
+impl CheckReport {
+    /// True when no cell failed.
+    pub fn passed(&self) -> bool {
+        self.cells.iter().all(|c| !c.verdict.is_failure())
+    }
+
+    /// Number of failing cells.
+    pub fn failures(&self) -> usize {
+        self.cells.iter().filter(|c| c.verdict.is_failure()).count()
+    }
+
+    /// Renders the ASCII diff table (failures first).
+    pub fn render_table(&self) -> String {
+        let mut table = TextTable::new(&[
+            "cell",
+            "verdict",
+            "resid(base)",
+            "resid(cur)",
+            "time(base)",
+            "time(cur)",
+        ]);
+        let mut rows: Vec<&CellOutcome> = self.cells.iter().collect();
+        rows.sort_by_key(|c| !c.verdict.is_failure());
+        for c in rows {
+            table.row(&[
+                c.key.clone(),
+                c.verdict.label().to_string(),
+                fmt_metric(c.base_residual),
+                fmt_metric(c.cur_residual),
+                fmt_metric(c.base_time),
+                fmt_metric(c.cur_time),
+            ]);
+        }
+        table.render()
+    }
+}
+
+fn fmt_metric(v: f64) -> String {
+    if v.is_nan() {
+        "-".to_string()
+    } else {
+        format!("{v:.3e}")
+    }
+}
+
+fn time_metric(r: &GateRecord) -> f64 {
+    match r.sim_time {
+        Some(t) => t as f64,
+        None => r.wall_secs,
+    }
+}
+
+fn compare_cell(base: &GateRecord, cur: &GateRecord, cfg: &CheckConfig) -> (Verdict, String) {
+    if !base.is_ok() {
+        return (Verdict::BaselineNotOk, base.note.clone());
+    }
+    if !cur.is_ok() {
+        return (Verdict::RunFailed, cur.note.clone());
+    }
+    // Convergence: a floor for converged cells, then a ratio. NaN fails
+    // both comparisons, as it must.
+    let resid_ok = cur.final_residual <= cfg.residual_floor
+        || cur.final_residual <= base.final_residual * cfg.residual_ratio + f64::MIN_POSITIVE;
+    if !resid_ok {
+        return (
+            Verdict::ResidualRegression,
+            format!(
+                "residual {:.3e} exceeds floor {:.1e} and {}x baseline {:.3e}",
+                cur.final_residual, cfg.residual_floor, cfg.residual_ratio, base.final_residual
+            ),
+        );
+    }
+    // Simulated ticks: deterministic, gated tightly. A cell that loses
+    // the metric the baseline had must not silently skip the check.
+    match (base.sim_time, cur.sim_time) {
+        (Some(bt), Some(ct)) => {
+            if bt > 0 && ct as f64 > bt as f64 * cfg.sim_time_ratio {
+                return (
+                    Verdict::SimTimeRegression,
+                    format!(
+                        "simulated time {ct} exceeds {}x baseline {bt}",
+                        cfg.sim_time_ratio
+                    ),
+                );
+            }
+        }
+        (Some(bt), None) => {
+            return (
+                Verdict::SimTimeRegression,
+                format!("baseline recorded simulated time {bt} but the current cell has none"),
+            );
+        }
+        (None, _) => {}
+    }
+    // Wall clock: only for cells the baseline could time reliably.
+    if base.wall_secs >= cfg.min_wall_secs && cur.wall_secs > base.wall_secs * cfg.wall_ratio {
+        return (
+            Verdict::WallRegression,
+            format!(
+                "wall {:.3}s exceeds {}x baseline {:.3}s",
+                cur.wall_secs, cfg.wall_ratio, base.wall_secs
+            ),
+        );
+    }
+    (Verdict::Pass, String::new())
+}
+
+/// Compares a fresh matrix against a baseline, cell by cell.
+pub fn check_matrix(baseline: &GateDoc, current: &GateDoc, cfg: &CheckConfig) -> CheckReport {
+    let mut cells = Vec::with_capacity(baseline.records.len());
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    for base in &baseline.records {
+        let key = base.key();
+        seen.insert(key.clone());
+        let cur = current.records.iter().find(|r| r.key() == key);
+        let (verdict, detail, cur_resid, cur_time) = match cur {
+            None => (
+                if base.is_ok() {
+                    Verdict::MissingCell
+                } else {
+                    Verdict::BaselineNotOk
+                },
+                "cell missing from current run".to_string(),
+                f64::NAN,
+                f64::NAN,
+            ),
+            Some(cur) => {
+                let (v, d) = compare_cell(base, cur, cfg);
+                (v, d, cur.final_residual, time_metric(cur))
+            }
+        };
+        cells.push(CellOutcome {
+            key,
+            verdict,
+            base_residual: base.final_residual,
+            cur_residual: cur_resid,
+            base_time: time_metric(base),
+            cur_time,
+            detail,
+        });
+    }
+    for cur in current.records.iter().filter(|r| !seen.contains(&r.key())) {
+        cells.push(CellOutcome {
+            key: cur.key(),
+            verdict: Verdict::NewCell,
+            base_residual: f64::NAN,
+            cur_residual: cur.final_residual,
+            base_time: f64::NAN,
+            cur_time: time_metric(cur),
+            detail: "cell not present in baseline".to_string(),
+        });
+    }
+    CheckReport { cells }
+}
+
+// ---------------------------------------------------------------------------
+// CLI entry point (thin `bin/gate.rs` wraps this)
+// ---------------------------------------------------------------------------
+
+const USAGE: &str = "usage: gate [--quick | --full] [--seed N] [--out PATH] \
+[--check BASELINE] [--residual-floor X] [--residual-ratio X] [--wall-ratio X] \
+[--min-wall-secs X] [--sim-time-ratio X]
+
+Runs the backend x problem x delay-model scenario matrix, writes the
+machine-readable BENCH_gate.json (default --out), and with --check
+compares against a baseline, exiting 1 on any regression.";
+
+struct GateArgs {
+    mode: GateMode,
+    seed: u64,
+    out: PathBuf,
+    check: Option<PathBuf>,
+    cfg: CheckConfig,
+}
+
+fn parse_gate_args(args: &[String]) -> Result<GateArgs, String> {
+    let mut parsed = GateArgs {
+        mode: GateMode::Quick,
+        seed: 2022,
+        out: PathBuf::from("BENCH_gate.json"),
+        check: None,
+        cfg: CheckConfig::default(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match a.as_str() {
+            "--quick" => parsed.mode = GateMode::Quick,
+            "--full" => parsed.mode = GateMode::Full,
+            "--seed" => {
+                parsed.seed = val("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed requires an integer".to_string())?;
+            }
+            "--out" => parsed.out = PathBuf::from(val("--out")?),
+            "--check" => parsed.check = Some(PathBuf::from(val("--check")?)),
+            "--residual-floor" => parsed.cfg.residual_floor = parse_f64(val("--residual-floor")?)?,
+            "--residual-ratio" => parsed.cfg.residual_ratio = parse_f64(val("--residual-ratio")?)?,
+            "--wall-ratio" => parsed.cfg.wall_ratio = parse_f64(val("--wall-ratio")?)?,
+            "--min-wall-secs" => parsed.cfg.min_wall_secs = parse_f64(val("--min-wall-secs")?)?,
+            "--sim-time-ratio" => parsed.cfg.sim_time_ratio = parse_f64(val("--sim-time-ratio")?)?,
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(parsed)
+}
+
+fn parse_f64(text: &str) -> Result<f64, String> {
+    text.parse()
+        .map_err(|_| format!("`{text}` is not a number"))
+}
+
+/// The gate CLI: runs the matrix, writes the artefact, optionally checks
+/// a baseline. Returns the process exit code: 0 on success, 1 on any
+/// regression or failed cell, 2 on usage/IO/parse errors.
+pub fn gate_main(args: &[String]) -> i32 {
+    let parsed = match parse_gate_args(args) {
+        Ok(p) => p,
+        Err(msg) => {
+            eprintln!("gate: {msg}\n\n{USAGE}");
+            return 2;
+        }
+    };
+    println!(
+        "gate: running {} scenario matrix (seed {})",
+        parsed.mode.id(),
+        parsed.seed
+    );
+    let doc = run_matrix(parsed.mode, parsed.seed);
+    if let Some(parent) = parsed.out.parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("gate: cannot create {}: {e}", parent.display());
+                return 2;
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(&parsed.out, doc.render()) {
+        eprintln!("gate: cannot write {}: {e}", parsed.out.display());
+        return 2;
+    }
+    let cov = coverage(&doc);
+    let failed: Vec<&GateRecord> = doc.records.iter().filter(|r| !r.is_ok()).collect();
+    println!(
+        "gate: {} cells ({} ok, {} failed) -> {} | coverage: {} backends x {} problems x {} delay models",
+        doc.records.len(),
+        doc.records.len() - failed.len(),
+        failed.len(),
+        parsed.out.display(),
+        cov.backends.len(),
+        cov.problems.len(),
+        cov.delays.len(),
+    );
+    for r in &failed {
+        eprintln!("gate: FAILED cell {}: {}", r.key(), r.note);
+    }
+    let mut exit = if failed.is_empty() { 0 } else { 1 };
+    if let Some(path) = &parsed.check {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("gate: cannot read baseline {}: {e}", path.display());
+                return 2;
+            }
+        };
+        let baseline = match GateDoc::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("gate: corrupt baseline {}: {e}", path.display());
+                return 2;
+            }
+        };
+        let report = check_matrix(&baseline, &doc, &parsed.cfg);
+        println!("{}", report.render_table());
+        if report.passed() {
+            println!(
+                "gate: PASS — {} cells within thresholds of {}",
+                report.cells.len(),
+                path.display()
+            );
+        } else {
+            for c in report.cells.iter().filter(|c| c.verdict.is_failure()) {
+                eprintln!(
+                    "gate: REGRESSION {} [{}]: {}",
+                    c.key,
+                    c.verdict.label(),
+                    c.detail
+                );
+            }
+            eprintln!(
+                "gate: FAIL — {} of {} cells regressed vs {}",
+                report.failures(),
+                report.cells.len(),
+                path.display()
+            );
+            exit = 1;
+        }
+    }
+    exit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok_record(key: (&str, &str, &str)) -> GateRecord {
+        GateRecord {
+            problem: key.0.into(),
+            backend: key.1.into(),
+            delay: key.2.into(),
+            fidelity: "exact".into(),
+            status: "ok".into(),
+            note: String::new(),
+            seed: 1,
+            steps: 100,
+            wall_secs: 0.5,
+            sim_time: None,
+            final_residual: 1e-3,
+            macro_iterations: 10,
+            per_worker_updates: vec![50, 50],
+        }
+    }
+
+    fn doc(records: Vec<GateRecord>) -> GateDoc {
+        GateDoc::new("quick", records)
+    }
+
+    #[test]
+    fn identical_docs_pass() {
+        let d = doc(vec![ok_record(("p", "b", "d"))]);
+        let report = check_matrix(&d, &d.clone(), &CheckConfig::default());
+        assert!(report.passed());
+        assert_eq!(report.cells[0].verdict, Verdict::Pass);
+    }
+
+    #[test]
+    fn residual_floor_absorbs_noise() {
+        // Baseline at machine precision, current 100x worse but still
+        // far below the floor: pass (thread nondeterminism tolerance).
+        let base = ok_record(("p", "b", "d"));
+        let mut cur = base.clone();
+        let mut base = base;
+        base.final_residual = 1e-14;
+        cur.final_residual = 1e-12;
+        let report = check_matrix(&doc(vec![base]), &doc(vec![cur]), &CheckConfig::default());
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn residual_regression_fails() {
+        let mut base = ok_record(("p", "b", "d"));
+        base.final_residual = 1e-3; // above the floor already
+        let mut cur = base.clone();
+        cur.final_residual = 1.0; // 1000x worse
+        let report = check_matrix(&doc(vec![base]), &doc(vec![cur]), &CheckConfig::default());
+        assert!(!report.passed());
+        assert_eq!(report.cells[0].verdict, Verdict::ResidualRegression);
+    }
+
+    #[test]
+    fn nan_residual_fails() {
+        let mut base = ok_record(("p", "b", "d"));
+        base.final_residual = 1e-3;
+        let mut cur = base.clone();
+        cur.final_residual = f64::NAN;
+        let report = check_matrix(&doc(vec![base]), &doc(vec![cur]), &CheckConfig::default());
+        assert_eq!(report.cells[0].verdict, Verdict::ResidualRegression);
+    }
+
+    #[test]
+    fn wall_regression_uses_injected_timings() {
+        // Injected timings, no live clocks: 0.1s -> 1.0s at ratio 8 fails.
+        let mut base = ok_record(("p", "b", "d"));
+        base.wall_secs = 0.1;
+        let mut cur = base.clone();
+        cur.wall_secs = 1.0;
+        let report = check_matrix(&doc(vec![base]), &doc(vec![cur]), &CheckConfig::default());
+        assert!(!report.passed());
+        assert_eq!(report.cells[0].verdict, Verdict::WallRegression);
+    }
+
+    #[test]
+    fn short_baseline_wall_times_are_not_gated() {
+        // Below min_wall_secs the wall check must not apply, however
+        // large the ratio — sub-millisecond cells flake on loaded hosts.
+        let mut base = ok_record(("p", "b", "d"));
+        base.wall_secs = 0.001;
+        let mut cur = base.clone();
+        cur.wall_secs = 10.0;
+        let report = check_matrix(&doc(vec![base]), &doc(vec![cur]), &CheckConfig::default());
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn sim_time_regression_fails_tightly() {
+        let mut base = ok_record(("p", "sim", "d"));
+        base.sim_time = Some(1000);
+        let mut cur = base.clone();
+        cur.sim_time = Some(1400); // 1.4x > 1.25x
+        let report = check_matrix(&doc(vec![base]), &doc(vec![cur]), &CheckConfig::default());
+        assert!(!report.passed());
+        assert_eq!(report.cells[0].verdict, Verdict::SimTimeRegression);
+        // Within ratio passes.
+        let mut cur = ok_record(("p", "sim", "d"));
+        cur.sim_time = Some(1200);
+        let mut base = ok_record(("p", "sim", "d"));
+        base.sim_time = Some(1000);
+        let report = check_matrix(&doc(vec![base]), &doc(vec![cur]), &CheckConfig::default());
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn losing_the_sim_time_metric_fails() {
+        let mut base = ok_record(("p", "sim", "d"));
+        base.sim_time = Some(1000);
+        let mut cur = base.clone();
+        cur.sim_time = None;
+        let report = check_matrix(&doc(vec![base]), &doc(vec![cur]), &CheckConfig::default());
+        assert!(!report.passed());
+        assert_eq!(report.cells[0].verdict, Verdict::SimTimeRegression);
+    }
+
+    #[test]
+    fn missing_and_failed_cells_fail() {
+        let base = doc(vec![
+            ok_record(("p", "b", "d")),
+            ok_record(("p2", "b", "d")),
+        ]);
+        let mut failed = ok_record(("p", "b", "d"));
+        failed.status = "failed".into();
+        failed.note = "boom".into();
+        let current = doc(vec![failed]);
+        let report = check_matrix(&base, &current, &CheckConfig::default());
+        assert_eq!(report.failures(), 2);
+        let verdicts: Vec<_> = report.cells.iter().map(|c| c.verdict.clone()).collect();
+        assert!(verdicts.contains(&Verdict::RunFailed));
+        assert!(verdicts.contains(&Verdict::MissingCell));
+    }
+
+    #[test]
+    fn new_cells_are_informational() {
+        let base = doc(vec![ok_record(("p", "b", "d"))]);
+        let current = doc(vec![
+            ok_record(("p", "b", "d")),
+            ok_record(("p3", "b", "d")),
+        ]);
+        let report = check_matrix(&base, &current, &CheckConfig::default());
+        assert!(report.passed());
+        assert!(report
+            .cells
+            .iter()
+            .any(|c| c.verdict == Verdict::NewCell && c.key == "p3|b|d"));
+    }
+
+    #[test]
+    fn diff_table_renders_failures_first() {
+        let mut base_bad = ok_record(("p", "b", "d"));
+        base_bad.final_residual = 1e-3;
+        let mut cur_bad = base_bad.clone();
+        cur_bad.final_residual = 10.0;
+        let base = doc(vec![ok_record(("fine", "b", "d")), base_bad]);
+        let current = doc(vec![ok_record(("fine", "b", "d")), cur_bad]);
+        let report = check_matrix(&base, &current, &CheckConfig::default());
+        let table = report.render_table();
+        let first_data_line = table.lines().nth(2).unwrap();
+        assert!(first_data_line.contains("RESIDUAL"), "{table}");
+    }
+
+    #[test]
+    fn usage_errors_exit_2() {
+        assert_eq!(gate_main(&["--bogus".to_string()]), 2);
+        assert_eq!(gate_main(&["--seed".to_string()]), 2);
+    }
+}

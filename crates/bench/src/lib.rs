@@ -13,9 +13,10 @@
 #![warn(clippy::all)]
 
 pub mod experiments;
+pub mod gate;
 pub mod harness;
 
-pub use harness::{compare_backends, results_dir, save_text, ExpContext};
+pub use harness::{compare_backends, results_dir, save_text, try_compare_backends, ExpContext};
 
 /// Parses an optional `--seed N` / `--quick` command line for the
 /// experiment binaries. Returns `(seed, quick)`.

@@ -180,7 +180,35 @@ pub struct RunReport {
     pub wall: Duration,
 }
 
+/// Maps a backend name to its canonical `&'static str` form — the five
+/// built-in engines, or `"unknown"` for anything else. Serializers use
+/// this to rebuild [`RunReport::backend`] from parsed text without
+/// leaking.
+pub fn canonical_backend_name(name: &str) -> &'static str {
+    match name {
+        "replay" => "replay",
+        "flexible" => "flexible",
+        "shared-mem" => "shared-mem",
+        "barrier" => "barrier",
+        "sim" => "sim",
+        _ => "unknown",
+    }
+}
+
 impl RunReport {
+    /// Wall-clock time in seconds — the serialization-friendly view of
+    /// [`RunReport::wall`].
+    pub fn wall_secs(&self) -> f64 {
+        self.wall.as_secs_f64()
+    }
+
+    /// Rebuilds [`RunReport::wall`] from seconds (deserialization helper;
+    /// out-of-range input — non-finite, negative, or overflowing
+    /// `Duration` — clamps to zero, never panics).
+    pub fn set_wall_secs(&mut self, secs: f64) {
+        self.wall = Duration::try_from_secs_f64(secs).unwrap_or(Duration::ZERO);
+    }
+
     /// `‖final_x − xstar‖_∞`.
     ///
     /// # Panics
@@ -420,6 +448,7 @@ impl Backend for Replay {
             residual_every: ctl.residual_every,
             stopping: ctl.stopping.clone(),
         };
+        let start = std::time::Instant::now();
         let res = ReplayEngine::run(
             problem.op,
             &problem.x0,
@@ -427,6 +456,7 @@ impl Backend for Replay {
             &cfg,
             problem.xstar.as_deref(),
         )?;
+        let wall = start.elapsed();
         let final_residual = problem.op.residual_inf(&res.final_x);
         let macro_iterations = macro_count(Some(&res.trace));
         Ok(RunReport {
@@ -444,7 +474,7 @@ impl Backend for Replay {
             partial_reads: 0,
             trace: ctl.record.keeps_trace().then_some(res.trace),
             sim_time: None,
-            wall: Duration::ZERO,
+            wall,
         })
     }
 }
@@ -532,6 +562,7 @@ impl Backend for Flexible {
             Some(u) => u.clone(),
             None => WeightedMaxNorm::uniform(n),
         };
+        let start = std::time::Instant::now();
         let res = FlexibleEngine::run(
             problem.op,
             &problem.x0,
@@ -540,6 +571,7 @@ impl Backend for Flexible {
             &norm,
             problem.xstar.as_deref(),
         )?;
+        let wall = start.elapsed();
         let final_residual = problem.op.residual_inf(&res.final_x);
         let macro_iterations = macro_count(Some(&res.trace));
         Ok(RunReport {
@@ -557,7 +589,7 @@ impl Backend for Flexible {
             partial_reads: res.partial_reads,
             trace: ctl.record.keeps_trace().then_some(res.trace),
             sim_time: None,
-            wall: Duration::ZERO,
+            wall,
         })
     }
 }

@@ -15,7 +15,6 @@
 use crate::runner::{SimConfig, Simulator};
 use asynciter_core::session::{macro_count, unsupported, Backend, Problem, RunControl, RunReport};
 use asynciter_core::CoreError;
-use std::time::Duration;
 
 /// The simulator backend: `Sim(config)`.
 ///
@@ -54,12 +53,14 @@ impl Backend for Sim {
         if let Some(seed) = ctl.seed {
             cfg.seed = seed;
         }
+        let start = std::time::Instant::now();
         let res = Simulator::run(problem.op, &problem.x0, &cfg, problem.xstar.as_deref()).map_err(
             |e| CoreError::Backend {
                 backend: self.name(),
                 message: e.to_string(),
             },
         )?;
+        let wall = start.elapsed();
         let final_residual = problem.op.residual_inf(&res.final_consensus);
         let steps = res.trace.len() as u64;
         let macro_iterations = macro_count(Some(&res.trace));
@@ -78,7 +79,7 @@ impl Backend for Sim {
             partial_reads: 0,
             trace: ctl.record.keeps_trace().then_some(res.trace),
             sim_time: Some(res.end_time),
-            wall: Duration::ZERO,
+            wall,
         })
     }
 }
