@@ -1,0 +1,16 @@
+//! The conformance-fuzzer binary: generates seeded admissible schedules,
+//! checks the differential oracles across backends, shrinks any failure
+//! to a replayable counterexample, and writes
+//! `CONFORMANCE_report.json`. All logic lives in
+//! `asynciter_conformance::runner`; this is the thin shell.
+//!
+//! ```text
+//! cargo run --release -p asynciter-bench --bin conformance -- --quick
+//! cargo run --release -p asynciter-bench --bin conformance -- --soak --seed 7
+//! cargo run --release -p asynciter-bench --bin conformance -- --inject-fault
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(asynciter_conformance::runner::conformance_main(&args));
+}

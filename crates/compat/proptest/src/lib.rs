@@ -3,10 +3,28 @@
 //! Each `proptest!` test expands to a plain `#[test]` that draws a
 //! deterministic sequence of random cases (seeded from the test name, so
 //! failures reproduce across runs) and executes the body per case.
-//! Differences from the real crate: no shrinking, no persisted failure
-//! files, and a smaller strategy library — exactly the strategies the
-//! workspace's property tests use (ranges, tuples, `prop_map`,
-//! `collection::vec`, `bool::ANY`).
+//! Differences from the real crate: no persisted failure files and a
+//! smaller strategy library — exactly the strategies the workspace's
+//! property tests use (ranges, tuples, `prop_map`, `collection::vec`,
+//! `bool::ANY`).
+//!
+//! Shrinking *is* supported, in two layers:
+//!
+//! - [`Strategy::shrink`] enumerates simpler candidate values (integers
+//!   move deterministically toward the range start by halving, vectors
+//!   toward their minimum length by dropping halves then single
+//!   elements, tuples shrink one component at a time). `prop_map`ped
+//!   strategies cannot shrink (the mapping is not invertible) and
+//!   return no candidates — same limitation the real crate solves with
+//!   value trees, which this shim deliberately avoids.
+//! - [`shrink`] exposes the raw greedy machinery
+//!   ([`shrink::minimize`], candidate enumerators) for callers that
+//!   minimise domain objects directly — the conformance fuzzer's trace
+//!   shrinker is built on it.
+//!
+//! [`check_with_shrinking`] runs a property function-style over a
+//! strategy and, on failure, greedily minimises the counterexample
+//! before panicking with it.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -58,6 +76,16 @@ pub trait Strategy {
     /// Draws one value.
     fn generate(&self, rng: &mut StdRng) -> Self::Value;
 
+    /// Enumerates strictly simpler candidates for `value`, most
+    /// aggressive first (e.g. the range start before a halving step).
+    /// Deterministic: the same value always yields the same candidates,
+    /// so greedy minimisation ([`shrink::minimize`]) reproduces across
+    /// runs. The default is no candidates (unshrinkable).
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
+
     /// Maps generated values through `f`.
     fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
     where
@@ -88,6 +116,19 @@ impl Strategy for Range<f64> {
     fn generate(&self, rng: &mut StdRng) -> f64 {
         rng.random_range(self.start..self.end)
     }
+
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        let v = *value;
+        if !v.is_finite() || v <= self.start {
+            return Vec::new();
+        }
+        let mid = self.start + (v - self.start) / 2.0;
+        let mut out = vec![self.start];
+        if mid > self.start && mid < v {
+            out.push(mid);
+        }
+        out
+    }
 }
 
 macro_rules! impl_strategy_int_range {
@@ -98,6 +139,15 @@ macro_rules! impl_strategy_int_range {
             fn generate(&self, rng: &mut StdRng) -> $t {
                 rng.random_range(self.start..self.end)
             }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                // One halving heuristic for all unsigned widths: the
+                // canonical u64 implementation in [`shrink`].
+                crate::shrink::u64_candidates(self.start as u64, *value as u64)
+                    .into_iter()
+                    .map(|x| x as $t)
+                    .collect()
+            }
         }
     )*};
 }
@@ -106,11 +156,26 @@ impl_strategy_int_range!(u8, u16, u32, u64, usize);
 
 macro_rules! impl_strategy_tuple {
     ($(($($s:ident . $idx:tt),+))*) => {$(
-        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+)
+        where
+            $($s::Value: Clone),+
+        {
             type Value = ($($s::Value,)+);
 
             fn generate(&self, rng: &mut StdRng) -> Self::Value {
                 ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut v = value.clone();
+                        v.$idx = cand;
+                        out.push(v);
+                    }
+                )+
+                out
             }
         }
     )*};
@@ -140,6 +205,14 @@ pub mod bool {
 
         fn generate(&self, rng: &mut StdRng) -> bool {
             rng.random()
+        }
+
+        fn shrink(&self, value: &bool) -> Vec<bool> {
+            if *value {
+                vec![false]
+            } else {
+                Vec::new()
+            }
         }
     }
 
@@ -182,7 +255,10 @@ pub mod collection {
         size: SizeRange,
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
 
         fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
@@ -191,6 +267,23 @@ pub mod collection {
                 SizeRange::Sampled(r) => rng.random_range(r.start..r.end),
             };
             (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let min_len = match &self.size {
+                SizeRange::Fixed(n) => *n,
+                SizeRange::Sampled(r) => r.start,
+            };
+            let mut out = crate::shrink::vec_remove_candidates(value, min_len);
+            // Element-wise shrinks, in place, length unchanged.
+            for (i, elem) in value.iter().enumerate() {
+                for cand in self.element.shrink(elem) {
+                    let mut v = value.clone();
+                    v[i] = cand;
+                    out.push(v);
+                }
+            }
+            out
         }
     }
 
@@ -203,6 +296,124 @@ pub mod collection {
     }
 }
 
+/// The greedy minimisation machinery behind [`Strategy::shrink`].
+///
+/// Everything here is deterministic: candidate enumeration depends only
+/// on the input value, and [`minimize`] always takes the first failing
+/// candidate, so a given failure minimises to the same counterexample on
+/// every run. Callers with domain objects no strategy describes (the
+/// conformance fuzzer's traces) drive [`minimize`] with their own
+/// candidate functions.
+pub mod shrink {
+    /// Greedily minimises a failing value: repeatedly replaces the
+    /// current value with the first candidate that still fails, until no
+    /// candidate fails or `max_attempts` predicate evaluations are
+    /// spent. Returns the minimal value and the attempts used.
+    pub fn minimize<T, F, C>(
+        initial: T,
+        mut still_fails: F,
+        candidates: C,
+        max_attempts: u64,
+    ) -> (T, u64)
+    where
+        F: FnMut(&T) -> bool,
+        C: Fn(&T) -> Vec<T>,
+    {
+        let mut cur = initial;
+        let mut attempts = 0u64;
+        'outer: loop {
+            for cand in candidates(&cur) {
+                if attempts >= max_attempts {
+                    break 'outer;
+                }
+                attempts += 1;
+                if still_fails(&cand) {
+                    cur = cand;
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+        (cur, attempts)
+    }
+
+    /// Shrink candidates for a `u64` toward `min`: the floor itself,
+    /// the halfway point, then one step down.
+    pub fn u64_candidates(min: u64, v: u64) -> Vec<u64> {
+        if v <= min {
+            return Vec::new();
+        }
+        let mut out = vec![min];
+        let mid = min + (v - min) / 2;
+        if mid > min && mid < v {
+            out.push(mid);
+        }
+        if v - 1 > mid {
+            out.push(v - 1);
+        }
+        out
+    }
+
+    /// Removal candidates for a vector, respecting `min_len`: keep the
+    /// first half, keep the second half, drop the last element, then
+    /// (for short vectors) drop each single element.
+    pub fn vec_remove_candidates<T: Clone>(v: &[T], min_len: usize) -> Vec<Vec<T>> {
+        let len = v.len();
+        if len <= min_len {
+            return Vec::new();
+        }
+        let mut out: Vec<Vec<T>> = Vec::new();
+        let half = (len / 2).max(min_len);
+        if half < len {
+            out.push(v[..half].to_vec());
+            out.push(v[len - half..].to_vec());
+        }
+        out.push(v[..len - 1].to_vec());
+        if len <= 64 {
+            for i in 0..len.saturating_sub(1) {
+                let mut w = v.to_vec();
+                w.remove(i);
+                out.push(w);
+            }
+        }
+        out
+    }
+}
+
+/// Runs `property` over `config.cases` generated values and, on the
+/// first failure, greedily minimises the counterexample with
+/// [`Strategy::shrink`] before panicking with the minimal value — the
+/// function-style twin of the [`proptest!`] macro for strategies whose
+/// values are `Clone + Debug`.
+///
+/// # Panics
+/// Panics with the minimal counterexample when the property fails.
+pub fn check_with_shrinking<S, F>(
+    config: &ProptestConfig,
+    name: &str,
+    strategy: &S,
+    mut property: F,
+) where
+    S: Strategy,
+    S::Value: Clone + std::fmt::Debug,
+    F: FnMut(&S::Value) -> bool,
+{
+    let seed = test_seed(name);
+    for case in 0..config.cases {
+        let mut rng = rng_for(seed, case);
+        let value = strategy.generate(&mut rng);
+        if property(&value) {
+            continue;
+        }
+        let (minimal, attempts) =
+            shrink::minimize(value, |v| !property(v), |v| strategy.shrink(v), 10_000);
+        panic!(
+            "property `{name}` failed at case {case}; minimal counterexample \
+             after {attempts} shrink attempts: {minimal:?}"
+        );
+    }
+}
+
 /// `proptest`-style namespace module (`prop::collection::vec`, …).
 pub mod prop {
     pub use crate::bool;
@@ -212,6 +423,7 @@ pub mod prop {
 /// Everything a property-test file needs.
 pub mod prelude {
     pub use crate::prop;
+    pub use crate::{check_with_shrinking, shrink};
     pub use crate::{prop_assert, prop_assert_eq, proptest};
     pub use crate::{ProptestConfig, Strategy};
 }
@@ -268,6 +480,102 @@ macro_rules! __proptest_impl {
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;
+
+    #[test]
+    fn int_shrink_moves_toward_range_start() {
+        let s = 0u64..100;
+        assert_eq!(s.shrink(&0), Vec::<u64>::new());
+        assert_eq!(s.shrink(&1), vec![0]);
+        assert_eq!(s.shrink(&2), vec![0, 1]);
+        assert_eq!(s.shrink(&77), vec![0, 38, 76]);
+        let s = 10u64..100;
+        assert_eq!(s.shrink(&10), Vec::<u64>::new());
+        assert_eq!(s.shrink(&14), vec![10, 12, 13]);
+    }
+
+    #[test]
+    fn int_shrink_minimises_deterministically() {
+        // Property fails for v >= 13: greedy minimisation must land on
+        // exactly 13 from any failing start, every run.
+        let s = 0u64..100;
+        for start in [13u64, 14, 40, 77, 99] {
+            let (minimal, _) = shrink::minimize(start, |v| *v >= 13, |v| s.shrink(v), 10_000);
+            assert_eq!(minimal, 13, "from {start}");
+        }
+    }
+
+    #[test]
+    fn vec_shrink_minimises_toward_minimal_witness() {
+        // Failure: some element >= 50. Minimal counterexample: the
+        // one-element vector [50].
+        let s = prop::collection::vec(0u64..100, 0..9);
+        let start = vec![3u64, 72, 9, 55, 61];
+        let (minimal, _) = shrink::minimize(
+            start,
+            |v: &Vec<u64>| v.iter().any(|&x| x >= 50),
+            |v| s.shrink(v),
+            100_000,
+        );
+        assert_eq!(minimal, vec![50]);
+    }
+
+    #[test]
+    fn vec_remove_candidates_respect_min_len() {
+        let v = vec![1, 2, 3, 4];
+        for cand in shrink::vec_remove_candidates(&v, 2) {
+            assert!(cand.len() >= 2 && cand.len() < 4);
+        }
+        assert!(shrink::vec_remove_candidates(&v, 4).is_empty());
+        // Fixed-size strategies only shrink elements, never length.
+        let s = prop::collection::vec(0u64..10, 3);
+        for cand in s.shrink(&vec![5, 5, 5]) {
+            assert_eq!(cand.len(), 3);
+        }
+    }
+
+    #[test]
+    fn tuple_and_bool_shrink_componentwise() {
+        let s = (0u64..10, prop::bool::ANY);
+        let cands = s.shrink(&(4, true));
+        assert!(cands.contains(&(0, true)));
+        assert!(cands.contains(&(4, false)));
+        assert!(prop::bool::ANY.shrink(&false).is_empty());
+    }
+
+    #[test]
+    fn f64_shrink_halves_toward_start() {
+        let s = 0.0..8.0f64;
+        let cands = s.shrink(&8.0);
+        assert_eq!(cands, vec![0.0, 4.0]);
+        assert!(s.shrink(&0.0).is_empty());
+    }
+
+    #[test]
+    fn check_with_shrinking_reports_minimal_case() {
+        let result = std::panic::catch_unwind(|| {
+            check_with_shrinking(
+                &ProptestConfig::with_cases(64),
+                "demo::v_below_13",
+                &(0u64..100),
+                |v| *v < 13,
+            );
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(
+            msg.contains("minimal counterexample") && msg.contains(": 13"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn check_with_shrinking_passes_quietly() {
+        check_with_shrinking(
+            &ProptestConfig::with_cases(32),
+            "demo::always",
+            &(0u64..100),
+            |_| true,
+        );
+    }
 
     #[test]
     fn strategies_are_deterministic_per_case() {

@@ -1,0 +1,53 @@
+//! # asynciter-conformance
+//!
+//! The conformance fuzzer: an executable specification of the paper's
+//! central claim — convergence under *any* admissible asynchronous
+//! schedule, with unbounded delays, out-of-order messages and flexible
+//! (partial) communication.
+//!
+//! Hand-written schedules exercise a handful of points in an infinite
+//! space. This crate machine-generates thousands, following the
+//! schedule-sequence view of Peng–Xu–Yan–Yin and the flexible model of
+//! Mishchenko–Iutzeler–Malick:
+//!
+//! - [`plan`] — a seeded random **admissible-schedule generator**:
+//!   [`plan::SchedulePlan`] samples a base generator from the
+//!   `asynciter-models` schedule zoo and composes it with random
+//!   delay/label/partial-update mutations, then wraps the stack in the
+//!   guard combinators (`EnvelopeClamp`, `CoverageGuard`) so that every
+//!   generated schedule *provably* satisfies the paper's admissibility
+//!   conditions — each plan carries its own
+//!   [`AdmissibilityWitness`](asynciter_models::AdmissibilityWitness).
+//! - [`shrink`] — minimises any failing schedule to a small replayable
+//!   counterexample `Trace` (prefix truncation, steering-set thinning,
+//!   label freshening), built on the deterministic greedy machinery of
+//!   the workspace `proptest` shim. Minimised traces are persisted via
+//!   `trace_io` and committed as regression seeds.
+//! - [`oracle`] — the differential oracles: **metamorphic** (every
+//!   admissible schedule drives the residual below tolerance on
+//!   Jacobi/lasso/obstacle), **equivalence** (replay round-trips are
+//!   bit-identical; a `replay_equivalent` simulation's trace, injected
+//!   back through `Session::replay_trace`, reproduces the simulated
+//!   iterates bit for bit), and **flexible degradation** (partial
+//!   communication still converges, with coherent constraint stats).
+//! - [`corpus`] — the committed seed corpus under `tests/corpus/`:
+//!   canonical plans, trace files, and the fault fixtures produced by
+//!   shrinking.
+//! - [`runner`] — the campaign driver behind the `conformance` binary
+//!   (`--quick`/`--soak`), with JSON reporting through
+//!   `asynciter-report`.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod corpus;
+pub mod oracle;
+pub mod plan;
+pub mod problems;
+pub mod runner;
+pub mod shrink;
+
+pub use plan::SchedulePlan;
+pub use problems::{ConformanceProblem, ProblemKind};
+pub use runner::{run_campaign, CampaignConfig, CampaignReport};
+pub use shrink::shrink_trace;

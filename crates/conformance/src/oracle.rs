@@ -1,0 +1,277 @@
+//! Differential oracles: what must hold for every admissible schedule.
+//!
+//! Each oracle takes a problem and (usually) a recorded trace, runs the
+//! relevant backends through the unified `Session` API, and returns
+//! `Err(message)` when the paper's guarantee is violated:
+//!
+//! - [`metamorphic`] — Theorem-level convergence: replaying any
+//!   admissible trace drives the fixed-point residual below the
+//!   problem's tolerance.
+//! - [`replay_roundtrip`] — determinism and archival equivalence: a
+//!   replayed trace re-replays bit-identically, including after a
+//!   round-trip through the `trace_io` text format.
+//! - [`sim_equivalence`] — cross-backend: a `replay_equivalent`
+//!   simulation's trace, injected into the replay engine, reproduces
+//!   the simulated iterates bit for bit.
+//! - [`flexible_degrades`] — Definition 3: the flexible engine with
+//!   partial communication still converges on the same schedule
+//!   (looser tolerance), publishes partials, and reports coherent
+//!   constraint statistics.
+
+use crate::problems::ConformanceProblem;
+use asynciter_core::session::RecordMode;
+use asynciter_core::session::{Flexible, Replay, Session};
+use asynciter_models::Partition;
+use asynciter_models::Trace;
+use asynciter_sim::compute::{ComputeModel, LatencyModel};
+use asynciter_sim::runner::SimConfig;
+use asynciter_sim::session::Sim;
+
+/// Convergence under an injected admissible trace.
+///
+/// # Errors
+/// A message naming the residual and tolerance when the replay fails to
+/// converge (or the backend errors).
+pub fn metamorphic(problem: &ConformanceProblem, trace: &Trace) -> Result<(), String> {
+    let report = Session::new(problem.op.as_ref())
+        .x0(problem.x0.clone())
+        .replay_trace(trace.clone())
+        .map_err(|e| format!("replay_trace rejected the trace: {e}"))?
+        .backend(Replay)
+        .run()
+        .map_err(|e| format!("replay failed: {e}"))?;
+    if !report.final_residual.is_finite() || report.final_residual > problem.tol {
+        return Err(format!(
+            "metamorphic: residual {:.3e} above tolerance {:.1e} after {} steps",
+            report.final_residual, problem.tol, report.steps
+        ));
+    }
+    Ok(())
+}
+
+/// Bit-identical re-replay, directly and through the archive format.
+///
+/// # Errors
+/// A message locating the first divergence.
+pub fn replay_roundtrip(problem: &ConformanceProblem, trace: &Trace) -> Result<(), String> {
+    let run = |t: Trace| {
+        Session::new(problem.op.as_ref())
+            .x0(problem.x0.clone())
+            .replay_trace(t)
+            .map_err(|e| format!("replay_trace rejected the trace: {e}"))?
+            .record(RecordMode::Full)
+            .run()
+            .map_err(|e| format!("replay failed: {e}"))
+    };
+    let first = run(trace.clone())?;
+    let second = run(trace.clone())?;
+    if first.final_x != second.final_x {
+        return Err("roundtrip: two replays of one trace disagree".into());
+    }
+    let text = asynciter_models::trace_io::trace_to_string(trace)
+        .map_err(|e| format!("trace_io write failed: {e}"))?;
+    let parsed = asynciter_models::trace_io::trace_from_str(&text)
+        .map_err(|e| format!("trace_io read failed: {e}"))?;
+    let archived = run(parsed)?;
+    if first.final_x != archived.final_x {
+        return Err("roundtrip: archived trace replays differently".into());
+    }
+    // The replay engine must re-record exactly the schedule it was fed.
+    let re = first.trace.as_ref().expect("RecordMode::Full");
+    if re.len() != trace.len() {
+        return Err(format!(
+            "roundtrip: re-recorded {} steps, injected {}",
+            re.len(),
+            trace.len()
+        ));
+    }
+    for j in 1..=trace.len() as u64 {
+        if re.step(j).active != trace.step(j).active || re.labels(j).ok() != trace.labels(j).ok() {
+            return Err(format!(
+                "roundtrip: re-recorded schedule diverges at step {j}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Simulator latency/compute regime for an equivalence case, derived
+/// from the seed so soak runs sweep all three.
+fn sim_regime(seed: u64, procs: usize) -> (Vec<ComputeModel>, LatencyModel) {
+    match seed % 3 {
+        0 => (
+            vec![ComputeModel::Fixed { ticks: 1 }; procs],
+            LatencyModel::Fixed { ticks: 1 },
+        ),
+        1 => (
+            vec![ComputeModel::Uniform { lo: 1, hi: 5 }; procs],
+            LatencyModel::Jitter { lo: 1, hi: 9 },
+        ),
+        _ => (
+            vec![
+                ComputeModel::HeavyTail {
+                    scale: 1,
+                    alpha: 1.3,
+                };
+                procs
+            ],
+            LatencyModel::HeavyTail {
+                scale: 1,
+                alpha: 1.3,
+            },
+        ),
+    }
+}
+
+/// Cross-backend equivalence: Sim and Replay produce bit-identical
+/// iterates on the same recorded schedule.
+///
+/// # Errors
+/// A message naming the first divergent component, or any backend error.
+pub fn sim_equivalence(
+    problem: &ConformanceProblem,
+    seed: u64,
+    procs: usize,
+    iterations: u64,
+) -> Result<(), String> {
+    let n = problem.n();
+    let partition =
+        Partition::blocks(n, procs).map_err(|e| format!("sim partition {n}/{procs}: {e}"))?;
+    let mut cfg = SimConfig::uniform(partition, iterations);
+    cfg.seed = seed;
+    let (compute, latency) = sim_regime(seed, procs);
+    cfg.compute = compute;
+    cfg.latency = latency;
+    debug_assert!(cfg.replay_equivalent());
+    let sim = Session::new(problem.op.as_ref())
+        .x0(problem.x0.clone())
+        .steps(iterations)
+        .record(RecordMode::Full)
+        .backend(Sim(cfg))
+        .run()
+        .map_err(|e| format!("sim failed: {e}"))?;
+    let trace = sim.trace.clone().expect("RecordMode::Full");
+    let replay = Session::new(problem.op.as_ref())
+        .x0(problem.x0.clone())
+        .replay_trace(trace)
+        .map_err(|e| format!("sim trace not replayable: {e}"))?
+        .backend(Replay)
+        .run()
+        .map_err(|e| format!("replay of sim trace failed: {e}"))?;
+    for (i, (a, b)) in sim.final_x.iter().zip(&replay.final_x).enumerate() {
+        if a.to_bits() != b.to_bits() {
+            return Err(format!(
+                "sim-equivalence: component {i} differs (sim {a:?} vs replay {b:?}) \
+                 after {iterations} iterations, seed {seed}, {procs} procs"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Flexible communication degrades gracefully on the same schedule:
+/// convergence within the looser tolerance, partials actually published
+/// and coherent constraint statistics.
+///
+/// # Errors
+/// A message naming the violated expectation.
+pub fn flexible_degrades(
+    problem: &ConformanceProblem,
+    trace: &Trace,
+    seed: u64,
+) -> Result<(), String> {
+    let enforce = problem.xstar.is_some();
+    let mut session = Session::new(problem.op.as_ref())
+        .x0(problem.x0.clone())
+        .replay_trace(trace.clone())
+        .map_err(|e| format!("replay_trace rejected the trace: {e}"))?
+        .seed(seed)
+        .backend(Flexible {
+            m: 3,
+            partial: true,
+            enforce_constraint: enforce,
+            ..Flexible::default()
+        });
+    if let Some(xs) = &problem.xstar {
+        session = session.xstar(xs.clone());
+    }
+    let report = session.run().map_err(|e| format!("flexible failed: {e}"))?;
+    if !report.final_residual.is_finite() || report.final_residual > problem.flex_tol {
+        return Err(format!(
+            "flexible: residual {:.3e} above tolerance {:.1e}",
+            report.final_residual, problem.flex_tol
+        ));
+    }
+    if report.partial_publishes == 0 {
+        return Err("flexible: partial mode never published a partial".into());
+    }
+    // Publishes are counted per component; with m = 3 inner steps at
+    // most m crossings per outer step can publish each of the n
+    // components. More would mean the engine miscounts.
+    if report.partial_publishes > report.steps * 3 * trace.n() as u64 {
+        return Err(format!(
+            "flexible: incoherent stats — {} publishes over {} steps of dim {}",
+            report.partial_publishes,
+            report.steps,
+            trace.n()
+        ));
+    }
+    // Constraint-stat accounting (checks run exactly when a read
+    // attempts a partial upgrade and the fixed point is known): with
+    // enforcement a violating upgrade is skipped, without it the
+    // upgrade proceeds — either way every check is accounted for.
+    if enforce {
+        if report.constraint_checked != report.partial_reads + report.constraint_violations {
+            return Err(format!(
+                "flexible: incoherent stats — {} checks but {} reads + {} violations",
+                report.constraint_checked, report.partial_reads, report.constraint_violations
+            ));
+        }
+    } else if report.constraint_checked != 0 || report.constraint_violations != 0 {
+        return Err(format!(
+            "flexible: constraint stats without a known fixed point ({} checks)",
+            report.constraint_checked
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::SchedulePlan;
+    use crate::problems::{ConformanceProblem, ProblemKind};
+    use asynciter_numerics::rng::rng;
+
+    #[test]
+    fn oracles_pass_on_a_sampled_plan() {
+        let problem = ConformanceProblem::build(ProblemKind::Jacobi);
+        let mut r = rng(11);
+        let plan = SchedulePlan::sample(&mut r, problem.n(), problem.steps, problem.limits);
+        let trace = plan.record_trace();
+        metamorphic(&problem, &trace).unwrap();
+        replay_roundtrip(&problem, &trace).unwrap();
+        flexible_degrades(&problem, &trace, 5).unwrap();
+        sim_equivalence(&problem, 1, 2, 300).unwrap();
+        sim_equivalence(&problem, 2, 3, 300).unwrap();
+    }
+
+    #[test]
+    fn metamorphic_rejects_a_frozen_schedule() {
+        // Freezing a component's label at 0 makes replay converge to
+        // the wrong point: the oracle must notice.
+        let problem = ConformanceProblem::build(ProblemKind::Jacobi);
+        let mut r = rng(13);
+        let plan = SchedulePlan::sample(&mut r, problem.n(), problem.steps, problem.limits);
+        let base = plan.record_trace();
+        let mut corrupt =
+            asynciter_models::Trace::new(base.n(), asynciter_models::LabelStore::Full);
+        for j in 1..=base.len() as u64 {
+            let active: Vec<usize> = base.step(j).active.iter().map(|&i| i as usize).collect();
+            let mut labels = base.labels(j).unwrap().to_vec();
+            labels[0] = 0;
+            corrupt.push_step(&active, &labels);
+        }
+        assert!(metamorphic(&problem, &corrupt).is_err());
+    }
+}

@@ -1,0 +1,312 @@
+//! Seeded sampling of provably admissible schedule plans.
+//!
+//! A [`SchedulePlan`] is the *genotype* of one fuzz case: a base
+//! generator drawn from the schedule zoo, optional thinning/jitter
+//! mutations, a delay envelope and a coverage gap. Building the plan
+//! composes the stack
+//!
+//! ```text
+//! CoverageGuard( EnvelopeClamp( LabelJitter( ActiveThin( base ))))
+//! ```
+//!
+//! so the recorded trace is accepted by the plan's
+//! [`AdmissibilityWitness`] *by construction*: the clamp forces
+//! conditions (a)/(b) (and (d) for bounded envelopes), the guard forces
+//! condition (c). Sampling, building and recording are all deterministic
+//! functions of the plan's seed — a failing case replays from its plan
+//! alone.
+
+use asynciter_models::conditions::{AdmissibilityWitness, DelayEnvelope};
+use asynciter_models::schedule::{
+    record, ActiveThin, BlockRoundRobin, ChaoticBounded, CoverageGuard, CyclicCoordinate,
+    EnvelopeClamp, HeavyTailDelay, LabelJitter, ScheduleGen, SyncJacobi, UnboundedSqrtDelay,
+};
+use asynciter_models::{LabelStore, Partition, Trace};
+use asynciter_numerics::rng::child_seed;
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// The base generator of a plan, drawn from the schedule zoo.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BaseKind {
+    /// Synchronous Jacobi steering.
+    Sync,
+    /// Cyclic single-coordinate (Gauss–Seidel) steering.
+    Cyclic,
+    /// Block round robin over `machines` blocks with read lag `lag`.
+    BlockRoundRobin {
+        /// Number of machine blocks.
+        machines: usize,
+        /// Read lag in iterations (`≥ 1`).
+        lag: u64,
+    },
+    /// Chazan–Miranker chaotic relaxation with bounded delays.
+    Chaotic {
+        /// Minimum active-set size.
+        k_min: usize,
+        /// Maximum active-set size.
+        k_max: usize,
+        /// Delay bound of the base generator (before clamping).
+        b: u64,
+        /// FIFO (`true`) or out-of-order (`false`) labels.
+        monotone: bool,
+    },
+    /// Baudet-style `√j`-growing delays with scale `c`.
+    SqrtDelay {
+        /// Growth scale.
+        c: f64,
+    },
+    /// Pareto heavy-tailed delays with shape `alpha`.
+    HeavyTail {
+        /// Pareto shape (smaller = heavier tail).
+        alpha: f64,
+    },
+}
+
+/// Sampling bounds, chosen per problem so the metamorphic oracle's step
+/// budget always dominates the worst staleness the plan can impose.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanLimits {
+    /// Largest constant delay bound an envelope may carry.
+    pub max_bounded_b: u64,
+    /// Largest `√j` growth scale an envelope may carry.
+    pub max_sqrt_c: f64,
+}
+
+impl Default for PlanLimits {
+    fn default() -> Self {
+        Self {
+            max_bounded_b: 24,
+            max_sqrt_c: 2.5,
+        }
+    }
+}
+
+/// One fuzz case: a seeded, self-certifying schedule recipe.
+#[derive(Debug, Clone)]
+pub struct SchedulePlan {
+    /// Number of components `n`.
+    pub n: usize,
+    /// Trace length in iterations.
+    pub steps: u64,
+    /// Master seed; every stochastic stage derives a child seed from it.
+    pub seed: u64,
+    /// The base generator.
+    pub base: BaseKind,
+    /// Delay envelope enforced by the clamp (certifies (b)/(d)).
+    pub envelope: DelayEnvelope,
+    /// Coverage gap enforced by the guard (certifies (c)).
+    pub max_gap: u64,
+    /// Partial-update mutation: keep probability for active components.
+    pub thin_keep: Option<f64>,
+    /// Label mutation: per-component probability of redrawing the label
+    /// within the envelope.
+    pub jitter_prob: Option<f64>,
+}
+
+impl SchedulePlan {
+    /// Samples a random plan for `n` components and `steps` iterations.
+    ///
+    /// # Panics
+    /// Panics when `n < 2` or `steps == 0` (no interesting schedules
+    /// exist there).
+    pub fn sample(rng_: &mut StdRng, n: usize, steps: u64, limits: PlanLimits) -> Self {
+        assert!(n >= 2, "SchedulePlan::sample: need n >= 2");
+        assert!(steps > 0, "SchedulePlan::sample: need steps > 0");
+        let seed = rng_.random::<u64>();
+        let k_max_hi = (n / 2).max(1);
+        let base = match rng_.random_range(0..7u32) {
+            0 => BaseKind::Sync,
+            1 => BaseKind::Cyclic,
+            2 => BaseKind::BlockRoundRobin {
+                machines: rng_.random_range(2..=4.min(n)),
+                lag: rng_.random_range(1..=6),
+            },
+            3 | 4 => BaseKind::Chaotic {
+                k_min: 1,
+                k_max: rng_.random_range(1..=k_max_hi),
+                b: rng_.random_range(2..=16),
+                monotone: rng_.random(),
+            },
+            5 => BaseKind::SqrtDelay {
+                c: rng_.random_range(0.5..2.0),
+            },
+            _ => BaseKind::HeavyTail {
+                alpha: rng_.random_range(1.1..2.5),
+            },
+        };
+        let envelope = if rng_.random() {
+            DelayEnvelope::Bounded(rng_.random_range(4..=limits.max_bounded_b))
+        } else {
+            DelayEnvelope::SqrtGrowth {
+                c: rng_.random_range(0.5..limits.max_sqrt_c),
+            }
+        };
+        let max_gap = rng_.random_range(n as u64 + 1..=4 * n as u64);
+        let thin_keep = (rng_.random_range(0.0..1.0) < 0.4).then(|| rng_.random_range(0.3..0.9));
+        let jitter_prob = (rng_.random_range(0.0..1.0) < 0.5).then(|| rng_.random_range(0.1..0.6));
+        Self {
+            n,
+            steps,
+            seed,
+            base,
+            envelope,
+            max_gap,
+            thin_keep,
+            jitter_prob,
+        }
+    }
+
+    /// Builds the guarded generator stack described by this plan.
+    ///
+    /// # Panics
+    /// Panics when the plan's parameters are structurally invalid (the
+    /// sampler never produces such plans).
+    pub fn build(&self) -> Box<dyn ScheduleGen> {
+        let n = self.n;
+        let base: Box<dyn ScheduleGen> = match &self.base {
+            BaseKind::Sync => Box::new(SyncJacobi::new(n)),
+            BaseKind::Cyclic => Box::new(CyclicCoordinate::new(n)),
+            BaseKind::BlockRoundRobin { machines, lag } => Box::new(BlockRoundRobin::new(
+                Partition::blocks(n, *machines).expect("sampler keeps machines <= n"),
+                *lag,
+            )),
+            BaseKind::Chaotic {
+                k_min,
+                k_max,
+                b,
+                monotone,
+            } => Box::new(ChaoticBounded::new(
+                n,
+                *k_min,
+                *k_max,
+                *b,
+                *monotone,
+                child_seed(self.seed, 0),
+            )),
+            BaseKind::SqrtDelay { c } => Box::new(UnboundedSqrtDelay::new(
+                n,
+                1,
+                (n / 2).max(1),
+                *c,
+                child_seed(self.seed, 0),
+            )),
+            BaseKind::HeavyTail { alpha } => Box::new(HeavyTailDelay::new(
+                n,
+                1,
+                (n / 2).max(1),
+                *alpha,
+                child_seed(self.seed, 0),
+            )),
+        };
+        let thinned: Box<dyn ScheduleGen> = match self.thin_keep {
+            Some(keep) => Box::new(ActiveThin::new(base, keep, child_seed(self.seed, 1))),
+            None => base,
+        };
+        let jittered: Box<dyn ScheduleGen> = match self.jitter_prob {
+            Some(p) => Box::new(LabelJitter::new(
+                thinned,
+                self.envelope,
+                p,
+                child_seed(self.seed, 2),
+            )),
+            None => thinned,
+        };
+        Box::new(CoverageGuard::new(
+            EnvelopeClamp::new(jittered, self.envelope),
+            self.max_gap,
+        ))
+    }
+
+    /// The certificate this plan's traces provably satisfy.
+    pub fn witness(&self) -> AdmissibilityWitness {
+        AdmissibilityWitness::new(self.envelope, self.max_gap)
+    }
+
+    /// Records the plan's trace with full labels — the phenotype the
+    /// oracles consume.
+    pub fn record_trace(&self) -> Trace {
+        let mut gen = self.build();
+        record(gen.as_mut(), self.steps, LabelStore::Full)
+    }
+
+    /// One-line description for reports and failure records.
+    pub fn describe(&self) -> String {
+        format!(
+            "plan(seed={:#x}, n={}, steps={}, base={:?}, {}, max_gap={}, thin={:?}, jitter={:?})",
+            self.seed,
+            self.n,
+            self.steps,
+            self.base,
+            self.envelope.describe(),
+            self.max_gap,
+            self.thin_keep,
+            self.jitter_prob,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asynciter_numerics::rng::rng;
+
+    #[test]
+    fn sampled_plans_are_admissible_by_construction() {
+        let mut r = rng(0xF00D);
+        for _ in 0..40 {
+            let plan = SchedulePlan::sample(&mut r, 10, 300, PlanLimits::default());
+            let trace = plan.record_trace();
+            assert_eq!(trace.len(), 300);
+            plan.witness().check(&trace).unwrap_or_else(|e| {
+                panic!("{} rejected: {e}", plan.describe());
+            });
+        }
+    }
+
+    #[test]
+    fn plans_replay_deterministically() {
+        let mut r = rng(7);
+        let plan = SchedulePlan::sample(&mut r, 8, 200, PlanLimits::default());
+        let a = plan.record_trace();
+        let b = plan.record_trace();
+        for j in 1..=200u64 {
+            assert_eq!(a.step(j).active, b.step(j).active);
+            assert_eq!(a.labels(j).unwrap(), b.labels(j).unwrap());
+        }
+    }
+
+    #[test]
+    fn sampling_covers_the_zoo() {
+        let mut r = rng(99);
+        let mut kinds = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            let plan = SchedulePlan::sample(&mut r, 12, 10, PlanLimits::default());
+            kinds.insert(match plan.base {
+                BaseKind::Sync => "sync",
+                BaseKind::Cyclic => "cyclic",
+                BaseKind::BlockRoundRobin { .. } => "block",
+                BaseKind::Chaotic { .. } => "chaotic",
+                BaseKind::SqrtDelay { .. } => "sqrt",
+                BaseKind::HeavyTail { .. } => "heavy",
+            });
+        }
+        assert_eq!(kinds.len(), 6, "sampler missed base kinds: {kinds:?}");
+    }
+
+    #[test]
+    fn limits_cap_the_envelope() {
+        let limits = PlanLimits {
+            max_bounded_b: 6,
+            max_sqrt_c: 1.0,
+        };
+        let mut r = rng(3);
+        for _ in 0..50 {
+            let plan = SchedulePlan::sample(&mut r, 8, 10, limits);
+            match plan.envelope {
+                DelayEnvelope::Bounded(b) => assert!(b <= 6),
+                DelayEnvelope::SqrtGrowth { c } => assert!(c <= 1.0),
+            }
+        }
+    }
+}

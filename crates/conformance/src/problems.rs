@@ -1,0 +1,165 @@
+//! The problem trio the metamorphic oracle sweeps.
+//!
+//! Three operator families with different structure — a linear max-norm
+//! contraction (Jacobi), a nonsmooth prox-gradient fixed point (lasso)
+//! and a projected/constrained iteration (obstacle) — each with a replay
+//! budget and tolerance calibrated so that *every* schedule a
+//! [`crate::plan::SchedulePlan`] can produce (worst-case staleness and
+//! thinning included) converges within budget. Plan sampling is capped
+//! by the problem's [`PlanLimits`] so budget and admissible staleness
+//! stay matched.
+
+use crate::plan::PlanLimits;
+use asynciter_opt::lasso::LassoProblem;
+use asynciter_opt::linear::JacobiOperator;
+use asynciter_opt::obstacle::{ObstacleProblem, ProjectedJacobi};
+use asynciter_opt::prox::L1;
+use asynciter_opt::proxgrad::{gamma_max, SparseProxGrad};
+use asynciter_opt::traits::{Operator, SmoothObjective};
+
+/// The problem axis of the conformance matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProblemKind {
+    /// Diagonally dominant tridiagonal system, Jacobi operator.
+    Jacobi,
+    /// Lasso regression via the sparse prox-gradient operator.
+    Lasso,
+    /// Membrane obstacle problem, projected Jacobi.
+    Obstacle,
+}
+
+impl ProblemKind {
+    /// Every problem, sweep order.
+    pub const ALL: [ProblemKind; 3] = [
+        ProblemKind::Jacobi,
+        ProblemKind::Lasso,
+        ProblemKind::Obstacle,
+    ];
+
+    /// Stable identifier for reports.
+    pub fn id(self) -> &'static str {
+        match self {
+            ProblemKind::Jacobi => "jacobi",
+            ProblemKind::Lasso => "lasso",
+            ProblemKind::Obstacle => "obstacle",
+        }
+    }
+}
+
+/// A built problem instance plus its conformance calibration.
+pub struct ConformanceProblem {
+    /// Which family this is.
+    pub kind: ProblemKind,
+    /// The fixed-point operator.
+    pub op: Box<dyn Operator>,
+    /// Canonical start.
+    pub x0: Vec<f64>,
+    /// Known fixed point, when the family admits an exact solve
+    /// (enables constraint-enforced flexible runs).
+    pub xstar: Option<Vec<f64>>,
+    /// Schedule length / replay budget for the metamorphic oracle.
+    pub steps: u64,
+    /// Residual tolerance the budget must reach under any plan.
+    pub tol: f64,
+    /// Looser tolerance for flexible (partial-communication) runs.
+    pub flex_tol: f64,
+    /// Sampling caps keeping worst-case staleness inside the budget.
+    pub limits: PlanLimits,
+}
+
+impl ConformanceProblem {
+    /// Dimension `n`.
+    pub fn n(&self) -> usize {
+        self.op.dim()
+    }
+
+    /// Builds the calibrated instance of `kind`.
+    ///
+    /// # Panics
+    /// Panics only if the static instances fail to construct (a bug).
+    pub fn build(kind: ProblemKind) -> Self {
+        match kind {
+            ProblemKind::Jacobi => {
+                let n = 16;
+                let op = JacobiOperator::new(
+                    asynciter_numerics::sparse::tridiagonal(n, 4.0, -1.0),
+                    vec![1.0; n],
+                )
+                .expect("static Jacobi instance");
+                let xstar = op.solve_dense_spd().expect("SPD solve");
+                Self {
+                    kind,
+                    x0: vec![0.0; n],
+                    xstar: Some(xstar),
+                    op: Box::new(op),
+                    steps: 6_000,
+                    tol: 1e-8,
+                    flex_tol: 1e-6,
+                    limits: PlanLimits::default(),
+                }
+            }
+            ProblemKind::Lasso => {
+                let (n, m, k) = (12, 72, 3);
+                let problem =
+                    LassoProblem::random(n, m, k, 0.05, 0.01, 7).expect("static lasso instance");
+                let q = problem.quadratic.clone();
+                let gamma = 0.9 * gamma_max(q.strong_convexity(), q.lipschitz());
+                let op = SparseProxGrad::new(q, L1::new(problem.lambda), gamma)
+                    .expect("gamma within Theorem-1 range");
+                let (xstar, _) = op.solve_exact().expect("exact lasso solve");
+                Self {
+                    kind,
+                    x0: vec![0.0; n],
+                    xstar: Some(xstar),
+                    op: Box::new(op),
+                    steps: 8_000,
+                    tol: 1e-7,
+                    flex_tol: 1e-5,
+                    limits: PlanLimits::default(),
+                }
+            }
+            ProblemKind::Obstacle => {
+                let g = 6;
+                let problem = ObstacleProblem::bump(g, g, 0.6).expect("static obstacle instance");
+                let op = ProjectedJacobi::new(problem);
+                Self {
+                    kind,
+                    x0: op.upper_start(),
+                    xstar: None,
+                    op: Box::new(op),
+                    // The projected Jacobi contraction is the slowest of
+                    // the trio; cap staleness harder and budget longer.
+                    steps: 30_000,
+                    tol: 1e-6,
+                    flex_tol: 1e-4,
+                    limits: PlanLimits {
+                        max_bounded_b: 16,
+                        max_sqrt_c: 1.2,
+                    },
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn problems_build_with_consistent_dimensions() {
+        for kind in ProblemKind::ALL {
+            let p = ConformanceProblem::build(kind);
+            assert_eq!(p.x0.len(), p.n());
+            if let Some(xs) = &p.xstar {
+                assert_eq!(xs.len(), p.n());
+                // xstar really is a fixed point.
+                let mut fx = vec![0.0; p.n()];
+                p.op.apply(xs, &mut fx);
+                let err = asynciter_numerics::vecops::max_abs_diff(xs, &fx);
+                assert!(err < 1e-8, "{}: xstar residual {err}", kind.id());
+            }
+            assert!(p.steps > 0 && p.tol > 0.0 && p.flex_tol >= p.tol);
+        }
+    }
+}

@@ -171,6 +171,12 @@ pub struct RunReport {
     /// (flexible backend only; thread/sim backends apply partials
     /// directly to shared or local state and report 0).
     pub partial_reads: u64,
+    /// Constraint-(3) checks performed (flexible backend with a known
+    /// fixed point; 0 elsewhere).
+    pub constraint_checked: u64,
+    /// Constraint-(3) violations observed — prevented (fallback to the
+    /// labelled value) when enforcement is on, merely counted otherwise.
+    pub constraint_violations: u64,
     /// The recorded trace (when [`RecordMode`] keeps it).
     pub trace: Option<Trace>,
     /// Simulated end time in ticks (simulator backend only).
@@ -350,6 +356,26 @@ impl<'a> Session<'a> {
         self
     }
 
+    /// Injects a recorded trace as the schedule *and* the step budget —
+    /// the replay hook used by differential testing: any trace recorded
+    /// from another backend (or loaded from a corpus file) re-executes
+    /// through [`Replay`] exactly, step for step, label for label.
+    ///
+    /// Equivalent to `.schedule(RecordedSchedule::new(trace)?)` followed
+    /// by `.steps(trace.len())`.
+    ///
+    /// # Errors
+    /// [`asynciter_models::ModelError::LabelsNotStored`] for min-only
+    /// traces, [`asynciter_models::ModelError::EmptyTrace`] for empty
+    /// ones (propagated as [`CoreError::Model`]).
+    pub fn replay_trace(mut self, trace: Trace) -> crate::Result<Self> {
+        let steps = trace.len() as u64;
+        let gen = asynciter_models::schedule::RecordedSchedule::new(trace)?;
+        self.schedule = Some(Box::new(gen));
+        self.max_steps = steps;
+        Ok(self)
+    }
+
     /// Installs an online stopping rule.
     #[must_use]
     pub fn stopping(mut self, rule: StoppingRule) -> Self {
@@ -472,6 +498,8 @@ impl Backend for Replay {
             per_worker_updates: Vec::new(),
             partial_publishes: 0,
             partial_reads: 0,
+            constraint_checked: 0,
+            constraint_violations: 0,
             trace: ctl.record.keeps_trace().then_some(res.trace),
             sim_time: None,
             wall,
@@ -587,6 +615,8 @@ impl Backend for Flexible {
             per_worker_updates: Vec::new(),
             partial_publishes: res.publishes,
             partial_reads: res.partial_reads,
+            constraint_checked: res.constraint_checked,
+            constraint_violations: res.constraint_violations,
             trace: ctl.record.keeps_trace().then_some(res.trace),
             sim_time: None,
             wall,
@@ -723,6 +753,37 @@ mod tests {
             .unwrap();
         assert!(report.trace.is_none());
         assert!(report.macro_iterations > 0);
+    }
+
+    #[test]
+    fn replay_trace_reexecutes_bitwise() {
+        let op = jacobi(8);
+        let first = Session::new(&op)
+            .steps(400)
+            .schedule(ChaoticBounded::new(8, 1, 4, 9, false, 21))
+            .record(RecordMode::Full)
+            .run()
+            .unwrap();
+        let replayed = Session::new(&op)
+            .replay_trace(first.trace.clone().unwrap())
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(first.final_x, replayed.final_x);
+        assert_eq!(first.steps, replayed.steps);
+    }
+
+    #[test]
+    fn replay_trace_rejects_unusable_traces() {
+        let op = jacobi(4);
+        let empty = Trace::new(4, LabelStore::Full);
+        assert!(matches!(
+            Session::new(&op).replay_trace(empty),
+            Err(CoreError::Model(_))
+        ));
+        let min_only =
+            asynciter_models::schedule::record(&mut SyncJacobi::new(4), 5, LabelStore::MinOnly);
+        assert!(Session::new(&op).replay_trace(min_only).is_err());
     }
 
     #[test]

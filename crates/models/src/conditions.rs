@@ -24,6 +24,159 @@
 use crate::error::ModelError;
 use crate::trace::Trace;
 
+/// An explicit per-iteration bound on admissible delays — the
+/// *certificate* form of conditions (b)/(d).
+///
+/// An envelope assigns to every iteration `j ≥ 1` a maximum delay
+/// `D(j) ≥ 1`; a label is *within* the envelope when
+/// `j − D(j) ≤ l ≤ j − 1` (delays clamp at `j`, so early iterations are
+/// never over-constrained). Because both variants satisfy
+/// `j − D(j) → ∞`, a trace whose every label stays within the envelope
+/// satisfies condition (b) *by construction* — no windowed proxy needed.
+/// The [`Bounded`](DelayEnvelope::Bounded) variant additionally certifies
+/// condition (d) with the same constant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DelayEnvelope {
+    /// Constant bound: `D(j) = min(b, j)` (Chazan–Miranker regime).
+    Bounded(u64),
+    /// Baudet-style unbounded growth: `D(j) = min(1 + ⌊c·√j⌋, j)` —
+    /// `sup_j D(j) = ∞` yet labels still escape to infinity.
+    SqrtGrowth {
+        /// Growth scale `c > 0`.
+        c: f64,
+    },
+}
+
+impl DelayEnvelope {
+    /// Maximum admissible delay at iteration `j ≥ 1` (always in `[1, j]`).
+    ///
+    /// # Panics
+    /// Panics when `j == 0`, on a non-positive bound, or a non-positive
+    /// growth scale.
+    pub fn max_delay(&self, j: u64) -> u64 {
+        assert!(j >= 1, "DelayEnvelope::max_delay: j must be >= 1");
+        match *self {
+            DelayEnvelope::Bounded(b) => {
+                assert!(b >= 1, "DelayEnvelope::Bounded: b must be >= 1");
+                b.min(j)
+            }
+            DelayEnvelope::SqrtGrowth { c } => {
+                assert!(
+                    c > 0.0 && c.is_finite(),
+                    "DelayEnvelope::SqrtGrowth: c must be positive and finite"
+                );
+                ((1.0 + (c * (j as f64).sqrt()).floor()) as u64).min(j)
+            }
+        }
+    }
+
+    /// Smallest admissible label at iteration `j`: `j − max_delay(j)`.
+    pub fn min_label(&self, j: u64) -> u64 {
+        j - self.max_delay(j)
+    }
+
+    /// Short description for logs (`"bounded(b=8)"`, `"sqrt(c=1.5)"`).
+    pub fn describe(&self) -> String {
+        match *self {
+            DelayEnvelope::Bounded(b) => format!("bounded(b={b})"),
+            DelayEnvelope::SqrtGrowth { c } => format!("sqrt(c={c})"),
+        }
+    }
+}
+
+/// A checkable *certificate* that a finite trace realises an admissible
+/// pair `(𝒮, ℒ)` — the executable form of Definition 1 used by the
+/// conformance fuzzer.
+///
+/// Unlike the windowed proxies ([`check_condition_b`]), a witness makes
+/// the asymptotic conditions decidable by strengthening them to explicit
+/// bounds that the guarded generators in [`crate::schedule`]
+/// ([`crate::schedule::EnvelopeClamp`], [`crate::schedule::CoverageGuard`])
+/// enforce *by construction*:
+///
+/// - **(a)** every label satisfies `l_h(j) ≤ j − 1` (exact);
+/// - **(b)** every label stays within [`DelayEnvelope`], whose lower
+///   bound `j − D(j)` diverges — so `lim l_h(j) = ∞` holds for any
+///   infinite extension respecting the envelope;
+/// - **(c)** every component's activation gap is at most `max_gap` — so
+///   every component updates infinitely often in any infinite extension
+///   respecting the gap bound;
+/// - **(d)** for a [`DelayEnvelope::Bounded`] envelope, delays are
+///   bounded by the same constant (checked for free).
+///
+/// A schedule that merely *fails the certificate* may still be admissible
+/// in the asymptotic sense (the witness is sound, not complete); every
+/// generator composed through the guard combinators is accepted exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissibilityWitness {
+    /// The delay envelope certifying conditions (b)/(d).
+    pub envelope: DelayEnvelope,
+    /// Maximum activation gap certifying condition (c).
+    pub max_gap: u64,
+}
+
+impl AdmissibilityWitness {
+    /// A witness with the given envelope and gap bound.
+    ///
+    /// # Panics
+    /// Panics when `max_gap == 0`.
+    pub fn new(envelope: DelayEnvelope, max_gap: u64) -> Self {
+        assert!(max_gap > 0, "AdmissibilityWitness: max_gap must be > 0");
+        Self { envelope, max_gap }
+    }
+
+    /// Checks the full certificate against a recorded trace.
+    ///
+    /// Requires full label storage.
+    ///
+    /// # Errors
+    /// The first [`ModelError::ConditionViolated`] encountered, tagged
+    /// with the violated condition (`"a"`, `"b"` or `"c"`), or
+    /// [`ModelError::LabelsNotStored`] / [`ModelError::EmptyTrace`] for
+    /// structurally unusable traces.
+    pub fn check(&self, trace: &Trace) -> crate::Result<()> {
+        if trace.is_empty() {
+            return Err(ModelError::EmptyTrace);
+        }
+        check_condition_a(trace)?;
+        // (b) as an envelope certificate: stronger than the windowed
+        // proxy and decidable per step.
+        for (j, _) in trace.iter() {
+            let lo = self.envelope.min_label(j);
+            let labels = trace.labels(j)?;
+            for (h, &l) in labels.iter().enumerate() {
+                if l < lo {
+                    return Err(ModelError::ConditionViolated {
+                        condition: "b",
+                        at_step: j,
+                        component: h,
+                        message: format!(
+                            "label {l} below envelope {} floor {lo}",
+                            self.envelope.describe()
+                        ),
+                    });
+                }
+            }
+        }
+        check_condition_c(trace, self.max_gap)?;
+        if let DelayEnvelope::Bounded(b) = self.envelope {
+            // Implied by the envelope check; kept as a cross-validation
+            // of the two checkers against each other.
+            check_condition_d(trace, b)?;
+        }
+        Ok(())
+    }
+
+    /// Short description for logs.
+    pub fn describe(&self) -> String {
+        format!(
+            "witness({}, max_gap={})",
+            self.envelope.describe(),
+            self.max_gap
+        )
+    }
+}
+
 /// Checks condition (a): every stored label satisfies `l_h(j) ≤ j − 1`.
 ///
 /// Requires full label storage.
@@ -496,6 +649,73 @@ mod tests {
     fn max_delay_empty_trace_errors() {
         let t = Trace::new(2, LabelStore::Full);
         assert_eq!(max_delay(&t), Err(ModelError::EmptyTrace));
+    }
+
+    #[test]
+    fn envelope_bounds_are_clamped_and_divergent() {
+        let b = DelayEnvelope::Bounded(5);
+        assert_eq!(b.max_delay(1), 1);
+        assert_eq!(b.max_delay(3), 3);
+        assert_eq!(b.max_delay(100), 5);
+        assert_eq!(b.min_label(100), 95);
+        let s = DelayEnvelope::SqrtGrowth { c: 2.0 };
+        assert_eq!(s.max_delay(1), 1);
+        // 1 + ⌊2·√100⌋ = 21.
+        assert_eq!(s.max_delay(100), 21);
+        assert_eq!(s.min_label(100), 79);
+        // The label floor diverges: certificate form of condition (b).
+        assert!(s.min_label(1_000_000) > s.min_label(100));
+    }
+
+    #[test]
+    fn witness_accepts_guarded_regimes() {
+        let mut g = ChaoticBounded::new(6, 1, 3, 8, false, 5);
+        let t = record(&mut g, 400, LabelStore::Full);
+        let w = AdmissibilityWitness::new(DelayEnvelope::Bounded(8), 400);
+        assert!(w.check(&t).is_ok(), "{:?}", w.check(&t));
+    }
+
+    #[test]
+    fn witness_rejects_frozen_label_via_b() {
+        let mut g = FrozenLabelAdversary::new(SyncJacobi::new(3), 1, 2);
+        let t = record(&mut g, 100, LabelStore::Full);
+        let w = AdmissibilityWitness::new(DelayEnvelope::Bounded(8), 10);
+        match w.check(&t) {
+            Err(ModelError::ConditionViolated {
+                condition: "b",
+                component: 1,
+                ..
+            }) => {}
+            other => panic!("expected (b) rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn witness_rejects_starvation_via_c() {
+        let mut g = StarvedComponent::new(SyncJacobi::new(3), 2, 10);
+        let t = record(&mut g, 100, LabelStore::Full);
+        let w = AdmissibilityWitness::new(DelayEnvelope::Bounded(128), 20);
+        match w.check(&t) {
+            Err(ModelError::ConditionViolated {
+                condition: "c",
+                component: 2,
+                ..
+            }) => {}
+            other => panic!("expected (c) rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn witness_rejects_future_read_and_empty() {
+        let mut t = Trace::new(2, LabelStore::Full);
+        let w = AdmissibilityWitness::new(DelayEnvelope::Bounded(4), 4);
+        assert_eq!(w.check(&t), Err(ModelError::EmptyTrace));
+        t.push_step(&[0], &[0, 0]);
+        t.push_step(&[1], &[2, 1]);
+        assert!(matches!(
+            w.check(&t),
+            Err(ModelError::ConditionViolated { condition: "a", .. })
+        ));
     }
 
     #[test]

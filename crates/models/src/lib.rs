@@ -41,6 +41,7 @@ pub mod schedule;
 pub mod trace;
 pub mod trace_io;
 
+pub use conditions::{AdmissibilityWitness, DelayEnvelope};
 pub use error::ModelError;
 pub use partition::Partition;
 pub use schedule::{ScheduleGen, StepBuf};

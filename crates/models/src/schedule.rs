@@ -19,6 +19,18 @@
 //! | [`HeavyTailDelay`] | Pareto-tailed delays (unbounded, occasionally enormous) |
 //! | [`StarvedComponent`] | adversarial violation of condition (c) |
 //! | [`FrozenLabelAdversary`] | adversarial violation of condition (b) |
+//!
+//! On top of the zoo sit *admissibility-preserving combinators* used by
+//! the conformance fuzzer to machine-generate schedule diversity while
+//! keeping a checkable certificate
+//! ([`crate::conditions::AdmissibilityWitness`]):
+//!
+//! | Combinator | Effect |
+//! |---|---|
+//! | [`EnvelopeClamp`] | forces conditions (a)/(b) via a [`crate::conditions::DelayEnvelope`] |
+//! | [`CoverageGuard`] | forces condition (c) with an explicit gap bound |
+//! | [`LabelJitter`] | random extra delay / out-of-order mutation within the envelope |
+//! | [`ActiveThin`] | random partial-update mutation of the steering sets |
 
 use crate::trace::{LabelStore, Trace};
 use rand::rngs::StdRng;
@@ -550,6 +562,223 @@ impl<G: ScheduleGen> ScheduleGen for FrozenLabelAdversary<G> {
 }
 
 // ---------------------------------------------------------------------------
+// Admissibility-preserving combinators (conformance-fuzzer building blocks)
+// ---------------------------------------------------------------------------
+
+/// Clamps every label into the window `[j − D(j), j − 1]` of a
+/// [`DelayEnvelope`] — after this wrapper, conditions (a) and (b) hold
+/// *by construction* (and (d), for a bounded envelope), whatever the
+/// inner generator emits. The outermost guard of every fuzzer-composed
+/// schedule, and the reason a generated schedule's
+/// [`AdmissibilityWitness`](crate::conditions::AdmissibilityWitness)
+/// provably accepts it.
+#[derive(Debug, Clone)]
+pub struct EnvelopeClamp<G> {
+    inner: G,
+    envelope: crate::conditions::DelayEnvelope,
+}
+
+impl<G: ScheduleGen> EnvelopeClamp<G> {
+    /// Clamps `inner`'s labels into `envelope`.
+    pub fn new(inner: G, envelope: crate::conditions::DelayEnvelope) -> Self {
+        Self { inner, envelope }
+    }
+}
+
+impl<G: ScheduleGen> ScheduleGen for EnvelopeClamp<G> {
+    fn n(&self) -> usize {
+        self.inner.n()
+    }
+
+    fn step(&mut self, j: u64, buf: &mut StepBuf) {
+        self.inner.step(j, buf);
+        let lo = self.envelope.min_label(j);
+        for l in buf.labels.iter_mut() {
+            *l = (*l).clamp(lo, j - 1);
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "clamp({}) ∘ {}",
+            self.envelope.describe(),
+            self.inner.describe()
+        )
+    }
+}
+
+/// Forces condition (c) constructively: tracks each component's last
+/// activation and inserts any component whose gap would reach `max_gap`
+/// into `S_j`, so activation gaps stay `< max_gap` no matter how the
+/// inner generator (or a thinning mutation) steers. Forced components
+/// read the same labels the step already carries, which keeps the
+/// envelope certificate intact.
+#[derive(Debug, Clone)]
+pub struct CoverageGuard<G> {
+    inner: G,
+    max_gap: u64,
+    last: Vec<u64>,
+}
+
+impl<G: ScheduleGen> CoverageGuard<G> {
+    /// Guards `inner` so every component updates at least once per
+    /// `max_gap` iterations.
+    ///
+    /// # Panics
+    /// Panics when `max_gap == 0`.
+    pub fn new(inner: G, max_gap: u64) -> Self {
+        assert!(max_gap > 0, "CoverageGuard: max_gap must be positive");
+        let n = inner.n();
+        Self {
+            inner,
+            max_gap,
+            last: vec![0; n],
+        }
+    }
+}
+
+impl<G: ScheduleGen> ScheduleGen for CoverageGuard<G> {
+    fn n(&self) -> usize {
+        self.inner.n()
+    }
+
+    fn step(&mut self, j: u64, buf: &mut StepBuf) {
+        self.inner.step(j, buf);
+        let mut dirty = false;
+        for (i, &last) in self.last.iter().enumerate() {
+            if j - last >= self.max_gap && !buf.active.contains(&i) {
+                buf.active.push(i);
+                dirty = true;
+            }
+        }
+        if dirty {
+            buf.active.sort_unstable();
+        }
+        for &i in &buf.active {
+            self.last[i] = j;
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!("cover(gap<{}) ∘ {}", self.max_gap, self.inner.describe())
+    }
+}
+
+/// Random label mutation: each component's label is, with probability
+/// `prob`, redrawn uniformly from the envelope window `[j − D(j), j − 1]`.
+/// Injects extra delay variance and out-of-order reads while staying
+/// admissible — the "random delay/label mutations" of the conformance
+/// fuzzer.
+#[derive(Debug)]
+pub struct LabelJitter<G> {
+    inner: G,
+    envelope: crate::conditions::DelayEnvelope,
+    prob: f64,
+    rng: StdRng,
+}
+
+impl<G: ScheduleGen> LabelJitter<G> {
+    /// Jitters `inner`'s labels within `envelope` with per-component
+    /// probability `prob`.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 ≤ prob ≤ 1.0`.
+    pub fn new(inner: G, envelope: crate::conditions::DelayEnvelope, prob: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&prob),
+            "LabelJitter: prob must be in [0, 1]"
+        );
+        Self {
+            inner,
+            envelope,
+            prob,
+            rng: asynciter_numerics::rng::rng(seed),
+        }
+    }
+}
+
+impl<G: ScheduleGen> ScheduleGen for LabelJitter<G> {
+    fn n(&self) -> usize {
+        self.inner.n()
+    }
+
+    fn step(&mut self, j: u64, buf: &mut StepBuf) {
+        self.inner.step(j, buf);
+        let lo = self.envelope.min_label(j);
+        for l in buf.labels.iter_mut() {
+            if self.rng.random_range(0.0..1.0) < self.prob {
+                *l = self.rng.random_range(lo..=j - 1);
+            }
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "jitter({}, p={}) ∘ {}",
+            self.envelope.describe(),
+            self.prob,
+            self.inner.describe()
+        )
+    }
+}
+
+/// Random partial-update mutation: drops each active component
+/// independently with probability `1 − keep_prob`, modelling machines
+/// that update only part of their block per iteration (flexible partial
+/// updates in schedule form). When everything would be dropped, one
+/// random survivor of the original set is kept so `S_j` stays nonempty.
+/// Compose under a [`CoverageGuard`] to retain condition (c).
+#[derive(Debug)]
+pub struct ActiveThin<G> {
+    inner: G,
+    keep_prob: f64,
+    rng: StdRng,
+}
+
+impl<G: ScheduleGen> ActiveThin<G> {
+    /// Thins `inner`'s active sets, keeping each member with probability
+    /// `keep_prob`.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 < keep_prob ≤ 1.0`.
+    pub fn new(inner: G, keep_prob: f64, seed: u64) -> Self {
+        assert!(
+            keep_prob > 0.0 && keep_prob <= 1.0,
+            "ActiveThin: keep_prob must be in (0, 1]"
+        );
+        Self {
+            inner,
+            keep_prob,
+            rng: asynciter_numerics::rng::rng(seed),
+        }
+    }
+}
+
+impl<G: ScheduleGen> ScheduleGen for ActiveThin<G> {
+    fn n(&self) -> usize {
+        self.inner.n()
+    }
+
+    fn step(&mut self, j: u64, buf: &mut StepBuf) {
+        self.inner.step(j, buf);
+        if buf.active.len() <= 1 {
+            return;
+        }
+        let fallback = buf.active[self.rng.random_range(0..buf.active.len())];
+        let rng = &mut self.rng;
+        let keep = self.keep_prob;
+        buf.active.retain(|_| rng.random_range(0.0..1.0) < keep);
+        if buf.active.is_empty() {
+            buf.active.push(fallback);
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!("thin(keep={}) ∘ {}", self.keep_prob, self.inner.describe())
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Replay of recorded traces
 // ---------------------------------------------------------------------------
 
@@ -793,6 +1022,87 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn envelope_clamp_certifies_a_and_b() {
+        use crate::conditions::{AdmissibilityWitness, DelayEnvelope};
+        // Even an adversarially frozen label is pulled back into the
+        // envelope window.
+        let inner = FrozenLabelAdversary::new(ChaoticBounded::new(5, 1, 3, 64, false, 3), 2, 0);
+        let mut g = EnvelopeClamp::new(inner, DelayEnvelope::Bounded(6));
+        let t = run(&mut g, 300);
+        let w = AdmissibilityWitness::new(DelayEnvelope::Bounded(6), 300);
+        assert!(w.check(&t).is_ok());
+    }
+
+    #[test]
+    fn coverage_guard_bounds_gaps() {
+        use crate::conditions::activation_gaps;
+        // Cyclic over 8 thinned hard: without the guard, gaps can grow
+        // arbitrarily; with it they stay below the bound.
+        let inner = ActiveThin::new(ChaoticBounded::new(8, 1, 2, 4, false, 9), 0.5, 13);
+        let mut g = CoverageGuard::new(inner, 10);
+        let t = run(&mut g, 500);
+        assert!(activation_gaps(&t).iter().all(|&gap| gap < 10));
+        // Forced insertions preserve the structural invariants (checked
+        // by Trace::push_step) and condition (a).
+        assert!(crate::conditions::check_condition_a(&t).is_ok());
+    }
+
+    #[test]
+    fn label_jitter_stays_in_envelope_and_mutates() {
+        use crate::conditions::DelayEnvelope;
+        let env = DelayEnvelope::Bounded(12);
+        let mut plain = SyncJacobi::new(4);
+        let t_plain = run(&mut plain, 200);
+        let mut g = LabelJitter::new(SyncJacobi::new(4), env, 0.5, 17);
+        let t = run(&mut g, 200);
+        let mut mutated = false;
+        for j in 1..=200u64 {
+            let lo = env.min_label(j);
+            for (h, &l) in t.labels(j).unwrap().iter().enumerate() {
+                assert!(l >= lo && l < j, "label {l} outside envelope at j={j}");
+                if l != t_plain.labels(j).unwrap()[h] {
+                    mutated = true;
+                }
+            }
+        }
+        assert!(mutated, "jitter with p=0.5 never mutated a label");
+    }
+
+    #[test]
+    fn active_thin_keeps_steps_nonempty() {
+        let mut g = ActiveThin::new(SyncJacobi::new(6), 0.2, 23);
+        let t = run(&mut g, 300);
+        let mut thinned = false;
+        for (_, s) in t.iter() {
+            assert!(!s.active.is_empty());
+            if s.active.len() < 6 {
+                thinned = true;
+            }
+        }
+        assert!(thinned, "keep=0.2 never dropped a component");
+    }
+
+    #[test]
+    fn composed_stack_is_admissible_by_construction() {
+        use crate::conditions::{AdmissibilityWitness, DelayEnvelope};
+        let env = DelayEnvelope::SqrtGrowth { c: 1.5 };
+        let base = HeavyTailDelay::new(10, 1, 5, 1.2, 31);
+        let stack = CoverageGuard::new(
+            EnvelopeClamp::new(
+                LabelJitter::new(ActiveThin::new(base, 0.6, 32), env, 0.3, 33),
+                env,
+            ),
+            25,
+        );
+        let mut g = stack;
+        let t = run(&mut g, 1000);
+        let w = AdmissibilityWitness::new(env, 25);
+        assert!(w.check(&t).is_ok(), "{:?}", w.check(&t));
+        assert!(g.describe().contains("cover"));
+        assert!(g.describe().contains("clamp"));
     }
 
     #[test]

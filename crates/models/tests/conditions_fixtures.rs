@@ -1,0 +1,143 @@
+//! Accept/reject fixtures for the admissibility predicates in
+//! `asynciter_models::conditions` — one fixture per delay regime the
+//! paper discusses, each checked against the certificate-style
+//! [`AdmissibilityWitness`] *and* the windowed proxies, so the two
+//! checker families stay in agreement on every regime:
+//!
+//! | fixture | (a) | (b) | (c) | (d) |
+//! |---|---|---|---|---|
+//! | bounded chaotic        | ✓ | ✓ | ✓ | ✓ |
+//! | unbounded `√j`         | ✓ | ✓ | ✓ | ✗ |
+//! | heavy-tail (guarded)   | ✓ | ✓ | ✓ | envelope-dependent |
+//! | heavy-tail (raw)       | ✓ | ✗ cert | ✓ | ✗ |
+//! | starved component      | ✓ | ✓ | ✗ | ✓ |
+//! | frozen label           | ✓ | ✗ | ✓ | ✓ |
+
+use asynciter_models::conditions::{
+    check_condition_a, check_condition_b, check_condition_c, check_condition_d,
+    AdmissibilityWitness, DelayEnvelope,
+};
+use asynciter_models::schedule::{
+    record, ChaoticBounded, CoverageGuard, EnvelopeClamp, FrozenLabelAdversary, HeavyTailDelay,
+    ScheduleGen, StarvedComponent, SyncJacobi, UnboundedSqrtDelay,
+};
+use asynciter_models::{LabelStore, ModelError, Trace};
+
+fn trace_of(gen: &mut dyn ScheduleGen, steps: u64) -> Trace {
+    record(gen, steps, LabelStore::Full)
+}
+
+#[test]
+fn accept_bounded_chaotic() {
+    let mut g = ChaoticBounded::new(8, 1, 4, 6, false, 11);
+    let t = trace_of(&mut g, 2_000);
+    assert!(check_condition_a(&t).is_ok());
+    assert!(check_condition_b(&t, 8, 16).is_ok());
+    assert!(check_condition_c(&t, 2_000).is_ok());
+    assert!(check_condition_d(&t, 6).is_ok());
+    assert!(AdmissibilityWitness::new(DelayEnvelope::Bounded(6), 2_000)
+        .check(&t)
+        .is_ok());
+}
+
+#[test]
+fn accept_unbounded_sqrt_but_not_bounded() {
+    let mut g = UnboundedSqrtDelay::new(6, 3, 6, 1.5, 22);
+    let t = trace_of(&mut g, 4_000);
+    assert!(check_condition_a(&t).is_ok());
+    // Condition (b) holds (labels escape to infinity) …
+    assert!(check_condition_b(&t, 8, 512).is_ok());
+    assert!(
+        AdmissibilityWitness::new(DelayEnvelope::SqrtGrowth { c: 1.5 }, 4_000)
+            .check(&t)
+            .is_ok()
+    );
+    // … while condition (d) fails for any small constant — the paper's
+    // key distinction between unbounded-delay and chaotic relaxation.
+    assert!(check_condition_d(&t, 16).is_err());
+    assert!(AdmissibilityWitness::new(DelayEnvelope::Bounded(16), 4_000)
+        .check(&t)
+        .is_err());
+}
+
+#[test]
+fn heavy_tail_guarded_accepts_raw_rejects() {
+    let env = DelayEnvelope::SqrtGrowth { c: 2.0 };
+    // Guarded: the conformance stack's clamp makes the Pareto delays
+    // certifiable.
+    let mut guarded = CoverageGuard::new(
+        EnvelopeClamp::new(HeavyTailDelay::new(6, 1, 3, 1.2, 33), env),
+        24,
+    );
+    let t = trace_of(&mut guarded, 4_000);
+    assert!(AdmissibilityWitness::new(env, 24).check(&t).is_ok());
+
+    // Raw: an occasional delay reaches all the way back to label 0 at
+    // large j, so the certificate form of (b) must reject.
+    let mut raw = HeavyTailDelay::new(6, 6, 6, 1.2, 33);
+    let t = trace_of(&mut raw, 20_000);
+    assert!(check_condition_a(&t).is_ok());
+    match AdmissibilityWitness::new(env, 20_000).check(&t) {
+        Err(ModelError::ConditionViolated { condition: "b", .. }) => {}
+        other => panic!("expected envelope rejection, got {other:?}"),
+    }
+    assert!(check_condition_d(&t, 64).is_err());
+}
+
+#[test]
+fn reject_starved_component() {
+    let mut g = StarvedComponent::new(ChaoticBounded::new(6, 2, 4, 4, true, 44), 3, 50);
+    let t = trace_of(&mut g, 1_000);
+    assert!(check_condition_a(&t).is_ok());
+    assert!(check_condition_b(&t, 8, 16).is_ok(), "labels still grow");
+    match check_condition_c(&t, 200) {
+        Err(ModelError::ConditionViolated {
+            condition: "c",
+            component: 3,
+            ..
+        }) => {}
+        other => panic!("expected (c) rejection of component 3, got {other:?}"),
+    }
+    match AdmissibilityWitness::new(DelayEnvelope::Bounded(4), 200).check(&t) {
+        Err(ModelError::ConditionViolated { condition: "c", .. }) => {}
+        other => panic!("expected witness (c) rejection, got {other:?}"),
+    }
+}
+
+#[test]
+fn reject_frozen_label() {
+    let mut g = FrozenLabelAdversary::new(SyncJacobi::new(4), 2, 7);
+    let t = trace_of(&mut g, 600);
+    assert!(check_condition_a(&t).is_ok());
+    assert!(check_condition_c(&t, 1).is_ok(), "steering is untouched");
+    // Both checker families pin the same component.
+    match check_condition_b(&t, 6, 0) {
+        Err(ModelError::ConditionViolated {
+            condition: "b",
+            component: 2,
+            ..
+        }) => {}
+        other => panic!("expected proxy (b) rejection, got {other:?}"),
+    }
+    match AdmissibilityWitness::new(DelayEnvelope::Bounded(32), 600).check(&t) {
+        Err(ModelError::ConditionViolated {
+            condition: "b",
+            component: 2,
+            ..
+        }) => {}
+        other => panic!("expected witness (b) rejection, got {other:?}"),
+    }
+}
+
+#[test]
+fn witness_and_proxies_agree_on_the_synchronous_baseline() {
+    let mut g = SyncJacobi::new(5);
+    let t = trace_of(&mut g, 200);
+    assert!(check_condition_a(&t).is_ok());
+    assert!(check_condition_b(&t, 4, 0).is_ok());
+    assert!(check_condition_c(&t, 1).is_ok());
+    assert!(check_condition_d(&t, 1).is_ok());
+    assert!(AdmissibilityWitness::new(DelayEnvelope::Bounded(1), 1)
+        .check(&t)
+        .is_ok());
+}

@@ -646,6 +646,14 @@ pub fn run_report_to_json(report: &RunReport) -> Json {
             Json::Num(report.partial_reads as f64),
         ),
         (
+            "constraint_checked".into(),
+            Json::Num(report.constraint_checked as f64),
+        ),
+        (
+            "constraint_violations".into(),
+            Json::Num(report.constraint_violations as f64),
+        ),
+        (
             "sim_time".into(),
             match report.sim_time {
                 Some(t) => Json::Num(t as f64),
@@ -676,6 +684,9 @@ pub fn run_report_from_json(json: &Json) -> Result<RunReport, JsonError> {
         per_worker_updates: u64_vec(json, "per_worker_updates")?,
         partial_publishes: req_u64(json, "partial_publishes")?,
         partial_reads: req_u64(json, "partial_reads")?,
+        // Added after v1 documents were written: absent means zero.
+        constraint_checked: opt_u64(json, "constraint_checked")?.unwrap_or(0),
+        constraint_violations: opt_u64(json, "constraint_violations")?.unwrap_or(0),
         trace: None,
         sim_time: opt_u64(json, "sim_time")?,
         wall: Duration::ZERO,
@@ -1045,6 +1056,8 @@ mod tests {
             per_worker_updates: vec![7, 9],
             partial_publishes: 13,
             partial_reads: 4,
+            constraint_checked: 21,
+            constraint_violations: 2,
             trace: None,
             sim_time: Some(999),
             wall: Duration::ZERO,
@@ -1063,6 +1076,8 @@ mod tests {
         assert_eq!(parsed.per_worker_updates, report.per_worker_updates);
         assert_eq!(parsed.partial_publishes, report.partial_publishes);
         assert_eq!(parsed.partial_reads, report.partial_reads);
+        assert_eq!(parsed.constraint_checked, report.constraint_checked);
+        assert_eq!(parsed.constraint_violations, report.constraint_violations);
         assert_eq!(parsed.sim_time, report.sim_time);
         assert_eq!(parsed.wall, report.wall);
         assert!(parsed.trace.is_none());
@@ -1093,6 +1108,8 @@ mod tests {
             per_worker_updates: vec![],
             partial_publishes: 0,
             partial_reads: 0,
+            constraint_checked: 0,
+            constraint_violations: 0,
             trace: None,
             sim_time: None,
             wall: Duration::ZERO,

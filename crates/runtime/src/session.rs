@@ -97,6 +97,8 @@ impl SharedMem {
             per_worker_updates: res.per_worker_updates,
             partial_publishes: res.partial_publishes,
             partial_reads: 0,
+            constraint_checked: 0,
+            constraint_violations: 0,
             trace: keep_trace.then_some(trace).flatten(),
             sim_time: None,
             wall: res.wall,
@@ -268,6 +270,8 @@ impl Backend for Barrier {
             per_worker_updates: vec![res.sweeps; self.threads],
             partial_publishes: 0,
             partial_reads: 0,
+            constraint_checked: 0,
+            constraint_violations: 0,
             trace,
             sim_time: None,
             wall: res.wall,

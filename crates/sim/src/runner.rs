@@ -56,6 +56,17 @@ pub struct SimConfig {
 }
 
 impl SimConfig {
+    /// True when every simulated phase is arithmetically expressible as
+    /// one Definition-1 step — `inner_steps == 1` and no partial sends —
+    /// so the emitted trace, replayed through the deterministic replay
+    /// engine, must reproduce the simulated iterates *bit for bit*.
+    /// The conformance fuzzer's cross-backend oracle only injects traces
+    /// from configurations satisfying this predicate; multi-step phases
+    /// and mid-phase partials have no single-step replay form.
+    pub fn replay_equivalent(&self) -> bool {
+        self.inner_steps == 1 && self.partial_sends == 0
+    }
+
     /// A plain configuration with fixed unit compute times and unit
     /// latency.
     pub fn uniform(partition: Partition, max_iterations: u64) -> Self {

@@ -77,6 +77,8 @@ impl Backend for Sim {
             per_worker_updates: per_proc_phases(&res.timeline),
             partial_publishes: res.timeline.partial_count() as u64,
             partial_reads: 0,
+            constraint_checked: 0,
+            constraint_violations: 0,
             trace: ctl.record.keeps_trace().then_some(res.trace),
             sim_time: Some(res.end_time),
             wall,

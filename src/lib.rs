@@ -60,7 +60,10 @@
 //!   runtimes.
 //! - [`sim`] — deterministic discrete-event simulator (paper Figs. 1–2).
 //! - [`report`] — CSV/ASCII-chart output used by the experiment binaries.
+//! - [`conformance`] — the conformance fuzzer: seeded admissible-schedule
+//!   generation, shrinking, and differential cross-backend oracles.
 
+pub use asynciter_conformance as conformance;
 pub use asynciter_core as core;
 pub use asynciter_models as models;
 pub use asynciter_numerics as numerics;

@@ -1,0 +1,130 @@
+//! Tier-1 conformance suite: the fixed-seed corpus and a miniature
+//! fuzz campaign, run on every `cargo test`.
+//!
+//! The full campaign lives behind `cargo run -p asynciter-bench --bin
+//! conformance -- --quick`; this suite keeps the always-on pieces
+//! cheap: corpus regeneration equality (generator determinism),
+//! witness acceptance/rejection, replayability of committed
+//! counterexamples, and a handful of live fuzz cases per problem.
+
+use asynciter::conformance::corpus::{self, CORPUS_STEPS};
+use asynciter::conformance::runner::{inject_fault_demo, run_campaign, CampaignConfig};
+use asynciter::conformance::{ConformanceProblem, ProblemKind};
+use asynciter::models::conditions::check_condition_a;
+use asynciter::models::macroiter::macro_iterations;
+use asynciter::prelude::*;
+use std::path::Path;
+
+const CORPUS_DIR: &str = "tests/corpus";
+
+#[test]
+fn corpus_seed_traces_match_their_plans_bit_for_bit() {
+    let plans = corpus::seed_plans();
+    assert_eq!(plans.len(), 9, "canonical corpus is 3 problems x 3 plans");
+    for (stem, plan) in plans {
+        let path = Path::new(CORPUS_DIR).join(format!("{stem}.trace"));
+        let committed = corpus::load_trace(&path)
+            .unwrap_or_else(|e| panic!("{stem}: missing committed trace ({e})"));
+        let regen = plan.record_trace();
+        assert_eq!(committed.len() as u64, CORPUS_STEPS, "{stem}: wrong length");
+        assert_eq!(regen.len(), committed.len(), "{stem}: generator drift");
+        for j in 1..=committed.len() as u64 {
+            assert_eq!(
+                regen.step(j).active,
+                committed.step(j).active,
+                "{stem}: active drift at j={j}"
+            );
+            assert_eq!(
+                regen.labels(j).unwrap(),
+                committed.labels(j).unwrap(),
+                "{stem}: label drift at j={j}"
+            );
+        }
+        plan.witness()
+            .check(&committed)
+            .unwrap_or_else(|e| panic!("{stem}: witness rejected committed trace: {e}"));
+    }
+}
+
+#[test]
+fn corpus_traces_satisfy_model_invariants_and_replay_deterministically() {
+    let entries = corpus::load_dir(Path::new(CORPUS_DIR)).expect("committed corpus loads");
+    assert!(entries.len() >= 10, "corpus unexpectedly small");
+    let problems: Vec<ConformanceProblem> = ProblemKind::ALL
+        .iter()
+        .map(|&k| ConformanceProblem::build(k))
+        .collect();
+    for (path, trace) in entries {
+        check_condition_a(&trace)
+            .unwrap_or_else(|e| panic!("{}: condition (a) failed: {e}", path.display()));
+        let boundaries = macro_iterations(&trace).boundaries;
+        assert!(
+            boundaries.windows(2).all(|w| w[0] < w[1]),
+            "{}: macro boundaries not increasing",
+            path.display()
+        );
+        let problem = problems
+            .iter()
+            .find(|p| p.n() == trace.n())
+            .unwrap_or_else(|| panic!("{}: no problem of dim {}", path.display(), trace.n()));
+        let run = |t: Trace| {
+            Session::new(problem.op.as_ref())
+                .x0(problem.x0.clone())
+                .replay_trace(t)
+                .unwrap()
+                .run()
+                .unwrap()
+        };
+        let a = run(trace.clone());
+        let b = run(trace);
+        assert_eq!(
+            a.final_x,
+            b.final_x,
+            "{}: replay not deterministic",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn fault_fixture_reproduces_from_the_demo() {
+    // The committed counterexample is the deterministic output of the
+    // inject-fault demo: corrupt, shrink, persist. Re-running the demo
+    // must reproduce the committed file byte for byte.
+    let committed = Path::new(CORPUS_DIR).join("fault-frozen-label.trace");
+    let dir = std::env::temp_dir().join("asynciter-conformance-tier1-fault");
+    let _ = std::fs::remove_dir_all(&dir);
+    let fresh = dir.join("fault.trace");
+    let (orig, shrunk) = inject_fault_demo(0xA5A5, &fresh).expect("demo runs");
+    assert_eq!(orig, 400);
+    assert!(
+        shrunk <= 20,
+        "counterexample no longer minimal: {shrunk} steps"
+    );
+    let a = std::fs::read_to_string(&committed).expect("committed fixture exists");
+    let b = std::fs::read_to_string(&fresh).unwrap();
+    assert_eq!(a, b, "shrinker output drifted from the committed fixture");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn mini_campaign_with_corpus_passes() {
+    let fault_dir = std::env::temp_dir().join("asynciter-conformance-tier1-campaign");
+    let cfg = CampaignConfig {
+        mode: "custom".into(),
+        cases: 9,
+        seed: 0x7E57,
+        corpus_dir: Some(CORPUS_DIR.into()),
+        fault_dir,
+        roundtrip_every: 3,
+        flexible_every: 4,
+        sim_every: 4,
+        sim_iterations: 150,
+        shrink_budget: 20_000,
+    };
+    let report = run_campaign(&cfg);
+    assert!(report.passed(), "failures: {:#?}", report.failures);
+    assert_eq!(report.witness_rejections, 2, "negative controls missing");
+    assert_eq!(report.corpus_checked, 10, "corpus files not all checked");
+    assert_eq!(report.problems, vec!["jacobi", "lasso", "obstacle"]);
+}

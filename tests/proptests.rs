@@ -1,35 +1,45 @@
 //! Workspace-level property tests: invariants that must hold for *every*
 //! admissible schedule, operator and engine combination — executed
 //! through the unified `Session` API.
+//!
+//! Schedules come from the conformance fuzzer's [`SchedulePlan`]
+//! sampler (the guarded combinator stack over the whole generator zoo),
+//! so each case carries its own admissibility witness, and from the
+//! committed seed corpus under `tests/corpus/`.
 
+use asynciter::conformance::corpus;
+use asynciter::conformance::plan::{PlanLimits, SchedulePlan};
 use asynciter::models::conditions::check_condition_a;
 use asynciter::models::macroiter::{
     boundary_freshness_violations, macro_iterations, macro_iterations_strict,
 };
-use asynciter::models::schedule::record;
+use asynciter::numerics::rng::rng;
 use asynciter::opt::linear::JacobiOperator;
 use asynciter::opt::prox::L1;
 use asynciter::opt::proxgrad::{gamma_max, SeparableProxGrad};
 use asynciter::opt::quadratic::SeparableQuadratic;
 use asynciter::prelude::*;
 use proptest::prelude::*;
+use std::path::Path;
 
-fn arbitrary_bounded_schedule(n: usize) -> impl Strategy<Value = ChaoticBounded> {
-    (1u64..64, 0u64..10_000, proptest::bool::ANY).prop_map(move |(b, seed, fifo)| {
-        ChaoticBounded::new(n, 1.max(n / 4), n / 2 + 1, b, fifo, seed)
-    })
+/// A random guarded plan over `n` components: base generator, random
+/// thin/jitter mutations, delay envelope and coverage gap.
+fn arbitrary_plan(n: usize, steps: u64) -> impl Strategy<Value = SchedulePlan> {
+    (0u64..1_000_000)
+        .prop_map(move |seed| SchedulePlan::sample(&mut rng(seed), n, steps, PlanLimits::default()))
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// Every generated schedule satisfies condition (a) and yields
-    /// strictly increasing macro boundaries with zero strict-boundary
-    /// freshness violations.
+    /// Every plan-generated schedule is accepted by its own
+    /// admissibility witness and yields strictly increasing macro
+    /// boundaries with zero strict-boundary freshness violations.
     #[test]
-    fn schedules_admissible_and_macros_sound(mut gen in arbitrary_bounded_schedule(10)) {
-        let trace = record(&mut gen as &mut dyn ScheduleGen, 1500, LabelStore::Full);
+    fn schedules_admissible_and_macros_sound(plan in arbitrary_plan(10, 1500)) {
+        let trace = plan.record_trace();
         prop_assert!(check_condition_a(&trace).is_ok());
+        prop_assert!(plan.witness().check(&trace).is_ok(), "{}", plan.describe());
         let lit = macro_iterations(&trace);
         prop_assert!(lit.boundaries.windows(2).all(|w| w[0] < w[1]));
         let strict = macro_iterations_strict(&trace);
@@ -41,10 +51,10 @@ proptest! {
     }
 
     /// For a max-norm contraction, the replay backend converges under
-    /// every admissible bounded schedule.
+    /// every guarded schedule the sampler can produce.
     #[test]
-    fn replay_converges_for_all_bounded_schedules(
-        gen in arbitrary_bounded_schedule(12),
+    fn replay_converges_for_all_sampled_plans(
+        plan in arbitrary_plan(12, 6_000),
     ) {
         let op = JacobiOperator::new(
             asynciter::numerics::sparse::tridiagonal(12, 4.0, -1.0),
@@ -52,13 +62,13 @@ proptest! {
         ).unwrap();
         let xstar = op.solve_dense_spd().unwrap();
         let run = Session::new(&op)
-            .steps(6_000)
-            .schedule(gen)
+            .replay_trace(plan.record_trace())
+            .unwrap()
             .backend(Replay)
             .run()
             .unwrap();
         let err = run.final_error(&xstar);
-        prop_assert!(err < 1e-6, "error {err}");
+        prop_assert!(err < 1e-6, "error {err} under {}", plan.describe());
     }
 
     /// Theorem 1 holds for random separable instances, random admissible
@@ -128,6 +138,31 @@ proptest! {
         prop_assert!(
             run.final_error(&xstar) < 1e-7,
             "m={m} p={p} q={q}"
+        );
+    }
+}
+
+/// The committed corpus is a fixed seed set for the same properties:
+/// every archived schedule satisfies condition (a) and sound macro
+/// boundaries, exactly like freshly sampled plans.
+#[test]
+fn corpus_traces_uphold_schedule_properties() {
+    let entries = corpus::load_dir(Path::new("tests/corpus")).expect("committed corpus loads");
+    assert!(!entries.is_empty());
+    for (path, trace) in entries {
+        check_condition_a(&trace).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let lit = macro_iterations(&trace);
+        assert!(
+            lit.boundaries.windows(2).all(|w| w[0] < w[1]),
+            "{}: macro boundaries not increasing",
+            path.display()
+        );
+        let strict = macro_iterations_strict(&trace);
+        assert_eq!(
+            boundary_freshness_violations(&trace, &strict.boundaries),
+            0,
+            "{}: strict boundaries violate freshness",
+            path.display()
         );
     }
 }
