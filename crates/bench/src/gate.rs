@@ -6,8 +6,8 @@
 //! This module turns that claim into a standing, machine-checked
 //! artefact: it sweeps the cross-product of
 //!
-//! - **backends** — `replay`, `flexible`, `shared-mem`, `barrier`, `sim`
-//!   (every engine behind the unified `Session` API),
+//! - **backends** — `replay`, `flexible`, `shared-mem`, `barrier`,
+//!   `sim`, `cluster` (every engine behind the unified `Session` API),
 //! - **problems** — Jacobi/quadratic, lasso via prox-gradient,
 //!   Bellman–Ford routing, and the obstacle problem,
 //! - **delay models** — no delay, bounded, unbounded heavy-tail,
@@ -50,7 +50,8 @@ use asynciter_opt::proxgrad::{gamma_max, SparseProxGrad};
 use asynciter_opt::traits::{Operator, SmoothObjective};
 use asynciter_report::json::{GateDoc, GateRecord};
 use asynciter_report::TextTable;
-use asynciter_runtime::session::{Barrier, SharedMem};
+use asynciter_runtime::session::{Barrier, Cluster, SharedMem};
+use asynciter_runtime::{ApplyPolicy, LinkModel};
 use asynciter_sim::compute::{ComputeModel, LatencyModel};
 use asynciter_sim::runner::SimConfig;
 use asynciter_sim::session::Sim;
@@ -94,7 +95,7 @@ impl ProblemId {
     }
 }
 
-/// The backend axis (the five `Session` engines).
+/// The backend axis (the six `Session` engines).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BackendId {
     /// Deterministic Definition-1 replay.
@@ -107,16 +108,19 @@ pub enum BackendId {
     Barrier,
     /// Discrete-event simulator.
     Sim,
+    /// Deterministic sharded message-passing cluster.
+    Cluster,
 }
 
 impl BackendId {
     /// Every backend, sweep order.
-    pub const ALL: [BackendId; 5] = [
+    pub const ALL: [BackendId; 6] = [
         BackendId::Replay,
         BackendId::Flexible,
         BackendId::SharedMem,
         BackendId::Barrier,
         BackendId::Sim,
+        BackendId::Cluster,
     ];
 
     /// Stable identifier used in records and baselines.
@@ -127,6 +131,7 @@ impl BackendId {
             BackendId::SharedMem => "shared-mem",
             BackendId::Barrier => "barrier",
             BackendId::Sim => "sim",
+            BackendId::Cluster => "cluster",
         }
     }
 }
@@ -268,6 +273,11 @@ fn build_problem(pid: ProblemId, mode: GateMode, seed: u64) -> GateProblem {
 fn step_budget(pid: ProblemId, bid: BackendId, mode: GateMode) -> u64 {
     let quick = match (pid, bid) {
         (_, BackendId::SharedMem) => 2_000_000,
+        // The cluster event loop is sequential and deterministic, so a
+        // fixed budget would be safe — but like shared-mem it pairs a
+        // large budget with a residual target so every cell records
+        // "steps to converge" rather than "steps spent".
+        (_, BackendId::Cluster) => 400_000,
         (ProblemId::Obstacle, BackendId::Replay | BackendId::Flexible) => 12_000,
         (ProblemId::Obstacle, BackendId::Barrier) => 150,
         (ProblemId::Obstacle, BackendId::Sim) => 2_000,
@@ -278,7 +288,7 @@ fn step_budget(pid: ProblemId, bid: BackendId, mode: GateMode) -> u64 {
     match mode {
         GateMode::Quick => quick,
         GateMode::Full => match bid {
-            BackendId::SharedMem => quick,
+            BackendId::SharedMem | BackendId::Cluster => quick,
             _ => quick * 4,
         },
     }
@@ -329,6 +339,19 @@ fn fidelity_of(bid: BackendId, did: DelayId) -> (&'static str, &'static str) {
             "baseline",
             "barrier runner has no partial publishing; plain synchronous control",
         ),
+        (Cluster, NoDelay) => ("exact", "single worker: every read is fresh"),
+        (Cluster, Bounded) => (
+            "exact",
+            "fixed unit-latency links: staleness bounded by the rotation",
+        ),
+        (Cluster, UnboundedHeavyTail) => {
+            ("exact", "Pareto link latency: genuinely unbounded delays")
+        }
+        (Cluster, OutOfOrder) => (
+            "exact",
+            "held messages delivered behind newer ones under AsReceived",
+        ),
+        (Cluster, FlexiblePartial) => ("exact", "partial block messages folded in as they arrive"),
         _ => ("exact", ""),
     }
 }
@@ -498,6 +521,48 @@ fn run_session(
         BackendId::Sim => {
             let cfg = sim_config(n, did, steps, seed)?;
             s.backend(Sim(cfg)).run()
+        }
+        BackendId::Cluster => {
+            let workers = if did == DelayId::NoDelay { 1 } else { threads };
+            let backend = match did {
+                DelayId::NoDelay | DelayId::Bounded => Cluster {
+                    workers,
+                    ..Cluster::default()
+                },
+                DelayId::UnboundedHeavyTail => Cluster {
+                    workers,
+                    link: LinkModel::HeavyTail {
+                        scale: 1,
+                        alpha: 1.3,
+                    },
+                    ..Cluster::default()
+                },
+                DelayId::OutOfOrder => Cluster {
+                    workers,
+                    hold_prob: 0.3,
+                    drop_prob: 0.1,
+                    dup_prob: 0.05,
+                    link: LinkModel::Jitter { lo: 1, hi: 6 },
+                    apply_policy: ApplyPolicy::AsReceived,
+                    ..Cluster::default()
+                },
+                DelayId::FlexiblePartial => Cluster {
+                    workers,
+                    partial_prob: 0.5,
+                    apply_policy: ApplyPolicy::KeepFreshest,
+                    link: LinkModel::Jitter { lo: 1, hi: 3 },
+                    ..Cluster::default()
+                },
+            };
+            // Sequential and deterministic, but still a residual target:
+            // cells record steps-to-converge (single-core safe by
+            // construction).
+            s.stopping(StoppingRule::Residual {
+                eps: 1e-9,
+                check_every: 16,
+            })
+            .backend(backend)
+            .run()
         }
     }
 }

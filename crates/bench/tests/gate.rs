@@ -54,7 +54,7 @@ fn gate_quick_end_to_end() {
     assert_eq!(doc.mode, "quick");
     assert_eq!(
         doc.records.len(),
-        5 * 4 * 5,
+        6 * 4 * 5,
         "full backend x problem x delay matrix"
     );
     assert!(
@@ -67,7 +67,8 @@ fn gate_quick_end_to_end() {
             .collect::<Vec<_>>()
     );
     let cov = coverage(&doc);
-    assert_eq!(cov.backends.len(), 5, "all 5 backends covered");
+    assert_eq!(cov.backends.len(), 6, "all 6 backends covered");
+    assert!(cov.backends.contains("cluster"), "cluster backend present");
     assert!(cov.problems.len() >= 4, "at least 4 problems covered");
     assert!(cov.delays.len() >= 4, "at least 4 delay models covered");
     // Per backend: every problem and at least 4 delay models.

@@ -1,21 +1,27 @@
 //! The committed seed corpus.
 //!
-//! `tests/corpus/` holds two kinds of fixtures, both in the `trace_io`
+//! `tests/corpus/` holds three kinds of fixtures, all in the `trace_io`
 //! text format:
 //!
 //! - `seed-<problem>-<k>.trace` — traces of the canonical
 //!   [`seed_plans`], regenerated and compared bit-for-bit by the tier-1
 //!   suite (a regression lock on generator determinism *and* a ready
 //!   schedule set for property tests);
+//! - `cluster-<k>.trace` — executed message-passing schedules of the
+//!   canonical [`cluster_plans`] (recorded on the Jacobi problem),
+//!   locking the cluster engine's channel model the same way;
 //! - `fault-*.trace` — minimised counterexamples produced by the
-//!   shrinker (from real failures or the `--inject-fault` demo),
-//!   committed so the exact failing schedule replays forever.
+//!   shrinker (from real failures or the `--inject-fault` /
+//!   `--cluster-reorder` demos), committed so the exact failing
+//!   schedule replays forever.
 //!
 //! Corpus traces are deliberately short: they are schedule *seeds*, not
 //! convergence runs, so the files stay reviewable in version control.
 
+use crate::cluster::ClusterPlan;
 use crate::plan::SchedulePlan;
 use crate::problems::{ConformanceProblem, ProblemKind};
+use asynciter_core::session::{RecordMode, Session};
 use asynciter_models::trace_io::{trace_from_str, trace_to_string};
 use asynciter_models::Trace;
 use asynciter_numerics::rng::{child_seed, rng};
@@ -45,6 +51,42 @@ pub fn seed_plans() -> Vec<(String, SchedulePlan)> {
         }
     }
     out
+}
+
+/// Cluster (message-passing) plans in the canonical corpus.
+pub const CLUSTER_PLANS: u64 = 3;
+
+/// The canonical cluster corpus: `(file stem, plan)` for every
+/// committed `cluster-<k>.trace`, deterministically derived from
+/// [`CORPUS_SEED`]. Traces are recorded on the Jacobi problem.
+pub fn cluster_plans() -> Vec<(String, ClusterPlan)> {
+    let problem = ConformanceProblem::build(ProblemKind::Jacobi);
+    (0..CLUSTER_PLANS)
+        .map(|k| {
+            let mut r = rng(child_seed(CORPUS_SEED, 0xC1_00 | k));
+            let plan = ClusterPlan::sample(&mut r, problem.n(), CORPUS_STEPS);
+            (format!("cluster-{k:02}"), plan)
+        })
+        .collect()
+}
+
+/// Records the executed schedule of a canonical cluster plan on the
+/// Jacobi problem — the phenotype committed as `cluster-<k>.trace`.
+///
+/// # Panics
+/// Panics when the canonical plan fails to run (a bug).
+pub fn record_cluster_trace(plan: &ClusterPlan) -> Trace {
+    let problem = ConformanceProblem::build(ProblemKind::Jacobi);
+    Session::new(problem.op.as_ref())
+        .x0(problem.x0.clone())
+        .steps(plan.steps)
+        .seed(plan.seed)
+        .record(RecordMode::Full)
+        .backend(plan.backend())
+        .run()
+        .expect("canonical cluster plan runs")
+        .trace
+        .expect("RecordMode::Full keeps the trace")
 }
 
 /// Writes a trace to `path` in the archive format, creating parent
@@ -87,7 +129,8 @@ pub fn load_dir(dir: &Path) -> Result<Vec<(PathBuf, Trace)>, String> {
         .collect()
 }
 
-/// Regenerates the canonical `seed-*.trace` files under `dir`.
+/// Regenerates the canonical `seed-*.trace` and `cluster-*.trace`
+/// files under `dir`.
 ///
 /// # Errors
 /// Propagates [`save_trace`] failures.
@@ -96,6 +139,11 @@ pub fn regen_seed_corpus(dir: &Path) -> Result<Vec<PathBuf>, String> {
     for (stem, plan) in seed_plans() {
         let path = dir.join(format!("{stem}.trace"));
         save_trace(&path, &plan.record_trace())?;
+        written.push(path);
+    }
+    for (stem, plan) in cluster_plans() {
+        let path = dir.join(format!("{stem}.trace"));
+        save_trace(&path, &record_cluster_trace(&plan))?;
         written.push(path);
     }
     Ok(written)

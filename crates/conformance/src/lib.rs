@@ -30,6 +30,11 @@
 //!   back through `Session::replay_trace`, reproduces the simulated
 //!   iterates bit for bit), and **flexible degradation** (partial
 //!   communication still converges, with coherent constraint stats).
+//! - [`cluster`] — seeded **message-passing fuzz cases**
+//!   ([`cluster::ClusterPlan`]): worker counts, link latency models and
+//!   hold/drop/duplicate/partial channel faults for the sharded
+//!   `Cluster` backend, whose executed schedules the cluster-equivalence
+//!   oracle replays bit-identically through the Definition-1 engine.
 //! - [`corpus`] — the committed seed corpus under `tests/corpus/`:
 //!   canonical plans, trace files, and the fault fixtures produced by
 //!   shrinking.
@@ -40,6 +45,7 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod cluster;
 pub mod corpus;
 pub mod oracle;
 pub mod plan;
@@ -47,6 +53,7 @@ pub mod problems;
 pub mod runner;
 pub mod shrink;
 
+pub use cluster::ClusterPlan;
 pub use plan::SchedulePlan;
 pub use problems::{ConformanceProblem, ProblemKind};
 pub use runner::{run_campaign, CampaignConfig, CampaignReport};

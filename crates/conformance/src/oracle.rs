@@ -17,12 +17,22 @@
 //!   partial communication still converges on the same schedule
 //!   (looser tolerance), publishes partials, and reports coherent
 //!   constraint statistics.
+//! - [`cluster_replay_equivalence`] — cross-backend, message level: a
+//!   cluster run's recorded schedule, injected into the replay engine,
+//!   reproduces the cluster's consensus bit for bit — out-of-order,
+//!   lossy, duplicating and partially-communicating channels included —
+//!   and the consensus converges within the problem tolerance.
+//! - [`cluster_degenerates_to_replay`] — the degenerate cluster
+//!   (1 worker, in-order, faultless) *is* the synchronous schedule:
+//!   bit-identical to `Replay` with the default schedule.
 
+use crate::cluster::ClusterPlan;
 use crate::problems::ConformanceProblem;
 use asynciter_core::session::RecordMode;
 use asynciter_core::session::{Flexible, Replay, Session};
 use asynciter_models::Partition;
 use asynciter_models::Trace;
+use asynciter_runtime::session::Cluster;
 use asynciter_sim::compute::{ComputeModel, LatencyModel};
 use asynciter_sim::runner::SimConfig;
 use asynciter_sim::session::Sim;
@@ -236,6 +246,89 @@ pub fn flexible_degrades(
     Ok(())
 }
 
+/// Cross-backend equivalence at the message level: the cluster's
+/// recorded schedule replays bit-identically through the Definition-1
+/// engine, the trace satisfies condition (a), and the consensus
+/// converges within the problem tolerance.
+///
+/// # Errors
+/// A message naming the first divergent component, the failed
+/// condition, or the unconverged residual.
+pub fn cluster_replay_equivalence(
+    problem: &ConformanceProblem,
+    plan: &ClusterPlan,
+) -> Result<(), String> {
+    let cluster = Session::new(problem.op.as_ref())
+        .x0(problem.x0.clone())
+        .steps(plan.steps)
+        .seed(plan.seed)
+        .record(RecordMode::Full)
+        .backend(plan.backend())
+        .run()
+        .map_err(|e| format!("cluster failed: {e}"))?;
+    if !cluster.final_residual.is_finite() || cluster.final_residual > problem.tol {
+        return Err(format!(
+            "cluster: consensus residual {:.3e} above tolerance {:.1e} after {} steps",
+            cluster.final_residual, problem.tol, cluster.steps
+        ));
+    }
+    let trace = cluster.trace.clone().expect("RecordMode::Full");
+    asynciter_models::conditions::check_condition_a(&trace)
+        .map_err(|e| format!("cluster trace violates condition (a): {e}"))?;
+    let replay = Session::new(problem.op.as_ref())
+        .x0(problem.x0.clone())
+        .replay_trace(trace)
+        .map_err(|e| format!("cluster trace not replayable: {e}"))?
+        .backend(Replay)
+        .run()
+        .map_err(|e| format!("replay of cluster trace failed: {e}"))?;
+    for (i, (a, b)) in cluster.final_x.iter().zip(&replay.final_x).enumerate() {
+        if a.to_bits() != b.to_bits() {
+            return Err(format!(
+                "cluster-equivalence: component {i} differs (cluster {a:?} vs replay {b:?}) \
+                 under {}",
+                plan.describe()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The degenerate cluster — one worker, in-order links, no faults — is
+/// the synchronous Jacobi iteration: bit-identical to [`Replay`] on the
+/// default schedule.
+///
+/// # Errors
+/// A message naming the first divergent component.
+pub fn cluster_degenerates_to_replay(
+    problem: &ConformanceProblem,
+    steps: u64,
+) -> Result<(), String> {
+    let cluster = Session::new(problem.op.as_ref())
+        .x0(problem.x0.clone())
+        .steps(steps)
+        .backend(Cluster {
+            workers: 1,
+            ..Cluster::default()
+        })
+        .run()
+        .map_err(|e| format!("degenerate cluster failed: {e}"))?;
+    let replay = Session::new(problem.op.as_ref())
+        .x0(problem.x0.clone())
+        .steps(steps)
+        .backend(Replay)
+        .run()
+        .map_err(|e| format!("replay failed: {e}"))?;
+    for (i, (a, b)) in cluster.final_x.iter().zip(&replay.final_x).enumerate() {
+        if a.to_bits() != b.to_bits() {
+            return Err(format!(
+                "degenerate cluster: component {i} differs ({a:?} vs {b:?}) after {steps} steps"
+            ));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -254,6 +347,20 @@ mod tests {
         flexible_degrades(&problem, &trace, 5).unwrap();
         sim_equivalence(&problem, 1, 2, 300).unwrap();
         sim_equivalence(&problem, 2, 3, 300).unwrap();
+    }
+
+    #[test]
+    fn cluster_oracles_pass_on_sampled_plans() {
+        for kind in ProblemKind::ALL {
+            let problem = ConformanceProblem::build(kind);
+            let mut r = rng(17);
+            for _ in 0..3 {
+                let plan = ClusterPlan::sample(&mut r, problem.n(), problem.steps);
+                cluster_replay_equivalence(&problem, &plan)
+                    .unwrap_or_else(|e| panic!("{}: {e}", plan.describe()));
+            }
+            cluster_degenerates_to_replay(&problem, 60).unwrap();
+        }
     }
 
     #[test]

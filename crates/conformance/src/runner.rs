@@ -5,7 +5,9 @@
 //! checks the plan's own [`AdmissibilityWitness`] accepts it (the
 //! generated-admissibility invariant), then drives the differential
 //! oracles: metamorphic on every case, replay round-trip / flexible
-//! degradation / sim equivalence on striding subsets. Every campaign
+//! degradation / sim equivalence / cluster equivalence (a seeded
+//! message-passing plan whose recorded schedule must replay
+//! bit-identically) on striding subsets. Every campaign
 //! also runs the *negative controls* — adversarial schedules the
 //! witness must reject — and re-validates the committed corpus.
 //!
@@ -16,11 +18,13 @@
 //!
 //! [`AdmissibilityWitness`]: asynciter_models::AdmissibilityWitness
 
+use crate::cluster::{has_label_regression, ClusterPlan};
 use crate::corpus;
 use crate::oracle;
 use crate::plan::SchedulePlan;
 use crate::problems::{ConformanceProblem, ProblemKind};
 use crate::shrink::shrink_trace;
+use asynciter_core::session::{RecordMode, Session};
 use asynciter_models::schedule::{FrozenLabelAdversary, StarvedComponent};
 use asynciter_models::{LabelStore, ModelError, Trace};
 use asynciter_numerics::rng::{child_seed, rng};
@@ -47,6 +51,8 @@ pub struct CampaignConfig {
     pub flexible_every: u64,
     /// Run the sim-equivalence oracle every this many cases.
     pub sim_every: u64,
+    /// Run the cluster-equivalence oracle every this many cases.
+    pub cluster_every: u64,
     /// Simulated iterations per sim-equivalence case.
     pub sim_iterations: u64,
     /// Predicate-evaluation budget per shrink.
@@ -65,6 +71,8 @@ impl CampaignConfig {
             roundtrip_every: 5,
             flexible_every: 7,
             sim_every: 10,
+            // 240 quick cases / 3 = 80 cluster plans per quick campaign.
+            cluster_every: 3,
             sim_iterations: 300,
             shrink_budget: 100_000,
         }
@@ -214,6 +222,9 @@ fn oracles_for(cfg: &CampaignConfig, case: u64) -> Vec<&'static str> {
     if case.is_multiple_of(cfg.sim_every) {
         out.push("sim-equivalence");
     }
+    if case.is_multiple_of(cfg.cluster_every) {
+        out.push("cluster-equivalence");
+    }
     out
 }
 
@@ -309,6 +320,8 @@ fn check_corpus(
         }
     };
     let plans: BTreeMap<String, SchedulePlan> = corpus::seed_plans().into_iter().collect();
+    let cluster_plans: BTreeMap<String, ClusterPlan> =
+        corpus::cluster_plans().into_iter().collect();
     let mut checked = 0;
     for (path, trace) in entries {
         checked += 1;
@@ -317,6 +330,31 @@ fn check_corpus(
             .and_then(|s| s.to_str())
             .unwrap_or_default()
             .to_string();
+        if let Some(cplan) = cluster_plans.get(&stem) {
+            // Committed cluster traces must equal their regenerated
+            // plans (engine/channel-model determinism) and replay
+            // bit-identically through the Definition-1 engine.
+            let regen = corpus::record_cluster_trace(cplan);
+            if regen.len() != trace.len()
+                || (1..=trace.len() as u64).any(|j| {
+                    regen.step(j).active != trace.step(j).active
+                        || regen.labels(j).ok() != trace.labels(j).ok()
+                })
+            {
+                fail(
+                    "corpus-cluster-regen",
+                    &path,
+                    "committed cluster trace no longer matches its plan (engine drift)".into(),
+                );
+                continue;
+            }
+            if let Some(p) = problems.iter().find(|p| p.n() == trace.n()) {
+                if let Err(e) = oracle::replay_roundtrip(p, &trace) {
+                    fail("corpus-cluster-replay", &path, e);
+                }
+            }
+            continue;
+        }
         if let Some(plan) = plans.get(&stem) {
             let regen = plan.record_trace();
             if regen.len() != trace.len()
@@ -397,6 +435,13 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
                     2 + (case % 3) as usize,
                     cfg.sim_iterations,
                 ),
+                "cluster-equivalence" => {
+                    let mut cr = rng(child_seed(cfg.seed, case ^ 0xC1A));
+                    let cplan = ClusterPlan::sample(&mut cr, problem.n(), problem.steps);
+                    let described = cplan.describe();
+                    oracle::cluster_replay_equivalence(problem, &cplan)
+                        .map_err(|e| format!("{e} [{described}]"))
+                }
                 _ => unreachable!("unknown oracle"),
             };
             if let Err(message) = result {
@@ -409,7 +454,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
                     shrunk_steps: None,
                     trace_path: None,
                 };
-                if oracle_name != "sim-equivalence" {
+                if oracle_name != "sim-equivalence" && oracle_name != "cluster-equivalence" {
                     // These oracles consume the injected trace, so the
                     // trace is the shrinkable input.
                     let still_fails = |t: &Trace| match oracle_name {
@@ -493,6 +538,102 @@ pub fn inject_fault_demo(seed: u64, out: &Path) -> Result<(u64, u64), String> {
     Ok((corrupt.len() as u64, res.trace.len() as u64))
 }
 
+/// The message-reordering demo behind `--cluster-reorder`: runs a
+/// cluster plan whose channel holds messages aggressively under
+/// `ApplyPolicy::AsReceived`, so some worker provably applies an older
+/// message after a newer one (a per-worker read-label regression —
+/// impossible over FIFO channels), then shrinks the trace to a minimal
+/// exhibit of that regression and persists it. Returns
+/// `(original steps, shrunk steps)`.
+///
+/// # Errors
+/// A message when the demo's expectations fail (no regression produced,
+/// shrinking lost it, or the file cannot be written).
+pub fn cluster_reorder_demo(seed: u64, out: &Path) -> Result<(u64, u64), String> {
+    let problem = ConformanceProblem::build(ProblemKind::Jacobi);
+    let workers = 3usize;
+    let backend = asynciter_runtime::session::Cluster {
+        workers,
+        hold_prob: 0.6,
+        hold_extra: 12,
+        link: asynciter_runtime::LinkModel::Jitter { lo: 1, hi: 6 },
+        apply_policy: asynciter_runtime::ApplyPolicy::AsReceived,
+        ..asynciter_runtime::session::Cluster::default()
+    };
+    let report = Session::new(problem.op.as_ref())
+        .x0(problem.x0.clone())
+        .steps(240)
+        .seed(child_seed(seed, 0x0C0))
+        .record(RecordMode::Full)
+        .backend(backend)
+        .run()
+        .map_err(|e| format!("cluster run failed: {e}"))?;
+    let trace = report.trace.expect("RecordMode::Full");
+    let still_fails = |t: &Trace| has_label_regression(t, workers);
+    if !still_fails(&trace) {
+        return Err("channel model produced no out-of-order application".into());
+    }
+    let res = shrink_trace(&trace, still_fails, 200_000);
+    if !still_fails(&res.trace) {
+        return Err("shrinking lost the reordering evidence".into());
+    }
+    corpus::save_trace(out, &res.trace)?;
+    Ok((trace.len() as u64, res.trace.len() as u64))
+}
+
+/// The severed-link negative control behind `--inject-cluster-fault`:
+/// drops every message entry for a block-boundary component (an
+/// *essential* message — a neighbouring shard reads that component), and
+/// verifies the harness catches the fault two independent ways: the
+/// consensus residual stays above the problem tolerance (metamorphic
+/// catch) and the recorded trace shows the component's read label frozen
+/// at 0 on every non-owner turn (frozen-label catch, condition (b)
+/// territory). Returns `(steps, final residual)` when the fault was
+/// caught.
+///
+/// # Errors
+/// A message when the fault is *not* caught — which would mean the
+/// conformance harness has a blind spot.
+pub fn inject_cluster_fault_demo(seed: u64) -> Result<(u64, f64), String> {
+    let problem = ConformanceProblem::build(ProblemKind::Jacobi);
+    let n = problem.n();
+    let workers = 4usize;
+    let partition =
+        asynciter_models::Partition::blocks(n, workers).map_err(|e| format!("partition: {e}"))?;
+    // The last component of worker 0's block: read by worker 1's first
+    // component, so its messages are essential.
+    let boundary = partition
+        .components_of(0)
+        .last()
+        .copied()
+        .expect("nonempty");
+    let mut cfg = asynciter_runtime::ClusterConfig::new(problem.steps)
+        .with_seed(child_seed(seed, 0xFA17))
+        .with_record(LabelStore::Full);
+    cfg.sever_component = Some(boundary);
+    let res = asynciter_runtime::ClusterEngine::run(
+        problem.op.as_ref(),
+        &problem.x0,
+        &partition,
+        &cfg,
+        None,
+    )
+    .map_err(|e| format!("cluster run failed: {e}"))?;
+    if res.final_residual <= problem.tol {
+        return Err(format!(
+            "severed essential message NOT caught: residual {:.3e} within tolerance {:.1e}",
+            res.final_residual, problem.tol
+        ));
+    }
+    let frozen = (1..=res.trace.len() as u64)
+        .filter(|j| ((j - 1) % workers as u64) as usize != 0)
+        .all(|j| res.trace.labels(j).map(|l| l[boundary]) == Ok(0));
+    if !frozen {
+        return Err("severed component's remote read labels did not freeze at 0".into());
+    }
+    Ok((res.steps_run, res.final_residual))
+}
+
 /// CLI entry point shared by the `conformance` binary. Returns the
 /// process exit code.
 pub fn conformance_main(args: &[String]) -> i32 {
@@ -509,6 +650,8 @@ pub fn conformance_main(args: &[String]) -> i32 {
     };
     let mut out_json = PathBuf::from("CONFORMANCE_report.json");
     let mut inject_fault: Option<PathBuf> = None;
+    let mut cluster_reorder: Option<PathBuf> = None;
+    let mut inject_cluster_fault = false;
     let mut regen_corpus = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -545,6 +688,13 @@ pub fn conformance_main(args: &[String]) -> i32 {
                         .unwrap_or_else(|| PathBuf::from("tests/corpus/fault-frozen-label.trace")),
                 );
             }
+            "--cluster-reorder" => {
+                cluster_reorder =
+                    Some(it.next().map(PathBuf::from).unwrap_or_else(|| {
+                        PathBuf::from("tests/corpus/fault-cluster-reorder.trace")
+                    }));
+            }
+            "--inject-cluster-fault" => inject_cluster_fault = true,
             "--regen-corpus" => regen_corpus = true,
             "--help" | "-h" => return usage(""),
             other => return usage(&format!("unknown flag `{other}`")),
@@ -565,6 +715,38 @@ pub fn conformance_main(args: &[String]) -> i32 {
             }
             Err(e) => {
                 eprintln!("corpus regeneration failed: {e}");
+                1
+            }
+        };
+    }
+
+    if let Some(out) = cluster_reorder {
+        return match cluster_reorder_demo(cfg.seed, &out) {
+            Ok((orig, shrunk)) => {
+                println!(
+                    "cluster reordering evidence: {orig}-step trace shrunk to {shrunk} steps → {}",
+                    out.display()
+                );
+                0
+            }
+            Err(e) => {
+                eprintln!("cluster-reorder demo failed: {e}");
+                1
+            }
+        };
+    }
+
+    if inject_cluster_fault {
+        return match inject_cluster_fault_demo(cfg.seed) {
+            Ok((steps, residual)) => {
+                println!(
+                    "severed essential message caught after {steps} steps \
+                     (consensus residual {residual:.3e} stays above tolerance)"
+                );
+                0
+            }
+            Err(e) => {
+                eprintln!("inject-cluster-fault demo failed: {e}");
                 1
             }
         };
@@ -634,7 +816,8 @@ fn usage(err: &str) -> i32 {
     }
     eprintln!(
         "usage: conformance [--quick|--soak] [--cases N] [--seed N] [--corpus DIR|--no-corpus]\n\
-         \x20                  [--fault-dir DIR] [--out FILE] [--inject-fault [PATH]] [--regen-corpus]"
+         \x20                  [--fault-dir DIR] [--out FILE] [--inject-fault [PATH]]\n\
+         \x20                  [--cluster-reorder [PATH]] [--inject-cluster-fault] [--regen-corpus]"
     );
     i32::from(!err.is_empty()) * 2
 }
@@ -653,6 +836,7 @@ mod tests {
             roundtrip_every: 3,
             flexible_every: 3,
             sim_every: 3,
+            cluster_every: 3,
             sim_iterations: 120,
             shrink_budget: 20_000,
         }
@@ -667,9 +851,30 @@ mod tests {
         assert_eq!(report.witness_rejections, 2);
         assert_eq!(report.oracle_runs["metamorphic"], 6);
         assert_eq!(report.oracle_runs["sim-equivalence"], 2);
+        assert_eq!(report.oracle_runs["cluster-equivalence"], 2);
         let json = report.to_json().render_pretty();
         assert!(json.contains("\"conformance\""));
         assert!(json.contains("\"witness_rejections\": 2"));
+    }
+
+    #[test]
+    fn cluster_reorder_demo_shrinks_and_persists() {
+        let dir = std::env::temp_dir().join("asynciter-conformance-reorder-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = dir.join("fault-cluster-reorder.trace");
+        let (orig, shrunk) = cluster_reorder_demo(0xA5A5, &out).unwrap();
+        assert_eq!(orig, 240);
+        assert!(shrunk < orig, "no shrinking happened");
+        let trace = corpus::load_trace(&out).unwrap();
+        assert!(has_label_regression(&trace, 3));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn severed_essential_message_is_caught() {
+        let (steps, residual) = inject_cluster_fault_demo(0xA5A5).unwrap();
+        assert!(steps > 0);
+        assert!(residual > 1e-8, "fault should keep the residual high");
     }
 
     #[test]

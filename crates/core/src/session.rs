@@ -13,7 +13,8 @@
 //!   residual sampling, stopping rule, trace recording, seed, and the
 //!   schedule for replay-style backends.
 //! - [`Backend`] — *where* Eq. (1) executes. [`Replay`] and [`Flexible`]
-//!   live here; `SharedMem { threads }` and `Barrier { threads }` in
+//!   live here; `SharedMem { threads }`, `Barrier { threads }` and the
+//!   sharded message-passing `Cluster { workers, .. }` in
 //!   `asynciter-runtime`; `Sim(config)` in `asynciter-sim`. Every backend
 //!   populates the same [`RunReport`].
 //!
@@ -186,7 +187,7 @@ pub struct RunReport {
     pub wall: Duration,
 }
 
-/// Maps a backend name to its canonical `&'static str` form — the five
+/// Maps a backend name to its canonical `&'static str` form — the six
 /// built-in engines, or `"unknown"` for anything else. Serializers use
 /// this to rebuild [`RunReport::backend`] from parsed text without
 /// leaking.
@@ -197,6 +198,7 @@ pub fn canonical_backend_name(name: &str) -> &'static str {
         "shared-mem" => "shared-mem",
         "barrier" => "barrier",
         "sim" => "sim",
+        "cluster" => "cluster",
         _ => "unknown",
     }
 }

@@ -1084,6 +1084,20 @@ mod tests {
     }
 
     #[test]
+    fn cluster_backend_name_round_trips() {
+        // The sixth backend must survive the serialisation round trip
+        // (canonical_backend_name knows it).
+        let mut report = sample_report();
+        report.backend = "cluster";
+        report.constraint_checked = 7;
+        report.constraint_violations = 2;
+        let parsed = run_report_from_json(&run_report_to_json(&report)).unwrap();
+        assert_eq!(parsed.backend, "cluster");
+        assert_eq!(parsed.constraint_checked, 7);
+        assert_eq!(parsed.constraint_violations, 2);
+    }
+
+    #[test]
     fn unknown_backend_name_canonicalises() {
         let mut json = run_report_to_json(
             &run_report_from_json(&run_report_to_json(&sample_report())).unwrap(),

@@ -26,6 +26,13 @@ pub enum RuntimeError {
         /// Worker index.
         worker: usize,
     },
+    /// An iterate became non-finite (operator divergence).
+    NonFiniteIterate {
+        /// Global step at which the divergence was observed.
+        at_step: u64,
+        /// Component that diverged.
+        component: usize,
+    },
     /// Propagated model error (trace assembly).
     Model(asynciter_models::ModelError),
 }
@@ -46,6 +53,12 @@ impl fmt::Display for RuntimeError {
             }
             RuntimeError::WorkerPanicked { worker } => {
                 write!(f, "worker {worker} panicked")
+            }
+            RuntimeError::NonFiniteIterate { at_step, component } => {
+                write!(
+                    f,
+                    "non-finite iterate at step {at_step}, component {component}"
+                )
             }
             RuntimeError::Model(e) => write!(f, "model error: {e}"),
         }

@@ -14,21 +14,26 @@
 //!   full event tracing back into [`asynciter_models::Trace`].
 //! - [`sync_engine`] — the barrier-synchronous Jacobi baseline with the
 //!   same work model, for the async-vs-sync comparisons (experiment E3).
-//! - [`network`] — a virtual message-passing layer: workers keep local
-//!   copies and exchange labelled messages through a router thread that
-//!   delays, reorders, drops and duplicates them (experiments E5/E6).
+//! - [`cluster`] — the deterministic sharded message-passing engine: a
+//!   seeded virtual cluster with per-worker mailboxes, latency models,
+//!   hold/drop/duplicate faults and flexible partial exchange, whose
+//!   recorded traces replay bit-identically (experiments E5/E6).
+//! - [`network`] — the legacy message-passing API, now a thin
+//!   compatibility wrapper over [`cluster`].
 //! - [`termination`] — distributed termination detection in the spirit
 //!   of El Baz \[22\]: local quiescence flags plus in-flight message
 //!   accounting (experiment E10).
 //! - [`imbalance`] — calibrated spin-work injection used to model
 //!   heterogeneous processors.
-//! - [`session`] — [`SharedMem`] and [`Barrier`] backends plugging both
-//!   runtimes into the unified `asynciter_core::session::Session` API.
+//! - [`session`] — [`SharedMem`], [`Barrier`] and [`Cluster`] backends
+//!   plugging the runtimes into the unified
+//!   `asynciter_core::session::Session` API.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod async_engine;
+pub mod cluster;
 pub mod error;
 pub mod imbalance;
 pub mod network;
@@ -38,8 +43,11 @@ pub mod sync_engine;
 pub mod termination;
 
 pub use async_engine::{AsyncConfig, AsyncRunResult, AsyncSharedRunner, SnapshotMode, TraceRecord};
+pub use cluster::{
+    ApplyPolicy, ClusterConfig, ClusterEngine, ClusterRunResult, ClusterStats, LinkModel,
+};
 pub use error::RuntimeError;
-pub use session::{Barrier, SharedMem};
+pub use session::{Barrier, Cluster, SharedMem};
 pub use shared::SharedVec;
 pub use sync_engine::{SpinBarrier, SyncConfig, SyncRunResult, SyncRunner};
 

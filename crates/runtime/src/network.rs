@@ -1,46 +1,35 @@
-//! Virtual message-passing runtime: distributed asynchronous iterations
-//! with delayed, reordered, dropped and duplicated messages.
+//! Legacy message-passing API — now a thin compatibility wrapper over
+//! the deterministic [`crate::cluster`] engine.
 //!
-//! Each worker owns a component block and keeps a full *local copy* of
-//! the iterate (its best knowledge of everyone else). Workers never share
-//! memory: after every `exchange_every` local updates they post their
-//! block values — tagged with per-sender monotone labels — to a router
-//! thread, which delivers them to the other workers subject to an
-//! adversarial channel model:
+//! Historically this module ran workers and an adversarial router on
+//! real threads, which made every run irreproducible and flaky on
+//! loaded single-core hosts. The engine it described — per-worker local
+//! views, labelled block messages, hold/drop/duplicate channel faults,
+//! [`ApplyPolicy`] receivers — now lives in [`crate::cluster`] as a
+//! seeded sequential event loop with bit-reproducible runs, a recorded
+//! replayable [`Trace`](asynciter_models::Trace), and a `Session`
+//! backend ([`crate::session::Cluster`]).
 //!
-//! - **hold** (probability `hold_prob`): the message is parked and
-//!   released later, after newer messages — genuine out-of-order
-//!   delivery;
-//! - **drop** (probability `drop_prob`): the message is lost (transient
-//!   fault; the paper notes asynchronous iterations absorb these because
-//!   newer messages supersede lost ones);
-//! - **duplicate** (probability `dup_prob`): delivered twice.
+//! New code should use `Session::backend(Cluster { .. })`; this wrapper
+//! keeps the old [`NetworkRunner::run`] signature and result types
+//! working, mapped 1:1 onto the cluster engine:
 //!
-//! Receivers apply messages under one of two policies:
-//! [`ApplyPolicy::AsReceived`] overwrites unconditionally (a stale
-//! message can *regress* a component — the hardest regime), while
-//! [`ApplyPolicy::KeepFreshest`] discards messages older than what is
-//! already known (label filtering). Both converge for totally
-//! asynchronous operators; experiment E6 measures the difference.
+//! - `updates_per_worker` becomes a global step budget of
+//!   `workers × updates_per_worker` round-robin block updates;
+//! - the channel fates (`hold_prob`/`drop_prob`/`dup_prob`) and
+//!   [`ApplyPolicy`] carry over unchanged;
+//! - `post_drain_sweeps` local sweeps are applied to every final local
+//!   view, as before.
 
+use crate::cluster::{ClusterConfig, ClusterEngine, ClusterStats};
 use crate::error::RuntimeError;
 use asynciter_models::partition::Partition;
 use asynciter_opt::traits::Operator;
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use rand::RngExt;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-/// Message application policy at the receiver.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ApplyPolicy {
-    /// Apply in arrival order, even if older than current knowledge.
-    AsReceived,
-    /// Apply only messages fresher (by sender label) than current
-    /// knowledge.
-    KeepFreshest,
-}
+pub use crate::cluster::ApplyPolicy;
 
-/// Configuration of a message-passing run.
+/// Configuration of a message-passing run (legacy shape).
 #[derive(Debug, Clone)]
 pub struct NetConfig {
     /// Number of workers (= machines).
@@ -51,17 +40,16 @@ pub struct NetConfig {
     pub exchange_every: u64,
     /// Receiver policy.
     pub apply_policy: ApplyPolicy,
-    /// Router hold probability (reordering).
+    /// Channel hold probability (reordering).
     pub hold_prob: f64,
-    /// Router drop probability (loss).
+    /// Channel drop probability (loss).
     pub drop_prob: f64,
-    /// Router duplication probability.
+    /// Channel duplication probability.
     pub dup_prob: f64,
     /// RNG seed for the channel model.
     pub seed: u64,
-    /// Local recompute sweeps each worker runs after the final message
-    /// flush (no further exchanges) — lets late-arriving information
-    /// settle into owned components.
+    /// Local recompute sweeps each worker runs after its final update —
+    /// lets late-arriving information settle into owned components.
     pub post_drain_sweeps: u64,
 }
 
@@ -108,22 +96,9 @@ impl NetConfig {
     }
 }
 
-/// Channel-model statistics of a run.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct NetStats {
-    /// Messages posted by workers.
-    pub sent: u64,
-    /// Messages delivered (including duplicates).
-    pub delivered: u64,
-    /// Messages dropped.
-    pub dropped: u64,
-    /// Messages duplicated.
-    pub duplicated: u64,
-    /// Messages held (delivered out of order).
-    pub held: u64,
-    /// Messages a receiver discarded as stale (KeepFreshest only).
-    pub discarded_stale: u64,
-}
+/// Channel-model statistics of a run (alias of [`ClusterStats`], kept
+/// under the legacy name).
+pub type NetStats = ClusterStats;
 
 /// Result of a message-passing run.
 #[derive(Debug)]
@@ -136,22 +111,12 @@ pub struct NetRunResult {
     pub final_residual: f64,
     /// Channel statistics.
     pub stats: NetStats,
-    /// Wall-clock duration of the parallel section.
+    /// Wall-clock duration of the run.
     pub wall: Duration,
 }
 
-/// One block announcement: sender id, per-sender label, block values.
-struct BlockMsg {
-    label: u64,
-    comps: Vec<(u32, f64)>,
-}
-
-enum RouterIn {
-    Post { from: usize, msg: BlockMsg },
-    Finished,
-}
-
-/// The message-passing runner. See module docs.
+/// The legacy message-passing runner (see module docs for the
+/// migration path).
 #[derive(Debug, Default)]
 pub struct NetworkRunner;
 
@@ -166,254 +131,45 @@ impl NetworkRunner {
         partition: &Partition,
         cfg: &NetConfig,
     ) -> crate::Result<NetRunResult> {
-        let n = op.dim();
-        if x0.len() != n {
-            return Err(RuntimeError::DimensionMismatch {
-                expected: n,
-                actual: x0.len(),
-                context: "NetworkRunner::run (x0)",
-            });
-        }
-        if partition.n() != n {
-            return Err(RuntimeError::DimensionMismatch {
-                expected: n,
-                actual: partition.n(),
-                context: "NetworkRunner::run (partition)",
-            });
-        }
         if partition.num_machines() != cfg.workers {
             return Err(RuntimeError::InvalidParameter {
                 name: "workers",
                 message: "partition machine count must equal cfg.workers".into(),
             });
         }
-        if cfg.workers == 0 || cfg.updates_per_worker == 0 || cfg.exchange_every == 0 {
+        if cfg.workers == 0 || cfg.updates_per_worker == 0 {
             return Err(RuntimeError::InvalidParameter {
-                name: "workers/updates_per_worker/exchange_every",
+                name: "workers/updates_per_worker",
                 message: "must be positive".into(),
             });
         }
-        for (name, p) in [
-            ("hold_prob", cfg.hold_prob),
-            ("drop_prob", cfg.drop_prob),
-            ("dup_prob", cfg.dup_prob),
-        ] {
-            if !(0.0..=1.0).contains(&p) {
-                return Err(RuntimeError::InvalidParameter {
-                    name,
-                    message: format!("{name} = {p} outside [0,1]"),
-                });
-            }
-        }
-
-        let blocks: Vec<Vec<usize>> = (0..cfg.workers)
-            .map(|w| partition.components_of(w))
-            .collect();
-
-        // Worker inboxes and the router ingress.
-        let (router_tx, router_rx) = unbounded::<RouterIn>();
-        let mut inbox_txs: Vec<Sender<BlockMsg>> = Vec::with_capacity(cfg.workers);
-        let mut inbox_rxs: Vec<Option<Receiver<BlockMsg>>> = Vec::with_capacity(cfg.workers);
-        for _ in 0..cfg.workers {
-            let (tx, rx) = unbounded::<BlockMsg>();
-            inbox_txs.push(tx);
-            inbox_rxs.push(Some(rx));
-        }
-
-        let start = Instant::now();
-        let mut stats = NetStats::default();
-        let mut local_views: Vec<Vec<f64>> = vec![Vec::new(); cfg.workers];
-        let mut stale_discards: Vec<u64> = vec![0; cfg.workers];
-
-        std::thread::scope(|scope| {
-            // Router thread: applies the channel model.
-            let router = scope.spawn({
-                let inbox_txs = inbox_txs.clone();
-                let workers = cfg.workers;
-                let (hold_p, drop_p, dup_p) = (cfg.hold_prob, cfg.drop_prob, cfg.dup_prob);
-                let seed = cfg.seed;
-                move || {
-                    let mut rng = asynciter_numerics::rng::rng(seed);
-                    let mut pending: Vec<(usize, BlockMsg)> = Vec::new();
-                    let mut st = NetStats::default();
-                    let mut finished = 0usize;
-                    let deliver = |dest: usize, msg: BlockMsg, st: &mut NetStats| {
-                        st.delivered += 1;
-                        // Send failure only if the receiver is gone,
-                        // which cannot happen before Finished.
-                        let _ = inbox_txs[dest].send(msg);
-                    };
-                    while finished < workers {
-                        match router_rx.recv() {
-                            Ok(RouterIn::Finished) => finished += 1,
-                            Ok(RouterIn::Post { from, msg }) => {
-                                // Fan out to every other worker with an
-                                // independent channel fate per link.
-                                for dest in 0..workers {
-                                    if dest == from {
-                                        continue;
-                                    }
-                                    st.sent += 1;
-                                    if rng.random_range(0.0..1.0) < drop_p {
-                                        st.dropped += 1;
-                                        continue;
-                                    }
-                                    let copy = BlockMsg {
-                                        label: msg.label,
-                                        comps: msg.comps.clone(),
-                                    };
-                                    if rng.random_range(0.0..1.0) < dup_p {
-                                        st.duplicated += 1;
-                                        deliver(
-                                            dest,
-                                            BlockMsg {
-                                                label: msg.label,
-                                                comps: msg.comps.clone(),
-                                            },
-                                            &mut st,
-                                        );
-                                    }
-                                    if rng.random_range(0.0..1.0) < hold_p {
-                                        st.held += 1;
-                                        pending.push((dest, copy));
-                                        // Occasionally release an old
-                                        // held message after this newer
-                                        // one — out-of-order delivery.
-                                        if pending.len() > 4 {
-                                            let k = rng.random_range(0..pending.len());
-                                            let (d, m) = pending.swap_remove(k);
-                                            deliver(d, m, &mut st);
-                                        }
-                                    } else {
-                                        deliver(dest, copy, &mut st);
-                                    }
-                                }
-                            }
-                            Err(_) => break,
-                        }
-                    }
-                    // Flush held messages in random order.
-                    while !pending.is_empty() {
-                        let k = rng.random_range(0..pending.len());
-                        let (d, m) = pending.swap_remove(k);
-                        deliver(d, m, &mut st);
-                    }
-                    drop(inbox_txs); // disconnect inboxes → workers drain out
-                    st
+        let ccfg = ClusterConfig::new(cfg.workers as u64 * cfg.updates_per_worker)
+            .with_exchange_every(cfg.exchange_every)
+            .with_policy(cfg.apply_policy)
+            .with_faults(cfg.hold_prob, cfg.drop_prob, cfg.dup_prob)
+            .with_seed(cfg.seed);
+        let res = ClusterEngine::run(op, x0, partition, &ccfg, None)?;
+        let mut local_views = res.local_views;
+        // Post-drain: let each worker's view settle over its own block.
+        for (w, view) in local_views.iter_mut().enumerate() {
+            let block = partition.components_of(w);
+            for _ in 0..cfg.post_drain_sweeps {
+                for &i in &block {
+                    view[i] = op.component(i, view);
                 }
-            });
-
-            // Workers.
-            let mut handles = Vec::with_capacity(cfg.workers);
-            for w in 0..cfg.workers {
-                let block = &blocks[w];
-                let rx = inbox_rxs[w].take().expect("inbox taken once");
-                let tx = router_tx.clone();
-                let policy = cfg.apply_policy;
-                let x0 = &x0;
-                handles.push(scope.spawn(move || {
-                    let mut x = x0.to_vec();
-                    // Best-known sender label per component.
-                    let mut known = vec![0u64; n];
-                    let mut label = 0u64;
-                    let mut discarded = 0u64;
-                    let apply = |x: &mut Vec<f64>,
-                                 known: &mut Vec<u64>,
-                                 m: BlockMsg,
-                                 discarded: &mut u64| {
-                        for &(c, v) in &m.comps {
-                            let c = c as usize;
-                            match policy {
-                                ApplyPolicy::AsReceived => {
-                                    x[c] = v;
-                                    known[c] = known[c].max(m.label);
-                                }
-                                ApplyPolicy::KeepFreshest => {
-                                    if m.label >= known[c] {
-                                        x[c] = v;
-                                        known[c] = m.label;
-                                    } else {
-                                        *discarded += 1;
-                                    }
-                                }
-                            }
-                        }
-                    };
-                    for u in 1..=cfg.updates_per_worker {
-                        let mut got_any = false;
-                        while let Ok(m) = rx.try_recv() {
-                            apply(&mut x, &mut known, m, &mut discarded);
-                            got_any = true;
-                        }
-                        // Pacing: a worker that races far ahead of the
-                        // network would compute its whole budget on the
-                        // initial data. Real machines overlap computation
-                        // with communication at comparable timescales;
-                        // model that by briefly blocking for input when a
-                        // drain comes up empty (the iteration remains
-                        // asynchronous — nobody waits for a *specific*
-                        // peer or update).
-                        if !got_any && cfg.workers > 1 {
-                            if let Ok(m) = rx.recv_timeout(std::time::Duration::from_micros(500)) {
-                                apply(&mut x, &mut known, m, &mut discarded);
-                            }
-                        }
-                        for &i in block {
-                            x[i] = op.component(i, &x);
-                        }
-                        if u % cfg.exchange_every == 0 {
-                            label += 1;
-                            let msg = BlockMsg {
-                                label,
-                                comps: block.iter().map(|&i| (i as u32, x[i])).collect(),
-                            };
-                            let _ = tx.send(RouterIn::Post { from: w, msg });
-                        }
-                    }
-                    let _ = tx.send(RouterIn::Finished);
-                    drop(tx);
-                    // Drain until the router disconnects the inbox.
-                    while let Ok(m) = rx.recv() {
-                        apply(&mut x, &mut known, m, &mut discarded);
-                    }
-                    // Let late information settle into owned components.
-                    for _ in 0..cfg.post_drain_sweeps {
-                        for &i in block {
-                            x[i] = op.component(i, &x);
-                        }
-                    }
-                    (x, discarded)
-                }));
             }
-            drop(router_tx);
-            // The router owns the only remaining inbox senders; dropping
-            // the originals here lets worker drain loops observe
-            // disconnection once the router flushes and exits.
-            drop(inbox_txs);
-            for (w, h) in handles.into_iter().enumerate() {
-                let (x, discarded) = h.join().expect("worker panicked");
-                local_views[w] = x;
-                stale_discards[w] = discarded;
-            }
-            stats = router.join().expect("router panicked");
-        });
-        let wall = start.elapsed();
-        stats.discarded_stale = stale_discards.iter().sum();
-
-        let mut consensus = vec![0.0; n];
-        for (w, block) in blocks.iter().enumerate() {
-            for &i in block {
-                consensus[i] = local_views[w][i];
-            }
+        }
+        let mut consensus = vec![0.0; op.dim()];
+        for (i, c) in consensus.iter_mut().enumerate() {
+            *c = local_views[partition.machine_of(i)][i];
         }
         let final_residual = op.residual_inf(&consensus);
-
         Ok(NetRunResult {
             local_views,
             consensus,
             final_residual,
-            stats,
-            wall,
+            stats: res.stats,
+            wall: res.wall,
         })
     }
 }
@@ -514,6 +270,22 @@ mod tests {
         assert!(vecops::max_abs_diff(&res.consensus, &xstar) < 1e-7);
         // Far fewer messages than exchanges-every-update.
         assert!(res.stats.sent <= 2 * 2000 / 25 + 2);
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        // The legacy API inherits the cluster engine's determinism: two
+        // identical configs produce identical consensus vectors and
+        // channel statistics (impossible under the old thread router).
+        let op = jacobi(16);
+        let p = Partition::blocks(16, 4).unwrap();
+        let cfg = NetConfig::new(4, 400)
+            .with_faults(0.3, 0.1, 0.1)
+            .with_seed(21);
+        let a = NetworkRunner::run(&op, &[0.0; 16], &p, &cfg).unwrap();
+        let b = NetworkRunner::run(&op, &[0.0; 16], &p, &cfg).unwrap();
+        assert_eq!(a.consensus, b.consensus);
+        assert_eq!(a.stats, b.stats);
     }
 
     #[test]

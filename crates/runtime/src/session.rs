@@ -1,17 +1,20 @@
-//! Thread-runtime backends for the unified [`Session`] API.
+//! Runtime backends for the unified [`Session`] API.
 //!
 //! [`SharedMem`] runs the free-running shared-memory workers
-//! ([`crate::async_engine::AsyncSharedRunner`]) and [`Barrier`] the
-//! barrier-synchronous Jacobi baseline ([`crate::sync_engine::SyncRunner`])
-//! behind `asynciter_core::session::Backend`, so async-vs-sync
-//! comparisons are two sessions differing only in the `.backend(..)`
-//! call.
+//! ([`crate::async_engine::AsyncSharedRunner`]), [`Barrier`] the
+//! barrier-synchronous Jacobi baseline ([`crate::sync_engine::SyncRunner`]),
+//! and [`Cluster`] the deterministic sharded message-passing engine
+//! ([`crate::cluster::ClusterEngine`]) behind
+//! `asynciter_core::session::Backend`, so shared-memory vs synchronous
+//! vs message-passing comparisons are sessions differing only in the
+//! `.backend(..)` call.
 //!
 //! [`Session`]: asynciter_core::session::Session
 
 use crate::async_engine::{
     AsyncConfig, AsyncRunResult, AsyncSharedRunner, SnapshotMode, TraceRecord,
 };
+use crate::cluster::{ApplyPolicy, ClusterConfig, ClusterEngine, LinkModel};
 use crate::sync_engine::{SyncConfig, SyncRunner};
 use asynciter_core::session::{
     macro_count, unsupported, Backend, Problem, RecordMode, RunControl, RunReport,
@@ -279,6 +282,146 @@ impl Backend for Barrier {
     }
 }
 
+/// The sharded message-passing backend: a deterministic, seeded virtual
+/// cluster ([`ClusterEngine`] behind the [`Backend`] interface).
+///
+/// `RunControl::max_steps` is the global block-update budget (step `j`
+/// is one block update by worker `(j − 1) mod workers`); the seed set
+/// via `Session::seed` drives the whole channel model; a
+/// [`StoppingRule::Residual`] rule maps onto the engine's consensus
+/// residual target. Error/residual sampling are supported (the event
+/// loop is sequential, so consensus snapshots are cheap). With
+/// recording on, the executed message-passing schedule is materialised
+/// as a trace whose labels are *producing steps* — injecting it back
+/// through `Session::replay_trace` reproduces the run bit for bit, the
+/// differential oracle the conformance fuzzer drives.
+///
+/// [`RunReport`] mapping beyond the shared fields:
+/// `partial_publishes`/`partial_reads` count flexible partial
+/// exchanges posted/applied; under [`ApplyPolicy::KeepFreshest`] every
+/// received component application is a freshness check
+/// (`constraint_checked`) and every stale discard a prevented
+/// violation (`constraint_violations`) — the message-passing analogue
+/// of the flexible engine's constraint-(3) accounting.
+///
+/// Constructible with functional-update syntax:
+/// `Cluster { workers: 4, drop_prob: 0.1, ..Cluster::default() }`.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    /// Number of workers (= shards).
+    pub workers: usize,
+    /// Component→worker map (default: contiguous equal blocks).
+    pub partition: Option<Partition>,
+    /// Post a block message every this many local updates.
+    pub exchange_every: u64,
+    /// Receiver policy.
+    pub apply_policy: ApplyPolicy,
+    /// Link latency model.
+    pub link: LinkModel,
+    /// Probability a delivery is held back (out-of-order delivery).
+    pub hold_prob: f64,
+    /// Maximum extra latency for held deliveries.
+    pub hold_extra: u64,
+    /// Probability a delivery is dropped.
+    pub drop_prob: f64,
+    /// Probability a delivery is duplicated.
+    pub dup_prob: f64,
+    /// Probability a posted message is a partial (subset) exchange.
+    pub partial_prob: f64,
+}
+
+impl Default for Cluster {
+    fn default() -> Self {
+        Self {
+            workers: 1,
+            partition: None,
+            exchange_every: 1,
+            apply_policy: ApplyPolicy::AsReceived,
+            link: LinkModel::Fixed { ticks: 1 },
+            hold_prob: 0.0,
+            hold_extra: 8,
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+            partial_prob: 0.0,
+        }
+    }
+}
+
+impl Backend for Cluster {
+    fn name(&self) -> &'static str {
+        "cluster"
+    }
+
+    fn run(
+        &mut self,
+        problem: &Problem<'_>,
+        ctl: &mut RunControl,
+    ) -> asynciter_core::Result<RunReport> {
+        if ctl.schedule.is_some() {
+            return Err(unsupported(
+                self.name(),
+                "an explicit schedule (the cluster's schedule emerges from its channel \
+                 model; record it and replay through `Replay` instead)",
+            ));
+        }
+        let n = problem.n();
+        let partition = resolve_partition(self.name(), &self.partition, n, self.workers)?;
+        let mut cfg = ClusterConfig::new(ctl.max_steps)
+            .with_exchange_every(self.exchange_every)
+            .with_policy(self.apply_policy)
+            .with_link(self.link)
+            .with_faults(self.hold_prob, self.drop_prob, self.dup_prob)
+            .with_seed(ctl.seed.unwrap_or(0))
+            .with_record(ctl.record.label_store());
+        cfg.hold_extra = self.hold_extra;
+        cfg.partial_prob = self.partial_prob;
+        cfg.error_every = ctl.error_every;
+        cfg.residual_every = ctl.residual_every;
+        match &ctl.stopping {
+            None => {}
+            Some(StoppingRule::Residual { eps, check_every }) => {
+                cfg.target_residual = Some(*eps);
+                cfg.check_every = (*check_every).max(1);
+            }
+            Some(_) => {
+                return Err(unsupported(
+                    self.name(),
+                    "a non-residual stopping rule (only StoppingRule::Residual maps onto \
+                     the cluster's consensus residual target)",
+                ));
+            }
+        }
+        let res = ClusterEngine::run(
+            problem.op,
+            &problem.x0,
+            &partition,
+            &cfg,
+            problem.xstar.as_deref(),
+        )
+        .map_err(|e| to_core(self.name(), e))?;
+        let macro_iterations = macro_count(Some(&res.trace));
+        Ok(RunReport {
+            backend: self.name(),
+            final_x: res.consensus,
+            steps: res.steps_run,
+            macro_iterations,
+            errors: res.errors,
+            error_times: Vec::new(),
+            residuals: res.residuals,
+            final_residual: res.final_residual,
+            stopped_early: res.stopped_early,
+            per_worker_updates: res.per_worker_updates,
+            partial_publishes: res.partial_publishes,
+            partial_reads: res.partial_reads,
+            constraint_checked: res.constraint_checked,
+            constraint_violations: res.constraint_violations,
+            trace: ctl.record.keeps_trace().then_some(res.trace),
+            sim_time: None,
+            wall: res.wall,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -296,7 +439,11 @@ mod tests {
         let op = jacobi(32);
         let xstar = op.solve_dense_spd().unwrap();
         let report = Session::new(&op)
-            .steps(200_000)
+            // Residual-target stopping with a huge budget: free-running
+            // workers on a loaded single-core host can interleave so
+            // coarsely that any "reasonable" fixed budget is burned
+            // before the last worker gets scheduled.
+            .steps(5_000_000)
             .stopping(StoppingRule::Residual {
                 eps: 1e-12,
                 check_every: 64,
@@ -401,6 +548,95 @@ mod tests {
     }
 
     #[test]
+    fn cluster_backend_converges_and_reports() {
+        let op = jacobi(24);
+        let xstar = op.solve_dense_spd().unwrap();
+        let report = Session::new(&op)
+            .steps(4_000)
+            .seed(5)
+            .xstar(xstar.clone())
+            .error_every(200)
+            .residual_every(200)
+            .record(RecordMode::Full)
+            .backend(Cluster {
+                workers: 3,
+                hold_prob: 0.2,
+                drop_prob: 0.1,
+                dup_prob: 0.05,
+                ..Cluster::default()
+            })
+            .run()
+            .unwrap();
+        assert_eq!(report.backend, "cluster");
+        assert!(report.final_error(&xstar) < 1e-6);
+        assert!(!report.errors.is_empty());
+        assert!(!report.residuals.is_empty());
+        assert_eq!(report.per_worker_updates.iter().sum::<u64>(), report.steps);
+        assert!(report.macro_iterations > 0);
+        let trace = report.trace.expect("trace recorded");
+        assert_eq!(trace.len() as u64, report.steps);
+        asynciter_models::conditions::check_condition_a(&trace).unwrap();
+    }
+
+    #[test]
+    fn cluster_trace_replays_bitwise_through_replay() {
+        let op = jacobi(16);
+        let cluster = Session::new(&op)
+            .steps(900)
+            .seed(11)
+            .record(RecordMode::Full)
+            .backend(Cluster {
+                workers: 4,
+                hold_prob: 0.3,
+                drop_prob: 0.15,
+                dup_prob: 0.1,
+                link: LinkModel::Jitter { lo: 1, hi: 6 },
+                ..Cluster::default()
+            })
+            .run()
+            .unwrap();
+        let replayed = Session::new(&op)
+            .replay_trace(cluster.trace.clone().unwrap())
+            .unwrap()
+            .backend(Replay)
+            .run()
+            .unwrap();
+        for i in 0..16 {
+            assert_eq!(
+                cluster.final_x[i].to_bits(),
+                replayed.final_x[i].to_bits(),
+                "component {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn cluster_residual_stopping_and_unsupported_controls() {
+        let op = jacobi(16);
+        let report = Session::new(&op)
+            .steps(1_000_000)
+            .stopping(StoppingRule::Residual {
+                eps: 1e-10,
+                check_every: 16,
+            })
+            .backend(Cluster {
+                workers: 2,
+                ..Cluster::default()
+            })
+            .run()
+            .unwrap();
+        assert!(report.stopped_early);
+        assert!(report.final_residual <= 1e-10);
+        let err = Session::new(&op)
+            .steps(10)
+            .schedule(asynciter_models::schedule::SyncJacobi::new(16))
+            .backend(Cluster::default())
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Backend { .. }), "{err}");
+    }
+
+    #[test]
     fn async_and_sync_agree_on_fixed_point() {
         let op = jacobi(24);
         let xstar = op.solve_dense_spd().unwrap();
@@ -421,7 +657,10 @@ mod tests {
                 .run()
                 .unwrap(),
             Session::new(&op)
-                .steps(10_000)
+                // Small sweep cap: barrier sweeps serialise into OS
+                // scheduling quanta on one core, and the sweep-change
+                // target fires after a few dozen sweeps anyway.
+                .steps(500)
                 .stopping(StoppingRule::Residual {
                     eps: 1e-13,
                     check_every: 1,

@@ -345,9 +345,12 @@ mod tests {
     fn terminated_run_is_actually_converged() {
         let op = jacobi(32);
         let p = Partition::blocks(32, 4).unwrap();
+        // Budget far above any plausible detection point: on a loaded
+        // single-core host, workers that hog the CPU can spend hundreds
+        // of thousands of updates before the detector's margin elapses.
         let cfg = TermConfig {
             workers: 4,
-            max_updates: 500_000,
+            max_updates: 8_000_000,
             eps: 1e-12,
             streak: 4,
             margin: 64,

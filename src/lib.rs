@@ -44,8 +44,11 @@
 //! ```
 //!
 //! Backends: [`prelude::Replay`], [`prelude::Flexible`] (Definition 3),
-//! [`prelude::SharedMem`], [`prelude::Barrier`] (real threads), and
-//! [`prelude::Sim`] (deterministic discrete-event simulation).
+//! [`prelude::SharedMem`], [`prelude::Barrier`] (real threads),
+//! [`prelude::Sim`] (deterministic discrete-event simulation), and
+//! [`prelude::Cluster`] (deterministic sharded message passing with
+//! out-of-order / lost / duplicated messages and flexible partial
+//! exchange — the paper's distributed regime, replayable bit for bit).
 //!
 //! ## Crates
 //!
@@ -74,7 +77,7 @@ pub use asynciter_sim as sim;
 
 /// One-stop imports for the unified execution API.
 ///
-/// Brings in the [`Session`] builder, all five backends, the shared
+/// Brings in the [`Session`] builder, all six backends, the shared
 /// report/control types, and the handful of model types almost every run
 /// touches (schedules, partitions, stopping rules, the `Operator` trait).
 pub mod prelude {
@@ -91,8 +94,8 @@ pub mod prelude {
     pub use asynciter_models::trace::{LabelStore, Trace};
     pub use asynciter_numerics::norm::WeightedMaxNorm;
     pub use asynciter_opt::traits::Operator;
-    pub use asynciter_runtime::session::{Barrier, SharedMem};
-    pub use asynciter_runtime::SnapshotMode;
+    pub use asynciter_runtime::session::{Barrier, Cluster, SharedMem};
+    pub use asynciter_runtime::{ApplyPolicy, LinkModel, SnapshotMode};
     pub use asynciter_sim::runner::SimConfig;
     pub use asynciter_sim::session::Sim;
 }

@@ -124,6 +124,99 @@ fn equivalence_holds_with_recording_and_error_curves() {
 }
 
 // ---------------------------------------------------------------------------
+// Cluster degeneracy: one worker, in-order links, no faults == Replay
+// ---------------------------------------------------------------------------
+
+/// `Cluster { workers: 1, in-order, faultless }` performs one full-block
+/// Jacobi update per step from its own (always fresh) view — exactly the
+/// synchronous schedule `Replay` executes by default. The two backends
+/// must agree bit for bit.
+fn assert_cluster_degenerates(op: &dyn Operator, steps: u64, tag: &str) {
+    let cluster = Session::new(op)
+        .steps(steps)
+        .backend(Cluster {
+            workers: 1,
+            ..Cluster::default()
+        })
+        .run()
+        .unwrap();
+    let replay = Session::new(op).steps(steps).backend(Replay).run().unwrap();
+    assert_eq!(cluster.steps, steps, "{tag}");
+    for i in 0..op.dim() {
+        assert_eq!(
+            cluster.final_x[i].to_bits(),
+            replay.final_x[i].to_bits(),
+            "{tag}: cluster vs replay at component {i}"
+        );
+    }
+    assert_eq!(
+        cluster.final_residual.to_bits(),
+        replay.final_residual.to_bits(),
+        "{tag}"
+    );
+    // One macro-iteration per synchronous sweep.
+    assert_eq!(cluster.macro_iterations, replay.macro_iterations, "{tag}");
+}
+
+#[test]
+fn cluster_single_worker_matches_replay_bitwise_on_jacobi() {
+    let op = asynciter::opt::linear::JacobiOperator::new(
+        asynciter::numerics::sparse::tridiagonal(24, 4.0, -1.0),
+        vec![1.0; 24],
+    )
+    .unwrap();
+    assert_cluster_degenerates(&op, 200, "jacobi");
+}
+
+#[test]
+fn cluster_single_worker_matches_replay_bitwise_on_lasso() {
+    use asynciter::opt::lasso::LassoProblem;
+    use asynciter::opt::proxgrad::SparseProxGrad;
+    use asynciter::opt::traits::SmoothObjective;
+    let problem = LassoProblem::random(12, 72, 3, 0.05, 0.01, 7).unwrap();
+    let q = problem.quadratic.clone();
+    let gamma = 0.9 * asynciter::opt::proxgrad::gamma_max(q.strong_convexity(), q.lipschitz());
+    let op = SparseProxGrad::new(q, L1::new(problem.lambda), gamma).unwrap();
+    assert_cluster_degenerates(&op, 400, "lasso");
+}
+
+#[test]
+fn cluster_faulty_multiworker_trace_replays_bitwise() {
+    // The strong direction: even a lossy, duplicating, out-of-order
+    // channel leaves a recorded schedule that the Definition-1 engine
+    // re-executes bit for bit.
+    let n = 32;
+    let op = quickstart_operator(n);
+    let cluster = Session::new(&op)
+        .steps(600)
+        .seed(23)
+        .record(RecordMode::Full)
+        .backend(Cluster {
+            workers: 4,
+            hold_prob: 0.35,
+            drop_prob: 0.15,
+            dup_prob: 0.1,
+            partial_prob: 0.4,
+            link: LinkModel::Jitter { lo: 1, hi: 7 },
+            ..Cluster::default()
+        })
+        .run()
+        .unwrap();
+    let replayed = Session::new(&op)
+        .replay_trace(cluster.trace.clone().unwrap())
+        .unwrap()
+        .run()
+        .unwrap();
+    for i in 0..n {
+        assert_eq!(
+            cluster.final_x[i].to_bits(),
+            replayed.final_x[i].to_bits(),
+            "component {i}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
 // History::value_at edge cases
 // ---------------------------------------------------------------------------
 

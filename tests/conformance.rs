@@ -7,8 +7,13 @@
 //! witness acceptance/rejection, replayability of committed
 //! counterexamples, and a handful of live fuzz cases per problem.
 
+use asynciter::conformance::cluster::has_label_regression;
 use asynciter::conformance::corpus::{self, CORPUS_STEPS};
-use asynciter::conformance::runner::{inject_fault_demo, run_campaign, CampaignConfig};
+use asynciter::conformance::oracle::cluster_degenerates_to_replay;
+use asynciter::conformance::runner::{
+    cluster_reorder_demo, inject_cluster_fault_demo, inject_fault_demo, run_campaign,
+    CampaignConfig,
+};
 use asynciter::conformance::{ConformanceProblem, ProblemKind};
 use asynciter::models::conditions::check_condition_a;
 use asynciter::models::macroiter::macro_iterations;
@@ -49,7 +54,7 @@ fn corpus_seed_traces_match_their_plans_bit_for_bit() {
 #[test]
 fn corpus_traces_satisfy_model_invariants_and_replay_deterministically() {
     let entries = corpus::load_dir(Path::new(CORPUS_DIR)).expect("committed corpus loads");
-    assert!(entries.len() >= 10, "corpus unexpectedly small");
+    assert!(entries.len() >= 14, "corpus unexpectedly small");
     let problems: Vec<ConformanceProblem> = ProblemKind::ALL
         .iter()
         .map(|&k| ConformanceProblem::build(k))
@@ -119,12 +124,90 @@ fn mini_campaign_with_corpus_passes() {
         roundtrip_every: 3,
         flexible_every: 4,
         sim_every: 4,
+        cluster_every: 4,
         sim_iterations: 150,
         shrink_budget: 20_000,
     };
     let report = run_campaign(&cfg);
     assert!(report.passed(), "failures: {:#?}", report.failures);
     assert_eq!(report.witness_rejections, 2, "negative controls missing");
-    assert_eq!(report.corpus_checked, 10, "corpus files not all checked");
+    assert_eq!(report.corpus_checked, 14, "corpus files not all checked");
     assert_eq!(report.problems, vec!["jacobi", "lasso", "obstacle"]);
+    assert_eq!(report.oracle_runs["cluster-equivalence"], 3);
+}
+
+// ---------------------------------------------------------------------------
+// Cluster (message-passing) corpus locks and negative controls
+// ---------------------------------------------------------------------------
+
+#[test]
+fn cluster_corpus_traces_match_their_plans_bit_for_bit() {
+    let plans = corpus::cluster_plans();
+    assert_eq!(plans.len(), 3, "canonical cluster corpus is 3 plans");
+    for (stem, plan) in plans {
+        let path = Path::new(CORPUS_DIR).join(format!("{stem}.trace"));
+        let committed = corpus::load_trace(&path)
+            .unwrap_or_else(|e| panic!("{stem}: missing committed trace ({e})"));
+        let regen = corpus::record_cluster_trace(&plan);
+        assert_eq!(committed.len() as u64, CORPUS_STEPS, "{stem}: wrong length");
+        assert_eq!(regen.len(), committed.len(), "{stem}: engine drift");
+        for j in 1..=committed.len() as u64 {
+            assert_eq!(
+                regen.step(j).active,
+                committed.step(j).active,
+                "{stem}: active drift at j={j}"
+            );
+            assert_eq!(
+                regen.labels(j).unwrap(),
+                committed.labels(j).unwrap(),
+                "{stem}: label drift at j={j}"
+            );
+        }
+    }
+}
+
+#[test]
+fn cluster_reorder_fixture_reproduces_from_the_demo() {
+    // The committed counterexample is the deterministic output of the
+    // reorder demo: record an out-of-order cluster run, shrink to a
+    // minimal exhibit of per-worker label regression, persist.
+    // Re-running the demo must reproduce the committed file byte for
+    // byte.
+    let committed = Path::new(CORPUS_DIR).join("fault-cluster-reorder.trace");
+    let dir = std::env::temp_dir().join("asynciter-conformance-tier1-reorder");
+    let _ = std::fs::remove_dir_all(&dir);
+    let fresh = dir.join("fault.trace");
+    let (orig, shrunk) = cluster_reorder_demo(0xA5A5, &fresh).expect("demo runs");
+    assert_eq!(orig, 240);
+    assert!(
+        shrunk <= 40,
+        "counterexample no longer minimal: {shrunk} steps"
+    );
+    let a = std::fs::read_to_string(&committed).expect("committed fixture exists");
+    let b = std::fs::read_to_string(&fresh).unwrap();
+    assert_eq!(a, b, "shrinker output drifted from the committed fixture");
+    // And the fixture really exhibits out-of-order application.
+    let trace = corpus::load_trace(&committed).unwrap();
+    assert!(has_label_regression(&trace, 3));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn dropping_an_essential_message_is_caught() {
+    // Negative control: severing the messages of a block-boundary
+    // component must be detected (high consensus residual + frozen
+    // remote read labels). If this returns Err the harness has a blind
+    // spot.
+    let (steps, residual) = inject_cluster_fault_demo(0xA5A5).expect("fault must be caught");
+    assert!(steps > 0);
+    assert!(residual > 1e-8);
+}
+
+#[test]
+fn degenerate_cluster_is_bitwise_replay_on_all_problems() {
+    for kind in ProblemKind::ALL {
+        let problem = ConformanceProblem::build(kind);
+        cluster_degenerates_to_replay(&problem, 50)
+            .unwrap_or_else(|e| panic!("{}: {e}", kind.id()));
+    }
 }
