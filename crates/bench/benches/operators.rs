@@ -3,6 +3,7 @@
 
 use asynciter_opt::bellman_ford::{BellmanFordOperator, Graph};
 use asynciter_opt::linear::JacobiOperator;
+use asynciter_opt::logistic::LogisticGradOperator;
 use asynciter_opt::network_flow::{NetworkFlowProblem, PriceRelaxation};
 use asynciter_opt::obstacle::{ObstacleProblem, ProjectedJacobi};
 use asynciter_opt::prox::L1;
@@ -55,5 +56,32 @@ fn bench_full_apply(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_full_apply);
+/// The scratch-buffer payoff on a densely-coupled operator: a logistic
+/// half-block update through the shared-weight scratch path
+/// (`update_active_with`, one `O(m·n)` weight pass for the whole block)
+/// vs the naive per-component path (`update_active`, one weight pass
+/// *per component*). The ratio is the engines' per-step win.
+fn bench_logistic_scratch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("logistic_block_update");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let (n, m) = (24, 240);
+    let op = LogisticGradOperator::certified_random(n, m, 2.0, 7).unwrap();
+    let x = vec![0.5; n];
+    let mut out = vec![0.0; n];
+    let mut scratch = vec![0.0; op.scratch_len()];
+    let active: Vec<usize> = (0..n / 2).collect();
+
+    group.throughput(Throughput::Elements(active.len() as u64));
+    group.bench_function("scratch_update_active_with", |b| {
+        b.iter(|| op.update_active_with(black_box(&x), &active, &mut out, &mut scratch))
+    });
+    group.bench_function("naive_update_active", |b| {
+        b.iter(|| op.update_active(black_box(&x), &active, &mut out))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_apply, bench_logistic_scratch);
 criterion_main!(benches);

@@ -44,6 +44,8 @@ use asynciter_models::schedule::{BlockRoundRobin, ChaoticBounded, HeavyTailDelay
 use asynciter_opt::bellman_ford::{BellmanFordOperator, Graph};
 use asynciter_opt::lasso::LassoProblem;
 use asynciter_opt::linear::JacobiOperator;
+use asynciter_opt::logistic::LogisticGradOperator;
+use asynciter_opt::network_flow::{NetworkFlowProblem, PriceRelaxation};
 use asynciter_opt::obstacle::{ObstacleProblem, ProjectedJacobi};
 use asynciter_opt::prox::L1;
 use asynciter_opt::proxgrad::{gamma_max, SparseProxGrad};
@@ -73,15 +75,22 @@ pub enum ProblemId {
     BellmanFord,
     /// Membrane obstacle problem (projected Jacobi).
     Obstacle,
+    /// ℓ₂-regularised logistic regression (certified gradient operator;
+    /// dense data coupling — the heaviest per-step kernel in the matrix).
+    Logistic,
+    /// Min-cost network flow via the hub-grounded dual price relaxation.
+    NetworkFlow,
 }
 
 impl ProblemId {
     /// Every problem, sweep order.
-    pub const ALL: [ProblemId; 4] = [
+    pub const ALL: [ProblemId; 6] = [
         ProblemId::Jacobi,
         ProblemId::Lasso,
         ProblemId::BellmanFord,
         ProblemId::Obstacle,
+        ProblemId::Logistic,
+        ProblemId::NetworkFlow,
     ];
 
     /// Stable identifier used in records and baselines.
@@ -91,6 +100,22 @@ impl ProblemId {
             ProblemId::Lasso => "lasso",
             ProblemId::BellmanFord => "bellman-ford",
             ProblemId::Obstacle => "obstacle",
+            ProblemId::Logistic => "logistic",
+            ProblemId::NetworkFlow => "network-flow",
+        }
+    }
+
+    /// Residual target for this problem's cells on the backends that
+    /// support a stopping rule (`replay` and `barrier` here; shared-mem
+    /// and cluster cells already run their own targets). Those cells
+    /// record steps-to-converge instead of burning the cap — the
+    /// single-core-host policy that keeps the quick matrix inside its
+    /// wall budget despite 60 extra cells. `flexible` and `sim` have no
+    /// stopping support and run their (deterministic) fixed budgets.
+    fn residual_target(self) -> Option<f64> {
+        match self {
+            ProblemId::Logistic | ProblemId::NetworkFlow => Some(1e-9),
+            _ => None,
         }
     }
 }
@@ -252,6 +277,26 @@ fn build_problem(pid: ProblemId, mode: GateMode, seed: u64) -> GateProblem {
                 op: Box::new(op),
             }
         }
+        ProblemId::Logistic => {
+            let (n, m) = if full { (24, 240) } else { (8, 48) };
+            // Certifiably max-norm contractive under every delay model
+            // in the matrix (ridge above the data-coupling bound).
+            let op = LogisticGradOperator::certified_random(n, m, 2.0, seed)
+                .expect("certified logistic instance");
+            GateProblem {
+                x0: vec![0.0; n],
+                op: Box::new(op),
+            }
+        }
+        ProblemId::NetworkFlow => {
+            let ring = if full { 48 } else { 12 };
+            let problem = NetworkFlowProblem::wheel(ring, seed).expect("static wheel instance");
+            let op = PriceRelaxation::new(problem, 0).expect("hub-grounded relaxation");
+            GateProblem {
+                x0: vec![0.0; op.dim()],
+                op: Box::new(op),
+            }
+        }
     }
 }
 
@@ -281,6 +326,15 @@ fn step_budget(pid: ProblemId, bid: BackendId, mode: GateMode) -> u64 {
         (ProblemId::Obstacle, BackendId::Replay | BackendId::Flexible) => 12_000,
         (ProblemId::Obstacle, BackendId::Barrier) => 150,
         (ProblemId::Obstacle, BackendId::Sim) => 2_000,
+        // The promoted problems pair these caps with residual targets on
+        // replay/barrier (see `ProblemId::residual_target`): ceilings
+        // there, exact (deterministic) step counts on flexible/sim.
+        (ProblemId::Logistic, BackendId::Replay | BackendId::Flexible) => 6_000,
+        (ProblemId::Logistic, BackendId::Barrier) => 200,
+        (ProblemId::Logistic, BackendId::Sim) => 800,
+        (ProblemId::NetworkFlow, BackendId::Replay | BackendId::Flexible) => 10_000,
+        (ProblemId::NetworkFlow, BackendId::Barrier) => 300,
+        (ProblemId::NetworkFlow, BackendId::Sim) => 1_200,
         (_, BackendId::Replay | BackendId::Flexible) => 2_500,
         (_, BackendId::Barrier) => 80,
         (_, BackendId::Sim) => 600,
@@ -421,6 +475,7 @@ fn active_range(n: usize) -> (usize, usize) {
 fn run_session(
     s: Session<'_>,
     n: usize,
+    pid: ProblemId,
     bid: BackendId,
     did: DelayId,
     steps: u64,
@@ -430,7 +485,7 @@ fn run_session(
     let threads = workers(did);
     match bid {
         BackendId::Replay => {
-            let s = match did {
+            let mut s = match did {
                 DelayId::NoDelay => s, // default synchronous Jacobi schedule
                 DelayId::Bounded | DelayId::FlexiblePartial => {
                     s.schedule(ChaoticBounded::new(n, k_min, k_max, 8, true, seed))
@@ -442,6 +497,12 @@ fn run_session(
                     s.schedule(HeavyTailDelay::new(n, k_min, k_max, 1.5, seed))
                 }
             };
+            if let Some(eps) = pid.residual_target() {
+                s = s.stopping(StoppingRule::Residual {
+                    eps,
+                    check_every: 32,
+                });
+            }
             s.backend(Replay).run()
         }
         BackendId::Flexible => {
@@ -509,15 +570,25 @@ fn run_session(
             })
             .run()
         }
-        BackendId::Barrier => s
-            .backend(Barrier {
+        BackendId::Barrier => {
+            let mut s = s;
+            if let Some(eps) = pid.residual_target() {
+                // Maps onto the runner's sweep-change target: the cell
+                // records sweeps-to-converge instead of burning the cap.
+                s = s.stopping(StoppingRule::Residual {
+                    eps,
+                    check_every: 1,
+                });
+            }
+            s.backend(Barrier {
                 // Always two workers: extra threads only multiply
                 // spin-barrier crossings, which serialise on one core.
                 threads: 2,
                 spin: thread_spin(did, 2),
                 ..Barrier::default()
             })
-            .run(),
+            .run()
+        }
         BackendId::Sim => {
             let cfg = sim_config(n, did, steps, seed)?;
             s.backend(Sim(cfg)).run()
@@ -584,7 +655,15 @@ fn run_cell(
     let result = try_compare_backends(
         gp.op.as_ref(),
         vec![Box::new(move |s: Session| {
-            run_session(s.x0(x0).steps(steps).seed(seed), n, bid, did, steps, seed)
+            run_session(
+                s.x0(x0).steps(steps).seed(seed),
+                n,
+                pid,
+                bid,
+                did,
+                steps,
+                seed,
+            )
         })],
     );
     let mut record = GateRecord {

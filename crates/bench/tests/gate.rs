@@ -54,7 +54,7 @@ fn gate_quick_end_to_end() {
     assert_eq!(doc.mode, "quick");
     assert_eq!(
         doc.records.len(),
-        6 * 4 * 5,
+        6 * 6 * 5,
         "full backend x problem x delay matrix"
     );
     assert!(
@@ -69,7 +69,12 @@ fn gate_quick_end_to_end() {
     let cov = coverage(&doc);
     assert_eq!(cov.backends.len(), 6, "all 6 backends covered");
     assert!(cov.backends.contains("cluster"), "cluster backend present");
-    assert!(cov.problems.len() >= 4, "at least 4 problems covered");
+    assert_eq!(cov.problems.len(), 6, "all 6 problems covered");
+    assert!(
+        cov.problems.contains("logistic") && cov.problems.contains("network-flow"),
+        "promoted problems present: {:?}",
+        cov.problems
+    );
     assert!(cov.delays.len() >= 4, "at least 4 delay models covered");
     // Per backend: every problem and at least 4 delay models.
     for backend in &cov.backends {
@@ -83,7 +88,7 @@ fn gate_quick_end_to_end() {
             problems.insert(r.problem.clone());
             delays.insert(r.delay.clone());
         }
-        assert!(problems.len() >= 4, "{backend}: {problems:?}");
+        assert!(problems.len() >= 6, "{backend}: {problems:?}");
         assert!(delays.len() >= 4, "{backend}: {delays:?}");
     }
     // Deterministic backends must have converged outright in quick mode;

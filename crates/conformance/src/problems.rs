@@ -1,9 +1,11 @@
-//! The problem trio the metamorphic oracle sweeps.
+//! The problem family the metamorphic oracle sweeps.
 //!
-//! Three operator families with different structure — a linear max-norm
-//! contraction (Jacobi), a nonsmooth prox-gradient fixed point (lasso)
-//! and a projected/constrained iteration (obstacle) — each with a replay
-//! budget and tolerance calibrated so that *every* schedule a
+//! Five operator families with different structure — a linear max-norm
+//! contraction (Jacobi), a nonsmooth prox-gradient fixed point (lasso),
+//! a projected/constrained iteration (obstacle), a densely-coupled
+//! machine-learning loss (certified logistic gradient descent) and a
+//! dual graph relaxation (hub-grounded network-flow prices) — each with
+//! a replay budget and tolerance calibrated so that *every* schedule a
 //! [`crate::plan::SchedulePlan`] can produce (worst-case staleness and
 //! thinning included) converges within budget. Plan sampling is capped
 //! by the problem's [`PlanLimits`] so budget and admissible staleness
@@ -12,6 +14,8 @@
 use crate::plan::PlanLimits;
 use asynciter_opt::lasso::LassoProblem;
 use asynciter_opt::linear::JacobiOperator;
+use asynciter_opt::logistic::LogisticGradOperator;
+use asynciter_opt::network_flow::{NetworkFlowProblem, PriceRelaxation};
 use asynciter_opt::obstacle::{ObstacleProblem, ProjectedJacobi};
 use asynciter_opt::prox::L1;
 use asynciter_opt::proxgrad::{gamma_max, SparseProxGrad};
@@ -26,14 +30,22 @@ pub enum ProblemKind {
     Lasso,
     /// Membrane obstacle problem, projected Jacobi.
     Obstacle,
+    /// ℓ₂-regularised logistic regression via the certified gradient
+    /// operator (dense data coupling).
+    Logistic,
+    /// Min-cost network flow via the hub-grounded dual price relaxation.
+    NetworkFlow,
 }
 
 impl ProblemKind {
-    /// Every problem, sweep order.
-    pub const ALL: [ProblemKind; 3] = [
+    /// Every problem, sweep order. New kinds append — the committed
+    /// corpus derives per-problem seeds from each kind's index here.
+    pub const ALL: [ProblemKind; 5] = [
         ProblemKind::Jacobi,
         ProblemKind::Lasso,
         ProblemKind::Obstacle,
+        ProblemKind::Logistic,
+        ProblemKind::NetworkFlow,
     ];
 
     /// Stable identifier for reports.
@@ -42,6 +54,8 @@ impl ProblemKind {
             ProblemKind::Jacobi => "jacobi",
             ProblemKind::Lasso => "lasso",
             ProblemKind::Obstacle => "obstacle",
+            ProblemKind::Logistic => "logistic",
+            ProblemKind::NetworkFlow => "network-flow",
         }
     }
 }
@@ -128,13 +142,52 @@ impl ConformanceProblem {
                     xstar: None,
                     op: Box::new(op),
                     // The projected Jacobi contraction is the slowest of
-                    // the trio; cap staleness harder and budget longer.
+                    // the family; cap staleness harder and budget longer.
                     steps: 30_000,
                     tol: 1e-6,
                     flex_tol: 1e-4,
                     limits: PlanLimits {
                         max_bounded_b: 16,
                         max_sqrt_c: 1.2,
+                    },
+                }
+            }
+            ProblemKind::Logistic => {
+                let (n, m) = (8, 48);
+                // The canonical certified instance: ridge above the
+                // coupling bound, so every admissible schedule converges.
+                let op = LogisticGradOperator::certified_random(n, m, 2.0, 13)
+                    .expect("certified logistic instance");
+                let xstar = op.solve_exact().expect("reference logistic solve");
+                Self {
+                    kind,
+                    x0: vec![0.0; n],
+                    xstar: Some(xstar),
+                    op: Box::new(op),
+                    steps: 8_000,
+                    tol: 1e-7,
+                    flex_tol: 1e-5,
+                    limits: PlanLimits::default(),
+                }
+            }
+            ProblemKind::NetworkFlow => {
+                let problem = NetworkFlowProblem::wheel(12, 21).expect("static wheel instance");
+                let op = PriceRelaxation::new(problem.clone(), 0).expect("hub-grounded relaxation");
+                let xstar = problem.exact_prices(0).expect("exact dual prices");
+                Self {
+                    kind,
+                    x0: vec![0.0; op.dim()],
+                    xstar: Some(xstar),
+                    op: Box::new(op),
+                    // The wheel certificate is 1/2 per full relaxation
+                    // sweep; cap staleness like the obstacle problem so
+                    // the budget dominates worst-case envelopes.
+                    steps: 10_000,
+                    tol: 1e-7,
+                    flex_tol: 1e-5,
+                    limits: PlanLimits {
+                        max_bounded_b: 16,
+                        max_sqrt_c: 1.5,
                     },
                 }
             }

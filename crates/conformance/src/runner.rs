@@ -120,6 +120,11 @@ pub struct CampaignReport {
     pub cases_run: u64,
     /// Problems covered (ids).
     pub problems: Vec<String>,
+    /// Problem id → fuzz cases actually run on it. Unlike `problems`
+    /// (the configured axis), this is *observed* coverage — the CI
+    /// coverage check reads it, so a striding bug that starves a
+    /// family shows up as a zero here and fails the job.
+    pub problem_cases: BTreeMap<String, u64>,
     /// Oracle → number of runs.
     pub oracle_runs: BTreeMap<String, u64>,
     /// Adversarial schedules correctly rejected by the witness.
@@ -149,6 +154,15 @@ impl CampaignReport {
             (
                 "problems".into(),
                 Json::Arr(self.problems.iter().map(|p| Json::Str(p.clone())).collect()),
+            ),
+            (
+                "problem_cases".into(),
+                Json::Obj(
+                    self.problem_cases
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                        .collect(),
+                ),
             ),
             (
                 "oracles".into(),
@@ -396,10 +410,17 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
         .map(|&k| ConformanceProblem::build(k))
         .collect();
     let mut oracle_runs: BTreeMap<String, u64> = BTreeMap::new();
+    let mut problem_cases: BTreeMap<String, u64> = problems
+        .iter()
+        .map(|p| (p.kind.id().to_string(), 0))
+        .collect();
     let mut failures = Vec::new();
 
     for case in 0..cfg.cases {
         let problem = &problems[(case % problems.len() as u64) as usize];
+        *problem_cases
+            .get_mut(problem.kind.id())
+            .expect("initialised above") += 1;
         let mut r = rng(child_seed(cfg.seed, case));
         let plan = SchedulePlan::sample(&mut r, problem.n(), problem.steps, problem.limits);
         let trace = plan.record_trace();
@@ -486,6 +507,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
             .iter()
             .map(|k| k.id().to_string())
             .collect(),
+        problem_cases,
         oracle_runs,
         witness_rejections,
         corpus_checked,
@@ -852,9 +874,16 @@ mod tests {
         assert_eq!(report.oracle_runs["metamorphic"], 6);
         assert_eq!(report.oracle_runs["sim-equivalence"], 2);
         assert_eq!(report.oracle_runs["cluster-equivalence"], 2);
+        // Observed coverage: 6 cases stride the 5 families (jacobi twice).
+        assert_eq!(report.problem_cases["jacobi"], 2);
+        for p in ["lasso", "obstacle", "logistic", "network-flow"] {
+            assert_eq!(report.problem_cases[p], 1, "{p}");
+        }
         let json = report.to_json().render_pretty();
         assert!(json.contains("\"conformance\""));
         assert!(json.contains("\"witness_rejections\": 2"));
+        assert!(json.contains("\"problem_cases\""));
+        assert!(json.contains("\"network-flow\": 1"));
     }
 
     #[test]

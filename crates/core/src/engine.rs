@@ -240,9 +240,10 @@ impl ReplayEngine {
         let mut trace = Trace::new(n, cfg.record_labels);
         let mut buf = StepBuf::new(n);
         // Workhorse buffers reused across iterations (no allocation in the
-        // step loop).
+        // step loop), including the operator's caller-owned scratch.
         let mut xl = vec![0.0; n]; // assembled read vector x(l(j))
         let mut cur = x0.to_vec(); // current iterate x(j)
+        let mut scratch = vec![0.0; op.scratch_len()];
         let mut stop_state = cfg.stopping.as_ref().map(|r| StopState::new(r, n));
 
         let mut errors = Vec::new();
@@ -254,15 +255,15 @@ impl ReplayEngine {
             gen.step(j, &mut buf);
             debug_assert!(!buf.active.is_empty(), "schedule produced empty S_j");
             history.assemble(&buf.labels, &mut xl);
+            op.update_active_with(&xl, &buf.active, &mut cur, &mut scratch);
             for &i in &buf.active {
-                let v = op.component(i, &xl);
+                let v = cur[i];
                 if !v.is_finite() {
                     return Err(CoreError::NonFiniteIterate {
                         at_step: j,
                         component: i,
                     });
                 }
-                cur[i] = v;
                 history.push(i, j, v);
             }
             trace.push_step(&buf.active, &buf.labels);
@@ -273,10 +274,10 @@ impl ReplayEngine {
                 errors.push((j, asynciter_numerics::vecops::max_abs_diff(&cur, xs)));
             }
             if cfg.residual_every > 0 && j % cfg.residual_every == 0 {
-                residuals.push((j, op.residual_inf(&cur)));
+                residuals.push((j, op.residual_inf_with(&cur, &mut scratch)));
             }
             if let (Some(rule), Some(state)) = (cfg.stopping.as_ref(), stop_state.as_mut()) {
-                if state.observe(rule, j, &buf, &cur, op, xstar) {
+                if state.observe(rule, j, &buf, &cur, op, xstar, &mut scratch) {
                     stopped_early = true;
                     break;
                 }

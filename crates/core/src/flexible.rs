@@ -193,7 +193,8 @@ impl FlexibleEngine {
         let mut xl = vec![0.0; n]; // labelled read vector x(l(j))
         let mut w = vec![0.0; n]; // working vector x̃ (upgraded) then inner iterates
         let mut eff_labels = vec![0u64; n];
-        let mut inner_new = Vec::with_capacity(n);
+        let mut upd = vec![0.0; n]; // inner-iteration output buffer
+        let mut scratch = vec![0.0; op.scratch_len()];
         let mut cur = x0.to_vec();
 
         let mut errors = Vec::new();
@@ -237,11 +238,9 @@ impl FlexibleEngine {
 
             // m inner block-Jacobi iterations with off-block frozen.
             for r in 1..=cfg.inner_steps {
-                inner_new.clear();
+                op.update_active_with(&w, &buf.active, &mut upd, &mut scratch);
                 for &i in &buf.active {
-                    inner_new.push(op.component(i, &w));
-                }
-                for (&i, &v) in buf.active.iter().zip(&inner_new) {
+                    let v = upd[i];
                     if !v.is_finite() {
                         return Err(CoreError::NonFiniteIterate {
                             at_step: j,

@@ -133,9 +133,14 @@ impl StopState {
 
     /// Observes step `j`; returns true when the run should stop.
     ///
+    /// `scratch` is the engine's caller-owned operator scratch (length
+    /// `≥ op.scratch_len()`), so residual checks in hot loops allocate
+    /// nothing.
+    ///
     /// # Panics
     /// Panics when an [`StoppingRule::ErrorBelow`] rule is used without a
     /// known fixed point.
+    #[allow(clippy::too_many_arguments)]
     pub fn observe(
         &mut self,
         rule: &StoppingRule,
@@ -144,11 +149,12 @@ impl StopState {
         cur: &[f64],
         op: &dyn Operator,
         xstar: Option<&[f64]>,
+        scratch: &mut [f64],
     ) -> bool {
         match rule {
             StoppingRule::Residual { eps, check_every } => {
                 let period = (*check_every).max(1);
-                j.is_multiple_of(period) && op.residual_inf(cur) <= *eps
+                j.is_multiple_of(period) && op.residual_inf_with(cur, scratch) <= *eps
             }
             StoppingRule::ErrorBelow { eps, check_every } => {
                 let period = (*check_every).max(1);

@@ -66,6 +66,82 @@ impl CsrMatrix {
         })
     }
 
+    /// Builds a CSR matrix directly from its raw arrays (the layout
+    /// interchange constructors of other sparse libraries produce).
+    ///
+    /// Validates the structural invariants — `indptr` has length
+    /// `rows + 1`, starts at 0, is non-decreasing and ends at
+    /// `indices.len() == values.len()`, and every column index is in
+    /// range — but **not** per-row column ordering: external CSR data
+    /// may carry unsorted or duplicate columns, which this type's
+    /// `get`/`diagonal` accessors would silently misread. Consumers that
+    /// rely on ordered rows must check [`CsrMatrix::rows_sorted_strictly`]
+    /// (the certified operators do, at construction).
+    ///
+    /// # Errors
+    /// Structural violations, with the offending position.
+    pub fn from_raw_parts(
+        rows: usize,
+        cols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<usize>,
+        values: Vec<f64>,
+    ) -> crate::Result<Self> {
+        if indptr.len() != rows + 1 || indptr.first() != Some(&0) {
+            return Err(NumericsError::InvalidParameter {
+                name: "indptr",
+                message: format!(
+                    "need indptr of length rows + 1 starting at 0; got length {} for {rows} rows",
+                    indptr.len()
+                ),
+            });
+        }
+        if indices.len() != values.len() || indptr[rows] != indices.len() {
+            return Err(NumericsError::InvalidParameter {
+                name: "indices/values",
+                message: format!(
+                    "lengths must match and equal indptr[rows]: {} indices, {} values, \
+                     indptr end {}",
+                    indices.len(),
+                    values.len(),
+                    indptr[rows]
+                ),
+            });
+        }
+        if let Some(r) = (0..rows).find(|&r| indptr[r] > indptr[r + 1]) {
+            return Err(NumericsError::InvalidParameter {
+                name: "indptr",
+                message: format!("indptr decreases at row {r}"),
+            });
+        }
+        if let Some((k, &c)) = indices.iter().enumerate().find(|(_, &c)| c >= cols) {
+            return Err(NumericsError::InvalidParameter {
+                name: "indices",
+                message: format!("column {c} at position {k} outside 0..{cols}"),
+            });
+        }
+        Ok(Self {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        })
+    }
+
+    /// True when every row's column indices are strictly increasing —
+    /// i.e. sorted with no duplicates, the invariant `get`, `diagonal`
+    /// and the row-oriented operators assume. Always true for matrices
+    /// built by [`CsrMatrix::from_triplets`] and the stencil
+    /// constructors; external data via [`CsrMatrix::from_raw_parts`]
+    /// must be checked.
+    pub fn rows_sorted_strictly(&self) -> bool {
+        (0..self.rows).all(|r| {
+            let (idx, _) = self.row(r);
+            idx.windows(2).all(|w| w[0] < w[1])
+        })
+    }
+
     /// Identity matrix of order `n`.
     pub fn identity(n: usize) -> Self {
         Self {
@@ -301,6 +377,37 @@ mod tests {
     fn from_triplets_rejects_out_of_range() {
         assert!(CsrMatrix::from_triplets(2, 2, &[(2, 0, 1.0)]).is_err());
         assert!(CsrMatrix::from_triplets(2, 2, &[(0, 5, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn from_raw_parts_validates_structure_but_not_order() {
+        // A valid sorted matrix round-trips.
+        let a = CsrMatrix::from_raw_parts(2, 2, vec![0, 2, 3], vec![0, 1, 1], vec![2.0, -1.0, 3.0])
+            .unwrap();
+        assert_eq!(a.get(0, 1), -1.0);
+        assert!(a.rows_sorted_strictly());
+        // Structural violations are rejected.
+        assert!(CsrMatrix::from_raw_parts(2, 2, vec![0, 2], vec![0, 1], vec![1.0, 1.0]).is_err());
+        assert!(
+            CsrMatrix::from_raw_parts(2, 2, vec![1, 2, 2], vec![0, 1], vec![1.0, 1.0]).is_err()
+        );
+        assert!(
+            CsrMatrix::from_raw_parts(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 1.0]).is_err()
+        );
+        assert!(
+            CsrMatrix::from_raw_parts(2, 2, vec![0, 1, 2], vec![0, 2], vec![1.0, 1.0]).is_err()
+        );
+        assert!(CsrMatrix::from_raw_parts(2, 2, vec![0, 1, 2], vec![0], vec![1.0]).is_err());
+        // Duplicate and unsorted columns pass construction (external
+        // data may be shaped that way) but are detectable.
+        let dup = CsrMatrix::from_raw_parts(1, 2, vec![0, 3], vec![0, 0, 1], vec![1.0, 2.0, 0.5])
+            .unwrap();
+        assert!(!dup.rows_sorted_strictly());
+        let unsorted =
+            CsrMatrix::from_raw_parts(1, 2, vec![0, 2], vec![1, 0], vec![1.0, 2.0]).unwrap();
+        assert!(!unsorted.rows_sorted_strictly());
+        assert!(CsrMatrix::identity(3).rows_sorted_strictly());
+        assert!(tridiagonal(4, 4.0, -1.0).rows_sorted_strictly());
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! than the componentwise contraction theory.
 
 use crate::error::OptError;
-use crate::traits::SmoothObjective;
+use crate::traits::{Operator, SmoothObjective};
 use asynciter_numerics::dense::DenseMatrix;
 
 /// A binary-classification logistic-regression objective.
@@ -113,6 +113,37 @@ impl LogisticRegression {
             }
         }
         correct as f64 / self.a.rows() as f64
+    }
+
+    /// Rebuilds the objective over the same data with a different ridge
+    /// weight (the data, and hence the coupling bound, are unchanged).
+    ///
+    /// # Errors
+    /// Errors on nonpositive `λ`.
+    pub fn with_lambda(&self, lambda: f64) -> crate::Result<Self> {
+        Self::new(self.a.clone(), self.z.clone(), lambda)
+    }
+
+    /// Certified max-norm coupling of the data term: with
+    /// `M_ij = (1/4m) Σ_h |a_hi||a_hj|` (an entrywise upper bound on the
+    /// Hessian of the empirical loss, since `σ' ≤ 1/4`), returns
+    /// `c = max_i Σ_{j≠i} M_ij` — the worst off-diagonal absolute row sum
+    /// any Hessian `∇²f(x)` can have. Whenever `λ > c` the gradient-step
+    /// operator of [`LogisticGradOperator`] is a certified max-norm
+    /// contraction (see its docs).
+    pub fn max_norm_coupling(&self) -> f64 {
+        let m = self.a.rows();
+        let n = self.a.cols();
+        let mut off = vec![0.0; n];
+        for h in 0..m {
+            let row = self.a.row(h);
+            let s: f64 = row.iter().map(|v| v.abs()).sum();
+            for (o, &v) in off.iter_mut().zip(row) {
+                // |a_hi| (S_h − |a_hi|) = Σ_{j≠i} |a_hi||a_hj|.
+                *o += v.abs() * (s - v.abs());
+            }
+        }
+        off.iter().fold(0.0_f64, |acc, &o| acc.max(o)) / (4.0 * m as f64)
     }
 
     /// Reference minimiser by (synchronous) gradient descent with step
@@ -216,6 +247,208 @@ impl SmoothObjective for LogisticRegression {
     }
 }
 
+// ---------------------------------------------------------------------------
+// The canonical Session operator: certified asynchronous gradient descent
+// ---------------------------------------------------------------------------
+
+/// Gradient-descent fixed-point operator `G(x) = x − γ∇f(x)` for
+/// ℓ₂-regularised logistic regression, with a *certified* max-norm
+/// contraction factor — the canonical wiring that makes logistic
+/// regression a first-class problem for every engine (gate matrix,
+/// conformance fuzzer, cross-backend equivalence).
+///
+/// By the componentwise mean-value theorem,
+/// `|G_i(x) − G_i(y)| ≤ (|1 − γH_ii| + γ Σ_{j≠i} |H_ij|) ‖x − y‖_∞` for
+/// some Hessian `H = ∇²f(ξ)`. Since `σ' ∈ (0, 1/4]`, every Hessian obeys
+/// `λ ≤ H_ii ≤ λ + M_ii` and `|H_ij| ≤ M_ij` with
+/// `M = (1/4m) Σ_h |a_h||a_h|ᵀ`; for `γ ∈ (0, 2/(μ+L)]` this yields the
+/// uniform bound `α = 1 − γ(λ − c)` with
+/// `c = max_i Σ_{j≠i} M_ij` ([`LogisticRegression::max_norm_coupling`]).
+/// Construction **fails unless `λ > c`** — only certifiably contractive
+/// instances run under the totally asynchronous engines.
+///
+/// The gradient couples every component through the data, so the
+/// per-sample weights `w_h = z_h σ(−z_h a_hᵀx)` are shared by all
+/// components: [`Operator::update_active_with`] computes them once into
+/// the caller-owned scratch (`scratch_len() == m`), making block updates
+/// `O(m·n)` instead of `O(|block|·m·n)` with **zero** per-step heap
+/// allocation. All evaluation paths are bit-identical to
+/// [`Operator::component`].
+#[derive(Debug, Clone)]
+pub struct LogisticGradOperator {
+    f: LogisticRegression,
+    gamma: f64,
+    alpha: f64,
+}
+
+impl LogisticGradOperator {
+    /// Builds the operator, checking `γ ∈ (0, 2/(μ+L)]` and the
+    /// contraction certificate `λ > c`.
+    ///
+    /// # Errors
+    /// [`OptError::InvalidParameter`] on a step-size violation,
+    /// [`OptError::InvalidProblem`] when the instance is not certifiably
+    /// max-norm contractive (ridge too weak for the data coupling).
+    pub fn new(f: LogisticRegression, gamma: f64) -> crate::Result<Self> {
+        crate::proxgrad::validate_gamma(gamma, f.strong_convexity(), f.lipschitz())?;
+        let coupling = f.max_norm_coupling();
+        if coupling >= f.lambda() {
+            return Err(OptError::InvalidProblem {
+                message: format!(
+                    "logistic instance is not certifiably max-norm contractive: \
+                     coupling bound c = {coupling:.3e} >= lambda = {:.3e}; \
+                     increase the ridge weight",
+                    f.lambda()
+                ),
+            });
+        }
+        let alpha = 1.0 - gamma * (f.lambda() - coupling);
+        Ok(Self { f, gamma, alpha })
+    }
+
+    /// Builds the operator at the largest certified step
+    /// `γ = 2/(μ+L)` (Theorem 1's boundary).
+    ///
+    /// # Errors
+    /// As [`LogisticGradOperator::new`].
+    pub fn with_max_step(f: LogisticRegression) -> crate::Result<Self> {
+        let gamma = crate::proxgrad::gamma_max(f.strong_convexity(), f.lipschitz());
+        Self::new(f, gamma)
+    }
+
+    /// The canonical certified instance over random two-Gaussian data
+    /// ([`LogisticRegression::random`]): ridge `1.5×` the data-coupling
+    /// bound (floored at `0.5`, so tiny well-separated datasets stay
+    /// numerically sane) at the maximal Theorem-1 step. This is **the**
+    /// recipe shared by the gate matrix, the conformance problems and
+    /// the cross-backend equivalence suites — one definition, so the
+    /// certification margin can never drift between them.
+    ///
+    /// # Errors
+    /// Propagates data-generation errors; the certification itself
+    /// succeeds by construction (`λ > c`).
+    pub fn certified_random(n: usize, m: usize, sep: f64, seed: u64) -> crate::Result<Self> {
+        let data = LogisticRegression::random(n, m, sep, 1.0, seed)?;
+        let data = data.with_lambda(1.5 * data.max_norm_coupling().max(0.5))?;
+        Self::with_max_step(data)
+    }
+
+    /// Step size `γ`.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// The certified max-norm contraction factor `α = 1 − γ(λ − c) < 1`.
+    pub fn contraction_factor(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The underlying objective.
+    pub fn f(&self) -> &LogisticRegression {
+        &self.f
+    }
+
+    /// The operator's fixed point — the regularised empirical-risk
+    /// minimiser — via the synchronous reference solver.
+    ///
+    /// # Errors
+    /// [`OptError::DidNotConverge`] on stall (cannot happen for certified
+    /// instances; defensive).
+    pub fn solve_exact(&self) -> crate::Result<Vec<f64>> {
+        self.f.reference_solution(1e-12, 2_000_000)
+    }
+
+    /// `w_h = z_h σ(−z_h a_hᵀ x)` for every sample, into `weights`.
+    #[inline]
+    fn sample_weights(&self, x: &[f64], weights: &mut [f64]) {
+        for (h, w) in weights.iter_mut().enumerate() {
+            let row = self.f.a.row(h);
+            let margin = self.f.z[h] * asynciter_numerics::vecops::dot(row, x);
+            *w = self.f.z[h] * sigmoid(-margin);
+        }
+    }
+
+    /// `G_i(x)` from precomputed sample weights — the shared kernel of
+    /// every evaluation path (bit-identical across all of them).
+    #[inline]
+    fn component_from_weights(&self, i: usize, x: &[f64], weights: &[f64]) -> f64 {
+        let mut g = 0.0;
+        for (h, &w) in weights.iter().enumerate() {
+            g -= w * self.f.a.row(h)[i];
+        }
+        x[i] - self.gamma * (g / weights.len() as f64 + self.f.lambda * x[i])
+    }
+}
+
+impl Operator for LogisticGradOperator {
+    fn dim(&self) -> usize {
+        self.f.dim()
+    }
+
+    fn component(&self, i: usize, x: &[f64]) -> f64 {
+        let m = self.f.samples();
+        let mut g = 0.0;
+        for h in 0..m {
+            let row = self.f.a.row(h);
+            let margin = self.f.z[h] * asynciter_numerics::vecops::dot(row, x);
+            let w = self.f.z[h] * sigmoid(-margin);
+            g -= w * row[i];
+        }
+        x[i] - self.gamma * (g / m as f64 + self.f.lambda * x[i])
+    }
+
+    fn scratch_len(&self) -> usize {
+        self.f.samples()
+    }
+
+    fn update_active_with(
+        &self,
+        x: &[f64],
+        active: &[usize],
+        out: &mut [f64],
+        scratch: &mut [f64],
+    ) {
+        assert_eq!(x.len(), self.dim(), "LogisticGradOperator: x dim");
+        assert_eq!(out.len(), self.dim(), "LogisticGradOperator: out dim");
+        let weights = &mut scratch[..self.f.samples()];
+        self.sample_weights(x, weights);
+        for &i in active {
+            out[i] = self.component_from_weights(i, x, weights);
+        }
+    }
+
+    fn apply_with(&self, x: &[f64], out: &mut [f64], scratch: &mut [f64]) {
+        assert_eq!(x.len(), self.dim(), "LogisticGradOperator: x dim");
+        assert_eq!(out.len(), self.dim(), "LogisticGradOperator: out dim");
+        let weights = &mut scratch[..self.f.samples()];
+        self.sample_weights(x, weights);
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.component_from_weights(i, x, weights);
+        }
+    }
+
+    fn apply(&self, x: &[f64], out: &mut [f64]) {
+        let mut scratch = vec![0.0; self.scratch_len()];
+        self.apply_with(x, out, &mut scratch);
+    }
+
+    fn residual_inf_with(&self, x: &[f64], scratch: &mut [f64]) -> f64 {
+        assert_eq!(x.len(), self.dim(), "LogisticGradOperator: x dim");
+        let weights = &mut scratch[..self.f.samples()];
+        self.sample_weights(x, weights);
+        let mut r = 0.0_f64;
+        for i in 0..self.dim() {
+            r = r.max((x[i] - self.component_from_weights(i, x, weights)).abs());
+        }
+        r
+    }
+
+    fn residual_inf(&self, x: &[f64]) -> f64 {
+        let mut scratch = vec![0.0; self.scratch_len()];
+        self.residual_inf_with(x, &mut scratch)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -284,6 +517,96 @@ mod tests {
         let mut y = x.clone();
         asynciter_numerics::vecops::axpy(-1e-3, &g, &mut y);
         assert!(f.value(&y) < f.value(&x));
+    }
+
+    /// A certifiably contractive instance: ridge above the coupling.
+    fn certified() -> LogisticGradOperator {
+        LogisticGradOperator::certified_random(6, 40, 2.0, 11).unwrap()
+    }
+
+    #[test]
+    fn grad_operator_rejects_uncertified_instances() {
+        let data = LogisticRegression::random(6, 40, 2.0, 1.0, 11).unwrap();
+        let c = data.max_norm_coupling();
+        assert!(c > 0.0);
+        // Ridge below the coupling bound: not certifiable.
+        let weak = data.with_lambda((0.5 * c).max(1e-6)).unwrap();
+        assert!(LogisticGradOperator::with_max_step(weak).is_err());
+        // Step size outside Theorem 1's range.
+        let strong = data.with_lambda(2.0 * c).unwrap();
+        let gmax = crate::proxgrad::gamma_max(strong.strong_convexity(), strong.lipschitz());
+        assert!(LogisticGradOperator::new(strong, 1.1 * gmax).is_err());
+    }
+
+    #[test]
+    fn grad_operator_paths_are_bit_identical() {
+        let op = certified();
+        let n = op.dim();
+        let mut rng = asynciter_numerics::rng::rng(3);
+        let x = asynciter_numerics::rng::normal_vec(&mut rng, n);
+        let mut scratch = vec![0.0; op.scratch_len()];
+        let mut via_update = vec![0.0; n];
+        let active: Vec<usize> = (0..n).collect();
+        op.update_active_with(&x, &active, &mut via_update, &mut scratch);
+        let mut via_apply = vec![0.0; n];
+        op.apply_with(&x, &mut via_apply, &mut scratch);
+        for i in 0..n {
+            let direct = op.component(i, &x);
+            assert_eq!(direct.to_bits(), via_update[i].to_bits(), "update i={i}");
+            assert_eq!(direct.to_bits(), via_apply[i].to_bits(), "apply i={i}");
+        }
+        // Residual paths agree bitwise too.
+        assert_eq!(
+            op.residual_inf(&x).to_bits(),
+            op.residual_inf_with(&x, &mut scratch).to_bits()
+        );
+    }
+
+    #[test]
+    fn grad_operator_contraction_certificate_holds() {
+        let op = certified();
+        let n = op.dim();
+        let alpha = op.contraction_factor();
+        assert!((0.0..1.0).contains(&alpha), "alpha = {alpha}");
+        let mut rng = asynciter_numerics::rng::rng(7);
+        let mut scratch = vec![0.0; op.scratch_len()];
+        for _ in 0..20 {
+            let x = asynciter_numerics::rng::normal_vec(&mut rng, n);
+            let y = asynciter_numerics::rng::normal_vec(&mut rng, n);
+            let mut tx = vec![0.0; n];
+            let mut ty = vec![0.0; n];
+            op.apply_with(&x, &mut tx, &mut scratch);
+            op.apply_with(&y, &mut ty, &mut scratch);
+            let lhs = asynciter_numerics::vecops::max_abs_diff(&tx, &ty);
+            let rhs = alpha * asynciter_numerics::vecops::max_abs_diff(&x, &y);
+            assert!(lhs <= rhs + 1e-12, "{lhs} > alpha * {rhs}");
+        }
+    }
+
+    #[test]
+    fn grad_operator_fixed_point_is_the_minimiser() {
+        let op = certified();
+        let xstar = op.solve_exact().unwrap();
+        // x* is a fixed point of G …
+        assert!(op.residual_inf(&xstar) < 1e-10);
+        // … and synchronous iteration reaches it.
+        let n = op.dim();
+        let mut x = vec![0.0; n];
+        let mut next = vec![0.0; n];
+        let mut scratch = vec![0.0; op.scratch_len()];
+        for _ in 0..2_000 {
+            op.apply_with(&x, &mut next, &mut scratch);
+            std::mem::swap(&mut x, &mut next);
+        }
+        assert!(asynciter_numerics::vecops::max_abs_diff(&x, &xstar) < 1e-9);
+    }
+
+    #[test]
+    fn coupling_is_data_only() {
+        let data = LogisticRegression::random(5, 30, 1.5, 0.3, 9).unwrap();
+        let c1 = data.max_norm_coupling();
+        let c2 = data.with_lambda(7.0).unwrap().max_norm_coupling();
+        assert_eq!(c1.to_bits(), c2.to_bits(), "coupling must ignore lambda");
     }
 
     #[test]

@@ -171,6 +171,56 @@ impl NetworkFlowProblem {
         Self::new(num_nodes, arcs, supplies)
     }
 
+    /// Hub-grounded wheel instance — the canonical network-flow problem
+    /// for the totally asynchronous engines. `ring ≥ 3` rim nodes each
+    /// connect to the hub (node 0) through a *low-resistance* arc
+    /// (`r ∈ [0.5, 1]`) and to their two ring neighbours through
+    /// *high-resistance* arcs (`r ∈ [2, 4]`); offsets are standard
+    /// normal and supplies are the divergence of a random flow (always
+    /// feasible). Grounding [`PriceRelaxation`] at the hub then yields a
+    /// **certified** max-norm contraction: each rim row's factor is
+    /// `(w_left + w_right)/(w_hub + w_left + w_right) ≤ 1/2` (weights
+    /// `w = 1/r`), so the relaxation converges under *any* admissible
+    /// schedule — the property the conformance fuzzer's metamorphic
+    /// oracle demands.
+    ///
+    /// # Errors
+    /// Errors when `ring < 3` (no wheel exists).
+    pub fn wheel(ring: usize, seed: u64) -> crate::Result<Self> {
+        if ring < 3 {
+            return Err(OptError::InvalidProblem {
+                message: format!("wheel needs ring >= 3, got {ring}"),
+            });
+        }
+        let mut rng = asynciter_numerics::rng::rng(seed);
+        let n = ring + 1;
+        let mut arcs = Vec::with_capacity(2 * ring);
+        for k in 0..ring {
+            let rim = k + 1;
+            // Spoke: hub ↔ rim, low resistance (strong hub coupling).
+            arcs.push(Arc {
+                tail: 0,
+                head: rim,
+                r: asynciter_numerics::rng::uniform_vec(&mut rng, 1, 0.5, 1.0)[0],
+                t: asynciter_numerics::rng::normal(&mut rng),
+            });
+            // Ring: rim ↔ next rim, high resistance (weak rim coupling).
+            arcs.push(Arc {
+                tail: rim,
+                head: (k + 1) % ring + 1,
+                r: asynciter_numerics::rng::uniform_vec(&mut rng, 1, 2.0, 4.0)[0],
+                t: asynciter_numerics::rng::normal(&mut rng),
+            });
+        }
+        let flow: Vec<f64> = asynciter_numerics::rng::normal_vec(&mut rng, arcs.len());
+        let mut supplies = vec![0.0; n];
+        for (a, &f) in arcs.iter().zip(&flow) {
+            supplies[a.tail] += f;
+            supplies[a.head] -= f;
+        }
+        Self::new(n, arcs, supplies)
+    }
+
     /// Number of nodes.
     pub fn num_nodes(&self) -> usize {
         self.num_nodes
@@ -335,6 +385,36 @@ impl PriceRelaxation {
     /// The grounded node.
     pub fn ground(&self) -> usize {
         self.ground
+    }
+
+    /// Max-norm contraction factor of the relaxation over the non-ground
+    /// components (the ground's price is pinned, so its coordinate never
+    /// moves): row `i`'s factor is
+    /// `Σ_{a ∋ i, other endpoint ≠ ground} w_a / κ_i` with `w = 1/r` —
+    /// `< 1` exactly when every node couples to the ground through some
+    /// positive-weight path fraction, and `≤ 1/2` by construction for
+    /// [`NetworkFlowProblem::wheel`] grounded at the hub. A factor `< 1`
+    /// certifies totally asynchronous convergence (Chazan–Miranker);
+    /// general instances may report `1.0` (merely nonexpansive rows),
+    /// which still converges but without a uniform geometric certificate.
+    pub fn contraction_factor(&self) -> f64 {
+        let mut alpha = 0.0_f64;
+        for i in 0..self.problem.num_nodes() {
+            if i == self.ground {
+                continue;
+            }
+            let coupled: f64 = self.problem.incident[i]
+                .iter()
+                .filter(|&&(k, sign)| {
+                    let a = &self.problem.arcs[k];
+                    let other = if sign > 0.0 { a.head } else { a.tail };
+                    other != self.ground
+                })
+                .map(|&(k, _)| 1.0 / self.problem.arcs[k].r)
+                .sum();
+            alpha = alpha.max(coupled / self.kappa[i]);
+        }
+        alpha
     }
 }
 
@@ -527,6 +607,68 @@ mod tests {
         let prob = two_node_problem();
         let op = PriceRelaxation::new(prob, 0).unwrap();
         assert_eq!(op.component(0, &[5.0, 1.0]), 5.0);
+    }
+
+    #[test]
+    fn wheel_is_certified_contractive_and_solvable() {
+        let prob = NetworkFlowProblem::wheel(12, 5).unwrap();
+        assert_eq!(prob.num_nodes(), 13);
+        assert!(prob.supplies().iter().sum::<f64>().abs() < 1e-9);
+        let op = PriceRelaxation::new(prob.clone(), 0).unwrap();
+        let alpha = op.contraction_factor();
+        assert!(
+            alpha <= 0.5 + 1e-12,
+            "wheel certificate violated: alpha = {alpha}"
+        );
+        // The certificate is real: iterates contract at least that fast
+        // towards the exact prices.
+        let pstar = prob.exact_prices(0).unwrap();
+        let mut p = vec![0.0; 13];
+        let mut next = vec![0.0; 13];
+        let mut prev_err = asynciter_numerics::vecops::max_abs_diff(&p, &pstar);
+        for _ in 0..50 {
+            op.apply(&p, &mut next);
+            std::mem::swap(&mut p, &mut next);
+            let err = asynciter_numerics::vecops::max_abs_diff(&p, &pstar);
+            assert!(
+                err <= alpha * prev_err + 1e-12,
+                "{err} > {alpha} * {prev_err}"
+            );
+            prev_err = err;
+        }
+        assert!(prob.balance_residual(&p) < 1e-9);
+    }
+
+    #[test]
+    fn wheel_rejects_degenerate_rings() {
+        assert!(NetworkFlowProblem::wheel(2, 0).is_err());
+    }
+
+    #[test]
+    fn general_instances_report_nonexpansive_rows_honestly() {
+        // A path graph grounded at one end: the far node's row couples
+        // only to non-ground neighbours, so the reported factor is 1.
+        let prob = NetworkFlowProblem::new(
+            3,
+            vec![
+                Arc {
+                    tail: 0,
+                    head: 1,
+                    r: 1.0,
+                    t: 0.0,
+                },
+                Arc {
+                    tail: 1,
+                    head: 2,
+                    r: 1.0,
+                    t: 0.0,
+                },
+            ],
+            vec![1.0, 0.0, -1.0],
+        )
+        .unwrap();
+        let op = PriceRelaxation::new(prob, 0).unwrap();
+        assert_eq!(op.contraction_factor(), 1.0);
     }
 
     #[test]

@@ -52,7 +52,7 @@ pub fn gradient_step_factor(gamma: f64, mu: f64, l: f64) -> f64 {
     (1.0 - gamma * mu).abs().max((1.0 - gamma * l).abs())
 }
 
-fn validate_gamma(gamma: f64, mu: f64, l: f64) -> crate::Result<()> {
+pub(crate) fn validate_gamma(gamma: f64, mu: f64, l: f64) -> crate::Result<()> {
     if !gamma.is_finite() || gamma <= 0.0 {
         return Err(OptError::InvalidParameter {
             name: "gamma",
@@ -207,11 +207,25 @@ pub struct SparseProxGrad<P> {
 
 impl<P: SeparableProx> SparseProxGrad<P> {
     /// Builds the operator, checking the Theorem-1 step range against the
-    /// Gershgorin curvature bounds of `Q`.
+    /// Gershgorin curvature bounds of `Q` and that `Q`'s rows carry
+    /// strictly increasing column indices. The latter is load-bearing:
+    /// [`Operator::component`] folds the prox over row `i`'s sparsity
+    /// pattern and identifies the diagonal by `c == i`, so a duplicate or
+    /// unsorted column (possible for external CSR data built with
+    /// `CsrMatrix::from_raw_parts`) would silently compute wrong
+    /// gradients — and Gershgorin certificates read through `diagonal()`
+    /// would be wrong too.
     ///
     /// # Errors
-    /// Errors on step-size or dimension violations.
+    /// Errors on step-size, dimension, or sparsity-structure violations.
     pub fn new(f: SparseQuadratic, g: P, gamma: f64) -> crate::Result<Self> {
+        if !f.q().rows_sorted_strictly() {
+            return Err(OptError::InvalidProblem {
+                message: "Q has unsorted or duplicate column indices in some row; \
+                          rebuild it via CsrMatrix::from_triplets"
+                    .into(),
+            });
+        }
         validate_gamma(gamma, f.strong_convexity(), f.lipschitz())?;
         if let Some(d) = g.dim_hint() {
             if d != f.dim() {
@@ -544,6 +558,34 @@ mod tests {
         let op = sep_problem();
         // alpha <= 1 - rho for gamma <= 2/(mu+L).
         assert!(op.contraction_factor() <= 1.0 - op.rho() + 1e-15);
+    }
+
+    #[test]
+    fn sparse_proxgrad_rejects_duplicate_or_unsorted_columns() {
+        // External CSR data with a duplicated diagonal entry. The
+        // duplicate hides from `is_symmetric`/Gershgorin (binary search
+        // finds one copy: diagonal reads 2.0, true row sum 4.0), so
+        // SparseQuadratic construction succeeds with silently wrong
+        // curvature — the operator must refuse at its own front door.
+        let q = asynciter_numerics::sparse::CsrMatrix::from_raw_parts(
+            2,
+            2,
+            vec![0, 3, 5],
+            vec![0, 0, 1, 0, 1],
+            vec![2.0, 2.0, -1.0, -1.0, 4.0],
+        )
+        .unwrap();
+        assert!(!q.rows_sorted_strictly());
+        let f = SparseQuadratic::new(q, vec![0.0, 0.0]).expect(
+            "duplicate columns slip past symmetry/Gershgorin checks — \
+             exactly why SparseProxGrad must validate",
+        );
+        let gamma = 0.5 * gamma_max(f.strong_convexity(), f.lipschitz());
+        let err = SparseProxGrad::new(f, ZeroReg, gamma).unwrap_err();
+        assert!(
+            err.to_string().contains("unsorted or duplicate"),
+            "unexpected error: {err}"
+        );
     }
 
     #[test]

@@ -60,6 +60,60 @@ pub trait Operator: Sync {
         }
         m
     }
+
+    /// Length of the caller-owned scratch slice the `_with` evaluation
+    /// paths need (`0` for operators whose components share no
+    /// subexpressions). Engines allocate `vec![0.0; op.scratch_len()]`
+    /// **once** per run/worker and thread it through every step, so the
+    /// per-step paths stay heap-allocation-free even for operators with
+    /// dense shared state (e.g. the per-sample weights of
+    /// [`crate::logistic::LogisticGradOperator`]).
+    fn scratch_len(&self) -> usize {
+        0
+    }
+
+    /// Like [`Operator::update_active`], with caller-owned scratch.
+    ///
+    /// The default ignores `scratch` and delegates; operators with shared
+    /// subexpressions override this to compute them once into `scratch`
+    /// instead of once per component. Implementations must produce values
+    /// **bit-identical** to [`Operator::component`] — engines mix the two
+    /// paths and the cross-backend equivalence suite compares them
+    /// bitwise.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch, out-of-range indices (debug), or
+    /// `scratch.len() < self.scratch_len()`.
+    fn update_active_with(
+        &self,
+        x: &[f64],
+        active: &[usize],
+        out: &mut [f64],
+        scratch: &mut [f64],
+    ) {
+        let _ = scratch;
+        self.update_active(x, active, out);
+    }
+
+    /// Like [`Operator::apply`], with caller-owned scratch (same
+    /// bit-identity contract as [`Operator::update_active_with`]).
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch or short scratch.
+    fn apply_with(&self, x: &[f64], out: &mut [f64], scratch: &mut [f64]) {
+        let _ = scratch;
+        self.apply(x, out);
+    }
+
+    /// Like [`Operator::residual_inf`], with caller-owned scratch (same
+    /// bit-identity contract as [`Operator::update_active_with`]).
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch or short scratch.
+    fn residual_inf_with(&self, x: &[f64], scratch: &mut [f64]) -> f64 {
+        let _ = scratch;
+        self.residual_inf(x)
+    }
 }
 
 /// A smooth (differentiable) objective `f : ℝⁿ → ℝ` with curvature
@@ -218,6 +272,21 @@ mod tests {
         let f = ConstMap { c: vec![1.0, 2.0] };
         assert_eq!(f.residual_inf(&[1.0, 2.0]), 0.0);
         assert_eq!(f.residual_inf(&[0.0, 2.0]), 1.0);
+    }
+
+    #[test]
+    fn scratch_defaults_delegate_to_plain_paths() {
+        let f = ConstMap {
+            c: vec![1.0, 2.0, 3.0],
+        };
+        assert_eq!(f.scratch_len(), 0);
+        let mut scratch = [0.0; 0];
+        let mut out = [9.0; 3];
+        f.update_active_with(&[0.0; 3], &[1], &mut out, &mut scratch);
+        assert_eq!(out, [9.0, 2.0, 9.0]);
+        f.apply_with(&[0.0; 3], &mut out, &mut scratch);
+        assert_eq!(out, [1.0, 2.0, 3.0]);
+        assert_eq!(f.residual_inf_with(&[1.0, 2.0, 3.0], &mut scratch), 0.0);
     }
 
     /// Separable quadratic halves-distance toy to exercise the blanket

@@ -111,9 +111,21 @@ impl Json {
     }
 
     /// The number as a non-negative integer, if it is one exactly.
+    ///
+    /// Mirrors [`render_number`]'s integer path exactly: `-0.0` is
+    /// rejected (it renders as a float, not an integer) and the bound is
+    /// an *exclusive* `< 2^53` (at `2^53` adjacent integers collide in
+    /// `f64`, so "exactly an integer" is no longer well-defined).
     pub fn as_u64(&self) -> Option<u64> {
         match self {
-            Json::Num(v) if *v >= 0.0 && v.fract() == 0.0 && *v <= 2f64.powi(53) => Some(*v as u64),
+            Json::Num(v)
+                if *v >= 0.0
+                    && !(*v == 0.0 && v.is_sign_negative())
+                    && v.fract() == 0.0
+                    && *v < 2f64.powi(53) =>
+            {
+                Some(*v as u64)
+            }
             _ => None,
         }
     }
@@ -256,7 +268,7 @@ impl Json {
 fn render_number(v: f64, out: &mut String) {
     if !v.is_finite() {
         out.push_str("null");
-    } else if v.fract() == 0.0 && v.abs() <= 2f64.powi(53) && !(v == 0.0 && v.is_sign_negative()) {
+    } else if v.fract() == 0.0 && v.abs() < 2f64.powi(53) && !(v == 0.0 && v.is_sign_negative()) {
         out.push_str(&format!("{}", v as i64));
     } else {
         // Rust's shortest-round-trip Display: parses back bit-identical.
@@ -903,6 +915,40 @@ mod tests {
         ] {
             let v = Json::parse(text).unwrap();
             assert_eq!(Json::parse(&v.render()).unwrap(), v, "{text}");
+        }
+    }
+
+    #[test]
+    fn u64_coercion_agrees_with_the_renderer() {
+        let p53 = 2f64.powi(53);
+        // Both sides share one predicate: `as_u64` is Some exactly when
+        // the value is a nonnegative integer strictly below 2^53 that is
+        // not -0.0 — the renderer's integer path. The historical
+        // asymmetries are pinned: -0.0 renders as "-0" (sign preserved,
+        // so it must NOT parse back as the integer 0), and 2^53 is
+        // excluded on both sides (adjacent integers collide there).
+        for (v, expect, rendered) in [
+            (0.0, Some(0), "0"),
+            (-0.0, None, "-0"),
+            (1.0, Some(1), "1"),
+            (p53 - 1.0, Some((1u64 << 53) - 1), "9007199254740991"),
+            (p53, None, "9007199254740992"),
+            (0.5, None, "0.5"),
+            (-1.0, None, "-1"),
+        ] {
+            let n = Json::Num(v);
+            assert_eq!(n.as_u64(), expect, "as_u64({v})");
+            assert_eq!(n.render(), rendered, "render({v})");
+            // Every form round-trips bit-exactly (including -0.0's sign).
+            let back = Json::parse(rendered).unwrap();
+            assert_eq!(
+                back.as_f64().unwrap().to_bits(),
+                v.to_bits(),
+                "round trip of {v}"
+            );
+            // The parsed value classifies identically — render and parse
+            // can never disagree about u64-ness again.
+            assert_eq!(back.as_u64(), expect, "parsed as_u64({v})");
         }
     }
 

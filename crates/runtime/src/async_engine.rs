@@ -226,9 +226,14 @@ impl AsyncSharedRunner {
                 let snapshot_lock = &snapshot_lock;
                 let spin_units = cfg.spin_per_update.get(w).copied().unwrap_or(0);
                 handles.push(scope.spawn(move || {
+                    // Per-worker buffers allocated once (snapshot values
+                    // and labels, block output, operator scratch): the
+                    // update loop below is heap-allocation-free apart
+                    // from trace-event recording.
                     let mut vals = vec![0.0; n];
                     let mut labels = vec![0u64; n];
-                    let mut inner_new = Vec::with_capacity(block.len());
+                    let mut upd = vec![0.0; n];
+                    let mut scratch = vec![0.0; op.scratch_len()];
                     let mut events: Vec<Event> = Vec::new();
                     let mut my_updates = 0u64;
                     loop {
@@ -252,12 +257,9 @@ impl AsyncSharedRunner {
                         // m inner iterations on the block, off-block
                         // frozen at the snapshot.
                         for r in 1..=cfg.inner_steps {
-                            inner_new.clear();
+                            op.update_active_with(&vals, block, &mut upd, &mut scratch);
                             for &i in block {
-                                inner_new.push(op.component(i, &vals));
-                            }
-                            for (&i, &v) in block.iter().zip(&inner_new) {
-                                vals[i] = v;
+                                vals[i] = upd[i];
                             }
                             if r % cfg.publish_period == 0 && r < cfg.inner_steps {
                                 // Mid-phase partial publish (flexible
@@ -319,7 +321,7 @@ impl AsyncSharedRunner {
                             if let Some(eps) = cfg.target_residual {
                                 if my_updates.is_multiple_of(cfg.check_every.max(1)) {
                                     shared.snapshot(&mut vals);
-                                    if op.residual_inf(&vals) <= eps {
+                                    if op.residual_inf_with(&vals, &mut scratch) <= eps {
                                         stop.store(true, Ordering::Relaxed);
                                         break;
                                     }

@@ -364,7 +364,11 @@ impl ClusterEngine {
         let mut stopped_early = false;
         let mut steps_run = 0u64;
         let mut seq = 0u64;
-        let mut new_vals: Vec<f64> = Vec::new();
+        // Step-loop buffers allocated once: block output, operator
+        // scratch, consensus assembly. Only message payloads (owned by
+        // their envelopes) allocate per exchange.
+        let mut upd = vec![0.0; n];
+        let mut scratch = vec![0.0; op.scratch_len()];
         let mut consensus = vec![0.0; n];
 
         let assemble_consensus = |views: &[Vec<f64>], out: &mut [f64]| {
@@ -413,18 +417,15 @@ impl ClusterEngine {
             trace.push_step(&blocks[w], &view_labels[w]);
 
             // Jacobi within the block: all components read the same view.
-            new_vals.clear();
+            op.update_active_with(&views[w], &blocks[w], &mut upd, &mut scratch);
             for &i in &blocks[w] {
-                let v = op.component(i, &views[w]);
+                let v = upd[i];
                 if !v.is_finite() {
                     return Err(RuntimeError::NonFiniteIterate {
                         at_step: j,
                         component: i,
                     });
                 }
-                new_vals.push(v);
-            }
-            for (&i, &v) in blocks[w].iter().zip(&new_vals) {
                 views[w][i] = v;
                 view_labels[w][i] = j;
             }
@@ -498,7 +499,7 @@ impl ClusterEngine {
                     errors.push((j, asynciter_numerics::vecops::max_abs_diff(&consensus, xs)));
                 }
                 if want_residual || want_stop {
-                    let residual = op.residual_inf(&consensus);
+                    let residual = op.residual_inf_with(&consensus, &mut scratch);
                     if want_residual {
                         residuals.push((j, residual));
                     }

@@ -186,7 +186,12 @@ impl SyncRunner {
                 let sweeps_done = &sweeps_done;
                 let spin_units = cfg.spin_per_update.get(w).copied().unwrap_or(0);
                 scope.spawn(move || {
+                    // Per-worker buffers allocated once: snapshot, block
+                    // output, and the operator's caller-owned scratch —
+                    // the sweep loop below performs no heap allocation.
                     let mut vals = vec![0.0; n];
+                    let mut upd = vec![0.0; n];
+                    let mut scratch = vec![0.0; op.scratch_len()];
                     for t in 0..cfg.max_sweeps {
                         let read = &bufs[(t % 2) as usize];
                         let write = &bufs[((t + 1) % 2) as usize];
@@ -194,8 +199,9 @@ impl SyncRunner {
                         if spin_units > 0 {
                             spin(spin_units);
                         }
+                        op.update_active_with(&vals, block, &mut upd, &mut scratch);
                         for &i in block {
-                            write.write(i, op.component(i, &vals), t + 1);
+                            write.write(i, upd[i], t + 1);
                         }
                         // Sweep barrier: everyone finished writing.
                         barrier.wait();

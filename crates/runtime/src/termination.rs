@@ -275,6 +275,17 @@ pub fn run_with_termination(
                         stop.store(true, Ordering::Relaxed);
                         break;
                     }
+                    // A quiet worker is recomputing an unchanged block; it
+                    // has nothing to add until a peer disturbs it. Yield
+                    // the scheduling quantum so the detector's in-window
+                    // report requirement (fine interleaving of *all*
+                    // workers) is met promptly instead of after whole
+                    // quanta of redundant spinning — on a single core this
+                    // bounds detection latency by scheduler rotations, not
+                    // by hundreds of thousands of no-op updates.
+                    if quiet {
+                        std::thread::yield_now();
+                    }
                 }
             });
         }

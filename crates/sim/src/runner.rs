@@ -206,8 +206,16 @@ impl Simulator {
         let mut error_times = Vec::new();
         let mut j_global = 0u64;
         let mut now = 0u64;
+        // Reusable phase-compute buffers (see `schedule_phase`).
+        let mut w_buf = vec![0.0; n];
+        let mut upd = vec![0.0; n];
+        let mut op_scratch = vec![0.0; op.scratch_len()];
 
         // Schedules the next phase of processor `p` starting at `t`.
+        // `w_buf`/`upd`/`op_scratch` are the run's reusable work buffers
+        // (phase input copy, block output, operator scratch), so the
+        // compute section allocates only what a phase must own (its
+        // recorded read labels and final values).
         #[allow(clippy::too_many_arguments)]
         fn schedule_phase(
             p: usize,
@@ -225,6 +233,9 @@ impl Simulator {
             heap: &mut BinaryHeap<Reverse<(u64, u64, usize)>>,
             events: &mut Vec<Option<Event>>,
             seq: &mut u64,
+            w_buf: &mut [f64],
+            upd: &mut [f64],
+            op_scratch: &mut [f64],
         ) {
             phase_count[p] += 1;
             let k = phase_count[p];
@@ -232,23 +243,26 @@ impl Simulator {
             let end = t + dur;
             // The phase input is the local copy *now* (stale for
             // everything updated later).
-            let mut w = local[p].clone();
+            w_buf.copy_from_slice(&local[p]);
             let read_labels = known_label[p].clone();
             // Inner iterations on the owned block, capturing intermediate
-            // (partial) values after each inner step.
+            // (partial) values after each inner step when mid-phase sends
+            // are configured.
             let mut partials: Vec<Vec<f64>> = Vec::new();
-            let mut inner_new = Vec::with_capacity(blocks[p].len());
             for _ in 0..cfg.inner_steps {
-                inner_new.clear();
+                op.update_active_with(w_buf, &blocks[p], upd, op_scratch);
                 for &i in &blocks[p] {
-                    inner_new.push(op.component(i, &w));
+                    w_buf[i] = upd[i];
                 }
-                for (&i, &v) in blocks[p].iter().zip(&inner_new) {
-                    w[i] = v;
+                if cfg.partial_sends > 0 {
+                    partials.push(blocks[p].iter().map(|&i| w_buf[i]).collect());
                 }
-                partials.push(blocks[p].iter().map(|&i| w[i]).collect());
             }
-            let final_values = partials.pop().expect("inner_steps >= 1");
+            let final_values: Vec<f64> = if cfg.partial_sends > 0 {
+                partials.pop().expect("inner_steps >= 1")
+            } else {
+                blocks[p].iter().map(|&i| w_buf[i]).collect()
+            };
             // Mid-phase partial sends at evenly spaced interior times,
             // carrying the freshest intermediate available then.
             if cfg.partial_sends > 0 && !partials.is_empty() {
@@ -317,6 +331,9 @@ impl Simulator {
                 &mut heap,
                 &mut events,
                 &mut seq,
+                &mut w_buf,
+                &mut upd,
+                &mut op_scratch,
             );
         }
 
@@ -425,6 +442,9 @@ impl Simulator {
                             &mut heap,
                             &mut events,
                             &mut seq,
+                            &mut w_buf,
+                            &mut upd,
+                            &mut op_scratch,
                         );
                     }
                 }

@@ -1,0 +1,121 @@
+//! Hot-path allocation audit: the per-step evaluation paths of the
+//! workhorse operators — `SparseProxGrad` (lasso), `LogisticGradOperator`
+//! and `PriceRelaxation` (network flow) — must perform **zero** heap
+//! allocations once the caller-owned buffers exist. This is the
+//! executable form of the scratch-buffer contract every engine relies on
+//! (engines allocate `vec![0.0; op.scratch_len()]` once per run/worker
+//! and drive millions of steps through `update_active_with` /
+//! `apply_with` / `residual_inf_with`).
+//!
+//! The audit swaps in a counting global allocator and runs everything in
+//! ONE `#[test]` so no parallel test thread can pollute the counter.
+
+use asynciter::opt::lasso::LassoProblem;
+use asynciter::opt::logistic::LogisticGradOperator;
+use asynciter::opt::network_flow::{NetworkFlowProblem, PriceRelaxation};
+use asynciter::opt::prox::L1;
+use asynciter::opt::proxgrad::{gamma_max, SparseProxGrad};
+use asynciter::opt::traits::{Operator, SmoothObjective};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+struct CountingAlloc;
+
+// Thread-local counting: only the audit thread's allocations count, so
+// the test-harness machinery (timers, output capture, sibling threads)
+// cannot pollute the audit. Const-initialised thread locals never
+// allocate on first touch; `try_with` guards TLS teardown.
+thread_local! {
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn note_alloc() {
+    let _ = COUNTING.try_with(|c| {
+        if c.get() {
+            let _ = ALLOCS.try_with(|a| a.set(a.get() + 1));
+        }
+    });
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        note_alloc();
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        note_alloc();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Runs `f` with allocation counting enabled on this thread and returns
+/// the number of heap allocations (allocs + reallocs) it performed.
+fn count_allocs(f: impl FnOnce()) -> u64 {
+    ALLOCS.with(|a| a.set(0));
+    COUNTING.with(|c| c.set(true));
+    f();
+    COUNTING.with(|c| c.set(false));
+    ALLOCS.with(|a| a.get())
+}
+
+/// Drives `steps` rounds of the scratch evaluation paths over
+/// preallocated buffers and returns the allocation count — the quantity
+/// the audit pins to zero.
+fn audit_operator(op: &dyn Operator, steps: usize) -> u64 {
+    let n = op.dim();
+    let mut x = vec![0.1; n];
+    let mut out = vec![0.0; n];
+    let mut scratch = vec![0.0; op.scratch_len()];
+    let active: Vec<usize> = (0..n).step_by(2).collect();
+    // Warm-up outside the counted section (nothing should lazily
+    // allocate, but the audit should fail only on *steady-state* allocs).
+    op.apply_with(&x, &mut out, &mut scratch);
+    count_allocs(|| {
+        for s in 0..steps {
+            op.update_active_with(&x, &active, &mut out, &mut scratch);
+            op.apply_with(&x, &mut out, &mut scratch);
+            let r = op.residual_inf_with(&x, &mut scratch);
+            let c = op.component(s % n, &x);
+            // Keep the optimiser honest and the iterate bounded.
+            x[s % n] = 0.5 * (c + r.min(1.0));
+        }
+    })
+}
+
+#[test]
+fn per_step_paths_allocate_nothing() {
+    // Lasso via the sparse prox-gradient operator.
+    let lasso = LassoProblem::random(12, 72, 3, 0.05, 0.01, 7).unwrap();
+    let q = lasso.quadratic.clone();
+    let gamma = 0.9 * gamma_max(q.strong_convexity(), q.lipschitz());
+    let sparse = SparseProxGrad::new(q, L1::new(lasso.lambda), gamma).unwrap();
+
+    // Logistic regression via the certified gradient operator (dense
+    // data coupling: the scratch holds the per-sample weights).
+    let logistic = LogisticGradOperator::certified_random(8, 48, 2.0, 3).unwrap();
+    assert!(logistic.scratch_len() > 0, "logistic shares sample weights");
+
+    // Network flow via the hub-grounded price relaxation.
+    let flow = PriceRelaxation::new(NetworkFlowProblem::wheel(12, 5).unwrap(), 0).unwrap();
+
+    for (name, op) in [
+        ("sparse-proxgrad", &sparse as &dyn Operator),
+        ("logistic-grad", &logistic),
+        ("price-relaxation", &flow),
+    ] {
+        let allocs = audit_operator(op, 500);
+        assert_eq!(
+            allocs, 0,
+            "{name}: {allocs} heap allocations in 500 audited steps"
+        );
+    }
+}

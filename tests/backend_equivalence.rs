@@ -18,14 +18,14 @@ fn quickstart_operator(n: usize) -> SeparableProxGrad<SeparableQuadratic, L1> {
     SeparableProxGrad::new(f, L1::new(0.2), gamma_max(mu, l)).expect("operator")
 }
 
-#[test]
-fn replay_barrier_sim_bit_identical_on_quickstart() {
-    let n = 64;
-    let steps = 200;
-    let op = quickstart_operator(n);
+/// With a serial schedule (all components active, zero delay) `Replay`,
+/// `Barrier { threads: 1 }` and `Sim` execute the same Eq. (1) sequence
+/// and must agree **bit for bit** — including their residual accounting.
+fn assert_replay_barrier_sim_bitwise(op: &dyn Operator, steps: u64, tag: &str) {
+    let n = op.dim();
 
     // Replay with the synchronous (serial, zero-delay) schedule.
-    let replay = Session::new(&op)
+    let replay = Session::new(op)
         .steps(steps)
         .schedule(SyncJacobi::new(n))
         .backend(Replay)
@@ -33,7 +33,7 @@ fn replay_barrier_sim_bit_identical_on_quickstart() {
         .unwrap();
 
     // One barrier-synchronous thread: sweeps == synchronous iterations.
-    let barrier = Session::new(&op)
+    let barrier = Session::new(op)
         .steps(steps)
         .backend(Barrier {
             threads: 1,
@@ -43,7 +43,7 @@ fn replay_barrier_sim_bit_identical_on_quickstart() {
         .unwrap();
 
     // One simulated processor, unit compute, one inner step per phase.
-    let sim = Session::new(&op)
+    let sim = Session::new(op)
         .steps(steps)
         .backend(Sim(SimConfig::uniform(
             Partition::blocks(n, 1).unwrap(),
@@ -52,33 +52,40 @@ fn replay_barrier_sim_bit_identical_on_quickstart() {
         .run()
         .unwrap();
 
-    assert_eq!(replay.steps, steps);
-    assert_eq!(barrier.steps, steps);
-    assert_eq!(sim.steps, steps);
+    assert_eq!(replay.steps, steps, "{tag}");
+    assert_eq!(barrier.steps, steps, "{tag}");
+    assert_eq!(sim.steps, steps, "{tag}");
     // Bit-identical, not approximately equal: same arithmetic, same
     // order, same IEEE results.
     for i in 0..n {
         assert_eq!(
             replay.final_x[i].to_bits(),
             barrier.final_x[i].to_bits(),
-            "replay vs barrier at component {i}"
+            "{tag}: replay vs barrier at component {i}"
         );
         assert_eq!(
             replay.final_x[i].to_bits(),
             sim.final_x[i].to_bits(),
-            "replay vs sim at component {i}"
+            "{tag}: replay vs sim at component {i}"
         );
     }
     // The shared report makes cross-backend accounting directly
     // comparable too.
     assert_eq!(
         replay.final_residual.to_bits(),
-        barrier.final_residual.to_bits()
+        barrier.final_residual.to_bits(),
+        "{tag}"
     );
     assert_eq!(
         replay.final_residual.to_bits(),
-        sim.final_residual.to_bits()
+        sim.final_residual.to_bits(),
+        "{tag}"
     );
+}
+
+#[test]
+fn replay_barrier_sim_bit_identical_on_quickstart() {
+    assert_replay_barrier_sim_bitwise(&quickstart_operator(64), 200, "quickstart");
 }
 
 #[test]
@@ -121,6 +128,47 @@ fn equivalence_holds_with_recording_and_error_curves() {
     let tb = sim.trace.unwrap();
     assert_eq!(ta.len(), tb.len());
     assert_eq!(replay.macro_iterations, sim.macro_iterations);
+}
+
+// ---------------------------------------------------------------------------
+// The promoted problems: logistic regression and network flow get the
+// same cross-backend lockdown as Jacobi/lasso. Their operators share
+// subexpressions through the caller-owned scratch paths
+// (`update_active_with`), so these tests also pin the scratch kernels'
+// bit-identity with plain `component` evaluation across engines.
+// ---------------------------------------------------------------------------
+
+/// The gate's quick logistic instance: certified max-norm contractive.
+fn logistic_operator() -> asynciter::opt::logistic::LogisticGradOperator {
+    asynciter::opt::logistic::LogisticGradOperator::certified_random(8, 48, 2.0, 2022)
+        .expect("certified instance")
+}
+
+/// The gate's quick network-flow instance: hub-grounded wheel.
+fn network_flow_operator() -> asynciter::opt::network_flow::PriceRelaxation {
+    use asynciter::opt::network_flow::{NetworkFlowProblem, PriceRelaxation};
+    let problem = NetworkFlowProblem::wheel(12, 2022).expect("wheel instance");
+    PriceRelaxation::new(problem, 0).expect("hub grounding")
+}
+
+#[test]
+fn replay_barrier_sim_bit_identical_on_logistic() {
+    assert_replay_barrier_sim_bitwise(&logistic_operator(), 120, "logistic");
+}
+
+#[test]
+fn replay_barrier_sim_bit_identical_on_network_flow() {
+    assert_replay_barrier_sim_bitwise(&network_flow_operator(), 150, "network-flow");
+}
+
+#[test]
+fn cluster_single_worker_matches_replay_bitwise_on_logistic() {
+    assert_cluster_degenerates(&logistic_operator(), 120, "logistic");
+}
+
+#[test]
+fn cluster_single_worker_matches_replay_bitwise_on_network_flow() {
+    assert_cluster_degenerates(&network_flow_operator(), 150, "network-flow");
 }
 
 // ---------------------------------------------------------------------------

@@ -25,7 +25,7 @@ const CORPUS_DIR: &str = "tests/corpus";
 #[test]
 fn corpus_seed_traces_match_their_plans_bit_for_bit() {
     let plans = corpus::seed_plans();
-    assert_eq!(plans.len(), 9, "canonical corpus is 3 problems x 3 plans");
+    assert_eq!(plans.len(), 15, "canonical corpus is 5 problems x 3 plans");
     for (stem, plan) in plans {
         let path = Path::new(CORPUS_DIR).join(format!("{stem}.trace"));
         let committed = corpus::load_trace(&path)
@@ -54,7 +54,7 @@ fn corpus_seed_traces_match_their_plans_bit_for_bit() {
 #[test]
 fn corpus_traces_satisfy_model_invariants_and_replay_deterministically() {
     let entries = corpus::load_dir(Path::new(CORPUS_DIR)).expect("committed corpus loads");
-    assert!(entries.len() >= 14, "corpus unexpectedly small");
+    assert!(entries.len() >= 20, "corpus unexpectedly small");
     let problems: Vec<ConformanceProblem> = ProblemKind::ALL
         .iter()
         .map(|&k| ConformanceProblem::build(k))
@@ -131,8 +131,11 @@ fn mini_campaign_with_corpus_passes() {
     let report = run_campaign(&cfg);
     assert!(report.passed(), "failures: {:#?}", report.failures);
     assert_eq!(report.witness_rejections, 2, "negative controls missing");
-    assert_eq!(report.corpus_checked, 14, "corpus files not all checked");
-    assert_eq!(report.problems, vec!["jacobi", "lasso", "obstacle"]);
+    assert_eq!(report.corpus_checked, 20, "corpus files not all checked");
+    assert_eq!(
+        report.problems,
+        vec!["jacobi", "lasso", "obstacle", "logistic", "network-flow"]
+    );
     assert_eq!(report.oracle_runs["cluster-equivalence"], 3);
 }
 
