@@ -1,0 +1,16 @@
+//! The bounded-exhaustive model-checker binary: enumerates every
+//! admissible interleaving of a small cluster scope, checks the four
+//! invariants on every edge and terminal state, and shrinks any
+//! violation to a replayable corpus counterexample. All logic lives in
+//! `asynciter_mc::cli`; this is the thin shell.
+//!
+//! ```text
+//! cargo run --release -p asynciter-bench --bin mc -- --scope quick --stats
+//! cargo run --release -p asynciter-bench --bin mc -- --inject-mc-bug
+//! cargo run --release -p asynciter-bench --bin mc -- --find-reorder
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(asynciter_mc::cli::mc_main(&args));
+}

@@ -654,7 +654,7 @@ fn run_cell(
     let x0 = gp.x0.clone();
     let result = try_compare_backends(
         gp.op.as_ref(),
-        vec![Box::new(move |s: Session| {
+        vec![Box::new(move |s: Session<'_>| {
             run_session(
                 s.x0(x0).steps(steps).seed(seed),
                 n,

@@ -7,6 +7,8 @@
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};

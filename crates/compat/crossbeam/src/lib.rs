@@ -8,6 +8,8 @@
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 
 /// Unbounded channels with crossbeam-compatible names.
 pub mod channel {

@@ -4,6 +4,8 @@
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 
 use std::sync::{RwLockReadGuard, RwLockWriteGuard};
 

@@ -28,6 +28,8 @@
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};

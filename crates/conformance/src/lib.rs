@@ -44,6 +44,8 @@
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 
 pub mod cluster;
 pub mod corpus;

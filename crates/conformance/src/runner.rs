@@ -387,8 +387,9 @@ fn check_corpus(
             if let Err(e) = plan.witness().check(&trace) {
                 fail("corpus-witness", &path, format!("witness rejected: {e}"));
             }
-        } else if stem.starts_with("fault-") {
-            // Replayability of committed counterexamples: the matching
+        } else if stem.starts_with("fault-") || stem.starts_with("mc-") {
+            // Replayability of committed counterexamples — fuzzer faults
+            // and model-checker counterexamples alike: the matching
             // problem (by dimension) must accept the injected trace.
             if let Some(p) = problems.iter().find(|p| p.n() == trace.n()) {
                 if let Err(e) = oracle::replay_roundtrip(p, &trace) {

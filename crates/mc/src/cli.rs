@@ -1,0 +1,335 @@
+//! Command-line driver behind `cargo run -p asynciter-bench --bin mc`.
+//!
+//! ```text
+//! mc --scope quick --stats            # exhaustive CI sweep, verdict + counters
+//! mc --scope flex --strategy bfs      # flexible-communication scope, BFS
+//! mc --inject-mc-bug                  # negative control: must find + shrink + emit
+//! mc --find-reorder                   # rediscover the out-of-order class
+//! mc --scope quick --out MC_report.json
+//! ```
+//!
+//! Exit codes: `0` — scope verified (or, in `--inject-mc-bug` /
+//! `--find-reorder` mode, the sought violation was found and emitted);
+//! `1` — a violation was found in a normal sweep, the must-find modes
+//! came up empty, the state budget truncated the sweep, or the
+//! arguments were invalid.
+
+use crate::counterexample::{emit_counterexample, find_reorder_demo, inject_bug_demo};
+use crate::explore::{explore, ExploreOutcome, Strategy};
+use crate::scope::{McProblem, Scope};
+use asynciter_report::json::Json;
+use std::path::PathBuf;
+
+fn usage() -> String {
+    "usage: mc [--scope quick|flex|reorder|inject] [--strategy dfs|bfs] \
+     [--steps N] [--workers N] [--max-states N] [--stats] [--fault-dir DIR] \
+     [--out FILE] [--inject-mc-bug] [--find-reorder]"
+        .into()
+}
+
+struct Args {
+    scope: Scope,
+    strategy: Strategy,
+    max_states: u64,
+    stats: bool,
+    fault_dir: PathBuf,
+    out: Option<PathBuf>,
+    inject: bool,
+    find_reorder: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Args, String> {
+    let mut scope_name: Option<String> = None;
+    let mut strategy = Strategy::Dfs;
+    let mut steps: Option<u64> = None;
+    let mut workers: Option<usize> = None;
+    let mut max_states = 5_000_000u64;
+    let mut stats = false;
+    let mut fault_dir = PathBuf::from("target/mc-failures");
+    let mut out = None;
+    let mut inject = false;
+    let mut find_reorder = false;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or(format!("{name} needs a value"))
+                .map(str::to_string)
+        };
+        match a.as_str() {
+            "--scope" => scope_name = Some(val("--scope")?),
+            "--strategy" => strategy = Strategy::parse(&val("--strategy")?)?,
+            "--steps" => {
+                steps = Some(
+                    val("--steps")?
+                        .parse()
+                        .map_err(|e| format!("--steps: {e}"))?,
+                )
+            }
+            "--workers" => {
+                workers = Some(
+                    val("--workers")?
+                        .parse()
+                        .map_err(|e| format!("--workers: {e}"))?,
+                )
+            }
+            "--max-states" => {
+                max_states = val("--max-states")?
+                    .parse()
+                    .map_err(|e| format!("--max-states: {e}"))?
+            }
+            "--stats" => stats = true,
+            "--fault-dir" => fault_dir = PathBuf::from(val("--fault-dir")?),
+            "--out" => out = Some(PathBuf::from(val("--out")?)),
+            "--inject-mc-bug" => inject = true,
+            "--find-reorder" => find_reorder = true,
+            "--quick" => scope_name = Some("quick".into()),
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown argument '{other}'\n{}", usage())),
+        }
+    }
+    let mut scope = match (&scope_name, inject, find_reorder) {
+        (Some(name), _, _) => Scope::by_name(name)?,
+        (None, true, _) => Scope::inject(),
+        (None, false, true) => Scope::reorder(),
+        (None, false, false) => Scope::quick(),
+    };
+    if inject {
+        scope.inject_bug = true;
+    }
+    if let Some(s) = steps {
+        scope.steps = s;
+    }
+    if let Some(w) = workers {
+        if !(2..=3).contains(&w) {
+            return Err("--workers: bounded scopes support 2 or 3 workers".into());
+        }
+        scope.workers = w;
+    }
+    Ok(Args {
+        scope,
+        strategy,
+        max_states,
+        stats,
+        fault_dir,
+        out,
+        inject,
+        find_reorder,
+    })
+}
+
+fn stats_json(outcome: &ExploreOutcome, scope: &Scope, strategy: Strategy) -> Json {
+    let s = &outcome.stats;
+    let mut obj = vec![
+        ("scope".into(), Json::Str(scope.name.clone())),
+        ("description".into(), Json::Str(scope.describe())),
+        (
+            "strategy".into(),
+            Json::Str(
+                match strategy {
+                    Strategy::Dfs => "dfs",
+                    Strategy::Bfs => "bfs",
+                }
+                .into(),
+            ),
+        ),
+        ("visited".into(), Json::Num(s.visited as f64)),
+        ("dedup_hits".into(), Json::Num(s.dedup_hits as f64)),
+        ("edges".into(), Json::Num(s.edges as f64)),
+        ("terminals".into(), Json::Num(s.terminals as f64)),
+        (
+            "pruned_capacity".into(),
+            Json::Num(s.pruned_capacity as f64),
+        ),
+        (
+            "pruned_inadmissible".into(),
+            Json::Num(s.pruned_inadmissible as f64),
+        ),
+        ("max_frontier".into(), Json::Num(s.max_frontier as f64)),
+        ("truncated".into(), Json::Bool(outcome.truncated)),
+        (
+            "verdict".into(),
+            Json::Str(if outcome.violation.is_some() {
+                "violation".into()
+            } else if outcome.truncated {
+                "truncated".into()
+            } else {
+                "verified".into()
+            }),
+        ),
+    ];
+    if let Some(v) = &outcome.violation {
+        obj.push((
+            "violation".into(),
+            Json::Obj(vec![
+                (
+                    "property".into(),
+                    Json::Str(v.violation.property.id().into()),
+                ),
+                ("step".into(), Json::Num(v.violation.j as f64)),
+                ("detail".into(), Json::Str(v.violation.detail.clone())),
+                ("path_len".into(), Json::Num(v.path.len() as f64)),
+            ]),
+        ));
+    }
+    Json::Obj(obj)
+}
+
+fn print_stats(outcome: &ExploreOutcome, wall_ms: u128) {
+    let s = &outcome.stats;
+    println!(
+        "  visited {} states, {} dedup hits, {} edges, {} terminals",
+        s.visited, s.dedup_hits, s.edges, s.terminals
+    );
+    println!(
+        "  pruned: {} capacity, {} inadmissible; max frontier {}; {} ms",
+        s.pruned_capacity, s.pruned_inadmissible, s.max_frontier, wall_ms
+    );
+}
+
+/// CLI entry point; returns the process exit code.
+pub fn mc_main(args: &[String]) -> i32 {
+    let parsed = match parse_args(args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return 1;
+        }
+    };
+
+    // Must-find modes delegate to the deterministic demos (the same
+    // functions the tier-1 fixtures are generated and locked by).
+    if parsed.inject || parsed.find_reorder {
+        let name = if parsed.inject {
+            ("inject-mc-bug", "mc-bug-severed-apply.trace")
+        } else {
+            ("find-reorder", "mc-reorder.trace")
+        };
+        let out = parsed.fault_dir.join(name.1);
+        let run = if parsed.inject {
+            inject_bug_demo(&out)
+        } else {
+            find_reorder_demo(&out)
+        };
+        return match run {
+            Ok((orig, shrunk)) => {
+                println!(
+                    "{}: violation found, shrunk {orig} -> {shrunk} steps, saved {}",
+                    name.0,
+                    out.display()
+                );
+                0
+            }
+            Err(e) => {
+                eprintln!("{}: FAILED: {e}", name.0);
+                1
+            }
+        };
+    }
+
+    let problem = McProblem::build();
+    println!("mc: {}", parsed.scope.describe());
+    let start = std::time::Instant::now();
+    let outcome = explore(
+        &parsed.scope,
+        &problem,
+        parsed.strategy,
+        parsed.max_states,
+        false,
+    );
+    let wall = start.elapsed().as_millis();
+    if parsed.stats {
+        print_stats(&outcome, wall);
+    }
+    if let Some(path) = &parsed.out {
+        let mut json = stats_json(&outcome, &parsed.scope, parsed.strategy);
+        if let Json::Obj(obj) = &mut json {
+            obj.push(("wall_ms".into(), Json::Num(wall as f64)));
+        }
+        if let Err(e) = std::fs::write(path, json.render_pretty()) {
+            eprintln!("mc: cannot write {}: {e}", path.display());
+            return 1;
+        }
+        println!("mc: wrote {}", path.display());
+    }
+    match &outcome.violation {
+        None if outcome.truncated => {
+            eprintln!(
+                "mc: state budget exhausted after {} states — sweep NOT exhaustive",
+                outcome.stats.visited
+            );
+            1
+        }
+        None => {
+            println!(
+                "mc: scope '{}' verified — {} states, all invariants hold on every \
+                 admissible interleaving",
+                parsed.scope.name, outcome.stats.visited
+            );
+            0
+        }
+        Some(found) => {
+            eprintln!(
+                "mc: VIOLATION [{}] at step {}: {}",
+                found.violation.property.id(),
+                found.violation.j,
+                found.violation.detail
+            );
+            let out = parsed
+                .fault_dir
+                .join(format!("mc-{}.trace", found.violation.property.id()));
+            match emit_counterexample(&parsed.scope, &problem, found, &out) {
+                Ok(rep) => eprintln!(
+                    "mc: counterexample shrunk {} -> {} steps, saved {}",
+                    rep.orig_steps,
+                    rep.shrunk_steps,
+                    out.display()
+                ),
+                Err(e) => eprintln!("mc: counterexample emission failed: {e}"),
+            }
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(args: &[&str]) -> Vec<String> {
+        args.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn arg_parsing_covers_modes_and_errors() {
+        assert!(parse_args(&s(&["--scope", "nope"])).is_err());
+        assert!(parse_args(&s(&["--bogus"])).is_err());
+        assert!(parse_args(&s(&["--workers", "9"])).is_err());
+        let a = parse_args(&s(&["--quick", "--stats", "--strategy", "bfs"])).unwrap();
+        assert_eq!(a.scope.name, "quick");
+        assert!(a.stats);
+        assert_eq!(a.strategy, Strategy::Bfs);
+        let a = parse_args(&s(&["--inject-mc-bug"])).unwrap();
+        assert!(a.scope.inject_bug);
+        assert_eq!(a.scope.name, "inject");
+        let a = parse_args(&s(&["--find-reorder"])).unwrap();
+        assert_eq!(a.scope.name, "reorder");
+        assert!(a.find_reorder);
+    }
+
+    #[test]
+    fn must_find_modes_exit_zero() {
+        let dir = std::env::temp_dir().join("asynciter-mc-cli-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let code = mc_main(&s(&[
+            "--inject-mc-bug",
+            "--fault-dir",
+            dir.to_str().unwrap(),
+        ]));
+        assert_eq!(code, 0, "negative control must be caught");
+        assert!(dir.join("mc-bug-severed-apply.trace").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

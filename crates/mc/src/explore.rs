@@ -1,0 +1,219 @@
+//! The bounded exhaustive explorer: DFS/BFS over canonical states with
+//! state-hash deduplication and budget guards.
+//!
+//! Both strategies enumerate the identical reachable-state set — the
+//! frontier discipline only changes *visit order* — so visited counts,
+//! dedup hits, edge counts, prune counts and verdicts are
+//! strategy-independent, and the tier-1 suite locks that equality. The
+//! visited set is a `BTreeSet<u128>` of [`crate::state::state_hash`]
+//! values: platform-stable, iteration-order-free.
+//!
+//! Each frontier node carries its choice path from the root (scopes are
+//! ≤ 8 steps deep, so paths are tiny); on a violation the path is
+//! replayed deterministically to rebuild the producing-step trace for
+//! the counterexample pipeline.
+
+use crate::invariants::{check_edge, check_reorder, check_terminal, Violation};
+use crate::scope::{McProblem, Scope};
+use crate::state::{apply_choice, enumerate_choices, state_hash, McState, PruneReason};
+use asynciter_models::{LabelStore, Trace};
+use std::collections::{BTreeSet, VecDeque};
+
+/// Frontier discipline. Coverage is identical; only visit order moves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Depth-first (stack) — default; minimal frontier memory.
+    Dfs,
+    /// Breadth-first (queue) — shortest-path counterexamples.
+    Bfs,
+}
+
+impl Strategy {
+    /// Parses `"dfs"` / `"bfs"`.
+    ///
+    /// # Errors
+    /// Anything else, as a message.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "dfs" => Ok(Strategy::Dfs),
+            "bfs" => Ok(Strategy::Bfs),
+            other => Err(format!("unknown strategy '{other}' (valid: dfs, bfs)")),
+        }
+    }
+}
+
+/// Counters of one exploration run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExploreStats {
+    /// Distinct states visited (dedup keys inserted), root included.
+    pub visited: u64,
+    /// Successors that hashed to an already-visited state.
+    pub dedup_hits: u64,
+    /// Transitions applied (excludes pruned branches).
+    pub edges: u64,
+    /// Terminal (horizon) states reached.
+    pub terminals: u64,
+    /// Branches cut by mailbox capacity.
+    pub pruned_capacity: u64,
+    /// Branches cut by the admissibility envelope (spec book).
+    pub pruned_inadmissible: u64,
+    /// Peak frontier size (stack or queue).
+    pub max_frontier: u64,
+}
+
+/// A violation plus the deterministic choice path that reaches it.
+#[derive(Debug, Clone)]
+pub struct FoundViolation {
+    /// The failed property and diagnosis.
+    pub violation: Violation,
+    /// Choice indices (into [`enumerate_choices`] at each state along
+    /// the path) from the root up to and including the violating edge.
+    pub path: Vec<u32>,
+}
+
+/// Result of exploring a scope.
+#[derive(Debug)]
+pub struct ExploreOutcome {
+    /// Exploration counters.
+    pub stats: ExploreStats,
+    /// First violation found, if any (exploration stops there).
+    pub violation: Option<FoundViolation>,
+    /// True when the state budget cut exploration short (the sweep is
+    /// then *not* exhaustive and the verdict only covers visited
+    /// states).
+    pub truncated: bool,
+}
+
+/// Exhaustively explores `scope`, checking every edge and terminal
+/// invariant, until the space is exhausted, a violation is found, or
+/// `max_states` distinct states have been visited.
+///
+/// `find_reorder` switches the goal: edge invariants still guard the
+/// run, but the explorer *hunts* the out-of-order label-regression
+/// witness and reports it as the (sought) violation.
+pub fn explore(
+    scope: &Scope,
+    problem: &McProblem,
+    strategy: Strategy,
+    max_states: u64,
+    find_reorder: bool,
+) -> ExploreOutcome {
+    let mut stats = ExploreStats::default();
+    let mut visited: BTreeSet<u128> = BTreeSet::new();
+    let root = McState::initial(scope, problem);
+    visited.insert(state_hash(&root));
+    stats.visited = 1;
+
+    let mut frontier: VecDeque<(McState, Vec<u32>)> = VecDeque::new();
+    frontier.push_back((root, Vec::new()));
+    let mut truncated = false;
+
+    while let Some((state, path)) = match strategy {
+        Strategy::Dfs => frontier.pop_back(),
+        Strategy::Bfs => frontier.pop_front(),
+    } {
+        if state.next_step > scope.steps {
+            stats.terminals += 1;
+            let (trace, terminal) = rebuild(scope, problem, &path);
+            debug_assert_eq!(terminal.next_step, state.next_step);
+            if let Some(v) = check_terminal(scope, problem, &state, &trace) {
+                return ExploreOutcome {
+                    stats,
+                    violation: Some(FoundViolation { violation: v, path }),
+                    truncated,
+                };
+            }
+            continue;
+        }
+        let choices = enumerate_choices(&state, scope);
+        for (i, choice) in choices.iter().enumerate() {
+            match apply_choice(&state, choice, scope, problem, None) {
+                Err(PruneReason::Capacity) => stats.pruned_capacity += 1,
+                Err(PruneReason::Inadmissible) => stats.pruned_inadmissible += 1,
+                Ok((child, edge)) => {
+                    stats.edges += 1;
+                    let mut found = check_edge(scope, problem, &state, &child, &edge);
+                    if found.is_none() && find_reorder {
+                        found = check_reorder(problem, &edge);
+                    }
+                    if let Some(v) = found {
+                        let mut path = path.clone();
+                        path.push(i as u32);
+                        return ExploreOutcome {
+                            stats,
+                            violation: Some(FoundViolation { violation: v, path }),
+                            truncated,
+                        };
+                    }
+                    if visited.insert(state_hash(&child)) {
+                        if stats.visited >= max_states {
+                            truncated = true;
+                            continue;
+                        }
+                        stats.visited += 1;
+                        let mut path = path.clone();
+                        path.push(i as u32);
+                        frontier.push_back((child, path));
+                        stats.max_frontier = stats.max_frontier.max(frontier.len() as u64);
+                    } else {
+                        stats.dedup_hits += 1;
+                    }
+                }
+            }
+        }
+    }
+    ExploreOutcome {
+        stats,
+        violation: None,
+        truncated,
+    }
+}
+
+/// Deterministically replays a choice path from the root, accumulating
+/// the producing-step trace — the bridge from a model-checking path to
+/// a corpus-format counterexample.
+///
+/// # Panics
+/// Panics when the path indexes a pruned or out-of-range choice (paths
+/// produced by [`explore`] never do).
+pub fn rebuild(scope: &Scope, problem: &McProblem, path: &[u32]) -> (Trace, McState) {
+    let mut state = McState::initial(scope, problem);
+    let mut trace = Trace::new(problem.n(), LabelStore::Full);
+    for &i in path {
+        let choices = enumerate_choices(&state, scope);
+        let choice = &choices[i as usize];
+        let (next, _edge) = apply_choice(&state, choice, scope, problem, Some(&mut trace))
+            .expect("explored paths never hit a pruned branch");
+        state = next;
+    }
+    (trace, state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inject_scope_space_is_tiny_and_caught() {
+        let scope = Scope::inject();
+        let problem = McProblem::build();
+        let out = explore(&scope, &problem, Strategy::Dfs, 100_000, false);
+        let v = out.violation.expect("the injected bug must be found");
+        assert_eq!(
+            v.violation.property,
+            crate::invariants::Property::Admissibility
+        );
+        assert!(!out.truncated);
+    }
+
+    #[test]
+    fn rebuild_follows_the_found_path() {
+        let scope = Scope::inject();
+        let problem = McProblem::build();
+        let out = explore(&scope, &problem, Strategy::Dfs, 100_000, false);
+        let path = out.violation.unwrap().path;
+        let (trace, state) = rebuild(&scope, &problem, &path);
+        assert_eq!(trace.len() as u64, path.len() as u64);
+        assert_eq!(state.next_step, path.len() as u64 + 1);
+    }
+}

@@ -1,0 +1,68 @@
+//! # asynciter-mc
+//!
+//! Bounded exhaustive model checking for the cluster (message-passing)
+//! regime — the *verified* counterpart of the sampling conformance
+//! fuzzer.
+//!
+//! The paper's central claim is that asynchronous iterations converge
+//! under **any** admissible schedule: unbounded delays, out-of-order
+//! messages, lost and duplicated messages, flexible (partial)
+//! communication. The PR 3/5 fuzzer *samples* that schedule space; this
+//! crate *enumerates* it for small scopes, so within a scope the claim
+//! is checked on every reachable interleaving, not a random subset.
+//!
+//! ## How it works
+//!
+//! - A [`scope::Scope`] fixes a small universe: 2–3 workers, ≤ 8
+//!   producing steps, which channel nondeterminism is switched on
+//!   (drops, duplicates, holds/reorders, partial-exchange subsets), a
+//!   mailbox capacity, and a [`DelayEnvelope`] used as an
+//!   *admissibility pruning predicate* — branches whose read staleness
+//!   leaves the envelope are not schedules the theorem speaks about, so
+//!   they are pruned (and counted) rather than explored.
+//! - [`state::McState`] is the canonical global state: per-worker views
+//!   and label books plus canonically-sorted mailbox multisets. States
+//!   are deduplicated by a 128-bit FNV-1a hash over a canonical byte
+//!   encoding ([`state::state_hash`]), stored in a `BTreeSet` — no
+//!   `HashMap` iteration order anywhere near a verdict.
+//! - The per-step transition reuses the engine's own step halves
+//!   ([`asynciter_runtime::apply_message`] /
+//!   [`asynciter_runtime::produce_step`]), so the model checker steps
+//!   the *same* arithmetic as `ClusterEngine`. Alongside the engine's
+//!   label book the explorer maintains an independent *spec* book from
+//!   choice semantics alone; admissibility pruning reads the spec book,
+//!   property checks read the engine book, so a bookkeeping bug in the
+//!   engine path cannot hide itself by steering the search
+//!   ([`explore`]).
+//! - Checked properties ([`invariants`]): residual monotonicity under
+//!   the operator's contraction certificate, `KeepFreshest` label
+//!   monotonicity, admissibility-witness preservation (spec book ≡
+//!   engine book + condition (a)), and convergence-at-horizon with a
+//!   bit-identical `Replay` cross-check of the recorded trace.
+//! - Every violation is rebuilt into a producing-step [`Trace`] in the
+//!   corpus format, minimised through the PR 3 shrinker, and saved as a
+//!   `.trace` the tier-1 suite can replay forever
+//!   ([`counterexample`]).
+//!
+//! The `mc` binary in `asynciter-bench` drives all of this from the
+//! command line (`--scope quick --stats`), and `--inject-mc-bug` is the
+//! standing negative control: a deliberately severed block-boundary
+//! label update that the explorer must find, shrink and emit.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
+pub mod cli;
+pub mod counterexample;
+pub mod explore;
+pub mod invariants;
+pub mod scope;
+pub mod state;
+
+pub use counterexample::{find_reorder_demo, inject_bug_demo, CounterexampleReport};
+pub use explore::{explore, ExploreOutcome, ExploreStats, FoundViolation, Strategy};
+pub use invariants::Property;
+pub use scope::{McProblem, Scope};
+pub use state::{state_hash, McMessage, McState, SendChoice, StepChoice};

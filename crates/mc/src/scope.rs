@@ -1,0 +1,311 @@
+//! Scopes: the small universes the explorer enumerates exhaustively.
+//!
+//! Bounded model checking trades generality for completeness — a scope
+//! pins the worker count, the producing-step horizon, and which channel
+//! nondeterminism is enabled, so the reachable state space is finite
+//! and small enough to visit *every* state. The named scopes below are
+//! the committed tiers: `quick` is the CI sweep (drops + duplicates +
+//! reorders under `KeepFreshest`), `flex` adds flexible
+//! partial-exchange subset choices, `reorder` is the out-of-order
+//! rediscovery probe (`AsReceived` + holds, the
+//! `fault-cluster-reorder.trace` violation class), and `inject` is the
+//! negative-control universe for the severed-label bug.
+
+use asynciter_models::conditions::DelayEnvelope;
+use asynciter_models::Partition;
+use asynciter_numerics::sparse::tridiagonal;
+use asynciter_numerics::vecops;
+use asynciter_opt::linear::JacobiOperator;
+use asynciter_opt::traits::Operator;
+
+/// Problem dimension of every scope — matches the conformance Jacobi
+/// problem (`ConformanceProblem::build(ProblemKind::Jacobi)`), so
+/// emitted counterexamples slot straight into the corpus checks that
+/// match traces to problems by dimension.
+pub const MC_DIM: usize = 16;
+
+/// The fixed-point problem a scope is explored on: the conformance
+/// Jacobi instance (tridiagonal(16, 4, −1), b = 1), which is a max-norm
+/// contraction with factor ½ — the contraction certificate the
+/// residual-monotonicity invariant checks against.
+pub struct McProblem {
+    /// The operator (all workers step this).
+    pub op: JacobiOperator,
+    /// Canonical start (all zeros).
+    pub x0: Vec<f64>,
+    /// The exact fixed point (for error measurements only).
+    pub xstar: Vec<f64>,
+    /// Max-norm contraction factor of `op`.
+    pub alpha: f64,
+    /// Initial error `‖x0 − x*‖_∞`.
+    pub e0: f64,
+}
+
+impl McProblem {
+    /// Builds the canonical scope problem.
+    ///
+    /// # Panics
+    /// Never in practice (the static Jacobi instance is well-formed).
+    pub fn build() -> Self {
+        let op = JacobiOperator::new(tridiagonal(MC_DIM, 4.0, -1.0), vec![1.0; MC_DIM])
+            .expect("static Jacobi instance");
+        let xstar = op.solve_dense_spd().expect("SPD solve");
+        let x0 = vec![0.0; MC_DIM];
+        let alpha = op.contraction_factor();
+        let e0 = vecops::max_abs_diff(&x0, &xstar);
+        Self {
+            op,
+            x0,
+            xstar,
+            alpha,
+            e0,
+        }
+    }
+
+    /// Dimension `n`.
+    pub fn n(&self) -> usize {
+        self.op.dim()
+    }
+}
+
+/// Receiver policy, re-exported from the runtime for scope literals.
+pub use asynciter_runtime::ApplyPolicy;
+
+/// One bounded universe for the explorer.
+#[derive(Debug, Clone)]
+pub struct Scope {
+    /// Scope name (reports, artefact file names).
+    pub name: String,
+    /// Worker (shard) count; blocks are `Partition::blocks(n, workers)`.
+    pub workers: usize,
+    /// Producing-step horizon (total global steps).
+    pub steps: u64,
+    /// Exchange period: a worker posts its block every this many of its
+    /// own updates.
+    pub exchange_every: u64,
+    /// Receiver policy applied on delivery.
+    pub apply_policy: ApplyPolicy,
+    /// Admissibility envelope used as a *pruning* predicate on the spec
+    /// label book: a branch whose read staleness leaves the envelope is
+    /// not an admissible schedule of this scope and is cut (counted in
+    /// `pruned_inadmissible`), never explored.
+    pub envelope: DelayEnvelope,
+    /// Allow the channel to drop a posted message.
+    pub allow_drop: bool,
+    /// Allow the channel to duplicate a posted message.
+    pub allow_dup: bool,
+    /// Flexible-communication publish subsets offered *in addition to*
+    /// the full block, as index lists into the sender's block.
+    pub partial_masks: Vec<Vec<usize>>,
+    /// Mailbox capacity per worker; sends that would exceed it prune
+    /// the branch (counted in `pruned_capacity`).
+    pub max_in_flight: usize,
+    /// Track each worker's previous read-label vector in the state (and
+    /// its hash). Needed by the out-of-order (label-regression)
+    /// property, which compares across a worker's consecutive turns.
+    pub track_read_history: bool,
+    /// Negative control: sever the engine-book label update for
+    /// [`Scope::bug_component`] on delivery (the value is still
+    /// applied). The spec book stays correct, so pruning is unaffected
+    /// and the checker must catch the divergence.
+    pub inject_bug: bool,
+}
+
+impl Scope {
+    /// The CI sweep: 2 workers × 6 steps, drops + duplicates + holds
+    /// (reorders) under `KeepFreshest`, envelope non-binding at the
+    /// horizon.
+    pub fn quick() -> Self {
+        Self {
+            name: "quick".into(),
+            workers: 2,
+            steps: 6,
+            exchange_every: 1,
+            apply_policy: ApplyPolicy::KeepFreshest,
+            envelope: DelayEnvelope::Bounded(6),
+            allow_drop: true,
+            allow_dup: true,
+            partial_masks: Vec::new(),
+            max_in_flight: 2,
+            track_read_history: false,
+            inject_bug: false,
+        }
+    }
+
+    /// Flexible communication: every exchange chooses full block, lower
+    /// half, or upper half — the Definition-1 flexible regime as an
+    /// explicit branch point.
+    pub fn flex() -> Self {
+        let half = MC_DIM / 2 / 2; // half of one 2-worker block
+        Self {
+            name: "flex".into(),
+            workers: 2,
+            steps: 5,
+            exchange_every: 1,
+            apply_policy: ApplyPolicy::KeepFreshest,
+            envelope: DelayEnvelope::Bounded(5),
+            allow_drop: false,
+            allow_dup: false,
+            partial_masks: vec![(0..half).collect(), (half..2 * half).collect()],
+            max_in_flight: 2,
+            track_read_history: false,
+            inject_bug: false,
+        }
+    }
+
+    /// Out-of-order rediscovery: `AsReceived` + held messages, so some
+    /// interleaving applies an older message after a newer one — the
+    /// violation class of the committed `fault-cluster-reorder.trace`.
+    pub fn reorder() -> Self {
+        Self {
+            name: "reorder".into(),
+            workers: 2,
+            steps: 6,
+            exchange_every: 1,
+            apply_policy: ApplyPolicy::AsReceived,
+            envelope: DelayEnvelope::Bounded(6),
+            allow_drop: false,
+            allow_dup: false,
+            partial_masks: Vec::new(),
+            max_in_flight: 2,
+            track_read_history: true,
+            inject_bug: false,
+        }
+    }
+
+    /// Negative control: a tight envelope forces prompt delivery, and
+    /// the injected severed-label bug must surface as a spec/engine
+    /// book divergence the moment the corrupted message is read.
+    pub fn inject() -> Self {
+        Self {
+            name: "inject".into(),
+            workers: 2,
+            steps: 4,
+            exchange_every: 1,
+            apply_policy: ApplyPolicy::AsReceived,
+            envelope: DelayEnvelope::Bounded(2),
+            allow_drop: false,
+            allow_dup: false,
+            partial_masks: Vec::new(),
+            max_in_flight: 3,
+            track_read_history: false,
+            inject_bug: true,
+        }
+    }
+
+    /// Looks a named scope up.
+    ///
+    /// # Errors
+    /// Unknown name, as a message listing the valid ones.
+    pub fn by_name(name: &str) -> Result<Self, String> {
+        match name {
+            "quick" => Ok(Self::quick()),
+            "flex" => Ok(Self::flex()),
+            "reorder" => Ok(Self::reorder()),
+            "inject" => Ok(Self::inject()),
+            other => Err(format!(
+                "unknown scope '{other}' (valid: quick, flex, reorder, inject)"
+            )),
+        }
+    }
+
+    /// The component whose engine-book label update the injected bug
+    /// severs: the first component of worker 1's block — a block
+    /// *boundary* component, coupled across the partition cut by the
+    /// tridiagonal operator.
+    pub fn bug_component(&self) -> usize {
+        Partition::blocks(MC_DIM, self.workers)
+            .expect("scope partition")
+            .components_of(1)[0]
+    }
+
+    /// The owned block of every worker.
+    ///
+    /// # Panics
+    /// Never for the committed scopes (the partition is valid).
+    pub fn blocks(&self) -> Vec<Vec<usize>> {
+        let p = Partition::blocks(MC_DIM, self.workers).expect("scope partition");
+        (0..self.workers).map(|w| p.components_of(w)).collect()
+    }
+
+    /// Worker owning global step `j` (round-robin, 1-based steps).
+    pub fn owner(&self, j: u64) -> usize {
+        ((j - 1) % self.workers as u64) as usize
+    }
+
+    /// Whether the worker acting at step `j` posts an exchange after
+    /// its update (mirrors the engine's `per_worker_updates %
+    /// exchange_every` gate).
+    pub fn exchange_due(&self, j: u64) -> bool {
+        if self.workers <= 1 {
+            return false;
+        }
+        let updates = (j - 1) / self.workers as u64 + 1;
+        updates.is_multiple_of(self.exchange_every.max(1))
+    }
+
+    /// One-line description for reports.
+    pub fn describe(&self) -> String {
+        format!(
+            "scope {}: {} workers x {} steps, {:?}, envelope {}, drop={}, dup={}, \
+             partial-masks={}, capacity={}{}",
+            self.name,
+            self.workers,
+            self.steps,
+            self.apply_policy,
+            self.envelope.describe(),
+            self.allow_drop,
+            self.allow_dup,
+            self.partial_masks.len(),
+            self.max_in_flight,
+            if self.inject_bug {
+                ", INJECTED BUG"
+            } else {
+                ""
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_scopes_resolve_and_partition() {
+        for name in ["quick", "flex", "reorder", "inject"] {
+            let s = Scope::by_name(name).unwrap();
+            assert_eq!(s.name, name);
+            assert_eq!(s.blocks().len(), s.workers);
+            assert_eq!(s.blocks().iter().map(Vec::len).sum::<usize>(), MC_DIM);
+        }
+        assert!(Scope::by_name("nope").is_err());
+    }
+
+    #[test]
+    fn round_robin_owner_and_exchange_gate() {
+        let s = Scope::quick();
+        assert_eq!(s.owner(1), 0);
+        assert_eq!(s.owner(2), 1);
+        assert_eq!(s.owner(3), 0);
+        assert!(s.exchange_due(1), "exchange_every=1 posts every turn");
+        let mut s2 = s;
+        s2.exchange_every = 2;
+        assert!(!s2.exchange_due(1), "first update of worker 0 is update 1");
+        assert!(s2.exchange_due(3), "second update of worker 0");
+    }
+
+    #[test]
+    fn bug_component_is_a_block_boundary() {
+        let s = Scope::inject();
+        assert_eq!(s.bug_component(), MC_DIM / 2);
+    }
+
+    #[test]
+    fn problem_is_a_half_contraction() {
+        let p = McProblem::build();
+        assert_eq!(p.n(), MC_DIM);
+        assert!((p.alpha - 0.5).abs() < 1e-12);
+        assert!(p.e0 > 0.0);
+    }
+}

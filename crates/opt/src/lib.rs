@@ -32,6 +32,8 @@
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 
 pub mod bellman_ford;
 pub mod error;

@@ -299,6 +299,103 @@ struct Envelope {
     partial: bool,
 }
 
+/// Outcome of applying one message payload to a worker view — the
+/// bookkeeping callers need to maintain [`ClusterStats`] and the
+/// flexible/constraint counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MessageApply {
+    /// Component entries actually written into the view.
+    pub applied: u64,
+    /// Freshness checks performed (`KeepFreshest`: one per entry).
+    pub checked: u64,
+    /// Entries discarded as stale (`KeepFreshest` only).
+    pub stale: u64,
+}
+
+/// Applies one message's `(component, value, producing step)` triples to
+/// a worker's local view under `policy`, updating the per-component
+/// producing-step labels alongside the values.
+///
+/// This is the receiver half of the cluster's step-granular transition
+/// function, shared between the event-loop engine and the bounded
+/// exhaustive model checker so both execute byte-identical semantics.
+///
+/// # Panics
+/// Panics (debug) when a component index is out of range.
+pub fn apply_message(
+    view: &mut [f64],
+    labels: &mut [u64],
+    comps: &[(u32, f64, u64)],
+    policy: ApplyPolicy,
+) -> MessageApply {
+    let mut out = MessageApply::default();
+    for &(c, v, l) in comps {
+        let c = c as usize;
+        let apply = match policy {
+            ApplyPolicy::AsReceived => true,
+            ApplyPolicy::KeepFreshest => {
+                out.checked += 1;
+                if l >= labels[c] {
+                    true
+                } else {
+                    out.stale += 1;
+                    false
+                }
+            }
+        };
+        if apply {
+            view[c] = v;
+            labels[c] = l;
+            out.applied += 1;
+        }
+    }
+    out
+}
+
+/// One producing block update by the owner of `block` at global step `j`:
+/// records the step (active set = the owned block, labels = the
+/// producing steps of the view being read), evaluates the operator
+/// Jacobi-style on the current view, and stamps the freshly produced
+/// components with label `j`.
+///
+/// This is the producer half of the cluster's step-granular transition
+/// function (see [`apply_message`]).
+///
+/// # Errors
+/// [`RuntimeError::NonFiniteIterate`] when the operator diverges.
+///
+/// # Panics
+/// Panics on dimension mismatches (`upd`/`scratch` sized for `op`).
+// Deliberately flat: every argument is a distinct piece of engine state
+// the two callers (engine loop, model checker) own differently, so a
+// bundling struct would just move the argument list to its constructor.
+#[allow(clippy::too_many_arguments)]
+pub fn produce_step(
+    op: &dyn Operator,
+    view: &mut [f64],
+    labels: &mut [u64],
+    block: &[usize],
+    j: u64,
+    trace: &mut Trace,
+    upd: &mut [f64],
+    scratch: &mut [f64],
+) -> Result<(), RuntimeError> {
+    trace.push_step(block, labels);
+    op.update_active_with(view, block, upd, scratch);
+    for &i in block {
+        let v = upd[i];
+        if !v.is_finite() {
+            return Err(RuntimeError::NonFiniteIterate {
+                at_step: j,
+                component: i,
+            });
+        }
+        view[i] = v;
+        labels[i] = j;
+    }
+    Ok(())
+}
+
 // Mailboxes are min-heaps on (deliver_at, seq); payload is ignored by
 // the ordering.
 impl PartialEq for Envelope {
@@ -317,6 +414,387 @@ impl Ord for Envelope {
         // Reversed: BinaryHeap is a max-heap, we want earliest first.
         (other.deliver_at, other.seq).cmp(&(self.deliver_at, self.seq))
     }
+}
+
+/// A restorable checkpoint of a [`ClusterCursor`]: every piece of
+/// dynamic run state (views, labels, mailboxes, RNG, counters, the
+/// recorded trace so far). Cloning is deep, so a snapshot taken before a
+/// step and restored afterwards replays the step bit-identically —
+/// the state-space explorer in `asynciter-mc` leans on this.
+#[derive(Debug, Clone)]
+pub struct ClusterSnapshot {
+    views: Vec<Vec<f64>>,
+    view_labels: Vec<Vec<u64>>,
+    mailboxes: Vec<BinaryHeap<Envelope>>,
+    rng: StdRng,
+    seq: u64,
+    trace: Trace,
+    stats: ClusterStats,
+    per_worker_updates: Vec<u64>,
+    errors: Vec<(u64, f64)>,
+    residuals: Vec<(u64, f64)>,
+    partial_publishes: u64,
+    partial_reads: u64,
+    constraint_checked: u64,
+    constraint_violations: u64,
+    stopped_early: bool,
+    steps_run: u64,
+    next_j: u64,
+}
+
+/// Status of one [`ClusterCursor::step`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepStatus {
+    /// A global step executed; more remain.
+    Running,
+    /// The run is over (budget exhausted or residual target hit); no
+    /// step was (or will be) executed.
+    Done,
+}
+
+/// A step-granular handle on a cluster run: the same event loop as
+/// [`ClusterEngine::run`], exposed one global step at a time with
+/// [snapshot](ClusterCursor::snapshot)/[restore](ClusterCursor::restore).
+/// `ClusterEngine::run` is a thin loop over this cursor, so stepping and
+/// running to completion are bit-identical by construction.
+pub struct ClusterCursor<'a> {
+    op: &'a dyn Operator,
+    cfg: ClusterConfig,
+    xstar: Option<Vec<f64>>,
+    blocks: Vec<Vec<usize>>,
+    workers: usize,
+    start: Instant,
+    // Dynamic state (everything a snapshot captures).
+    views: Vec<Vec<f64>>,
+    view_labels: Vec<Vec<u64>>,
+    mailboxes: Vec<BinaryHeap<Envelope>>,
+    rng: StdRng,
+    seq: u64,
+    trace: Trace,
+    stats: ClusterStats,
+    per_worker_updates: Vec<u64>,
+    errors: Vec<(u64, f64)>,
+    residuals: Vec<(u64, f64)>,
+    partial_publishes: u64,
+    partial_reads: u64,
+    constraint_checked: u64,
+    constraint_violations: u64,
+    stopped_early: bool,
+    steps_run: u64,
+    next_j: u64,
+    // Step-loop buffers allocated once: block output, operator scratch,
+    // consensus assembly. Only message payloads (owned by their
+    // envelopes) allocate per exchange.
+    upd: Vec<f64>,
+    scratch: Vec<f64>,
+    consensus: Vec<f64>,
+}
+
+impl std::fmt::Debug for ClusterCursor<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterCursor")
+            .field("workers", &self.workers)
+            .field("next_j", &self.next_j)
+            .field("steps_run", &self.steps_run)
+            .field("stopped_early", &self.stopped_early)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> ClusterCursor<'a> {
+    /// Validates the run parameters and positions the cursor before
+    /// global step 1.
+    ///
+    /// # Errors
+    /// Dimension/parameter validation failures (same checks as
+    /// [`ClusterEngine::run`]).
+    pub fn new(
+        op: &'a dyn Operator,
+        x0: &[f64],
+        partition: &Partition,
+        cfg: &ClusterConfig,
+        xstar: Option<&[f64]>,
+    ) -> crate::Result<Self> {
+        let n = op.dim();
+        let workers = partition.num_machines();
+        validate(op, x0, partition, cfg, xstar)?;
+        let blocks: Vec<Vec<usize>> = (0..workers).map(|w| partition.components_of(w)).collect();
+        Ok(Self {
+            op,
+            cfg: cfg.clone(),
+            xstar: xstar.map(<[f64]>::to_vec),
+            blocks,
+            workers,
+            start: Instant::now(),
+            views: vec![x0.to_vec(); workers],
+            view_labels: vec![vec![0u64; n]; workers],
+            mailboxes: (0..workers).map(|_| BinaryHeap::new()).collect(),
+            rng: rng(cfg.seed),
+            seq: 0,
+            trace: Trace::new(n, cfg.record),
+            stats: ClusterStats::default(),
+            per_worker_updates: vec![0u64; workers],
+            errors: Vec::new(),
+            residuals: Vec::new(),
+            partial_publishes: 0,
+            partial_reads: 0,
+            constraint_checked: 0,
+            constraint_violations: 0,
+            stopped_early: false,
+            steps_run: 0,
+            next_j: 1,
+            upd: vec![0.0; n],
+            scratch: vec![0.0; op.scratch_len()],
+            consensus: vec![0.0; n],
+        })
+    }
+
+    /// Global step the next [`ClusterCursor::step`] call would execute.
+    pub fn next_step(&self) -> u64 {
+        self.next_j
+    }
+
+    /// The trace recorded so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Captures the full dynamic state for a later
+    /// [`restore`](ClusterCursor::restore).
+    pub fn snapshot(&self) -> ClusterSnapshot {
+        ClusterSnapshot {
+            views: self.views.clone(),
+            view_labels: self.view_labels.clone(),
+            mailboxes: self.mailboxes.clone(),
+            rng: self.rng.clone(),
+            seq: self.seq,
+            trace: self.trace.clone(),
+            stats: self.stats.clone(),
+            per_worker_updates: self.per_worker_updates.clone(),
+            errors: self.errors.clone(),
+            residuals: self.residuals.clone(),
+            partial_publishes: self.partial_publishes,
+            partial_reads: self.partial_reads,
+            constraint_checked: self.constraint_checked,
+            constraint_violations: self.constraint_violations,
+            stopped_early: self.stopped_early,
+            steps_run: self.steps_run,
+            next_j: self.next_j,
+        }
+    }
+
+    /// Rewinds (or fast-forwards) the cursor to a captured snapshot.
+    /// Stepping from a restored state replays the original steps
+    /// bit-identically — the RNG stream is part of the snapshot.
+    pub fn restore(&mut self, snap: &ClusterSnapshot) {
+        self.views.clone_from(&snap.views);
+        self.view_labels.clone_from(&snap.view_labels);
+        self.mailboxes.clone_from(&snap.mailboxes);
+        self.rng = snap.rng.clone();
+        self.seq = snap.seq;
+        self.trace.clone_from(&snap.trace);
+        self.stats.clone_from(&snap.stats);
+        self.per_worker_updates.clone_from(&snap.per_worker_updates);
+        self.errors.clone_from(&snap.errors);
+        self.residuals.clone_from(&snap.residuals);
+        self.partial_publishes = snap.partial_publishes;
+        self.partial_reads = snap.partial_reads;
+        self.constraint_checked = snap.constraint_checked;
+        self.constraint_violations = snap.constraint_violations;
+        self.stopped_early = snap.stopped_early;
+        self.steps_run = snap.steps_run;
+        self.next_j = snap.next_j;
+    }
+
+    fn assemble_consensus(&mut self) {
+        for (w, block) in self.blocks.iter().enumerate() {
+            for &i in block {
+                self.consensus[i] = self.views[w][i];
+            }
+        }
+    }
+
+    /// Executes one global step (deliver due mail → record → block
+    /// update → exchange → observe/stop).
+    ///
+    /// # Errors
+    /// [`RuntimeError::NonFiniteIterate`] when the operator diverges.
+    pub fn step(&mut self) -> crate::Result<StepStatus> {
+        if self.stopped_early || self.next_j > self.cfg.steps {
+            return Ok(StepStatus::Done);
+        }
+        let j = self.next_j;
+        self.next_j += 1;
+        let w = ((j - 1) % self.workers as u64) as usize;
+
+        // Deliver all mail due by now, earliest (deliver_at, seq) first
+        // — holds put older messages behind newer ones.
+        while self.mailboxes[w]
+            .peek()
+            .is_some_and(|env| env.deliver_at <= j)
+        {
+            let env = self.mailboxes[w].pop().expect("peeked");
+            self.stats.delivered += 1;
+            let outcome = apply_message(
+                &mut self.views[w],
+                &mut self.view_labels[w],
+                &env.comps,
+                self.cfg.apply_policy,
+            );
+            self.constraint_checked += outcome.checked;
+            self.constraint_violations += outcome.stale;
+            self.stats.discarded_stale += outcome.stale;
+            if env.partial {
+                self.partial_reads += outcome.applied;
+            }
+        }
+
+        // Record the step *before* writing (active set = the owned
+        // block, labels = the producing steps of the view being read),
+        // then Jacobi within the block: all components read the same
+        // view.
+        produce_step(
+            self.op,
+            &mut self.views[w],
+            &mut self.view_labels[w],
+            &self.blocks[w],
+            j,
+            &mut self.trace,
+            &mut self.upd,
+            &mut self.scratch,
+        )?;
+        self.per_worker_updates[w] += 1;
+        self.steps_run = j;
+
+        // Exchange: post the block (or a partial subset) to peers.
+        if self.workers > 1 && self.per_worker_updates[w].is_multiple_of(self.cfg.exchange_every) {
+            let partial = self.cfg.partial_prob > 0.0
+                && self.rng.random_range(0.0..1.0) < self.cfg.partial_prob;
+            let mut comps: Vec<(u32, f64, u64)> = self.blocks[w]
+                .iter()
+                .map(|&i| (i as u32, self.views[w][i], self.view_labels[w][i]))
+                .collect();
+            if partial {
+                self.partial_publishes += 1;
+                comps.retain(|_| self.rng.random_range(0..2u32) == 1);
+                if comps.is_empty() {
+                    // A partial exchange carries at least one entry.
+                    let i = self.blocks[w][self.rng.random_range(0..self.blocks[w].len())];
+                    comps.push((i as u32, self.views[w][i], self.view_labels[w][i]));
+                }
+            }
+            if let Some(sc) = self.cfg.sever_component {
+                comps.retain(|&(c, _, _)| c as usize != sc);
+            }
+            if !comps.is_empty() {
+                for dest in 0..self.workers {
+                    if dest == w {
+                        continue;
+                    }
+                    self.stats.sent += 1;
+                    if self.rng.random_range(0.0..1.0) < self.cfg.drop_prob {
+                        self.stats.dropped += 1;
+                        continue;
+                    }
+                    let post =
+                        |rng: &mut StdRng,
+                         seq: &mut u64,
+                         stats: &mut ClusterStats,
+                         boxes: &mut Vec<BinaryHeap<Envelope>>| {
+                            let mut latency = cfg_link_sample(&self.cfg, rng);
+                            if rng.random_range(0.0..1.0) < self.cfg.hold_prob {
+                                stats.held += 1;
+                                latency += rng.random_range(1..=self.cfg.hold_extra.max(1));
+                            }
+                            *seq += 1;
+                            boxes[dest].push(Envelope {
+                                deliver_at: j.saturating_add(latency),
+                                seq: *seq,
+                                comps: comps.clone(),
+                                partial,
+                            });
+                        };
+                    if self.rng.random_range(0.0..1.0) < self.cfg.dup_prob {
+                        self.stats.duplicated += 1;
+                        post(
+                            &mut self.rng,
+                            &mut self.seq,
+                            &mut self.stats,
+                            &mut self.mailboxes,
+                        );
+                    }
+                    post(
+                        &mut self.rng,
+                        &mut self.seq,
+                        &mut self.stats,
+                        &mut self.mailboxes,
+                    );
+                }
+            }
+        }
+
+        // Observability and stopping on the consensus vector.
+        let want_error = self.cfg.error_every > 0 && j.is_multiple_of(self.cfg.error_every);
+        let want_residual =
+            self.cfg.residual_every > 0 && j.is_multiple_of(self.cfg.residual_every);
+        let want_stop =
+            self.cfg.target_residual.is_some() && j.is_multiple_of(self.cfg.check_every.max(1));
+        if want_error || want_residual || want_stop {
+            self.assemble_consensus();
+            if want_error {
+                let xs = self.xstar.as_deref().expect("validated: requires xstar");
+                self.errors.push((
+                    j,
+                    asynciter_numerics::vecops::max_abs_diff(&self.consensus, xs),
+                ));
+            }
+            if want_residual || want_stop {
+                let residual = self
+                    .op
+                    .residual_inf_with(&self.consensus, &mut self.scratch);
+                if want_residual {
+                    self.residuals.push((j, residual));
+                }
+                if want_stop && self.cfg.target_residual.is_some_and(|eps| residual <= eps) {
+                    self.stopped_early = true;
+                    return Ok(StepStatus::Done);
+                }
+            }
+        }
+        Ok(StepStatus::Running)
+    }
+
+    /// Finalises the run: assembles the consensus vector and the result
+    /// record. Can be called at any point of the run (the result covers
+    /// the steps executed so far).
+    pub fn into_result(mut self) -> ClusterRunResult {
+        self.assemble_consensus();
+        let final_residual = self.op.residual_inf(&self.consensus);
+        ClusterRunResult {
+            local_views: self.views,
+            consensus: self.consensus,
+            final_residual,
+            stats: self.stats,
+            trace: self.trace,
+            steps_run: self.steps_run,
+            per_worker_updates: self.per_worker_updates,
+            errors: self.errors,
+            residuals: self.residuals,
+            stopped_early: self.stopped_early,
+            partial_publishes: self.partial_publishes,
+            partial_reads: self.partial_reads,
+            constraint_checked: self.constraint_checked,
+            constraint_violations: self.constraint_violations,
+            wall: self.start.elapsed(),
+        }
+    }
+}
+
+/// Borrow-splitting helper: sampling a link latency needs `&cfg.link`
+/// and `&mut rng` while the exchange closure also borrows `self`
+/// fields.
+fn cfg_link_sample(cfg: &ClusterConfig, r: &mut StdRng) -> u64 {
+    cfg.link.sample(r)
 }
 
 /// The sharded message-passing engine. See module docs.
@@ -339,197 +817,9 @@ impl ClusterEngine {
         cfg: &ClusterConfig,
         xstar: Option<&[f64]>,
     ) -> crate::Result<ClusterRunResult> {
-        let n = op.dim();
-        let workers = partition.num_machines();
-        validate(op, x0, partition, cfg, xstar)?;
-
-        let blocks: Vec<Vec<usize>> = (0..workers).map(|w| partition.components_of(w)).collect();
-        let mut r = rng(cfg.seed);
-        let start = Instant::now();
-
-        // Per-worker local views and the producing-step label of every
-        // held value (0 = the initial iterate).
-        let mut views: Vec<Vec<f64>> = vec![x0.to_vec(); workers];
-        let mut view_labels: Vec<Vec<u64>> = vec![vec![0u64; n]; workers];
-        let mut mailboxes: Vec<BinaryHeap<Envelope>> =
-            (0..workers).map(|_| BinaryHeap::new()).collect();
-
-        let mut trace = Trace::new(n, cfg.record);
-        let mut stats = ClusterStats::default();
-        let mut per_worker_updates = vec![0u64; workers];
-        let mut errors = Vec::new();
-        let mut residuals = Vec::new();
-        let (mut partial_publishes, mut partial_reads) = (0u64, 0u64);
-        let (mut constraint_checked, mut constraint_violations) = (0u64, 0u64);
-        let mut stopped_early = false;
-        let mut steps_run = 0u64;
-        let mut seq = 0u64;
-        // Step-loop buffers allocated once: block output, operator
-        // scratch, consensus assembly. Only message payloads (owned by
-        // their envelopes) allocate per exchange.
-        let mut upd = vec![0.0; n];
-        let mut scratch = vec![0.0; op.scratch_len()];
-        let mut consensus = vec![0.0; n];
-
-        let assemble_consensus = |views: &[Vec<f64>], out: &mut [f64]| {
-            for (w, block) in blocks.iter().enumerate() {
-                for &i in block {
-                    out[i] = views[w][i];
-                }
-            }
-        };
-
-        for j in 1..=cfg.steps {
-            let w = ((j - 1) % workers as u64) as usize;
-
-            // Deliver all mail due by now, earliest (deliver_at, seq)
-            // first — holds put older messages behind newer ones.
-            while mailboxes[w].peek().is_some_and(|env| env.deliver_at <= j) {
-                let env = mailboxes[w].pop().expect("peeked");
-                stats.delivered += 1;
-                for &(c, v, l) in &env.comps {
-                    let c = c as usize;
-                    let apply = match cfg.apply_policy {
-                        ApplyPolicy::AsReceived => true,
-                        ApplyPolicy::KeepFreshest => {
-                            constraint_checked += 1;
-                            if l >= view_labels[w][c] {
-                                true
-                            } else {
-                                constraint_violations += 1;
-                                stats.discarded_stale += 1;
-                                false
-                            }
-                        }
-                    };
-                    if apply {
-                        views[w][c] = v;
-                        view_labels[w][c] = l;
-                        if env.partial {
-                            partial_reads += 1;
-                        }
-                    }
-                }
-            }
-
-            // Record the step *before* writing: active set = the owned
-            // block, labels = the producing steps of the view being read.
-            trace.push_step(&blocks[w], &view_labels[w]);
-
-            // Jacobi within the block: all components read the same view.
-            op.update_active_with(&views[w], &blocks[w], &mut upd, &mut scratch);
-            for &i in &blocks[w] {
-                let v = upd[i];
-                if !v.is_finite() {
-                    return Err(RuntimeError::NonFiniteIterate {
-                        at_step: j,
-                        component: i,
-                    });
-                }
-                views[w][i] = v;
-                view_labels[w][i] = j;
-            }
-            per_worker_updates[w] += 1;
-            steps_run = j;
-
-            // Exchange: post the block (or a partial subset) to peers.
-            if workers > 1 && per_worker_updates[w].is_multiple_of(cfg.exchange_every) {
-                let partial = cfg.partial_prob > 0.0 && r.random_range(0.0..1.0) < cfg.partial_prob;
-                let mut comps: Vec<(u32, f64, u64)> = blocks[w]
-                    .iter()
-                    .map(|&i| (i as u32, views[w][i], view_labels[w][i]))
-                    .collect();
-                if partial {
-                    partial_publishes += 1;
-                    comps.retain(|_| r.random_range(0..2u32) == 1);
-                    if comps.is_empty() {
-                        // A partial exchange carries at least one entry.
-                        let i = blocks[w][r.random_range(0..blocks[w].len())];
-                        comps.push((i as u32, views[w][i], view_labels[w][i]));
-                    }
-                }
-                if let Some(sc) = cfg.sever_component {
-                    comps.retain(|&(c, _, _)| c as usize != sc);
-                }
-                if !comps.is_empty() {
-                    for dest in 0..workers {
-                        if dest == w {
-                            continue;
-                        }
-                        stats.sent += 1;
-                        if r.random_range(0.0..1.0) < cfg.drop_prob {
-                            stats.dropped += 1;
-                            continue;
-                        }
-                        let post =
-                            |r: &mut StdRng,
-                             seq: &mut u64,
-                             stats: &mut ClusterStats,
-                             boxes: &mut Vec<BinaryHeap<Envelope>>| {
-                                let mut latency = cfg.link.sample(r);
-                                if r.random_range(0.0..1.0) < cfg.hold_prob {
-                                    stats.held += 1;
-                                    latency += r.random_range(1..=cfg.hold_extra.max(1));
-                                }
-                                *seq += 1;
-                                boxes[dest].push(Envelope {
-                                    deliver_at: j.saturating_add(latency),
-                                    seq: *seq,
-                                    comps: comps.clone(),
-                                    partial,
-                                });
-                            };
-                        if r.random_range(0.0..1.0) < cfg.dup_prob {
-                            stats.duplicated += 1;
-                            post(&mut r, &mut seq, &mut stats, &mut mailboxes);
-                        }
-                        post(&mut r, &mut seq, &mut stats, &mut mailboxes);
-                    }
-                }
-            }
-
-            // Observability and stopping on the consensus vector.
-            let want_error = cfg.error_every > 0 && j % cfg.error_every == 0;
-            let want_residual = cfg.residual_every > 0 && j % cfg.residual_every == 0;
-            let want_stop = cfg.target_residual.is_some() && j % cfg.check_every.max(1) == 0;
-            if want_error || want_residual || want_stop {
-                assemble_consensus(&views, &mut consensus);
-                if want_error {
-                    let xs = xstar.expect("validated: error_every requires xstar");
-                    errors.push((j, asynciter_numerics::vecops::max_abs_diff(&consensus, xs)));
-                }
-                if want_residual || want_stop {
-                    let residual = op.residual_inf_with(&consensus, &mut scratch);
-                    if want_residual {
-                        residuals.push((j, residual));
-                    }
-                    if want_stop && cfg.target_residual.is_some_and(|eps| residual <= eps) {
-                        stopped_early = true;
-                        break;
-                    }
-                }
-            }
-        }
-
-        assemble_consensus(&views, &mut consensus);
-        let final_residual = op.residual_inf(&consensus);
-        Ok(ClusterRunResult {
-            local_views: views,
-            consensus,
-            final_residual,
-            stats,
-            trace,
-            steps_run,
-            per_worker_updates,
-            errors,
-            residuals,
-            stopped_early,
-            partial_publishes,
-            partial_reads,
-            constraint_checked,
-            constraint_violations,
-            wall: start.elapsed(),
-        })
+        let mut cursor = ClusterCursor::new(op, x0, partition, cfg, xstar)?;
+        while cursor.step()? == StepStatus::Running {}
+        Ok(cursor.into_result())
     }
 }
 
@@ -630,6 +920,98 @@ mod tests {
         assert!(res.stats.sent > 0);
         assert_eq!(res.stats.dropped, 0);
         assert_eq!(res.per_worker_updates, vec![300; 3]);
+    }
+
+    #[test]
+    fn cursor_stepping_matches_run_to_completion_bitwise() {
+        let op = jacobi(16);
+        let p = Partition::blocks(16, 4).unwrap();
+        let mut cfg = ClusterConfig::new(400)
+            .with_faults(0.3, 0.15, 0.1)
+            .with_link(LinkModel::Jitter { lo: 1, hi: 5 })
+            .with_seed(41)
+            .with_record(LabelStore::Full);
+        cfg.partial_prob = 0.25;
+        let whole = ClusterEngine::run(&op, &[0.0; 16], &p, &cfg, None).unwrap();
+        let mut cursor = ClusterCursor::new(&op, &[0.0; 16], &p, &cfg, None).unwrap();
+        while cursor.step().unwrap() == StepStatus::Running {}
+        let stepped = cursor.into_result();
+        assert_eq!(whole.consensus, stepped.consensus);
+        assert_eq!(whole.stats, stepped.stats);
+        assert_eq!(whole.steps_run, stepped.steps_run);
+        for j in 1..=whole.trace.len() as u64 {
+            assert_eq!(
+                whole.trace.labels(j).unwrap(),
+                stepped.trace.labels(j).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_replays_bit_identically() {
+        let op = jacobi(12);
+        let p = Partition::blocks(12, 3).unwrap();
+        let cfg = ClusterConfig::new(300)
+            .with_faults(0.25, 0.2, 0.15)
+            .with_link(LinkModel::HeavyTail {
+                scale: 1,
+                alpha: 1.3,
+            })
+            .with_seed(7)
+            .with_record(LabelStore::Full);
+        let mut cursor = ClusterCursor::new(&op, &[0.0; 12], &p, &cfg, None).unwrap();
+        for _ in 0..100 {
+            assert_eq!(cursor.step().unwrap(), StepStatus::Running);
+        }
+        let snap = cursor.snapshot();
+        assert_eq!(cursor.next_step(), 101);
+        // First continuation.
+        while cursor.step().unwrap() == StepStatus::Running {}
+        let a = cursor.snapshot();
+        // Rewind and continue again: the RNG stream is part of the
+        // snapshot, so both continuations must agree bitwise.
+        cursor.restore(&snap);
+        assert_eq!(cursor.next_step(), 101);
+        while cursor.step().unwrap() == StepStatus::Running {}
+        let b = cursor.snapshot();
+        assert_eq!(a.views, b.views);
+        assert_eq!(a.view_labels, b.view_labels);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.seq, b.seq);
+        assert_eq!(a.steps_run, b.steps_run);
+        let res = cursor.into_result();
+        assert_eq!(res.steps_run, 300);
+    }
+
+    #[test]
+    fn apply_message_keep_freshest_counts_stale_entries() {
+        let mut view = vec![0.0, 0.0];
+        let mut labels = vec![5u64, 1];
+        let out = apply_message(
+            &mut view,
+            &mut labels,
+            &[(0, 9.0, 3), (1, 7.0, 4)],
+            ApplyPolicy::KeepFreshest,
+        );
+        assert_eq!(
+            out,
+            MessageApply {
+                applied: 1,
+                checked: 2,
+                stale: 1
+            }
+        );
+        assert_eq!(view, vec![0.0, 7.0]);
+        assert_eq!(labels, vec![5, 4]);
+        let out = apply_message(
+            &mut view,
+            &mut labels,
+            &[(0, 9.0, 3)],
+            ApplyPolicy::AsReceived,
+        );
+        assert_eq!(out.applied, 1);
+        assert_eq!(out.checked, 0);
+        assert_eq!(labels, vec![3, 4]);
     }
 
     #[test]

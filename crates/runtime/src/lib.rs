@@ -31,6 +31,8 @@
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 
 pub mod async_engine;
 pub mod cluster;
@@ -44,7 +46,8 @@ pub mod termination;
 
 pub use async_engine::{AsyncConfig, AsyncRunResult, AsyncSharedRunner, SnapshotMode, TraceRecord};
 pub use cluster::{
-    ApplyPolicy, ClusterConfig, ClusterEngine, ClusterRunResult, ClusterStats, LinkModel,
+    apply_message, produce_step, ApplyPolicy, ClusterConfig, ClusterCursor, ClusterEngine,
+    ClusterRunResult, ClusterSnapshot, ClusterStats, LinkModel, MessageApply, StepStatus,
 };
 pub use error::RuntimeError;
 pub use session::{Barrier, Cluster, SharedMem};

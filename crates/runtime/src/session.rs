@@ -117,7 +117,7 @@ impl Backend for SharedMem {
     fn run(
         &mut self,
         problem: &Problem<'_>,
-        ctl: &mut RunControl,
+        ctl: &mut RunControl<'_>,
     ) -> asynciter_core::Result<RunReport> {
         if ctl.error_every > 0 {
             return Err(unsupported(self.name(), "error sampling"));
@@ -220,7 +220,7 @@ impl Backend for Barrier {
     fn run(
         &mut self,
         problem: &Problem<'_>,
-        ctl: &mut RunControl,
+        ctl: &mut RunControl<'_>,
     ) -> asynciter_core::Result<RunReport> {
         if ctl.error_every > 0 {
             return Err(unsupported(self.name(), "error sampling"));
@@ -355,7 +355,7 @@ impl Backend for Cluster {
     fn run(
         &mut self,
         problem: &Problem<'_>,
-        ctl: &mut RunControl,
+        ctl: &mut RunControl<'_>,
     ) -> asynciter_core::Result<RunReport> {
         if ctl.schedule.is_some() {
             return Err(unsupported(

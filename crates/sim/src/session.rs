@@ -32,7 +32,7 @@ impl Backend for Sim {
     fn run(
         &mut self,
         problem: &Problem<'_>,
-        ctl: &mut RunControl,
+        ctl: &mut RunControl<'_>,
     ) -> asynciter_core::Result<RunReport> {
         if ctl.stopping.is_some() {
             return Err(unsupported(self.name(), "a stopping rule"));

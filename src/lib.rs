@@ -65,9 +65,16 @@
 //! - [`report`] — CSV/ASCII-chart output used by the experiment binaries.
 //! - [`conformance`] — the conformance fuzzer: seeded admissible-schedule
 //!   generation, shrinking, and differential cross-backend oracles.
+//! - [`mc`] — the bounded exhaustive model checker: every admissible
+//!   interleaving of a small cluster scope, verified (not sampled), with
+//!   shrinker-integrated counterexamples.
+
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 
 pub use asynciter_conformance as conformance;
 pub use asynciter_core as core;
+pub use asynciter_mc as mc;
 pub use asynciter_models as models;
 pub use asynciter_numerics as numerics;
 pub use asynciter_opt as opt;

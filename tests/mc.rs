@@ -1,0 +1,159 @@
+//! Tier-1 model-checker suite: fixture locks, exploration determinism,
+//! and scope verdicts, run on every `cargo test`.
+//!
+//! The sweeps here are the *real* exhaustive explorations of the small
+//! scopes (thousands of canonical states), not samples — cheap enough
+//! for the always-on tier. The committed `mc-*.trace` fixtures are the
+//! deterministic outputs of the demo generators; these tests prove the
+//! generators still produce them byte for byte, that DFS and BFS agree
+//! on the explored graph, and that the reorder scope rediscovers the
+//! out-of-order violation class of `fault-cluster-reorder.trace`.
+
+use asynciter::conformance::cluster::has_label_regression;
+use asynciter::conformance::corpus::load_trace;
+use asynciter::mc::counterexample::envelope_violation;
+use asynciter::mc::explore::rebuild;
+use asynciter::mc::{
+    explore, find_reorder_demo, inject_bug_demo, state_hash, McProblem, McState, Property, Scope,
+    Strategy,
+};
+use std::path::Path;
+
+const CORPUS_DIR: &str = "tests/corpus";
+
+/// Re-runs a demo generator into a temp dir and returns the fresh bytes.
+fn regenerate(name: &str, demo: fn(&Path) -> Result<(u64, u64), String>) -> String {
+    let dir = std::env::temp_dir().join(format!("asynciter-mc-tier1-{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = dir.join(name);
+    demo(&out).unwrap_or_else(|e| panic!("{name}: demo failed: {e}"));
+    let bytes = std::fs::read_to_string(&out).unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+    bytes
+}
+
+#[test]
+fn mc_fixtures_reproduce_from_the_demos_bit_for_bit() {
+    for (name, demo) in [
+        (
+            "mc-bug-severed-apply.trace",
+            inject_bug_demo as fn(&Path) -> Result<(u64, u64), String>,
+        ),
+        ("mc-reorder.trace", find_reorder_demo),
+    ] {
+        let committed = std::fs::read_to_string(Path::new(CORPUS_DIR).join(name))
+            .unwrap_or_else(|e| panic!("{name}: committed fixture missing: {e}"));
+        let fresh = regenerate(name, demo);
+        assert_eq!(
+            committed, fresh,
+            "{name}: demo output drifted from the committed fixture"
+        );
+    }
+}
+
+#[test]
+fn mc_bug_fixture_carries_the_envelope_violation_signature() {
+    let trace = load_trace(&Path::new(CORPUS_DIR).join("mc-bug-severed-apply.trace")).unwrap();
+    assert!(
+        envelope_violation(&trace, Scope::inject().envelope),
+        "severed-apply fixture lost its frozen-label signature"
+    );
+    assert!(
+        !has_label_regression(&trace, Scope::inject().workers),
+        "severed-apply fixture is a freeze, not a regression"
+    );
+}
+
+#[test]
+fn mc_reorder_fixture_is_the_fault_cluster_reorder_class() {
+    // The same trace-level signature that defines the committed
+    // `fault-cluster-reorder.trace` fuzzer find: a component's label
+    // regressing between one worker's consecutive turns.
+    let trace = load_trace(&Path::new(CORPUS_DIR).join("mc-reorder.trace")).unwrap();
+    assert!(
+        has_label_regression(&trace, Scope::reorder().workers),
+        "reorder fixture lost the label regression"
+    );
+}
+
+#[test]
+fn state_hash_locks_the_canonical_encoding() {
+    // Known-value lock on the 128-bit FNV over the canonical byte
+    // encoding: any change to field order, endianness, or the encoding
+    // itself shows up here before it silently invalidates dedup.
+    let problem = McProblem::build();
+    let quick = state_hash(&McState::initial(&Scope::quick(), &problem));
+    assert_eq!(
+        quick, 0xc12df9481a04f9685f8430cf8eebbb4e,
+        "quick-scope root hash drifted"
+    );
+    // Every dynamic field participates in the hash: read history …
+    let mut with_history = McState::initial(&Scope::quick(), &problem);
+    with_history.prev_read[0] = vec![1; 16];
+    let with_history = state_hash(&with_history);
+    assert_ne!(quick, with_history, "read-history must be hashed");
+    // … and the step counter.
+    let mut stepped = McState::initial(&Scope::quick(), &problem);
+    stepped.next_step = 2;
+    assert_ne!(quick, state_hash(&stepped), "step counter must be hashed");
+    // Determinism: same state, same hash.
+    assert_eq!(
+        quick,
+        state_hash(&McState::initial(&Scope::quick(), &problem))
+    );
+}
+
+#[test]
+fn exploration_is_deterministic_and_strategy_invariant() {
+    let scope = Scope::quick();
+    let problem = McProblem::build();
+    let a = explore(&scope, &problem, Strategy::Dfs, u64::MAX, false);
+    let b = explore(&scope, &problem, Strategy::Dfs, u64::MAX, false);
+    assert_eq!(a.stats, b.stats, "same scope, same search, same counters");
+    // BFS explores the identical state graph; only the frontier shape
+    // (and hence its high-water mark) may differ.
+    let c = explore(&scope, &problem, Strategy::Bfs, u64::MAX, false);
+    assert_eq!(a.stats.visited, c.stats.visited, "DFS/BFS visited differ");
+    assert_eq!(a.stats.dedup_hits, c.stats.dedup_hits);
+    assert_eq!(a.stats.edges, c.stats.edges);
+    assert_eq!(a.stats.terminals, c.stats.terminals);
+    assert_eq!(a.stats.pruned_capacity, c.stats.pruned_capacity);
+    assert_eq!(a.stats.pruned_inadmissible, c.stats.pruned_inadmissible);
+    assert!(a.violation.is_none() && c.violation.is_none());
+}
+
+#[test]
+fn quick_and_flex_scopes_verify_exhaustively() {
+    let problem = McProblem::build();
+    for (scope, expect_visited) in [(Scope::quick(), 4054u64), (Scope::flex(), 5044u64)] {
+        let out = explore(&scope, &problem, Strategy::Dfs, u64::MAX, false);
+        assert!(!out.truncated, "{}: sweep truncated", scope.name);
+        assert!(
+            out.violation.is_none(),
+            "{}: unexpected violation: {:?}",
+            scope.name,
+            out.violation
+        );
+        assert_eq!(
+            out.stats.visited, expect_visited,
+            "{}: explored state count drifted — transition relation changed",
+            scope.name
+        );
+    }
+}
+
+#[test]
+fn reorder_scope_rediscovers_the_out_of_order_class() {
+    let scope = Scope::reorder();
+    let problem = McProblem::build();
+    let out = explore(&scope, &problem, Strategy::Dfs, u64::MAX, true);
+    let found = out
+        .violation
+        .expect("reorder probe found nothing — channel model lost out-of-order delivery");
+    assert_eq!(found.violation.property, Property::Reorder);
+    let (trace, _) = rebuild(&scope, &problem, &found.path);
+    assert!(
+        has_label_regression(&trace, scope.workers),
+        "rebuilt witness lost the regression"
+    );
+}
