@@ -7,7 +7,8 @@
 //! artefact: it sweeps the cross-product of
 //!
 //! - **backends** — `replay`, `flexible`, `shared-mem`, `barrier`,
-//!   `sim`, `cluster` (every engine behind the unified `Session` API),
+//!   `sim`, `cluster`, `threaded-cluster` (every engine behind the
+//!   unified `Session` API),
 //! - **problems** — Jacobi/quadratic, lasso via prox-gradient,
 //!   Bellman–Ford routing, and the obstacle problem,
 //! - **delay models** — no delay, bounded, unbounded heavy-tail,
@@ -52,7 +53,7 @@ use asynciter_opt::proxgrad::{gamma_max, SparseProxGrad};
 use asynciter_opt::traits::{Operator, SmoothObjective};
 use asynciter_report::json::{GateDoc, GateRecord};
 use asynciter_report::TextTable;
-use asynciter_runtime::session::{Barrier, Cluster, SharedMem};
+use asynciter_runtime::session::{Barrier, Cluster, SharedMem, ThreadedCluster};
 use asynciter_runtime::{ApplyPolicy, LinkModel};
 use asynciter_sim::compute::{ComputeModel, LatencyModel};
 use asynciter_sim::runner::SimConfig;
@@ -120,7 +121,7 @@ impl ProblemId {
     }
 }
 
-/// The backend axis (the six `Session` engines).
+/// The backend axis (the seven `Session` engines).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BackendId {
     /// Deterministic Definition-1 replay.
@@ -135,17 +136,21 @@ pub enum BackendId {
     Sim,
     /// Deterministic sharded message-passing cluster.
     Cluster,
+    /// Genuinely concurrent message-passing cluster (worker threads
+    /// over the transport seam).
+    Threaded,
 }
 
 impl BackendId {
     /// Every backend, sweep order.
-    pub const ALL: [BackendId; 6] = [
+    pub const ALL: [BackendId; 7] = [
         BackendId::Replay,
         BackendId::Flexible,
         BackendId::SharedMem,
         BackendId::Barrier,
         BackendId::Sim,
         BackendId::Cluster,
+        BackendId::Threaded,
     ];
 
     /// Stable identifier used in records and baselines.
@@ -157,6 +162,7 @@ impl BackendId {
             BackendId::Barrier => "barrier",
             BackendId::Sim => "sim",
             BackendId::Cluster => "cluster",
+            BackendId::Threaded => "threaded-cluster",
         }
     }
 }
@@ -323,6 +329,10 @@ fn step_budget(pid: ProblemId, bid: BackendId, mode: GateMode) -> u64 {
         // large budget with a residual target so every cell records
         // "steps to converge" rather than "steps spent".
         (_, BackendId::Cluster) => 400_000,
+        // Threaded workers are free-running like shared-mem: under
+        // coarse OS interleaving any fixed budget can be burned by one
+        // worker, so the cell is residual-driven with a huge backstop.
+        (_, BackendId::Threaded) => 4_000_000,
         (ProblemId::Obstacle, BackendId::Replay | BackendId::Flexible) => 12_000,
         (ProblemId::Obstacle, BackendId::Barrier) => 150,
         (ProblemId::Obstacle, BackendId::Sim) => 2_000,
@@ -342,7 +352,7 @@ fn step_budget(pid: ProblemId, bid: BackendId, mode: GateMode) -> u64 {
     match mode {
         GateMode::Quick => quick,
         GateMode::Full => match bid {
-            BackendId::SharedMem | BackendId::Cluster => quick,
+            BackendId::SharedMem | BackendId::Cluster | BackendId::Threaded => quick,
             _ => quick * 4,
         },
     }
@@ -406,6 +416,20 @@ fn fidelity_of(bid: BackendId, did: DelayId) -> (&'static str, &'static str) {
             "held messages delivered behind newer ones under AsReceived",
         ),
         (Cluster, FlexiblePartial) => ("exact", "partial block messages folded in as they arrive"),
+        (Threaded, NoDelay) => ("exact", "single worker: every read is fresh"),
+        (Threaded, Bounded) => (
+            "approx",
+            "real-thread scheduling: staleness bounded in practice, not certified",
+        ),
+        (Threaded, UnboundedHeavyTail) => (
+            "approx",
+            "aggressively held messages model unbounded delays (not Pareto-distributed)",
+        ),
+        (Threaded, OutOfOrder) => (
+            "exact",
+            "held messages delivered behind newer ones under AsReceived",
+        ),
+        (Threaded, FlexiblePartial) => ("exact", "partial block messages folded in as they arrive"),
         _ => ("exact", ""),
     }
 }
@@ -628,6 +652,46 @@ fn run_session(
             // Sequential and deterministic, but still a residual target:
             // cells record steps-to-converge (single-core safe by
             // construction).
+            s.stopping(StoppingRule::Residual {
+                eps: 1e-9,
+                check_every: 16,
+            })
+            .backend(backend)
+            .run()
+        }
+        BackendId::Threaded => {
+            let workers = if did == DelayId::NoDelay { 1 } else { threads };
+            let backend = match did {
+                // Real-thread scheduling is the delay model itself for
+                // the synchronous and bounded cells.
+                DelayId::NoDelay | DelayId::Bounded => ThreadedCluster {
+                    workers,
+                    ..ThreadedCluster::default()
+                },
+                DelayId::UnboundedHeavyTail => ThreadedCluster {
+                    workers,
+                    hold_prob: 0.4,
+                    hold_extra: 24,
+                    ..ThreadedCluster::default()
+                },
+                DelayId::OutOfOrder => ThreadedCluster {
+                    workers,
+                    hold_prob: 0.3,
+                    hold_extra: 8,
+                    drop_prob: 0.1,
+                    dup_prob: 0.05,
+                    apply_policy: ApplyPolicy::AsReceived,
+                    ..ThreadedCluster::default()
+                },
+                DelayId::FlexiblePartial => ThreadedCluster {
+                    workers,
+                    partial_prob: 0.5,
+                    apply_policy: ApplyPolicy::KeepFreshest,
+                    ..ThreadedCluster::default()
+                },
+            };
+            // Racy by nature: free-running workers need a convergence
+            // target, not a step count (see `step_budget`).
             s.stopping(StoppingRule::Residual {
                 eps: 1e-9,
                 check_every: 16,

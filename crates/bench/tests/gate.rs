@@ -54,7 +54,7 @@ fn gate_quick_end_to_end() {
     assert_eq!(doc.mode, "quick");
     assert_eq!(
         doc.records.len(),
-        6 * 6 * 5,
+        7 * 6 * 5,
         "full backend x problem x delay matrix"
     );
     assert!(
@@ -67,8 +67,12 @@ fn gate_quick_end_to_end() {
             .collect::<Vec<_>>()
     );
     let cov = coverage(&doc);
-    assert_eq!(cov.backends.len(), 6, "all 6 backends covered");
+    assert_eq!(cov.backends.len(), 7, "all 7 backends covered");
     assert!(cov.backends.contains("cluster"), "cluster backend present");
+    assert!(
+        cov.backends.contains("threaded-cluster"),
+        "threaded backend present"
+    );
     assert_eq!(cov.problems.len(), 6, "all 6 problems covered");
     assert!(
         cov.problems.contains("logistic") && cov.problems.contains("network-flow"),

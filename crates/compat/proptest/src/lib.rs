@@ -301,10 +301,12 @@ pub mod collection {
 /// The greedy minimisation machinery behind [`Strategy::shrink`].
 ///
 /// Everything here is deterministic: candidate enumeration depends only
-/// on the input value, and [`minimize`] always takes the first failing
+/// on the input value, and [`minimize`](shrink::minimize) always takes
+/// the first failing
 /// candidate, so a given failure minimises to the same counterexample on
 /// every run. Callers with domain objects no strategy describes (the
-/// conformance fuzzer's traces) drive [`minimize`] with their own
+/// conformance fuzzer's traces) drive [`minimize`](shrink::minimize)
+/// with their own
 /// candidate functions.
 pub mod shrink {
     /// Greedily minimises a failing value: repeatedly replaces the

@@ -5,7 +5,7 @@
 //! model (link latency distribution + hold/drop/duplicate fault
 //! probabilities + flexible partial-exchange probability), all derived
 //! from one seed. Building the plan yields a
-//! [`Cluster`](asynciter_runtime::session::Cluster) backend whose run
+//! [`Cluster`] backend whose run
 //! is a deterministic function of `(plan, problem)` — a failing case
 //! replays from its plan alone, exactly like the schedule plans in
 //! [`crate::plan`].
@@ -17,8 +17,14 @@
 //! message-passing analogue of the Sim↔Replay oracle, covering
 //! out-of-order, lossy, duplicating and partially-communicating
 //! channels.
+//!
+//! [`ThreadedPlan`] is the concurrent sibling: the same fault recipe
+//! executed by free-running worker threads. Its runs are racy, so the
+//! matching oracle ([`crate::oracle::threaded_replay_equivalence`])
+//! verifies each live run against its own recorded trace instead of
+//! regenerating from the plan.
 
-use asynciter_runtime::session::Cluster;
+use asynciter_runtime::session::{Cluster, ThreadedCluster};
 use asynciter_runtime::{ApplyPolicy, LinkModel};
 use rand::rngs::StdRng;
 use rand::RngExt;
@@ -130,6 +136,108 @@ impl ClusterPlan {
             self.exchange_every,
             self.apply_policy,
             self.link,
+            self.hold_prob,
+            self.hold_extra,
+            self.drop_prob,
+            self.dup_prob,
+            self.partial_prob,
+        )
+    }
+}
+
+/// One *concurrent* message-passing fuzz case: a seeded fault recipe
+/// for the genuinely threaded cluster.
+///
+/// Unlike [`ClusterPlan`], the run this describes is racy — the OS
+/// scheduler decides the executed interleaving, so two runs of the same
+/// plan record different traces. The plan is therefore not a
+/// regenerable phenotype; the differential oracle
+/// [`crate::oracle::threaded_replay_equivalence`] instead checks each
+/// *live* run against its own recorded trace (bit-identical replay,
+/// condition (a), convergence).
+#[derive(Debug, Clone)]
+pub struct ThreadedPlan {
+    /// Number of worker threads (shards).
+    pub workers: usize,
+    /// Step budget — a backstop only; runs stop on a residual target.
+    pub max_steps: u64,
+    /// Fault/partial-selection seed (per-worker streams derive from it).
+    pub seed: u64,
+    /// Exchange period (post a block message every this many updates).
+    pub exchange_every: u64,
+    /// Receiver policy.
+    pub apply_policy: ApplyPolicy,
+    /// Hold probability (out-of-order delivery over FIFO channels).
+    pub hold_prob: f64,
+    /// Maximum extra sends a held message waits for.
+    pub hold_extra: u64,
+    /// Drop probability (message loss).
+    pub drop_prob: f64,
+    /// Duplication probability.
+    pub dup_prob: f64,
+    /// Partial (subset) exchange probability — flexible communication.
+    pub partial_prob: f64,
+}
+
+impl ThreadedPlan {
+    /// Samples a random plan for an `n`-dimensional problem with a
+    /// `max_steps` backstop budget. Fault probabilities are capped the
+    /// same way as [`ClusterPlan::sample`] so every sampled channel
+    /// still converges.
+    ///
+    /// # Panics
+    /// Panics when `n < 4` or `max_steps == 0`.
+    pub fn sample(rng_: &mut StdRng, n: usize, max_steps: u64) -> Self {
+        assert!(n >= 4, "ThreadedPlan::sample: need n >= 4");
+        assert!(max_steps > 0, "ThreadedPlan::sample: need max_steps > 0");
+        Self {
+            workers: rng_.random_range(2..=4.min(n / 2)),
+            max_steps,
+            seed: rng_.random::<u64>(),
+            exchange_every: rng_.random_range(1..=3),
+            apply_policy: if rng_.random() {
+                ApplyPolicy::AsReceived
+            } else {
+                ApplyPolicy::KeepFreshest
+            },
+            hold_prob: rng_.random_range(0.0..0.4),
+            hold_extra: rng_.random_range(4..=16),
+            drop_prob: rng_.random_range(0.0..0.25),
+            dup_prob: rng_.random_range(0.0..0.2),
+            partial_prob: if rng_.random() {
+                0.0
+            } else {
+                rng_.random_range(0.3..0.8)
+            },
+        }
+    }
+
+    /// Builds the `Session` backend described by this plan.
+    pub fn backend(&self) -> ThreadedCluster {
+        ThreadedCluster {
+            workers: self.workers,
+            partition: None,
+            exchange_every: self.exchange_every,
+            apply_policy: self.apply_policy,
+            hold_prob: self.hold_prob,
+            hold_extra: self.hold_extra,
+            drop_prob: self.drop_prob,
+            dup_prob: self.dup_prob,
+            partial_prob: self.partial_prob,
+            quiesce: None,
+        }
+    }
+
+    /// One-line description for reports and failure records.
+    pub fn describe(&self) -> String {
+        format!(
+            "threaded-plan(seed={:#x}, workers={}, max_steps={}, exchange={}, {:?}, \
+             hold={:.2}+{}, drop={:.2}, dup={:.2}, partial={:.2})",
+            self.seed,
+            self.workers,
+            self.max_steps,
+            self.exchange_every,
+            self.apply_policy,
             self.hold_prob,
             self.hold_extra,
             self.drop_prob,

@@ -10,6 +10,14 @@
 //! - `cluster-<k>.trace` — executed message-passing schedules of the
 //!   canonical [`cluster_plans`] (recorded on the Jacobi problem),
 //!   locking the cluster engine's channel model the same way;
+//! - `threaded-<k>.trace` — one *witnessed execution* of the canonical
+//!   [`threaded_plan`] on the Jacobi problem: a genuinely concurrent,
+//!   faulty multi-worker run whose recorded schedule was verified to
+//!   replay bit-identically at record time (`--record-threaded`).
+//!   Racy runs cannot be regenerated from their plan, so unlike the
+//!   other seeds these are *not* compared against a regeneration —
+//!   they are re-validated as admissible, deterministically replayable
+//!   schedules;
 //! - `fault-*.trace` — minimised counterexamples produced by the
 //!   shrinker (from real failures or the `--inject-fault` /
 //!   `--cluster-reorder` demos), committed so the exact failing
@@ -18,7 +26,7 @@
 //! Corpus traces are deliberately short: they are schedule *seeds*, not
 //! convergence runs, so the files stay reviewable in version control.
 
-use crate::cluster::ClusterPlan;
+use crate::cluster::{ClusterPlan, ThreadedPlan};
 use crate::plan::SchedulePlan;
 use crate::problems::{ConformanceProblem, ProblemKind};
 use asynciter_core::session::{RecordMode, Session};
@@ -87,6 +95,38 @@ pub fn record_cluster_trace(plan: &ClusterPlan) -> Trace {
         .expect("canonical cluster plan runs")
         .trace
         .expect("RecordMode::Full keeps the trace")
+}
+
+/// The canonical threaded (genuinely concurrent) plan behind
+/// `threaded-00.trace`: a faulty three-worker recipe on the Jacobi
+/// problem. The plan is canonical; its *executions* are racy, so the
+/// committed trace is one witnessed run, not a regenerable phenotype.
+pub fn threaded_plan() -> ThreadedPlan {
+    ThreadedPlan {
+        workers: 3,
+        max_steps: 4_000_000,
+        seed: child_seed(CORPUS_SEED, 0x7D_00),
+        exchange_every: 1,
+        apply_policy: asynciter_runtime::ApplyPolicy::AsReceived,
+        hold_prob: 0.3,
+        hold_extra: 8,
+        drop_prob: 0.15,
+        dup_prob: 0.1,
+        partial_prob: 0.4,
+    }
+}
+
+/// Runs the canonical [`threaded_plan`] on the Jacobi problem and
+/// returns the recorded trace, *after* the
+/// [`crate::oracle::threaded_replay_equivalence`] oracle has verified
+/// it (condition (a), bit-identical replay, convergence). This is the
+/// `--record-threaded` recorder for `threaded-00.trace`.
+///
+/// # Errors
+/// Propagates the oracle's failure message.
+pub fn record_threaded_trace() -> Result<Trace, String> {
+    let problem = ConformanceProblem::build(ProblemKind::Jacobi);
+    crate::oracle::threaded_replay_equivalence(&problem, &threaded_plan())
 }
 
 /// Writes a trace to `path` in the archive format, creating parent

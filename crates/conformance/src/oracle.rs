@@ -25,14 +25,23 @@
 //! - [`cluster_degenerates_to_replay`] — the degenerate cluster
 //!   (1 worker, in-order, faultless) *is* the synchronous schedule:
 //!   bit-identical to `Replay` with the default schedule.
+//! - [`threaded_replay_equivalence`] — cross-backend, *racy* runs: a
+//!   genuinely concurrent threaded-cluster run (real threads, faulty
+//!   transport, residual-target stopping) records a trace that replays
+//!   bit-identically through the Definition-1 engine, satisfies
+//!   condition (a), and converges within the problem tolerance.
+//! - [`threaded_degenerates_to_cluster`] — one free-running worker with
+//!   a faultless transport executes exactly the sequential cluster's
+//!   step sequence: bit-identical iterates under the same budget.
 
-use crate::cluster::ClusterPlan;
+use crate::cluster::{ClusterPlan, ThreadedPlan};
 use crate::problems::ConformanceProblem;
 use asynciter_core::session::RecordMode;
 use asynciter_core::session::{Flexible, Replay, Session};
+use asynciter_core::stopping::StoppingRule;
 use asynciter_models::Partition;
 use asynciter_models::Trace;
-use asynciter_runtime::session::Cluster;
+use asynciter_runtime::session::{Cluster, ThreadedCluster};
 use asynciter_sim::compute::{ComputeModel, LatencyModel};
 use asynciter_sim::runner::SimConfig;
 use asynciter_sim::session::Sim;
@@ -329,6 +338,110 @@ pub fn cluster_degenerates_to_replay(
     Ok(())
 }
 
+/// Cross-backend equivalence for *racy* executions: a genuinely
+/// concurrent threaded-cluster run — real threads over a faulty
+/// transport, stopped by a residual target — must record a trace that
+/// satisfies condition (a) and replays bit-identically through the
+/// Definition-1 engine, and its consensus must converge within the
+/// problem tolerance.
+///
+/// Because the OS scheduler picks the interleaving, the run cannot be
+/// regenerated from the plan; the oracle checks the live run against
+/// its own trace and returns that trace (so callers may archive the
+/// witnessed execution).
+///
+/// # Errors
+/// A message naming the first divergent component, the failed
+/// condition, or the unconverged residual.
+pub fn threaded_replay_equivalence(
+    problem: &ConformanceProblem,
+    plan: &ThreadedPlan,
+) -> Result<Trace, String> {
+    // Stop two orders below the tolerance: the stopping rule reads
+    // worker 0's (slightly stale) local view, while the oracle judges
+    // the assembled consensus.
+    let eps = problem.tol / 100.0;
+    let run = Session::new(problem.op.as_ref())
+        .x0(problem.x0.clone())
+        .steps(plan.max_steps)
+        .seed(plan.seed)
+        .stopping(StoppingRule::Residual {
+            eps,
+            check_every: 16,
+        })
+        .record(RecordMode::Full)
+        .backend(plan.backend())
+        .run()
+        .map_err(|e| format!("threaded cluster failed: {e}"))?;
+    if !run.final_residual.is_finite() || run.final_residual > problem.tol {
+        return Err(format!(
+            "threaded: consensus residual {:.3e} above tolerance {:.1e} after {} steps",
+            run.final_residual, problem.tol, run.steps
+        ));
+    }
+    let trace = run.trace.clone().expect("RecordMode::Full");
+    asynciter_models::conditions::check_condition_a(&trace)
+        .map_err(|e| format!("threaded trace violates condition (a): {e}"))?;
+    let replay = Session::new(problem.op.as_ref())
+        .x0(problem.x0.clone())
+        .replay_trace(trace.clone())
+        .map_err(|e| format!("threaded trace not replayable: {e}"))?
+        .backend(Replay)
+        .run()
+        .map_err(|e| format!("replay of threaded trace failed: {e}"))?;
+    for (i, (a, b)) in run.final_x.iter().zip(&replay.final_x).enumerate() {
+        if a.to_bits() != b.to_bits() {
+            return Err(format!(
+                "threaded-equivalence: component {i} differs (threaded {a:?} vs replay {b:?}) \
+                 under {}",
+                plan.describe()
+            ));
+        }
+    }
+    Ok(trace)
+}
+
+/// The degenerate threaded cluster — one free-running worker, faultless
+/// transport — executes exactly the sequential cluster's step sequence:
+/// bit-identical iterates under the same budget. (Both share the same
+/// per-step arithmetic; this pins the concurrency layer itself to a
+/// no-op at one worker.)
+///
+/// # Errors
+/// A message naming the first divergent component.
+pub fn threaded_degenerates_to_cluster(
+    problem: &ConformanceProblem,
+    steps: u64,
+) -> Result<(), String> {
+    let threaded = Session::new(problem.op.as_ref())
+        .x0(problem.x0.clone())
+        .steps(steps)
+        .backend(ThreadedCluster {
+            workers: 1,
+            ..ThreadedCluster::default()
+        })
+        .run()
+        .map_err(|e| format!("degenerate threaded cluster failed: {e}"))?;
+    let cluster = Session::new(problem.op.as_ref())
+        .x0(problem.x0.clone())
+        .steps(steps)
+        .backend(Cluster {
+            workers: 1,
+            ..Cluster::default()
+        })
+        .run()
+        .map_err(|e| format!("sequential cluster failed: {e}"))?;
+    for (i, (a, b)) in threaded.final_x.iter().zip(&cluster.final_x).enumerate() {
+        if a.to_bits() != b.to_bits() {
+            return Err(format!(
+                "degenerate threaded cluster: component {i} differs \
+                 (threaded {a:?} vs cluster {b:?}) after {steps} steps"
+            ));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -361,6 +474,18 @@ mod tests {
             }
             cluster_degenerates_to_replay(&problem, 60).unwrap();
         }
+    }
+
+    #[test]
+    fn threaded_oracles_pass_on_sampled_plans() {
+        let problem = ConformanceProblem::build(ProblemKind::Jacobi);
+        let mut r = rng(29);
+        for _ in 0..2 {
+            let plan = ThreadedPlan::sample(&mut r, problem.n(), 4_000_000);
+            threaded_replay_equivalence(&problem, &plan)
+                .unwrap_or_else(|e| panic!("{}: {e}", plan.describe()));
+        }
+        threaded_degenerates_to_cluster(&problem, 60).unwrap();
     }
 
     #[test]

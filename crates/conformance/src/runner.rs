@@ -7,7 +7,9 @@
 //! oracles: metamorphic on every case, replay round-trip / flexible
 //! degradation / sim equivalence / cluster equivalence (a seeded
 //! message-passing plan whose recorded schedule must replay
-//! bit-identically) on striding subsets. Every campaign
+//! bit-identically) / threaded equivalence (a *racy* real-thread run
+//! checked against its own recorded schedule) on striding subsets.
+//! Every campaign
 //! also runs the *negative controls* — adversarial schedules the
 //! witness must reject — and re-validates the committed corpus.
 //!
@@ -18,7 +20,7 @@
 //!
 //! [`AdmissibilityWitness`]: asynciter_models::AdmissibilityWitness
 
-use crate::cluster::{has_label_regression, ClusterPlan};
+use crate::cluster::{has_label_regression, ClusterPlan, ThreadedPlan};
 use crate::corpus;
 use crate::oracle;
 use crate::plan::SchedulePlan;
@@ -53,6 +55,9 @@ pub struct CampaignConfig {
     pub sim_every: u64,
     /// Run the cluster-equivalence oracle every this many cases.
     pub cluster_every: u64,
+    /// Run the threaded-equivalence oracle (real concurrent workers)
+    /// every this many cases.
+    pub threaded_every: u64,
     /// Simulated iterations per sim-equivalence case.
     pub sim_iterations: u64,
     /// Predicate-evaluation budget per shrink.
@@ -73,6 +78,9 @@ impl CampaignConfig {
             sim_every: 10,
             // 240 quick cases / 3 = 80 cluster plans per quick campaign.
             cluster_every: 3,
+            // Coprime to the 5-problem stride so the (costlier) threaded
+            // cases sweep every problem family: 19 plans per quick run.
+            threaded_every: 13,
             sim_iterations: 300,
             shrink_budget: 100_000,
         }
@@ -239,6 +247,9 @@ fn oracles_for(cfg: &CampaignConfig, case: u64) -> Vec<&'static str> {
     if case.is_multiple_of(cfg.cluster_every) {
         out.push("cluster-equivalence");
     }
+    if case.is_multiple_of(cfg.threaded_every) {
+        out.push("threaded-equivalence");
+    }
     out
 }
 
@@ -387,6 +398,24 @@ fn check_corpus(
             if let Err(e) = plan.witness().check(&trace) {
                 fail("corpus-witness", &path, format!("witness rejected: {e}"));
             }
+        } else if stem.starts_with("threaded-") {
+            // Witnessed racy executions: there is no plan to regenerate
+            // against (the OS scheduler picked the interleaving), but
+            // the committed schedule must still be admissible and
+            // replay deterministically.
+            if let Err(e) = asynciter_models::conditions::check_condition_a(&trace) {
+                fail(
+                    "corpus-threaded-condition-a",
+                    &path,
+                    format!("condition (a) violated: {e}"),
+                );
+                continue;
+            }
+            if let Some(p) = problems.iter().find(|p| p.n() == trace.n()) {
+                if let Err(e) = oracle::replay_roundtrip(p, &trace) {
+                    fail("corpus-threaded-replay", &path, e);
+                }
+            }
         } else if stem.starts_with("fault-") || stem.starts_with("mc-") {
             // Replayability of committed counterexamples — fuzzer faults
             // and model-checker counterexamples alike: the matching
@@ -464,6 +493,14 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
                     oracle::cluster_replay_equivalence(problem, &cplan)
                         .map_err(|e| format!("{e} [{described}]"))
                 }
+                "threaded-equivalence" => {
+                    let mut tr = rng(child_seed(cfg.seed, case ^ 0x7DD));
+                    let tplan = ThreadedPlan::sample(&mut tr, problem.n(), 4_000_000);
+                    let described = tplan.describe();
+                    oracle::threaded_replay_equivalence(problem, &tplan)
+                        .map(|_trace| ())
+                        .map_err(|e| format!("{e} [{described}]"))
+                }
                 _ => unreachable!("unknown oracle"),
             };
             if let Err(message) = result {
@@ -476,7 +513,10 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
                     shrunk_steps: None,
                     trace_path: None,
                 };
-                if oracle_name != "sim-equivalence" && oracle_name != "cluster-equivalence" {
+                if !matches!(
+                    oracle_name,
+                    "sim-equivalence" | "cluster-equivalence" | "threaded-equivalence"
+                ) {
                     // These oracles consume the injected trace, so the
                     // trace is the shrinkable input.
                     let still_fails = |t: &Trace| match oracle_name {
@@ -676,6 +716,7 @@ pub fn conformance_main(args: &[String]) -> i32 {
     let mut cluster_reorder: Option<PathBuf> = None;
     let mut inject_cluster_fault = false;
     let mut regen_corpus = false;
+    let mut record_threaded: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -719,6 +760,13 @@ pub fn conformance_main(args: &[String]) -> i32 {
             }
             "--inject-cluster-fault" => inject_cluster_fault = true,
             "--regen-corpus" => regen_corpus = true,
+            "--record-threaded" => {
+                record_threaded = Some(
+                    it.next()
+                        .map(PathBuf::from)
+                        .unwrap_or_else(|| PathBuf::from("tests/corpus/threaded-00.trace")),
+                );
+            }
             "--help" | "-h" => return usage(""),
             other => return usage(&format!("unknown flag `{other}`")),
         }
@@ -738,6 +786,29 @@ pub fn conformance_main(args: &[String]) -> i32 {
             }
             Err(e) => {
                 eprintln!("corpus regeneration failed: {e}");
+                1
+            }
+        };
+    }
+
+    if let Some(out) = record_threaded {
+        // Racy by design: every invocation witnesses a different
+        // interleaving. The trace is only written after the oracle
+        // verified it (condition (a), bit-identical replay,
+        // convergence), so whatever lands in the corpus is sound.
+        return match corpus::record_threaded_trace().and_then(|trace| {
+            corpus::save_trace(&out, &trace)?;
+            Ok(trace.len())
+        }) {
+            Ok(steps) => {
+                println!(
+                    "recorded a verified {steps}-step threaded-cluster execution → {}",
+                    out.display()
+                );
+                0
+            }
+            Err(e) => {
+                eprintln!("record-threaded failed: {e}");
                 1
             }
         };
@@ -840,7 +911,8 @@ fn usage(err: &str) -> i32 {
     eprintln!(
         "usage: conformance [--quick|--soak] [--cases N] [--seed N] [--corpus DIR|--no-corpus]\n\
          \x20                  [--fault-dir DIR] [--out FILE] [--inject-fault [PATH]]\n\
-         \x20                  [--cluster-reorder [PATH]] [--inject-cluster-fault] [--regen-corpus]"
+         \x20                  [--cluster-reorder [PATH]] [--inject-cluster-fault] [--regen-corpus]\n\
+         \x20                  [--record-threaded [PATH]]"
     );
     i32::from(!err.is_empty()) * 2
 }
@@ -860,6 +932,7 @@ mod tests {
             flexible_every: 3,
             sim_every: 3,
             cluster_every: 3,
+            threaded_every: 3,
             sim_iterations: 120,
             shrink_budget: 20_000,
         }
@@ -875,6 +948,7 @@ mod tests {
         assert_eq!(report.oracle_runs["metamorphic"], 6);
         assert_eq!(report.oracle_runs["sim-equivalence"], 2);
         assert_eq!(report.oracle_runs["cluster-equivalence"], 2);
+        assert_eq!(report.oracle_runs["threaded-equivalence"], 2);
         // Observed coverage: 6 cases stride the 5 families (jacobi twice).
         assert_eq!(report.problem_cases["jacobi"], 2);
         for p in ["lasso", "obstacle", "logistic", "network-flow"] {

@@ -2,10 +2,12 @@
 //!
 //! The paper studies *one* iterate sequence — Eq. (1) with unbounded
 //! delays, out-of-order labels and flexible partial updates — but the
-//! workspace grew five ways of running it (deterministic replay, flexible
-//! communication, free-running threads, barrier-synchronous threads, and
-//! the discrete-event simulator), each with its own config and result
-//! types. This module collapses them behind three small pieces:
+//! workspace grew seven ways of running it (deterministic replay,
+//! flexible communication, free-running threads, barrier-synchronous
+//! threads, the discrete-event simulator, and two message-passing
+//! clusters: deterministic and genuinely concurrent), each with its own
+//! config and result types. This module collapses them behind three
+//! small pieces:
 //!
 //! - [`Problem`] — what is solved: the operator, the initial iterate and
 //!   (for experiments) the known fixed point.
@@ -13,10 +15,11 @@
 //!   residual sampling, stopping rule, trace recording, seed, and the
 //!   schedule for replay-style backends.
 //! - [`Backend`] — *where* Eq. (1) executes. [`Replay`] and [`Flexible`]
-//!   live here; `SharedMem { threads }`, `Barrier { threads }` and the
-//!   sharded message-passing `Cluster { workers, .. }` in
-//!   `asynciter-runtime`; `Sim(config)` in `asynciter-sim`. Every backend
-//!   populates the same [`RunReport`].
+//!   live here; `SharedMem { threads }`, `Barrier { threads }`, the
+//!   deterministic sharded message-passing `Cluster { workers, .. }` and
+//!   its genuinely concurrent sibling `ThreadedCluster { workers, .. }`
+//!   in `asynciter-runtime`; `Sim(config)` in `asynciter-sim`. Every
+//!   backend populates the same [`RunReport`].
 //!
 //! The fluent [`Session`] builder wires the three together:
 //!
@@ -187,10 +190,10 @@ pub struct RunReport {
     pub wall: Duration,
 }
 
-/// Maps a backend name to its canonical `&'static str` form — the six
-/// built-in engines, or `"unknown"` for anything else. Serializers use
-/// this to rebuild [`RunReport::backend`] from parsed text without
-/// leaking.
+/// Maps a backend name to its canonical `&'static str` form — the
+/// seven built-in engines, or `"unknown"` for anything else.
+/// Serializers use this to rebuild [`RunReport::backend`] from parsed
+/// text without leaking.
 pub fn canonical_backend_name(name: &str) -> &'static str {
     match name {
         "replay" => "replay",
@@ -199,6 +202,7 @@ pub fn canonical_backend_name(name: &str) -> &'static str {
         "barrier" => "barrier",
         "sim" => "sim",
         "cluster" => "cluster",
+        "threaded-cluster" => "threaded-cluster",
         _ => "unknown",
     }
 }
@@ -294,9 +298,24 @@ pub fn unsupported(backend: &'static str, what: &str) -> CoreError {
 
 /// Fluent builder for a single run: problem, controls, backend.
 ///
-/// See the [module docs](self) for a complete example. Unset fields get
-/// conservative defaults: `x0 = 0`, 10 000 steps, no recording, no
-/// stopping rule, and the [`Replay`] backend over a synchronous schedule.
+/// Unset fields get conservative defaults: `x0 = 0`, 10 000 steps, no
+/// recording, no stopping rule, and the [`Replay`] backend over a
+/// synchronous schedule — so the shortest possible session is just an
+/// operator and a `run()`:
+///
+/// ```
+/// use asynciter_core::session::Session;
+/// use asynciter_opt::linear::JacobiOperator;
+/// use asynciter_numerics::sparse::tridiagonal;
+///
+/// let op = JacobiOperator::new(tridiagonal(8, 4.0, -1.0), vec![1.0; 8]).unwrap();
+/// let report = Session::new(&op).run().unwrap();
+/// assert_eq!(report.backend, "replay");
+/// assert!(report.final_residual < 1e-10);
+/// ```
+///
+/// See the [module docs](self) for a complete example with an explicit
+/// schedule, recording, and backend selection.
 pub struct Session<'a> {
     op: &'a dyn Operator,
     x0: Option<Vec<f64>>,

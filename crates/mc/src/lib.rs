@@ -16,7 +16,9 @@
 //! - A [`scope::Scope`] fixes a small universe: 2–3 workers, ≤ 8
 //!   producing steps, which channel nondeterminism is switched on
 //!   (drops, duplicates, holds/reorders, partial-exchange subsets), a
-//!   mailbox capacity, and a [`DelayEnvelope`] used as an
+//!   mailbox capacity, and a
+//!   [`DelayEnvelope`](asynciter_models::conditions::DelayEnvelope)
+//!   used as an
 //!   *admissibility pruning predicate* — branches whose read staleness
 //!   leaves the envelope are not schedules the theorem speaks about, so
 //!   they are pruned (and counted) rather than explored.
@@ -33,13 +35,14 @@
 //!   choice semantics alone; admissibility pruning reads the spec book,
 //!   property checks read the engine book, so a bookkeeping bug in the
 //!   engine path cannot hide itself by steering the search
-//!   ([`explore`]).
+//!   ([`mod@explore`]).
 //! - Checked properties ([`invariants`]): residual monotonicity under
 //!   the operator's contraction certificate, `KeepFreshest` label
 //!   monotonicity, admissibility-witness preservation (spec book ≡
 //!   engine book + condition (a)), and convergence-at-horizon with a
 //!   bit-identical `Replay` cross-check of the recorded trace.
-//! - Every violation is rebuilt into a producing-step [`Trace`] in the
+//! - Every violation is rebuilt into a producing-step
+//!   [`Trace`](asynciter_models::trace::Trace) in the
 //!   corpus format, minimised through the PR 3 shrinker, and saved as a
 //!   `.trace` the tier-1 suite can replay forever
 //!   ([`counterexample`]).

@@ -566,7 +566,8 @@ impl<G: ScheduleGen> ScheduleGen for FrozenLabelAdversary<G> {
 // ---------------------------------------------------------------------------
 
 /// Clamps every label into the window `[j − D(j), j − 1]` of a
-/// [`DelayEnvelope`] — after this wrapper, conditions (a) and (b) hold
+/// [`DelayEnvelope`](crate::conditions::DelayEnvelope) — after this
+/// wrapper, conditions (a) and (b) hold
 /// *by construction* (and (d), for a bounded envelope), whatever the
 /// inner generator emits. The outermost guard of every fuzzer-composed
 /// schedule, and the reason a generated schedule's

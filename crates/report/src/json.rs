@@ -112,7 +112,7 @@ impl Json {
 
     /// The number as a non-negative integer, if it is one exactly.
     ///
-    /// Mirrors [`render_number`]'s integer path exactly: `-0.0` is
+    /// Mirrors the writer's `render_number` integer path exactly: `-0.0` is
     /// rejected (it renders as a float, not an integer) and the bound is
     /// an *exclusive* `< 2^53` (at `2^53` adjacent integers collide in
     /// `f64`, so "exactly an integer" is no longer well-defined).
@@ -1141,6 +1141,16 @@ mod tests {
         assert_eq!(parsed.backend, "cluster");
         assert_eq!(parsed.constraint_checked, 7);
         assert_eq!(parsed.constraint_violations, 2);
+    }
+
+    #[test]
+    fn threaded_cluster_backend_name_round_trips() {
+        // The seventh backend must survive the serialisation round trip
+        // (canonical_backend_name knows it).
+        let mut report = sample_report();
+        report.backend = "threaded-cluster";
+        let parsed = run_report_from_json(&run_report_to_json(&report)).unwrap();
+        assert_eq!(parsed.backend, "threaded-cluster");
     }
 
     #[test]

@@ -22,13 +22,16 @@
 //!   the message level. Receivers fold partials in under an
 //!   [`ApplyPolicy`].
 //!
-//! Unlike the retired thread-based router (see [`crate::network`], now a
-//! thin compatibility wrapper over this engine), the cluster is a
-//! *sequential discrete event loop*: global step `j` is one block update
-//! by worker `(j − 1) mod p`, mail is delivered when the destination
-//! worker next acts, and every random choice comes from one seeded
-//! stream. Runs are therefore exactly reproducible from `(config, seed)`
-//! — on a laptop, in CI, on one core.
+//! This engine is a *sequential discrete event loop*: global step `j` is
+//! one block update by worker `(j − 1) mod p`, mail is delivered when
+//! the destination worker next acts, and every random choice comes from
+//! one seeded stream. Runs are therefore exactly reproducible from
+//! `(config, seed)` — on a laptop, in CI, on one core. Its genuinely
+//! concurrent counterpart is [`crate::threaded`], which runs the same
+//! step halves ([`apply_message`] / [`produce_block`]) on free-running
+//! threads over the [`crate::transport`] seam; the legacy thread-based
+//! router was retired and [`crate::network`] is now a thin compatibility
+//! wrapper over this engine.
 //!
 //! ## Replay equivalence
 //!
@@ -121,6 +124,25 @@ impl LinkModel {
 }
 
 /// Configuration of a cluster run.
+///
+/// Build one with [`ClusterConfig::new`] and the `with_*` setters:
+///
+/// ```
+/// use asynciter_numerics::sparse::tridiagonal;
+/// use asynciter_opt::linear::JacobiOperator;
+/// use asynciter_models::partition::Partition;
+/// use asynciter_runtime::cluster::{ClusterConfig, ClusterEngine, LinkModel};
+///
+/// let op = JacobiOperator::new(tridiagonal(16, 4.0, -1.0), vec![1.0; 16]).unwrap();
+/// let partition = Partition::blocks(16, 4).unwrap();
+/// let cfg = ClusterConfig::new(1200)
+///     .with_faults(0.2, 0.1, 0.05) // hold / drop / duplicate
+///     .with_link(LinkModel::Jitter { lo: 1, hi: 5 })
+///     .with_seed(42);
+/// let res = ClusterEngine::run(&op, &[0.0; 16], &partition, &cfg, None).unwrap();
+/// assert_eq!(res.steps_run, 1200);
+/// assert!(res.final_residual < 1e-6, "faults absorbed, still converges");
+/// ```
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
     /// Global step budget; step `j` is one block update by worker
@@ -381,6 +403,32 @@ pub fn produce_step(
     scratch: &mut [f64],
 ) -> Result<(), RuntimeError> {
     trace.push_step(block, labels);
+    produce_block(op, view, labels, block, j, upd, scratch)
+}
+
+/// The produce half of [`produce_step`] without the trace push: one
+/// Jacobi-style block evaluation on the current view, finiteness check,
+/// and label stamping with the producing step `j`.
+///
+/// The threaded engine ([`crate::threaded`]) calls this directly — its
+/// workers log trace events locally and merge them after the join — so
+/// sequential and concurrent cluster updates execute byte-identical
+/// arithmetic by construction.
+///
+/// # Errors
+/// [`RuntimeError::NonFiniteIterate`] when the operator diverges.
+///
+/// # Panics
+/// Panics on dimension mismatches (`upd`/`scratch` sized for `op`).
+pub fn produce_block(
+    op: &dyn Operator,
+    view: &mut [f64],
+    labels: &mut [u64],
+    block: &[usize],
+    j: u64,
+    upd: &mut [f64],
+    scratch: &mut [f64],
+) -> Result<(), RuntimeError> {
     op.update_active_with(view, block, upd, scratch);
     for &i in block {
         let v = upd[i];

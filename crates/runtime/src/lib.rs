@@ -18,6 +18,14 @@
 //!   seeded virtual cluster with per-worker mailboxes, latency models,
 //!   hold/drop/duplicate faults and flexible partial exchange, whose
 //!   recorded traces replay bit-identically (experiments E5/E6).
+//! - [`transport`] — the socket-ready [`transport::Transport`] /
+//!   [`transport::Endpoint`] seam: labelled block messages over
+//!   swappable channels, with an in-process mpsc mesh and a
+//!   fault-injecting decorator.
+//! - [`threaded`] — the genuinely concurrent cluster: free-running
+//!   worker threads owning shards, exchanging block messages through
+//!   the transport seam; every run records a producing-step trace that
+//!   replays bit-identically through `Replay`.
 //! - [`network`] — the legacy message-passing API, now a thin
 //!   compatibility wrapper over [`cluster`].
 //! - [`termination`] — distributed termination detection in the spirit
@@ -25,9 +33,9 @@
 //!   accounting (experiment E10).
 //! - [`imbalance`] — calibrated spin-work injection used to model
 //!   heterogeneous processors.
-//! - [`session`] — [`SharedMem`], [`Barrier`] and [`Cluster`] backends
-//!   plugging the runtimes into the unified
-//!   `asynciter_core::session::Session` API.
+//! - [`session`] — [`SharedMem`], [`Barrier`], [`Cluster`] and
+//!   [`ThreadedCluster`] backends plugging the runtimes into the
+//!   unified `asynciter_core::session::Session` API.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -43,16 +51,21 @@ pub mod session;
 pub mod shared;
 pub mod sync_engine;
 pub mod termination;
+pub mod threaded;
+pub mod transport;
 
 pub use async_engine::{AsyncConfig, AsyncRunResult, AsyncSharedRunner, SnapshotMode, TraceRecord};
 pub use cluster::{
-    apply_message, produce_step, ApplyPolicy, ClusterConfig, ClusterCursor, ClusterEngine,
-    ClusterRunResult, ClusterSnapshot, ClusterStats, LinkModel, MessageApply, StepStatus,
+    apply_message, produce_block, produce_step, ApplyPolicy, ClusterConfig, ClusterCursor,
+    ClusterEngine, ClusterRunResult, ClusterSnapshot, ClusterStats, LinkModel, MessageApply,
+    StepStatus,
 };
 pub use error::RuntimeError;
-pub use session::{Barrier, Cluster, SharedMem};
+pub use session::{Barrier, Cluster, SharedMem, ThreadedCluster};
 pub use shared::SharedVec;
 pub use sync_engine::{SpinBarrier, SyncConfig, SyncRunResult, SyncRunner};
+pub use threaded::{Quiesce, ThreadedClusterEngine, ThreadedConfig, ThreadedRunResult};
+pub use transport::{BlockMessage, Endpoint, FaultEndpoint, FaultPlan, MpscTransport, Transport};
 
 /// Convenience result alias for this crate.
 pub type Result<T> = std::result::Result<T, RuntimeError>;

@@ -8,9 +8,14 @@
 //! [`ApplyPolicy`] receivers — now lives in [`crate::cluster`] as a
 //! seeded sequential event loop with bit-reproducible runs, a recorded
 //! replayable [`Trace`](asynciter_models::Trace), and a `Session`
-//! backend ([`crate::session::Cluster`]).
+//! backend ([`crate::session::Cluster`]). Genuinely concurrent
+//! execution did not retire with the router: [`crate::threaded`] runs
+//! the same message-passing regime on free-running worker threads over
+//! the [`crate::transport`] seam, recording traces that replay
+//! bit-identically ([`crate::session::ThreadedCluster`]).
 //!
-//! New code should use `Session::backend(Cluster { .. })`; this wrapper
+//! New code should use `Session::backend(Cluster { .. })` (or
+//! `ThreadedCluster { .. }` for real concurrency); this wrapper
 //! keeps the old [`NetworkRunner::run`] signature and result types
 //! working, mapped 1:1 onto the cluster engine:
 //!

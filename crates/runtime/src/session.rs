@@ -3,8 +3,10 @@
 //! [`SharedMem`] runs the free-running shared-memory workers
 //! ([`crate::async_engine::AsyncSharedRunner`]), [`Barrier`] the
 //! barrier-synchronous Jacobi baseline ([`crate::sync_engine::SyncRunner`]),
-//! and [`Cluster`] the deterministic sharded message-passing engine
-//! ([`crate::cluster::ClusterEngine`]) behind
+//! [`Cluster`] the deterministic sharded message-passing engine
+//! ([`crate::cluster::ClusterEngine`]), and [`ThreadedCluster`] the
+//! genuinely concurrent transport-based cluster
+//! ([`crate::threaded::ThreadedClusterEngine`]) behind
 //! `asynciter_core::session::Backend`, so shared-memory vs synchronous
 //! vs message-passing comparisons are sessions differing only in the
 //! `.backend(..)` call.
@@ -16,6 +18,7 @@ use crate::async_engine::{
 };
 use crate::cluster::{ApplyPolicy, ClusterConfig, ClusterEngine, LinkModel};
 use crate::sync_engine::{SyncConfig, SyncRunner};
+use crate::threaded::{Quiesce, ThreadedClusterEngine, ThreadedConfig};
 use asynciter_core::session::{
     macro_count, unsupported, Backend, Problem, RecordMode, RunControl, RunReport,
 };
@@ -422,6 +425,146 @@ impl Backend for Cluster {
     }
 }
 
+/// The concurrent cluster backend: free-running worker threads
+/// exchanging labelled block messages over the
+/// [`crate::transport`] seam ([`ThreadedClusterEngine`] behind the
+/// [`Backend`] interface) — the same sharded work model as [`Cluster`],
+/// executed on real OS threads instead of a sequential event loop.
+///
+/// `RunControl::max_steps` is the global block-update budget, but
+/// thread interleaving makes fixed budgets scheduler-dependent: prefer
+/// a [`StoppingRule::Residual`] rule (mapped onto worker 0's local-view
+/// residual target) and/or a [`Quiesce`] termination rule, with the
+/// budget as a generous safety net. The seed set via `Session::seed`
+/// drives per-worker fault and partial-exchange RNG streams; runs are
+/// **not** reproducible from the seed — correctness is anchored per
+/// run: with recording on, the executed schedule is materialised as a
+/// producing-step trace that replays bit-identically through
+/// `Session::replay_trace`, faults, races and all (the conformance
+/// oracle). Error/residual sampling are unsupported (no thread may
+/// observe a consistent consensus mid-run).
+///
+/// Degenerately, `ThreadedCluster { workers: 1, .. }` executes the same
+/// step sequence as `Cluster { workers: 1 }` bit for bit
+/// (`tests/backend_equivalence.rs`).
+///
+/// Constructible with functional-update syntax:
+/// `ThreadedCluster { workers: 4, drop_prob: 0.1, ..ThreadedCluster::default() }`.
+#[derive(Debug, Clone)]
+pub struct ThreadedCluster {
+    /// Number of worker threads (= shards).
+    pub workers: usize,
+    /// Component→worker map (default: contiguous equal blocks).
+    pub partition: Option<Partition>,
+    /// Post a block message every this many local updates.
+    pub exchange_every: u64,
+    /// Receiver policy.
+    pub apply_policy: ApplyPolicy,
+    /// Probability a send is held behind later traffic (out-of-order
+    /// delivery).
+    pub hold_prob: f64,
+    /// Maximum sends a held message waits behind.
+    pub hold_extra: u64,
+    /// Probability a send is dropped.
+    pub drop_prob: f64,
+    /// Probability a send is duplicated.
+    pub dup_prob: f64,
+    /// Probability a posted message is a partial (subset) exchange.
+    pub partial_prob: f64,
+    /// Optional quiescence-detection termination rule.
+    pub quiesce: Option<Quiesce>,
+}
+
+impl Default for ThreadedCluster {
+    fn default() -> Self {
+        Self {
+            workers: 1,
+            partition: None,
+            exchange_every: 1,
+            apply_policy: ApplyPolicy::AsReceived,
+            hold_prob: 0.0,
+            hold_extra: 8,
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+            partial_prob: 0.0,
+            quiesce: None,
+        }
+    }
+}
+
+impl Backend for ThreadedCluster {
+    fn name(&self) -> &'static str {
+        "threaded-cluster"
+    }
+
+    fn run(
+        &mut self,
+        problem: &Problem<'_>,
+        ctl: &mut RunControl<'_>,
+    ) -> asynciter_core::Result<RunReport> {
+        if ctl.schedule.is_some() {
+            return Err(unsupported(
+                self.name(),
+                "an explicit schedule (the threaded cluster's schedule emerges from real \
+                 thread interleaving; record it and replay through `Replay` instead)",
+            ));
+        }
+        if ctl.error_every > 0 {
+            return Err(unsupported(self.name(), "error sampling"));
+        }
+        if ctl.residual_every > 0 {
+            return Err(unsupported(self.name(), "residual sampling"));
+        }
+        let n = problem.n();
+        let partition = resolve_partition(self.name(), &self.partition, n, self.workers)?;
+        let mut cfg = ThreadedConfig::new(ctl.max_steps)
+            .with_faults(self.hold_prob, self.drop_prob, self.dup_prob)
+            .with_seed(ctl.seed.unwrap_or(0))
+            .with_record(ctl.record.label_store());
+        cfg.exchange_every = self.exchange_every;
+        cfg.apply_policy = self.apply_policy;
+        cfg.hold_extra = self.hold_extra;
+        cfg.partial_prob = self.partial_prob;
+        cfg.quiesce = self.quiesce;
+        match &ctl.stopping {
+            None => {}
+            Some(StoppingRule::Residual { eps, check_every }) => {
+                cfg.target_residual = Some(*eps);
+                cfg.check_every = (*check_every).max(1);
+            }
+            Some(_) => {
+                return Err(unsupported(
+                    self.name(),
+                    "a non-residual stopping rule (only StoppingRule::Residual maps onto \
+                     the threaded cluster's residual target)",
+                ));
+            }
+        }
+        let res = ThreadedClusterEngine::run(problem.op, &problem.x0, &partition, &cfg)
+            .map_err(|e| to_core(self.name(), e))?;
+        let macro_iterations = macro_count(Some(&res.trace));
+        Ok(RunReport {
+            backend: self.name(),
+            final_x: res.consensus,
+            steps: res.steps_run,
+            macro_iterations,
+            errors: Vec::new(),
+            error_times: Vec::new(),
+            residuals: Vec::new(),
+            final_residual: res.final_residual,
+            stopped_early: res.stopped_early,
+            per_worker_updates: res.per_worker_updates,
+            partial_publishes: res.partial_publishes,
+            partial_reads: res.partial_reads,
+            constraint_checked: res.constraint_checked,
+            constraint_violations: res.constraint_violations,
+            trace: ctl.record.keeps_trace().then_some(res.trace),
+            sim_time: None,
+            wall: res.wall,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -631,6 +774,92 @@ mod tests {
             .steps(10)
             .schedule(asynciter_models::schedule::SyncJacobi::new(16))
             .backend(Cluster::default())
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Backend { .. }), "{err}");
+    }
+
+    #[test]
+    fn threaded_cluster_backend_converges_and_reports() {
+        let op = jacobi(24);
+        let xstar = op.solve_dense_spd().unwrap();
+        let report = Session::new(&op)
+            .steps(4_000_000)
+            .seed(5)
+            .stopping(StoppingRule::Residual {
+                eps: 1e-11,
+                check_every: 16,
+            })
+            .record(RecordMode::Full)
+            .backend(ThreadedCluster {
+                workers: 3,
+                hold_prob: 0.2,
+                drop_prob: 0.1,
+                dup_prob: 0.05,
+                ..ThreadedCluster::default()
+            })
+            .run()
+            .unwrap();
+        assert_eq!(report.backend, "threaded-cluster");
+        assert!(report.stopped_early);
+        assert!(report.final_error(&xstar) < 1e-8);
+        assert_eq!(report.per_worker_updates.iter().sum::<u64>(), report.steps);
+        assert!(report.macro_iterations > 0);
+        let trace = report.trace.expect("trace recorded");
+        assert_eq!(trace.len() as u64, report.steps);
+        asynciter_models::conditions::check_condition_a(&trace).unwrap();
+    }
+
+    #[test]
+    fn threaded_cluster_trace_replays_bitwise_through_replay() {
+        let op = jacobi(16);
+        let threaded = Session::new(&op)
+            .steps(2_000_000)
+            .seed(11)
+            .stopping(StoppingRule::Residual {
+                eps: 1e-9,
+                check_every: 16,
+            })
+            .record(RecordMode::Full)
+            .backend(ThreadedCluster {
+                workers: 4,
+                hold_prob: 0.3,
+                drop_prob: 0.15,
+                dup_prob: 0.1,
+                ..ThreadedCluster::default()
+            })
+            .run()
+            .unwrap();
+        let replayed = Session::new(&op)
+            .replay_trace(threaded.trace.clone().unwrap())
+            .unwrap()
+            .backend(Replay)
+            .run()
+            .unwrap();
+        for i in 0..16 {
+            assert_eq!(
+                threaded.final_x[i].to_bits(),
+                replayed.final_x[i].to_bits(),
+                "component {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn threaded_cluster_rejects_unsupported_controls() {
+        let op = jacobi(8);
+        let err = Session::new(&op)
+            .steps(10)
+            .schedule(asynciter_models::schedule::SyncJacobi::new(8))
+            .backend(ThreadedCluster::default())
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Backend { .. }), "{err}");
+        let err = Session::new(&op)
+            .steps(10)
+            .error_every(2)
+            .xstar(vec![0.0; 8])
+            .backend(ThreadedCluster::default())
             .run()
             .unwrap_err();
         assert!(matches!(err, CoreError::Backend { .. }), "{err}");

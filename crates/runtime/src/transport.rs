@@ -1,0 +1,364 @@
+//! The transport seam of the concurrent cluster: labelled block
+//! messages over swappable, socket-ready channels.
+//!
+//! The threaded cluster's free-running workers ([`crate::threaded`])
+//! never share memory; they exchange [`BlockMessage`]s through
+//! per-worker [`Endpoint`]s handed out by a [`Transport`]. The trait
+//! boundary is deliberately narrow — fire-and-forget `send`,
+//! non-blocking `try_recv`, loss allowed — exactly the contract a
+//! datagram socket or a framed TCP stream can satisfy, so promoting the
+//! in-process cluster to a real distributed deployment means
+//! implementing `Transport` over sockets, not touching the engine.
+//!
+//! Two implementations ship today:
+//!
+//! - [`MpscTransport`] — `std::sync::mpsc` channels, one receiver per
+//!   worker, any-to-any senders: the in-process concurrent transport;
+//! - [`FaultEndpoint`] — a decorator injecting seeded hold / drop /
+//!   duplicate faults *at the seam*, so the channel chaos the paper
+//!   tolerates is exercised on real threads without the engine knowing.
+//!
+//! ## Why labels travel with the payload
+//!
+//! Every component value in a message carries the global producing step
+//! of that value. The receiver folds them into its local label book
+//! ([`crate::cluster::apply_message`]), and each block update logs the
+//! labels it read — which is what makes a *racy, nondeterministic*
+//! threaded run replayable: the recorded trace pins down exactly which
+//! producing step each read observed, and the Definition-1 replay
+//! engine re-executes that schedule bit for bit.
+
+use asynciter_numerics::rng::rng;
+use rand::rngs::StdRng;
+use rand::RngExt;
+use std::sync::mpsc::{channel, Receiver, Sender};
+
+/// One labelled block exchange: a sender's freshest values for (a
+/// subset of) its own block, each entry carrying the global producing
+/// step of the value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockMessage {
+    /// Sending worker.
+    pub from: usize,
+    /// `(component, value, producing step)` triples.
+    pub comps: Vec<(u32, f64, u64)>,
+    /// True when the message carries a partial (subset) exchange —
+    /// Definition-3 flexible communication at the message level.
+    pub partial: bool,
+}
+
+/// A worker's handle on the transport mesh.
+///
+/// `send` is fire-and-forget (a message may be lost; asynchronous
+/// iterations absorb transient losses because newer messages supersede
+/// older ones) and `try_recv` never blocks — workers drain their
+/// mailbox opportunistically between block updates and keep computing
+/// when it is empty.
+pub trait Endpoint: Send {
+    /// Posts `msg` towards worker `dest`. Delivery is asynchronous and
+    /// may silently fail (peer gone, message dropped in flight).
+    fn send(&mut self, dest: usize, msg: BlockMessage);
+
+    /// Takes the next pending message, if any. Never blocks.
+    fn try_recv(&mut self) -> Option<BlockMessage>;
+}
+
+/// A factory wiring `workers` [`Endpoint`]s into a connected
+/// any-to-any mesh (endpoint `w` belongs to worker `w`).
+///
+/// ```
+/// use asynciter_runtime::transport::{BlockMessage, MpscTransport, Transport};
+///
+/// let mut ends = MpscTransport.connect(2);
+/// let mut w1 = ends.pop().unwrap();
+/// let mut w0 = ends.pop().unwrap();
+/// w0.send(
+///     1,
+///     BlockMessage { from: 0, comps: vec![(0, 1.5, 7)], partial: false },
+/// );
+/// let got = w1.try_recv().expect("message delivered");
+/// assert_eq!(got.comps, vec![(0, 1.5, 7)]);
+/// assert!(w1.try_recv().is_none(), "try_recv never blocks");
+/// ```
+pub trait Transport {
+    /// Builds one connected endpoint per worker.
+    fn connect(&mut self, workers: usize) -> Vec<Box<dyn Endpoint>>;
+}
+
+/// The in-process transport: one `std::sync::mpsc` channel per worker,
+/// every peer holding a cloned sender — any-to-any, FIFO per
+/// sender/receiver pair, lossless (faults are layered on top by
+/// [`FaultEndpoint`]).
+#[derive(Debug, Default)]
+pub struct MpscTransport;
+
+struct ChannelEndpoint {
+    peers: Vec<Sender<BlockMessage>>,
+    rx: Receiver<BlockMessage>,
+}
+
+impl Endpoint for ChannelEndpoint {
+    fn send(&mut self, dest: usize, msg: BlockMessage) {
+        // A peer that already finished dropped its receiver; a send to
+        // it is indistinguishable from a message lost in flight.
+        let _ = self.peers[dest].send(msg);
+    }
+
+    fn try_recv(&mut self) -> Option<BlockMessage> {
+        self.rx.try_recv().ok()
+    }
+}
+
+impl Transport for MpscTransport {
+    fn connect(&mut self, workers: usize) -> Vec<Box<dyn Endpoint>> {
+        let (senders, receivers): (Vec<_>, Vec<_>) = (0..workers).map(|_| channel()).unzip();
+        receivers
+            .into_iter()
+            .map(|rx| {
+                Box::new(ChannelEndpoint {
+                    peers: senders.clone(),
+                    rx,
+                }) as Box<dyn Endpoint>
+            })
+            .collect()
+    }
+}
+
+/// Seeded fault model applied by [`FaultEndpoint`] at send time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Probability a send is parked behind later traffic — genuine
+    /// out-of-order delivery once released.
+    pub hold_prob: f64,
+    /// Maximum number of subsequent sends a held message waits behind
+    /// (uniform in `1..=hold_extra`).
+    pub hold_extra: u64,
+    /// Probability a send is dropped.
+    pub drop_prob: f64,
+    /// Probability a send is duplicated (the copy delivered promptly,
+    /// independent of whether the original is held).
+    pub dup_prob: f64,
+}
+
+impl FaultPlan {
+    /// A faultless plan (every send delivered exactly once, in order).
+    pub fn none() -> Self {
+        Self {
+            hold_prob: 0.0,
+            hold_extra: 8,
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+        }
+    }
+}
+
+/// Sender-side channel statistics of one [`FaultEndpoint`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SendStats {
+    /// Sends attempted (one per message per destination).
+    pub sent: u64,
+    /// Sends dropped.
+    pub dropped: u64,
+    /// Sends duplicated.
+    pub duplicated: u64,
+    /// Sends held back behind later traffic (out-of-order delivery).
+    pub held: u64,
+}
+
+/// A fault-injecting decorator around any [`Endpoint`]: drops,
+/// duplicates and holds messages at the transport seam, driven by a
+/// seeded per-worker RNG. Held messages are re-posted only after enough
+/// *newer* traffic has passed them, which is what realises out-of-order
+/// arrival over an otherwise FIFO channel.
+pub struct FaultEndpoint {
+    inner: Box<dyn Endpoint>,
+    plan: FaultPlan,
+    rng: StdRng,
+    /// Parked messages: `(release after this many total sends, dest,
+    /// message)`.
+    held: Vec<(u64, usize, BlockMessage)>,
+    sends: u64,
+    stats: SendStats,
+}
+
+impl std::fmt::Debug for FaultEndpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultEndpoint")
+            .field("plan", &self.plan)
+            .field("held", &self.held.len())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl FaultEndpoint {
+    /// Wraps `inner` with the fault `plan`, drawing every fault decision
+    /// from a fresh RNG stream seeded by `seed`.
+    pub fn new(inner: Box<dyn Endpoint>, plan: FaultPlan, seed: u64) -> Self {
+        Self {
+            inner,
+            plan,
+            rng: rng(seed),
+            held: Vec::new(),
+            sends: 0,
+            stats: SendStats::default(),
+        }
+    }
+
+    /// Sender-side statistics accumulated so far.
+    pub fn stats(&self) -> SendStats {
+        self.stats
+    }
+
+    fn release_due(&mut self) {
+        if self.held.is_empty() {
+            return;
+        }
+        let mut i = 0;
+        while i < self.held.len() {
+            if self.held[i].0 <= self.sends {
+                let (_, dest, msg) = self.held.swap_remove(i);
+                self.inner.send(dest, msg);
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+impl Endpoint for FaultEndpoint {
+    fn send(&mut self, dest: usize, msg: BlockMessage) {
+        self.stats.sent += 1;
+        self.sends += 1;
+        if self.plan.drop_prob > 0.0 && self.rng.random_range(0.0..1.0) < self.plan.drop_prob {
+            self.stats.dropped += 1;
+        } else {
+            if self.plan.dup_prob > 0.0 && self.rng.random_range(0.0..1.0) < self.plan.dup_prob {
+                self.stats.duplicated += 1;
+                self.inner.send(dest, msg.clone());
+            }
+            if self.plan.hold_prob > 0.0 && self.rng.random_range(0.0..1.0) < self.plan.hold_prob {
+                self.stats.held += 1;
+                let wait = self.rng.random_range(1..=self.plan.hold_extra.max(1));
+                self.held.push((self.sends + wait, dest, msg));
+            } else {
+                self.inner.send(dest, msg);
+            }
+        }
+        // Re-post parked messages that have now waited behind enough
+        // newer traffic — this is where out-of-order arrival happens.
+        self.release_due();
+    }
+
+    fn try_recv(&mut self) -> Option<BlockMessage> {
+        self.inner.try_recv()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(from: usize, c: u32, v: f64, l: u64) -> BlockMessage {
+        BlockMessage {
+            from,
+            comps: vec![(c, v, l)],
+            partial: false,
+        }
+    }
+
+    #[test]
+    fn mpsc_mesh_delivers_any_to_any_in_fifo_order() {
+        let mut ends = MpscTransport.connect(3);
+        let mut e2 = ends.pop().unwrap();
+        let mut e1 = ends.pop().unwrap();
+        let mut e0 = ends.pop().unwrap();
+        e0.send(2, msg(0, 1, 1.0, 1));
+        e1.send(2, msg(1, 2, 2.0, 2));
+        e0.send(2, msg(0, 3, 3.0, 3));
+        // FIFO per sender pair; e0's two messages keep their order.
+        let got: Vec<BlockMessage> = std::iter::from_fn(|| e2.try_recv()).collect();
+        assert_eq!(got.len(), 3);
+        let from0: Vec<u64> = got
+            .iter()
+            .filter(|m| m.from == 0)
+            .map(|m| m.comps[0].2)
+            .collect();
+        assert_eq!(from0, vec![1, 3]);
+        assert!(e0.try_recv().is_none());
+        assert!(e1.try_recv().is_none());
+    }
+
+    #[test]
+    fn send_to_finished_peer_is_a_silent_loss() {
+        let mut ends = MpscTransport.connect(2);
+        drop(ends.pop().unwrap()); // worker 1 is gone
+        ends[0].send(1, msg(0, 0, 1.0, 1));
+    }
+
+    #[test]
+    fn drop_all_plan_loses_everything() {
+        let mut ends = MpscTransport.connect(2);
+        let e1 = ends.pop().unwrap();
+        let mut f0 = FaultEndpoint::new(
+            ends.pop().unwrap(),
+            FaultPlan {
+                drop_prob: 1.0,
+                ..FaultPlan::none()
+            },
+            7,
+        );
+        let mut e1 = e1;
+        for k in 0..10 {
+            f0.send(1, msg(0, 0, k as f64, k));
+        }
+        assert!(e1.try_recv().is_none());
+        assert_eq!(f0.stats().dropped, 10);
+        assert_eq!(f0.stats().sent, 10);
+    }
+
+    #[test]
+    fn held_messages_arrive_out_of_order() {
+        let mut ends = MpscTransport.connect(2);
+        let mut e1 = ends.pop().unwrap();
+        let mut f0 = FaultEndpoint::new(
+            ends.pop().unwrap(),
+            FaultPlan {
+                hold_prob: 0.5,
+                hold_extra: 4,
+                ..FaultPlan::none()
+            },
+            11,
+        );
+        for k in 0..200u64 {
+            f0.send(1, msg(0, 0, k as f64, k + 1));
+        }
+        assert!(f0.stats().held > 0, "holds not exercised");
+        let labels: Vec<u64> = std::iter::from_fn(|| e1.try_recv())
+            .map(|m| m.comps[0].2)
+            .collect();
+        assert!(
+            labels.windows(2).any(|w| w[0] > w[1]),
+            "expected at least one out-of-order arrival"
+        );
+    }
+
+    #[test]
+    fn duplicates_are_counted_and_delivered_twice() {
+        let mut ends = MpscTransport.connect(2);
+        let mut e1 = ends.pop().unwrap();
+        let mut f0 = FaultEndpoint::new(
+            ends.pop().unwrap(),
+            FaultPlan {
+                dup_prob: 1.0,
+                ..FaultPlan::none()
+            },
+            3,
+        );
+        f0.send(1, msg(0, 0, 1.0, 1));
+        assert_eq!(f0.stats().duplicated, 1);
+        assert!(e1.try_recv().is_some());
+        assert!(e1.try_recv().is_some());
+        assert!(e1.try_recv().is_none());
+    }
+}

@@ -45,10 +45,13 @@
 //!
 //! Backends: [`prelude::Replay`], [`prelude::Flexible`] (Definition 3),
 //! [`prelude::SharedMem`], [`prelude::Barrier`] (real threads),
-//! [`prelude::Sim`] (deterministic discrete-event simulation), and
+//! [`prelude::Sim`] (deterministic discrete-event simulation),
 //! [`prelude::Cluster`] (deterministic sharded message passing with
 //! out-of-order / lost / duplicated messages and flexible partial
-//! exchange — the paper's distributed regime, replayable bit for bit).
+//! exchange — the paper's distributed regime, replayable bit for bit),
+//! and [`prelude::ThreadedCluster`] (the same message-passing regime on
+//! genuinely concurrent worker threads, whose racy runs still record a
+//! trace that replays bit-identically through `Replay`).
 //!
 //! ## Crates
 //!
@@ -84,7 +87,8 @@ pub use asynciter_sim as sim;
 
 /// One-stop imports for the unified execution API.
 ///
-/// Brings in the [`Session`] builder, all six backends, the shared
+/// Brings in the [`Session`](asynciter_core::session::Session) builder,
+/// all seven backends, the shared
 /// report/control types, and the handful of model types almost every run
 /// touches (schedules, partitions, stopping rules, the `Operator` trait).
 pub mod prelude {
@@ -101,7 +105,7 @@ pub mod prelude {
     pub use asynciter_models::trace::{LabelStore, Trace};
     pub use asynciter_numerics::norm::WeightedMaxNorm;
     pub use asynciter_opt::traits::Operator;
-    pub use asynciter_runtime::session::{Barrier, Cluster, SharedMem};
+    pub use asynciter_runtime::session::{Barrier, Cluster, SharedMem, ThreadedCluster};
     pub use asynciter_runtime::{ApplyPolicy, LinkModel, SnapshotMode};
     pub use asynciter_sim::runner::SimConfig;
     pub use asynciter_sim::session::Sim;

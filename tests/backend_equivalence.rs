@@ -265,6 +265,93 @@ fn cluster_faulty_multiworker_trace_replays_bitwise() {
 }
 
 // ---------------------------------------------------------------------------
+// Threaded cluster: racy runs leave deterministic traces, and one
+// free-running worker degenerates to the sequential cluster
+// ---------------------------------------------------------------------------
+
+#[test]
+fn threaded_faulty_multiworker_trace_is_deterministic_under_replay() {
+    // The threaded run itself is racy — the OS picks the interleaving —
+    // but whatever schedule it executed is recorded as a producing-step
+    // trace, and that trace is a complete determinisation: replaying it
+    // twice gives bit-identical iterates, both matching the live run.
+    let n = 32;
+    let op = quickstart_operator(n);
+    let live = Session::new(&op)
+        .steps(4_000_000)
+        .seed(31)
+        .stopping(StoppingRule::Residual {
+            eps: 1e-10,
+            check_every: 16,
+        })
+        .record(RecordMode::Full)
+        .backend(ThreadedCluster {
+            workers: 3,
+            hold_prob: 0.3,
+            drop_prob: 0.1,
+            dup_prob: 0.05,
+            partial_prob: 0.4,
+            ..ThreadedCluster::default()
+        })
+        .run()
+        .unwrap();
+    let trace = live.trace.clone().unwrap();
+    let replay = |t: Trace| Session::new(&op).replay_trace(t).unwrap().run().unwrap();
+    let (a, b) = (replay(trace.clone()), replay(trace));
+    for i in 0..n {
+        assert_eq!(
+            a.final_x[i].to_bits(),
+            b.final_x[i].to_bits(),
+            "replay of the threaded trace is not deterministic at component {i}"
+        );
+        assert_eq!(
+            live.final_x[i].to_bits(),
+            a.final_x[i].to_bits(),
+            "live threaded run diverges from its own trace at component {i}"
+        );
+    }
+}
+
+#[test]
+fn threaded_single_worker_matches_sequential_cluster_bitwise() {
+    // One free-running worker with a faultless transport executes the
+    // sequential cluster's exact step sequence (both engines share the
+    // same `produce_block` arithmetic), so the concurrency layer must
+    // be a bitwise no-op at workers = 1.
+    let op = quickstart_operator(24);
+    let steps = 300;
+    let threaded = Session::new(&op)
+        .steps(steps)
+        .backend(ThreadedCluster {
+            workers: 1,
+            ..ThreadedCluster::default()
+        })
+        .run()
+        .unwrap();
+    let cluster = Session::new(&op)
+        .steps(steps)
+        .backend(Cluster {
+            workers: 1,
+            ..Cluster::default()
+        })
+        .run()
+        .unwrap();
+    assert_eq!(threaded.steps, steps);
+    assert_eq!(cluster.steps, steps);
+    for i in 0..op.dim() {
+        assert_eq!(
+            threaded.final_x[i].to_bits(),
+            cluster.final_x[i].to_bits(),
+            "threaded vs sequential cluster at component {i}"
+        );
+    }
+    assert_eq!(
+        threaded.final_residual.to_bits(),
+        cluster.final_residual.to_bits()
+    );
+}
+
+// ---------------------------------------------------------------------------
 // History::value_at edge cases
 // ---------------------------------------------------------------------------
 

@@ -125,18 +125,20 @@ fn mini_campaign_with_corpus_passes() {
         flexible_every: 4,
         sim_every: 4,
         cluster_every: 4,
+        threaded_every: 5,
         sim_iterations: 150,
         shrink_budget: 20_000,
     };
     let report = run_campaign(&cfg);
     assert!(report.passed(), "failures: {:#?}", report.failures);
     assert_eq!(report.witness_rejections, 2, "negative controls missing");
-    assert_eq!(report.corpus_checked, 22, "corpus files not all checked");
+    assert_eq!(report.corpus_checked, 23, "corpus files not all checked");
     assert_eq!(
         report.problems,
         vec!["jacobi", "lasso", "obstacle", "logistic", "network-flow"]
     );
     assert_eq!(report.oracle_runs["cluster-equivalence"], 3);
+    assert_eq!(report.oracle_runs["threaded-equivalence"], 2);
 }
 
 // ---------------------------------------------------------------------------
@@ -193,6 +195,30 @@ fn cluster_reorder_fixture_reproduces_from_the_demo() {
     let trace = corpus::load_trace(&committed).unwrap();
     assert!(has_label_regression(&trace, 3));
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn threaded_corpus_trace_is_admissible_and_replays_convergently() {
+    // The committed threaded trace is one witnessed execution of a racy
+    // faulty multi-worker run — it cannot be regenerated, but it must
+    // stay an admissible schedule that the Definition-1 engine replays
+    // to convergence.
+    let path = Path::new(CORPUS_DIR).join("threaded-00.trace");
+    let trace = corpus::load_trace(&path).expect("committed threaded trace exists");
+    check_condition_a(&trace).expect("condition (a)");
+    let problem = ConformanceProblem::build(ProblemKind::Jacobi);
+    assert_eq!(trace.n(), problem.n(), "recorded on the Jacobi problem");
+    let report = Session::new(problem.op.as_ref())
+        .x0(problem.x0.clone())
+        .replay_trace(trace)
+        .unwrap()
+        .run()
+        .unwrap();
+    assert!(
+        report.final_residual <= problem.tol,
+        "replayed residual {:.3e} above tolerance",
+        report.final_residual
+    );
 }
 
 #[test]
