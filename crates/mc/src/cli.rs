@@ -15,38 +15,74 @@
 //! arguments were invalid.
 
 use crate::counterexample::{emit_counterexample, find_reorder_demo, inject_bug_demo};
-use crate::explore::{explore, ExploreOutcome, Strategy};
+use crate::explore::{explore, explore_check_por, ExploreOutcome, Strategy};
+use crate::invariants::Property;
 use crate::scope::{McProblem, Scope};
+use crate::seam::{seam_bug_demo, seam_explore, seam_rebuild, SeamBug, SeamOutcome, SeamScope};
+use crate::state::Por;
 use asynciter_report::json::Json;
 use std::path::PathBuf;
 
 fn usage() -> String {
-    "usage: mc [--scope quick|flex|reorder|inject] [--strategy dfs|bfs] \
-     [--steps N] [--workers N] [--max-states N] [--stats] [--fault-dir DIR] \
-     [--out FILE] [--inject-mc-bug] [--find-reorder]"
+    "usage: mc [--scope quick|flex|reorder|inject|triple|deep|deeper|seam1|seam2] \
+     [--strategy dfs|bfs] [--por off|on|check] [--steps N] [--workers N] \
+     [--max-states N] [--expect-states N] [--stats] [--fault-dir DIR] \
+     [--out FILE] [--from-trace FILE] [--inject-mc-bug] [--find-reorder] \
+     [--inject-seam-hold] [--inject-seam-drop] [--inject-seam-dup]"
         .into()
+}
+
+/// The three CLI reduction modes: run unreduced, run reduced, or run
+/// both and assert equivalence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PorMode {
+    Off,
+    On,
+    Check,
+}
+
+impl PorMode {
+    fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "off" => Ok(PorMode::Off),
+            "on" => Ok(PorMode::On),
+            "check" => Ok(PorMode::Check),
+            other => Err(format!(
+                "unknown por mode '{other}' (valid: off, on, check)"
+            )),
+        }
+    }
 }
 
 struct Args {
     scope: Scope,
+    seam: Option<SeamScope>,
+    seam_bug: Option<SeamBug>,
     strategy: Strategy,
+    por: PorMode,
     max_states: u64,
+    expect_states: Option<u64>,
     stats: bool,
     fault_dir: PathBuf,
     out: Option<PathBuf>,
     inject: bool,
     find_reorder: bool,
+    scope_from_trace: bool,
 }
 
 fn parse_args(args: &[String]) -> Result<Args, String> {
     let mut scope_name: Option<String> = None;
-    let mut strategy = Strategy::Dfs;
+    let mut seam_bug: Option<SeamBug> = None;
+    let mut strategy: Option<Strategy> = None;
+    let mut por: Option<PorMode> = None;
     let mut steps: Option<u64> = None;
     let mut workers: Option<usize> = None;
     let mut max_states = 5_000_000u64;
+    let mut expect_states: Option<u64> = None;
     let mut stats = false;
     let mut fault_dir = PathBuf::from("target/mc-failures");
     let mut out = None;
+    let mut from_trace: Option<PathBuf> = None;
     let mut inject = false;
     let mut find_reorder = false;
 
@@ -60,7 +96,8 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         };
         match a.as_str() {
             "--scope" => scope_name = Some(val("--scope")?),
-            "--strategy" => strategy = Strategy::parse(&val("--strategy")?)?,
+            "--strategy" => strategy = Some(Strategy::parse(&val("--strategy")?)?),
+            "--por" => por = Some(PorMode::parse(&val("--por")?)?),
             "--steps" => {
                 steps = Some(
                     val("--steps")?
@@ -80,21 +117,66 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--max-states: {e}"))?
             }
+            "--expect-states" => {
+                expect_states = Some(
+                    val("--expect-states")?
+                        .parse()
+                        .map_err(|e| format!("--expect-states: {e}"))?,
+                )
+            }
             "--stats" => stats = true,
             "--fault-dir" => fault_dir = PathBuf::from(val("--fault-dir")?),
             "--out" => out = Some(PathBuf::from(val("--out")?)),
+            "--from-trace" => from_trace = Some(PathBuf::from(val("--from-trace")?)),
             "--inject-mc-bug" => inject = true,
             "--find-reorder" => find_reorder = true,
+            "--inject-seam-hold" => seam_bug = Some(SeamBug::Hold),
+            "--inject-seam-drop" => seam_bug = Some(SeamBug::Drop),
+            "--inject-seam-dup" => seam_bug = Some(SeamBug::Dup),
             "--quick" => scope_name = Some("quick".into()),
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown argument '{other}'\n{}", usage())),
         }
     }
-    let mut scope = match (&scope_name, inject, find_reorder) {
-        (Some(name), _, _) => Scope::by_name(name)?,
-        (None, true, _) => Scope::inject(),
-        (None, false, true) => Scope::reorder(),
-        (None, false, false) => Scope::quick(),
+    // The seam scopes run a different explorer: the cluster-regime
+    // knobs do not apply to them.
+    let seam = match scope_name.as_deref() {
+        Some(name) if name.starts_with("seam") => {
+            let seam = SeamScope::by_name(name)?;
+            if strategy.is_some()
+                || por.is_some()
+                || steps.is_some()
+                || workers.is_some()
+                || inject
+                || find_reorder
+                || from_trace.is_some()
+            {
+                return Err(format!(
+                    "--scope {name}: seam scopes take no --strategy/--por/--steps/--workers \
+                     and no --inject-mc-bug/--find-reorder/--from-trace"
+                ));
+            }
+            Some(seam)
+        }
+        _ => None,
+    };
+    let strategy = strategy.unwrap_or(Strategy::Dfs);
+    let por = por.unwrap_or(PorMode::Off);
+    let mut scope = match (&seam, &from_trace, &scope_name, inject, find_reorder) {
+        (Some(_), ..) => Scope::quick(), // unused carrier; the seam scope drives the run
+        (None, Some(path), _, _, _) => {
+            let trace = asynciter_conformance::corpus::load_trace(path)?;
+            let stem = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("trace")
+                .to_string();
+            Scope::from_trace(&stem, &trace)?
+        }
+        (None, None, Some(name), _, _) => Scope::by_name(name)?,
+        (None, None, None, true, _) => Scope::inject(),
+        (None, None, None, false, true) => Scope::reorder(),
+        (None, None, None, false, false) => Scope::quick(),
     };
     if inject {
         scope.inject_bug = true;
@@ -110,17 +192,22 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
     }
     Ok(Args {
         scope,
+        seam,
+        seam_bug,
         strategy,
+        por,
         max_states,
+        expect_states,
         stats,
         fault_dir,
         out,
         inject,
         find_reorder,
+        scope_from_trace: from_trace.is_some(),
     })
 }
 
-fn stats_json(outcome: &ExploreOutcome, scope: &Scope, strategy: Strategy) -> Json {
+fn stats_json(outcome: &ExploreOutcome, scope: &Scope, strategy: Strategy, por: Por) -> Json {
     let s = &outcome.stats;
     let mut obj = vec![
         ("scope".into(), Json::Str(scope.name.clone())),
@@ -131,6 +218,16 @@ fn stats_json(outcome: &ExploreOutcome, scope: &Scope, strategy: Strategy) -> Js
                 match strategy {
                     Strategy::Dfs => "dfs",
                     Strategy::Bfs => "bfs",
+                }
+                .into(),
+            ),
+        ),
+        (
+            "por".into(),
+            Json::Str(
+                match por {
+                    Por::Off => "off",
+                    Por::On => "on",
                 }
                 .into(),
             ),
@@ -146,6 +243,10 @@ fn stats_json(outcome: &ExploreOutcome, scope: &Scope, strategy: Strategy) -> Js
         (
             "pruned_inadmissible".into(),
             Json::Num(s.pruned_inadmissible as f64),
+        ),
+        (
+            "por_pruned_choices".into(),
+            Json::Num(s.por_pruned_choices as f64),
         ),
         ("max_frontier".into(), Json::Num(s.max_frontier as f64)),
         ("truncated".into(), Json::Bool(outcome.truncated)),
@@ -184,9 +285,133 @@ fn print_stats(outcome: &ExploreOutcome, wall_ms: u128) {
         s.visited, s.dedup_hits, s.edges, s.terminals
     );
     println!(
-        "  pruned: {} capacity, {} inadmissible; max frontier {}; {} ms",
-        s.pruned_capacity, s.pruned_inadmissible, s.max_frontier, wall_ms
+        "  pruned: {} capacity, {} inadmissible, {} por; max frontier {}; {} ms",
+        s.pruned_capacity, s.pruned_inadmissible, s.por_pruned_choices, s.max_frontier, wall_ms
     );
+}
+
+fn seam_stats_json(outcome: &SeamOutcome, scope: &SeamScope) -> Json {
+    let s = &outcome.stats;
+    let mut obj = vec![
+        ("scope".into(), Json::Str(scope.name.clone())),
+        ("description".into(), Json::Str(scope.describe())),
+        ("visited".into(), Json::Num(s.visited as f64)),
+        ("dedup_hits".into(), Json::Num(s.dedup_hits as f64)),
+        ("edges".into(), Json::Num(s.edges as f64)),
+        ("terminals".into(), Json::Num(s.terminals as f64)),
+        (
+            "pruned_capacity".into(),
+            Json::Num(s.pruned_capacity as f64),
+        ),
+        (
+            "pruned_inadmissible".into(),
+            Json::Num(s.pruned_inadmissible as f64),
+        ),
+        ("truncated".into(), Json::Bool(outcome.truncated)),
+        (
+            "verdict".into(),
+            Json::Str(if outcome.violation.is_some() {
+                "violation".into()
+            } else if outcome.truncated {
+                "truncated".into()
+            } else {
+                "verified".into()
+            }),
+        ),
+    ];
+    if let Some(v) = &outcome.violation {
+        obj.push((
+            "violation".into(),
+            Json::Obj(vec![
+                (
+                    "property".into(),
+                    Json::Str(v.violation.property.id().into()),
+                ),
+                ("step".into(), Json::Num(v.violation.j as f64)),
+                ("detail".into(), Json::Str(v.violation.detail.clone())),
+                ("path_len".into(), Json::Num(v.path.len() as f64)),
+            ]),
+        ));
+    }
+    Json::Obj(obj)
+}
+
+/// Sweep branch for the transport-seam scopes.
+fn seam_main(seam: &SeamScope, parsed: &Args) -> i32 {
+    let problem = McProblem::build();
+    println!("mc: {}", seam.describe());
+    let start = std::time::Instant::now();
+    let outcome = seam_explore(seam, &problem, parsed.max_states);
+    let wall = start.elapsed().as_millis();
+    if parsed.stats {
+        let s = &outcome.stats;
+        println!(
+            "  visited {} states, {} dedup hits, {} edges, {} terminals",
+            s.visited, s.dedup_hits, s.edges, s.terminals
+        );
+        println!(
+            "  pruned: {} capacity, {} inadmissible; {} ms",
+            s.pruned_capacity, s.pruned_inadmissible, wall
+        );
+    }
+    if let Some(path) = &parsed.out {
+        let mut json = seam_stats_json(&outcome, seam);
+        if let Json::Obj(obj) = &mut json {
+            obj.push(("wall_ms".into(), Json::Num(wall as f64)));
+        }
+        if let Err(e) = std::fs::write(path, json.render_pretty()) {
+            eprintln!("mc: cannot write {}: {e}", path.display());
+            return 1;
+        }
+        println!("mc: wrote {}", path.display());
+    }
+    if let Some(expect) = parsed.expect_states {
+        if outcome.stats.visited != expect {
+            eprintln!(
+                "mc: state-count lock FAILED — expected {expect} states, visited {} \
+                 (coverage changed; re-measure and update the lock deliberately)",
+                outcome.stats.visited
+            );
+            return 1;
+        }
+        println!("mc: state-count lock ok ({expect} states)");
+    }
+    match &outcome.violation {
+        None if outcome.truncated => {
+            eprintln!(
+                "mc: state budget exhausted after {} states — sweep NOT exhaustive",
+                outcome.stats.visited
+            );
+            1
+        }
+        None => {
+            println!(
+                "mc: scope '{}' verified — {} states, all invariants hold on every \
+                 admissible interleaving",
+                seam.name, outcome.stats.visited
+            );
+            0
+        }
+        Some(found) => {
+            eprintln!(
+                "mc: VIOLATION [{}] at step {}: {}",
+                found.violation.property.id(),
+                found.violation.j,
+                found.violation.detail
+            );
+            let (trace, _) = seam_rebuild(seam, &problem, &found.path);
+            let out = parsed.fault_dir.join("mc-seam-violation.trace");
+            match asynciter_conformance::corpus::save_trace(&out, &trace) {
+                Ok(()) => eprintln!(
+                    "mc: counterexample ({} steps) saved {}",
+                    trace.len(),
+                    out.display()
+                ),
+                Err(e) => eprintln!("mc: counterexample emission failed: {e}"),
+            }
+            1
+        }
+    }
 }
 
 /// CLI entry point; returns the process exit code.
@@ -199,9 +424,36 @@ pub fn mc_main(args: &[String]) -> i32 {
         }
     };
 
+    // Seam negative controls: one planted transport bug per fault
+    // kind, each of which the seam explorer must catch and shrink.
+    if let Some(bug) = parsed.seam_bug {
+        let out = parsed.fault_dir.join(format!("mc-seam-{}.trace", bug.id()));
+        return match seam_bug_demo(bug, &out) {
+            Ok((orig, shrunk)) => {
+                println!(
+                    "inject-seam-{}: violation found, shrunk {orig} -> {shrunk} steps, saved {}",
+                    bug.id(),
+                    out.display()
+                );
+                0
+            }
+            Err(e) => {
+                eprintln!("inject-seam-{}: FAILED: {e}", bug.id());
+                1
+            }
+        };
+    }
+
+    // Seam scopes: exhaustive sweep of the transport-seam model.
+    if let Some(seam) = &parsed.seam {
+        return seam_main(seam, &parsed);
+    }
+
     // Must-find modes delegate to the deterministic demos (the same
-    // functions the tier-1 fixtures are generated and locked by).
-    if parsed.inject || parsed.find_reorder {
+    // functions the tier-1 fixtures are generated and locked by) —
+    // except `--from-trace --find-reorder`, which hunts the class on
+    // the derived scope in the normal sweep below.
+    if parsed.inject || (parsed.find_reorder && !parsed.scope_from_trace) {
         let name = if parsed.inject {
             ("inject-mc-bug", "mc-bug-severed-apply.trace")
         } else {
@@ -232,19 +484,59 @@ pub fn mc_main(args: &[String]) -> i32 {
     let problem = McProblem::build();
     println!("mc: {}", parsed.scope.describe());
     let start = std::time::Instant::now();
-    let outcome = explore(
-        &parsed.scope,
-        &problem,
-        parsed.strategy,
-        parsed.max_states,
-        false,
-    );
+    let (outcome, por_used) = match parsed.por {
+        PorMode::Off => (
+            explore(
+                &parsed.scope,
+                &problem,
+                parsed.strategy,
+                parsed.max_states,
+                parsed.find_reorder,
+                Por::Off,
+            ),
+            Por::Off,
+        ),
+        PorMode::On => (
+            explore(
+                &parsed.scope,
+                &problem,
+                parsed.strategy,
+                parsed.max_states,
+                parsed.find_reorder,
+                Por::On,
+            ),
+            Por::On,
+        ),
+        PorMode::Check => {
+            match explore_check_por(
+                &parsed.scope,
+                &problem,
+                parsed.strategy,
+                parsed.max_states,
+                parsed.find_reorder,
+            ) {
+                Err(e) => {
+                    eprintln!("mc: POR-CHECK FAILED: {e}");
+                    return 1;
+                }
+                Ok((off, on)) => {
+                    let factor = off.stats.visited as f64 / on.stats.visited.max(1) as f64;
+                    println!(
+                        "mc: por-check ok — identical verdict; {} states unreduced, \
+                         {} reduced ({factor:.2}x)",
+                        off.stats.visited, on.stats.visited
+                    );
+                    (off, Por::Off)
+                }
+            }
+        }
+    };
     let wall = start.elapsed().as_millis();
     if parsed.stats {
         print_stats(&outcome, wall);
     }
     if let Some(path) = &parsed.out {
-        let mut json = stats_json(&outcome, &parsed.scope, parsed.strategy);
+        let mut json = stats_json(&outcome, &parsed.scope, parsed.strategy, por_used);
         if let Json::Obj(obj) = &mut json {
             obj.push(("wall_ms".into(), Json::Num(wall as f64)));
         }
@@ -254,6 +546,17 @@ pub fn mc_main(args: &[String]) -> i32 {
         }
         println!("mc: wrote {}", path.display());
     }
+    if let Some(expect) = parsed.expect_states {
+        if outcome.stats.visited != expect {
+            eprintln!(
+                "mc: state-count lock FAILED — expected {expect} states, visited {} \
+                 (coverage changed; re-measure and update the lock deliberately)",
+                outcome.stats.visited
+            );
+            return 1;
+        }
+        println!("mc: state-count lock ok ({expect} states)");
+    }
     match &outcome.violation {
         None if outcome.truncated => {
             eprintln!(
@@ -262,11 +565,27 @@ pub fn mc_main(args: &[String]) -> i32 {
             );
             1
         }
+        None if parsed.find_reorder => {
+            eprintln!(
+                "mc: find-reorder came up empty on scope '{}' — {} states, \
+                 no out-of-order application",
+                parsed.scope.name, outcome.stats.visited
+            );
+            1
+        }
         None => {
             println!(
                 "mc: scope '{}' verified — {} states, all invariants hold on every \
                  admissible interleaving",
                 parsed.scope.name, outcome.stats.visited
+            );
+            0
+        }
+        Some(found) if parsed.find_reorder && found.violation.property == Property::Reorder => {
+            println!(
+                "mc: find-reorder rediscovered the out-of-order class on scope '{}' \
+                 at step {}: {}",
+                parsed.scope.name, found.violation.j, found.violation.detail
             );
             0
         }
@@ -317,6 +636,71 @@ mod tests {
         let a = parse_args(&s(&["--find-reorder"])).unwrap();
         assert_eq!(a.scope.name, "reorder");
         assert!(a.find_reorder);
+    }
+
+    #[test]
+    fn error_messages_and_exit_codes_are_pinned() {
+        // Every rejection path: exact message (operators script against
+        // these) and exit code 1 through `mc_main`.
+        let cases: &[(&[&str], &str)] = &[
+            (
+                &["--scope", "nope"],
+                "unknown scope 'nope' (valid: quick, flex, reorder, inject, \
+                 triple, deep, deeper)",
+            ),
+            (
+                &["--scope", "seam3"],
+                "unknown seam scope 'seam3' (valid: seam1, seam2)",
+            ),
+            (
+                &["--strategy", "ids"],
+                "unknown strategy 'ids' (valid: dfs, bfs)",
+            ),
+            (
+                &["--por", "maybe"],
+                "unknown por mode 'maybe' (valid: off, on, check)",
+            ),
+            (
+                &["--workers", "4"],
+                "--workers: bounded scopes support 2 or 3 workers",
+            ),
+            (
+                &["--scope", "seam2", "--por", "on"],
+                "--scope seam2: seam scopes take no --strategy/--por/--steps/--workers \
+                 and no --inject-mc-bug/--find-reorder/--from-trace",
+            ),
+        ];
+        for (args, want) in cases {
+            let err = parse_args(&s(args)).err().expect("parse must fail");
+            assert_eq!(&err, want, "message drifted for {args:?}");
+            assert_eq!(mc_main(&s(args)), 1, "exit code drifted for {args:?}");
+        }
+    }
+
+    #[test]
+    fn seam_scopes_and_seam_bug_flags_parse() {
+        let a = parse_args(&s(&["--scope", "seam1"])).unwrap();
+        assert_eq!(a.seam.as_ref().unwrap().name, "seam1");
+        assert_eq!(a.seam.as_ref().unwrap().workers, 1);
+        let a = parse_args(&s(&["--scope", "seam2", "--stats"])).unwrap();
+        assert_eq!(a.seam.as_ref().unwrap().workers, 2);
+        assert!(a.stats);
+        for (flag, bug) in [
+            ("--inject-seam-hold", SeamBug::Hold),
+            ("--inject-seam-drop", SeamBug::Drop),
+            ("--inject-seam-dup", SeamBug::Dup),
+        ] {
+            let a = parse_args(&s(&[flag])).unwrap();
+            assert_eq!(a.seam_bug, Some(bug));
+        }
+        // --find-reorder composes with --from-trace: the hunt runs on
+        // the derived scope instead of the fixed reorder scope.
+        let trace = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../tests/corpus/mc-reorder.trace"
+        );
+        let a = parse_args(&s(&["--from-trace", trace, "--find-reorder"])).unwrap();
+        assert!(a.scope_from_trace && a.find_reorder);
     }
 
     #[test]

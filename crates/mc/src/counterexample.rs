@@ -22,6 +22,7 @@
 use crate::explore::{explore, rebuild, FoundViolation, Strategy};
 use crate::invariants::Property;
 use crate::scope::{McProblem, Scope};
+use crate::state::Por;
 use asynciter_conformance::cluster::has_label_regression;
 use asynciter_conformance::corpus::save_trace;
 use asynciter_conformance::shrink::shrink_trace;
@@ -89,7 +90,7 @@ pub fn emit_counterexample(
     found: &FoundViolation,
     out: &Path,
 ) -> Result<CounterexampleReport, String> {
-    let (trace, _terminal) = rebuild(scope, problem, &found.path);
+    let (trace, _terminal) = rebuild(scope, problem, &found.path, found.por);
     let orig_steps = trace.len() as u64;
     let mut pred = shrink_predicate(found.violation.property, scope);
     let result = shrink_trace(&trace, &mut pred, SHRINK_BUDGET);
@@ -114,7 +115,10 @@ pub fn emit_counterexample(
 pub fn inject_bug_demo(out: &Path) -> Result<(u64, u64), String> {
     let scope = Scope::inject();
     let problem = McProblem::build();
-    let outcome = explore(&scope, &problem, Strategy::Dfs, 1_000_000, false);
+    // The demos stay on `Por::Off`: the committed fixtures are locked
+    // byte for byte, and the reduced enumeration would find a different
+    // (equally valid) representative path.
+    let outcome = explore(&scope, &problem, Strategy::Dfs, 1_000_000, false, Por::Off);
     let found = outcome
         .violation
         .ok_or("inject-mc-bug: explorer did not find the planted bug — blind spot")?;
@@ -139,7 +143,7 @@ pub fn inject_bug_demo(out: &Path) -> Result<(u64, u64), String> {
 pub fn find_reorder_demo(out: &Path) -> Result<(u64, u64), String> {
     let scope = Scope::reorder();
     let problem = McProblem::build();
-    let outcome = explore(&scope, &problem, Strategy::Dfs, 1_000_000, true);
+    let outcome = explore(&scope, &problem, Strategy::Dfs, 1_000_000, true, Por::Off);
     let found = outcome
         .violation
         .ok_or("find-reorder: scope no longer exhibits out-of-order application")?;
@@ -150,7 +154,7 @@ pub fn find_reorder_demo(out: &Path) -> Result<(u64, u64), String> {
             found.violation.detail
         ));
     }
-    let (trace, _) = rebuild(&scope, &problem, &found.path);
+    let (trace, _) = rebuild(&scope, &problem, &found.path, found.por);
     if !has_label_regression(&trace, scope.workers) {
         return Err("find-reorder: rebuilt trace lost the regression".into());
     }

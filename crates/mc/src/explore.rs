@@ -15,7 +15,7 @@
 
 use crate::invariants::{check_edge, check_reorder, check_terminal, Violation};
 use crate::scope::{McProblem, Scope};
-use crate::state::{apply_choice, enumerate_choices, state_hash, McState, PruneReason};
+use crate::state::{apply_choice, enumerate_choices_por, state_hash, McState, Por, PruneReason};
 use asynciter_models::{LabelStore, Trace};
 use std::collections::{BTreeSet, VecDeque};
 
@@ -57,6 +57,16 @@ pub struct ExploreStats {
     pub pruned_capacity: u64,
     /// Branches cut by the admissibility envelope (spec book).
     pub pruned_inadmissible: u64,
+    /// Delivery sequences pruned by partial-order reduction
+    /// (non-representative subsets / permutations). Zero under
+    /// [`Por::Off`].
+    pub por_pruned_deliveries: u64,
+    /// Send combinations pruned by partial-order reduction (redundant
+    /// duplicate posts). Zero under [`Por::Off`].
+    pub por_pruned_sends: u64,
+    /// Total step choices pruned by partial-order reduction. Zero under
+    /// [`Por::Off`].
+    pub por_pruned_choices: u64,
     /// Peak frontier size (stack or queue).
     pub max_frontier: u64,
 }
@@ -66,9 +76,13 @@ pub struct ExploreStats {
 pub struct FoundViolation {
     /// The failed property and diagnosis.
     pub violation: Violation,
-    /// Choice indices (into [`enumerate_choices`] at each state along
-    /// the path) from the root up to and including the violating edge.
+    /// Choice indices (into [`enumerate_choices_por`] at each state
+    /// along the path) from the root up to and including the violating
+    /// edge. Indices are relative to the enumeration under [`Self::por`].
     pub path: Vec<u32>,
+    /// The reduction mode the path was found (and must be replayed)
+    /// under — choice indices are not portable across modes.
+    pub por: Por,
 }
 
 /// Result of exploring a scope.
@@ -91,12 +105,18 @@ pub struct ExploreOutcome {
 /// `find_reorder` switches the goal: edge invariants still guard the
 /// run, but the explorer *hunts* the out-of-order label-regression
 /// witness and reports it as the (sought) violation.
+///
+/// `por` selects the enumeration: [`Por::On`] explores the reduced
+/// space (same verdicts and violation classes, fewer states — see
+/// [`enumerate_choices_por`]); [`explore_check_por`] runs both and
+/// asserts the equivalence.
 pub fn explore(
     scope: &Scope,
     problem: &McProblem,
     strategy: Strategy,
     max_states: u64,
     find_reorder: bool,
+    por: Por,
 ) -> ExploreOutcome {
     let mut stats = ExploreStats::default();
     let mut visited: BTreeSet<u128> = BTreeSet::new();
@@ -114,18 +134,25 @@ pub fn explore(
     } {
         if state.next_step > scope.steps {
             stats.terminals += 1;
-            let (trace, terminal) = rebuild(scope, problem, &path);
+            let (trace, terminal) = rebuild(scope, problem, &path, por);
             debug_assert_eq!(terminal.next_step, state.next_step);
             if let Some(v) = check_terminal(scope, problem, &state, &trace) {
                 return ExploreOutcome {
                     stats,
-                    violation: Some(FoundViolation { violation: v, path }),
+                    violation: Some(FoundViolation {
+                        violation: v,
+                        path,
+                        por,
+                    }),
                     truncated,
                 };
             }
             continue;
         }
-        let choices = enumerate_choices(&state, scope);
+        let (choices, por_counts) = enumerate_choices_por(&state, scope, por);
+        stats.por_pruned_deliveries += por_counts.deliveries;
+        stats.por_pruned_sends += por_counts.sends;
+        stats.por_pruned_choices += por_counts.choices;
         for (i, choice) in choices.iter().enumerate() {
             match apply_choice(&state, choice, scope, problem, None) {
                 Err(PruneReason::Capacity) => stats.pruned_capacity += 1,
@@ -141,7 +168,11 @@ pub fn explore(
                         path.push(i as u32);
                         return ExploreOutcome {
                             stats,
-                            violation: Some(FoundViolation { violation: v, path }),
+                            violation: Some(FoundViolation {
+                                violation: v,
+                                path,
+                                por,
+                            }),
                             truncated,
                         };
                     }
@@ -171,22 +202,76 @@ pub fn explore(
 
 /// Deterministically replays a choice path from the root, accumulating
 /// the producing-step trace — the bridge from a model-checking path to
-/// a corpus-format counterexample.
+/// a corpus-format counterexample. `por` must be the mode the path was
+/// found under (choice indices are relative to the enumeration).
 ///
 /// # Panics
 /// Panics when the path indexes a pruned or out-of-range choice (paths
 /// produced by [`explore`] never do).
-pub fn rebuild(scope: &Scope, problem: &McProblem, path: &[u32]) -> (Trace, McState) {
+pub fn rebuild(scope: &Scope, problem: &McProblem, path: &[u32], por: Por) -> (Trace, McState) {
     let mut state = McState::initial(scope, problem);
     let mut trace = Trace::new(problem.n(), LabelStore::Full);
     for &i in path {
-        let choices = enumerate_choices(&state, scope);
+        let (choices, _) = enumerate_choices_por(&state, scope, por);
         let choice = &choices[i as usize];
         let (next, _edge) = apply_choice(&state, choice, scope, problem, Some(&mut trace))
             .expect("explored paths never hit a pruned branch");
         state = next;
     }
     (trace, state)
+}
+
+/// Runs the same sweep under [`Por::Off`] and [`Por::On`] and asserts
+/// the reduction is verdict-preserving: identical exhaustiveness,
+/// identical violation presence, and — when a violation exists —
+/// identical property class. Returns both outcomes (off, on) for
+/// reporting.
+///
+/// # Errors
+/// A diagnostic message naming the first divergence.
+pub fn explore_check_por(
+    scope: &Scope,
+    problem: &McProblem,
+    strategy: Strategy,
+    max_states: u64,
+    find_reorder: bool,
+) -> Result<(ExploreOutcome, ExploreOutcome), String> {
+    let off = explore(scope, problem, strategy, max_states, find_reorder, Por::Off);
+    let on = explore(scope, problem, strategy, max_states, find_reorder, Por::On);
+    if off.truncated != on.truncated {
+        return Err(format!(
+            "por-check divergence on scope '{}': truncated off={} on={}",
+            scope.name, off.truncated, on.truncated
+        ));
+    }
+    match (&off.violation, &on.violation) {
+        (None, None) => {}
+        (Some(a), Some(b)) => {
+            if a.violation.property != b.violation.property {
+                return Err(format!(
+                    "por-check divergence on scope '{}': violation class off={} on={}",
+                    scope.name,
+                    a.violation.property.id(),
+                    b.violation.property.id()
+                ));
+            }
+        }
+        (a, b) => {
+            return Err(format!(
+                "por-check divergence on scope '{}': violation off={} on={}",
+                scope.name,
+                a.is_some(),
+                b.is_some()
+            ));
+        }
+    }
+    if on.stats.visited > off.stats.visited {
+        return Err(format!(
+            "por-check divergence on scope '{}': reduction grew the space ({} > {})",
+            scope.name, on.stats.visited, off.stats.visited
+        ));
+    }
+    Ok((off, on))
 }
 
 #[cfg(test)]
@@ -197,7 +282,7 @@ mod tests {
     fn inject_scope_space_is_tiny_and_caught() {
         let scope = Scope::inject();
         let problem = McProblem::build();
-        let out = explore(&scope, &problem, Strategy::Dfs, 100_000, false);
+        let out = explore(&scope, &problem, Strategy::Dfs, 100_000, false, Por::Off);
         let v = out.violation.expect("the injected bug must be found");
         assert_eq!(
             v.violation.property,
@@ -210,10 +295,29 @@ mod tests {
     fn rebuild_follows_the_found_path() {
         let scope = Scope::inject();
         let problem = McProblem::build();
-        let out = explore(&scope, &problem, Strategy::Dfs, 100_000, false);
-        let path = out.violation.unwrap().path;
-        let (trace, state) = rebuild(&scope, &problem, &path);
-        assert_eq!(trace.len() as u64, path.len() as u64);
-        assert_eq!(state.next_step, path.len() as u64 + 1);
+        let out = explore(&scope, &problem, Strategy::Dfs, 100_000, false, Por::Off);
+        let found = out.violation.unwrap();
+        let (trace, state) = rebuild(&scope, &problem, &found.path, found.por);
+        assert_eq!(trace.len() as u64, found.path.len() as u64);
+        assert_eq!(state.next_step, found.path.len() as u64 + 1);
+    }
+
+    #[test]
+    fn por_check_holds_on_quick_and_reorder() {
+        let problem = McProblem::build();
+        // quick (KeepFreshest + dup): redundant-delivery forcing and
+        // duplicate-send pruning both fire and must shrink the space.
+        let (off, on) =
+            explore_check_por(&Scope::quick(), &problem, Strategy::Dfs, 1_000_000, false).unwrap();
+        assert!(
+            on.stats.visited < off.stats.visited,
+            "reduction must shrink the quick scope"
+        );
+        assert!(on.stats.por_pruned_choices > 0);
+        assert_eq!(off.stats.por_pruned_choices, 0);
+        // reorder (AsReceived, single sender per mailbox): nothing
+        // commutes, so the reduction may be a no-op — but the
+        // equivalence contract must still hold.
+        explore_check_por(&Scope::reorder(), &problem, Strategy::Dfs, 1_000_000, false).unwrap();
     }
 }

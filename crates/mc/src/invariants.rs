@@ -38,10 +38,11 @@ use asynciter_models::conditions::AdmissibilityWitness;
 use asynciter_models::Trace;
 use asynciter_runtime::ApplyPolicy;
 
-/// Relative slack for floating-point property comparisons.
-const REL_EPS: f64 = 1e-9;
+/// Relative slack for floating-point property comparisons (shared with
+/// the transport-seam checks).
+pub(crate) const REL_EPS: f64 = 1e-9;
 /// Absolute slack near zero.
-const ABS_EPS: f64 = 1e-12;
+pub(crate) const ABS_EPS: f64 = 1e-12;
 
 /// The checked property families.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

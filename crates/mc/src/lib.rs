@@ -62,10 +62,17 @@ pub mod counterexample;
 pub mod explore;
 pub mod invariants;
 pub mod scope;
+pub mod seam;
 pub mod state;
 
 pub use counterexample::{find_reorder_demo, inject_bug_demo, CounterexampleReport};
-pub use explore::{explore, ExploreOutcome, ExploreStats, FoundViolation, Strategy};
+pub use explore::{
+    explore, explore_check_por, ExploreOutcome, ExploreStats, FoundViolation, Strategy,
+};
 pub use invariants::Property;
 pub use scope::{McProblem, Scope};
-pub use state::{state_hash, McMessage, McState, SendChoice, StepChoice};
+pub use seam::{
+    seam_bug_demo, seam_explore, seam_rebuild, seam_state_hash, SeamBug, SeamOutcome, SeamScope,
+    SeamState, SeamStats,
+};
+pub use state::{state_hash, McMessage, McState, Por, SendChoice, StepChoice};

@@ -193,6 +193,52 @@ impl Scope {
         }
     }
 
+    /// The 3-worker nightly scope: two full rounds of three workers
+    /// with drops + duplicates + holds under `KeepFreshest` — the
+    /// smallest universe where messages from *different* senders race
+    /// in one mailbox. Exhaustive within the nightly budget; the
+    /// partial-order reduction cuts it several-fold (locked in tier-1).
+    pub fn triple() -> Self {
+        Self {
+            name: "triple".into(),
+            workers: 3,
+            steps: 6,
+            exchange_every: 1,
+            apply_policy: ApplyPolicy::KeepFreshest,
+            envelope: DelayEnvelope::Bounded(6),
+            allow_drop: true,
+            allow_dup: true,
+            partial_masks: Vec::new(),
+            max_in_flight: 2,
+            track_read_history: false,
+            inject_bug: false,
+        }
+    }
+
+    /// The horizon-8 nightly scope: `quick`'s channel nondeterminism
+    /// pushed two rounds deeper, where delayed-delivery chains that a
+    /// 6-step horizon truncates run to completion.
+    pub fn deep() -> Self {
+        Self {
+            name: "deep".into(),
+            steps: 8,
+            envelope: DelayEnvelope::Bounded(8),
+            ..Self::quick()
+        }
+    }
+
+    /// The horizon-10 nightly scope: the deepest committed universe.
+    /// Only feasible because of the partial-order reduction — the
+    /// nightly job runs it `--por on` with a reduced-count lock.
+    pub fn deeper() -> Self {
+        Self {
+            name: "deeper".into(),
+            steps: 10,
+            envelope: DelayEnvelope::Bounded(10),
+            ..Self::quick()
+        }
+    }
+
     /// Looks a named scope up.
     ///
     /// # Errors
@@ -203,10 +249,102 @@ impl Scope {
             "flex" => Ok(Self::flex()),
             "reorder" => Ok(Self::reorder()),
             "inject" => Ok(Self::inject()),
+            "triple" => Ok(Self::triple()),
+            "deep" => Ok(Self::deep()),
+            "deeper" => Ok(Self::deeper()),
             other => Err(format!(
-                "unknown scope '{other}' (valid: quick, flex, reorder, inject)"
+                "unknown scope '{other}' (valid: quick, flex, reorder, inject, \
+                 triple, deep, deeper)"
             )),
         }
+    }
+
+    /// Derives a minimal scope from a conformance-corpus counterexample
+    /// trace, so any fuzzer find auto-generates an exhaustive
+    /// regression universe: the worker count is recovered by matching
+    /// the trace's active sets against round-robin block partitions
+    /// (shrunk corpus traces carry minimised active sets, so each step
+    /// need only activate a *subset* of its round-robin block), the
+    /// envelope is the tightest `Bounded` the trace's read labels
+    /// satisfy, and the policy is `AsReceived` (with read-history
+    /// tracking) exactly when the trace exhibits a label regression.
+    ///
+    /// # Errors
+    /// Traces of the wrong dimension, with non-block active sets, or
+    /// without full labels, as a message.
+    pub fn from_trace(stem: &str, trace: &asynciter_models::Trace) -> Result<Self, String> {
+        if trace.n() != MC_DIM {
+            return Err(format!(
+                "--from-trace: trace dimension {} != scope dimension {MC_DIM}",
+                trace.n()
+            ));
+        }
+        if trace.is_empty() {
+            return Err("--from-trace: empty trace".into());
+        }
+        let workers = (2..=3usize)
+            .find(|&w| {
+                let p = Partition::blocks(MC_DIM, w).expect("scope partition");
+                (1..=trace.len() as u64).all(|j| {
+                    let block = p.components_of(((j - 1) % w as u64) as usize);
+                    let active = &trace.step(j).active;
+                    !active.is_empty() && active.iter().all(|&c| block.contains(&(c as usize)))
+                })
+            })
+            .ok_or_else(|| {
+                format!("--from-trace: '{stem}' has no round-robin 2- or 3-worker block schedule")
+            })?;
+        let mut staleness = 1u64;
+        for j in 1..=trace.len() as u64 {
+            let labels = trace
+                .labels(j)
+                .map_err(|e| format!("--from-trace: '{stem}' stores no labels: {e}"))?;
+            for &l in labels {
+                staleness = staleness.max(j.saturating_sub(l));
+            }
+        }
+        let reordering = asynciter_conformance::cluster::has_label_regression(trace, workers);
+        if reordering {
+            // An out-of-order application needs room under round-robin:
+            // the overtaken message and its overtaker are the same
+            // sender's turns (≥ `workers` steps apart), the overtaker
+            // was read one receiver turn (`workers` steps) earlier, and
+            // the stale label must still clear the envelope floor at
+            // the regressing read — so the class is admissible only for
+            // `b ≥ 2·workers + 1`. Shrunk corpus traces understate this
+            // (the shrinker minimises labels, not schedules).
+            staleness = staleness.max(2 * workers as u64 + 1);
+        }
+        // The regression universe needs enough rounds for the source
+        // trace's violation class (a delayed message overtaken by a
+        // fresher one takes three of its sender's turns end to end),
+        // not the source trace's full length — deriving a 3-worker
+        // scope from a 20-step fuzzer find must still be exhaustively
+        // explorable.
+        let steps = (trace.len() as u64)
+            .min(3 * workers as u64)
+            .max(2 * workers as u64);
+        Ok(Self {
+            name: format!("from-{stem}"),
+            workers,
+            steps,
+            exchange_every: 1,
+            apply_policy: if reordering {
+                ApplyPolicy::AsReceived
+            } else {
+                ApplyPolicy::KeepFreshest
+            },
+            envelope: DelayEnvelope::Bounded(staleness),
+            allow_drop: false,
+            allow_dup: false,
+            partial_masks: Vec::new(),
+            // Two queued messages per incoming sender stream: enough
+            // capacity for any pairwise out-of-order delivery the
+            // source trace's regression class needs.
+            max_in_flight: 2 * (workers - 1),
+            track_read_history: reordering,
+            inject_bug: false,
+        })
     }
 
     /// The component whose engine-book label update the injected bug

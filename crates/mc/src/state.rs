@@ -132,6 +132,36 @@ pub struct StepChoice {
     pub sends: Vec<SendChoice>,
 }
 
+/// Partial-order reduction mode of an exploration.
+///
+/// Reduction prunes choices whose successors are provably covered by a
+/// retained representative (see [`enumerate_choices_por`]); verdicts
+/// and reachable violation classes are unchanged, which the
+/// `--por check` CLI mode and the tier-1 suite assert by running both.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Por {
+    /// Full, unreduced enumeration — the baseline the reduced run is
+    /// checked against.
+    #[default]
+    Off,
+    /// Reduced enumeration: redundant-delivery forcing, commuting
+    /// reorder canonicalisation, and duplicate-send pruning.
+    On,
+}
+
+/// Choices removed by partial-order reduction at one enumeration,
+/// accumulated into [`crate::explore::ExploreStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PorCounts {
+    /// Delivery sequences pruned (non-representative subsets /
+    /// permutations).
+    pub deliveries: u64,
+    /// Send combinations pruned (redundant duplicate posts).
+    pub sends: u64,
+    /// Total step choices pruned (full cross-product minus kept).
+    pub choices: u64,
+}
+
 /// Why a branch was cut instead of explored.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PruneReason {
@@ -207,16 +237,22 @@ pub fn canonical_bytes(s: &McState) -> Vec<u8> {
 const FNV128_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
 const FNV128_PRIME: u128 = 0x0000000001000000000000000000013B;
 
-/// 128-bit FNV-1a over [`canonical_bytes`] — the dedup key of the
-/// explorer. Pure function of the canonical encoding; a known-value
-/// lock test pins it against accidental re-ordering of the encoding.
-pub fn state_hash(s: &McState) -> u128 {
+/// 128-bit FNV-1a over an arbitrary canonical encoding — shared by the
+/// cluster-regime and transport-seam state hashes.
+pub(crate) fn fnv128(bytes: &[u8]) -> u128 {
     let mut h = FNV128_OFFSET;
-    for b in canonical_bytes(s) {
+    for &b in bytes {
         h ^= u128::from(b);
         h = h.wrapping_mul(FNV128_PRIME);
     }
     h
+}
+
+/// 128-bit FNV-1a over [`canonical_bytes`] — the dedup key of the
+/// explorer. Pure function of the canonical encoding; a known-value
+/// lock test pins it against accidental re-ordering of the encoding.
+pub fn state_hash(s: &McState) -> u128 {
+    fnv128(&canonical_bytes(s))
 }
 
 // ---------------------------------------------------------------------------
@@ -286,16 +322,113 @@ fn send_options(scope: &Scope) -> Vec<SendChoice> {
     out
 }
 
+/// True when delivering `msg` to worker `w` changes nothing but the
+/// mailbox: every payload entry is engine-stale (or bitwise-equal at an
+/// equal label) *and* spec-stale. Under `KeepFreshest` labels only grow,
+/// so a redundant message stays redundant for the rest of the branch —
+/// holding it only multiplies timing-equivalent states.
+fn message_redundant(state: &McState, w: usize, msg: &McMessage) -> bool {
+    msg.comps.iter().enumerate().all(|(k, &(c, v, l))| {
+        let c = c as usize;
+        let engine_noop = l < state.labels[w][c]
+            || (l == state.labels[w][c] && v.to_bits() == state.views[w][c].to_bits());
+        engine_noop && msg.spec[k] <= state.spec_labels[w][c]
+    })
+}
+
+/// True when applying `a` then `b` equals applying `b` then `a` for
+/// *any* receiver state: the messages touch disjoint components, or
+/// carry identical payload and spec labels (last-writer ties resolve
+/// identically either way).
+fn messages_commute(a: &McMessage, b: &McMessage) -> bool {
+    if a.comps == b.comps && a.spec == b.spec {
+        return true;
+    }
+    a.comps
+        .iter()
+        .all(|(ca, _, _)| b.comps.iter().all(|(cb, _, _)| ca != cb))
+}
+
+/// Canonical-representative filter for `AsReceived` delivery orders: a
+/// permutation is the class representative iff no adjacent pair is an
+/// *inversion of commuting messages* (swapping such a pair yields the
+/// identical successor, and bubble-sorting by commuting swaps reaches
+/// the unique locally-minimal order, so exactly one representative per
+/// Mazurkiewicz class survives).
+fn is_canonical_order(perm: &[usize], mbox: &[McMessage]) -> bool {
+    perm.windows(2)
+        .all(|p| p[0] < p[1] || !messages_commute(&mbox[p[0]], &mbox[p[1]]))
+}
+
 /// Enumerates every [`StepChoice`] available in `state` under `scope`,
 /// in a deterministic canonical order (delivery choices outer, send
-/// cross-product inner).
+/// cross-product inner). Full enumeration — [`Por::Off`].
 pub fn enumerate_choices(state: &McState, scope: &Scope) -> Vec<StepChoice> {
+    enumerate_choices_por(state, scope, Por::Off).0
+}
+
+/// Enumerates the step choices of `state` under `scope`, applying the
+/// partial-order reduction when `por` is [`Por::On`]:
+///
+/// - **Forced redundant delivery** (`KeepFreshest`, bug-free scopes):
+///   messages that are no-ops for both label books must be delivered
+///   now — holding them only branches on unobservable timing. Every
+///   pruned subset's successor is reached by its superset
+///   representative with the redundant messages absorbed earlier.
+/// - **Commuting-reorder canonicalisation** (`AsReceived`): delivery
+///   permutations that contain an adjacent inversion of commuting
+///   messages are dropped; one representative per equivalence class of
+///   identical successors survives (`is_canonical_order`).
+/// - **Duplicate-send pruning** (`KeepFreshest`, bug-free scopes with
+///   `allow_dup`): posting two identical copies is observationally
+///   dominated by posting one — the second copy can only ever be
+///   absorbed as a no-op or consume mailbox capacity (and capacity
+///   pruning removes states, never violations).
+///
+/// The reductions are disabled under `inject_bug` scopes: the planted
+/// engine defect makes the redundancy judgement unsound there, and
+/// negative controls must see the full space.
+pub fn enumerate_choices_por(
+    state: &McState,
+    scope: &Scope,
+    por: Por,
+) -> (Vec<StepChoice>, PorCounts) {
     let j = state.next_step;
     let w = scope.owner(j);
-    let deliveries = delivery_choices(state.mailboxes[w].len(), scope.apply_policy);
-    let sends: Vec<Vec<SendChoice>> = if scope.exchange_due(j) {
-        let per_dest = send_options(scope);
-        let dests = scope.workers - 1;
+    let mbox = &state.mailboxes[w];
+    let mut counts = PorCounts::default();
+    let mut deliveries = delivery_choices(mbox.len(), scope.apply_policy);
+    let deliveries_full = deliveries.len() as u64;
+    if por == Por::On {
+        match scope.apply_policy {
+            ApplyPolicy::KeepFreshest if !scope.inject_bug => {
+                let redundant: Vec<usize> = (0..mbox.len())
+                    .filter(|&i| message_redundant(state, w, &mbox[i]))
+                    .collect();
+                if !redundant.is_empty() {
+                    deliveries.retain(|d| redundant.iter().all(|r| d.contains(r)));
+                }
+            }
+            ApplyPolicy::AsReceived => {
+                deliveries.retain(|d| is_canonical_order(d, mbox));
+            }
+            ApplyPolicy::KeepFreshest => {}
+        }
+        counts.deliveries = deliveries_full - deliveries.len() as u64;
+    }
+    let (sends, sends_full): (Vec<Vec<SendChoice>>, u64) = if scope.exchange_due(j) {
+        let mut per_dest = send_options(scope);
+        let per_dest_full = per_dest.len() as u64;
+        if por == Por::On
+            && scope.apply_policy == ApplyPolicy::KeepFreshest
+            && !scope.inject_bug
+            && scope.allow_dup
+        {
+            per_dest.retain(|s| !matches!(s, SendChoice::Send { copies: 2, .. }));
+        }
+        let dests = (scope.workers - 1) as u32;
+        let full = per_dest_full.pow(dests);
+        counts.sends = full - (per_dest.len() as u64).pow(dests);
         let mut combos: Vec<Vec<SendChoice>> = vec![Vec::new()];
         for _ in 0..dests {
             combos = combos
@@ -309,9 +442,9 @@ pub fn enumerate_choices(state: &McState, scope: &Scope) -> Vec<StepChoice> {
                 })
                 .collect();
         }
-        combos
+        (combos, full)
     } else {
-        vec![Vec::new()]
+        (vec![Vec::new()], 1)
     };
     let mut out = Vec::with_capacity(deliveries.len() * sends.len());
     for d in &deliveries {
@@ -322,7 +455,8 @@ pub fn enumerate_choices(state: &McState, scope: &Scope) -> Vec<StepChoice> {
             });
         }
     }
-    out
+    counts.choices = deliveries_full * sends_full - out.len() as u64;
+    (out, counts)
 }
 
 // ---------------------------------------------------------------------------

@@ -65,7 +65,9 @@ pub use session::{Barrier, Cluster, SharedMem, ThreadedCluster};
 pub use shared::SharedVec;
 pub use sync_engine::{SpinBarrier, SyncConfig, SyncRunResult, SyncRunner};
 pub use threaded::{Quiesce, ThreadedClusterEngine, ThreadedConfig, ThreadedRunResult};
-pub use transport::{BlockMessage, Endpoint, FaultEndpoint, FaultPlan, MpscTransport, Transport};
+pub use transport::{
+    BlockMessage, Endpoint, FaultEndpoint, FaultPlan, MpscTransport, SendFate, Transport,
+};
 
 /// Convenience result alias for this crate.
 pub type Result<T> = std::result::Result<T, RuntimeError>;

@@ -152,6 +152,26 @@ impl FaultPlan {
     }
 }
 
+/// What the fault layer does with one send — the decision the seeded
+/// RNG draws in production ([`Endpoint::send`] on [`FaultEndpoint`]),
+/// and the branch point the model checker enumerates exhaustively
+/// (`asynciter-mc`'s transport-seam scopes walk every fate the plan
+/// could draw).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendFate {
+    /// The send is lost.
+    Drop,
+    /// The send is delivered: a prompt duplicate first when `dup`, and
+    /// the original parked behind `hold` subsequent sends (`0` = posted
+    /// promptly, in order).
+    Deliver {
+        /// Post an extra prompt copy before deciding the original.
+        dup: bool,
+        /// Number of later sends the original waits behind.
+        hold: u64,
+    },
+}
+
 /// Sender-side channel statistics of one [`FaultEndpoint`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SendStats {
@@ -210,6 +230,51 @@ impl FaultEndpoint {
         self.stats
     }
 
+    /// Draws one [`SendFate`] from the seeded stream, with the same
+    /// draw order the original inline implementation used (drop, then
+    /// dup, then hold, then the hold distance) — seeded runs are
+    /// bit-stable across the refactor.
+    fn draw_fate(&mut self) -> SendFate {
+        if self.plan.drop_prob > 0.0 && self.rng.random_range(0.0..1.0) < self.plan.drop_prob {
+            return SendFate::Drop;
+        }
+        let dup = self.plan.dup_prob > 0.0 && self.rng.random_range(0.0..1.0) < self.plan.dup_prob;
+        let hold =
+            if self.plan.hold_prob > 0.0 && self.rng.random_range(0.0..1.0) < self.plan.hold_prob {
+                self.rng.random_range(1..=self.plan.hold_extra.max(1))
+            } else {
+                0
+            };
+        SendFate::Deliver { dup, hold }
+    }
+
+    /// Applies one send under an explicit `fate` — the deterministic
+    /// core of [`Endpoint::send`], public so the model checker can step
+    /// a real `FaultEndpoint` through an *enumerated* fate sequence and
+    /// compare against its own seam model.
+    pub fn send_with_fate(&mut self, dest: usize, msg: BlockMessage, fate: SendFate) {
+        self.stats.sent += 1;
+        self.sends += 1;
+        match fate {
+            SendFate::Drop => self.stats.dropped += 1,
+            SendFate::Deliver { dup, hold } => {
+                if dup {
+                    self.stats.duplicated += 1;
+                    self.inner.send(dest, msg.clone());
+                }
+                if hold > 0 {
+                    self.stats.held += 1;
+                    self.held.push((self.sends + hold, dest, msg));
+                } else {
+                    self.inner.send(dest, msg);
+                }
+            }
+        }
+        // Re-post parked messages that have now waited behind enough
+        // newer traffic — this is where out-of-order arrival happens.
+        self.release_due();
+    }
+
     fn release_due(&mut self) {
         if self.held.is_empty() {
             return;
@@ -228,26 +293,8 @@ impl FaultEndpoint {
 
 impl Endpoint for FaultEndpoint {
     fn send(&mut self, dest: usize, msg: BlockMessage) {
-        self.stats.sent += 1;
-        self.sends += 1;
-        if self.plan.drop_prob > 0.0 && self.rng.random_range(0.0..1.0) < self.plan.drop_prob {
-            self.stats.dropped += 1;
-        } else {
-            if self.plan.dup_prob > 0.0 && self.rng.random_range(0.0..1.0) < self.plan.dup_prob {
-                self.stats.duplicated += 1;
-                self.inner.send(dest, msg.clone());
-            }
-            if self.plan.hold_prob > 0.0 && self.rng.random_range(0.0..1.0) < self.plan.hold_prob {
-                self.stats.held += 1;
-                let wait = self.rng.random_range(1..=self.plan.hold_extra.max(1));
-                self.held.push((self.sends + wait, dest, msg));
-            } else {
-                self.inner.send(dest, msg);
-            }
-        }
-        // Re-post parked messages that have now waited behind enough
-        // newer traffic — this is where out-of-order arrival happens.
-        self.release_due();
+        let fate = self.draw_fate();
+        self.send_with_fate(dest, msg, fate);
     }
 
     fn try_recv(&mut self) -> Option<BlockMessage> {
@@ -341,6 +388,40 @@ mod tests {
             labels.windows(2).any(|w| w[0] > w[1]),
             "expected at least one out-of-order arrival"
         );
+    }
+
+    #[test]
+    fn explicit_fates_reproduce_hold_release_and_dup_semantics() {
+        let mut ends = MpscTransport.connect(2);
+        let mut e1 = ends.pop().unwrap();
+        let mut f0 = FaultEndpoint::new(ends.pop().unwrap(), FaultPlan::none(), 0);
+        // Hold message 1 behind one later send; send message 2 promptly;
+        // the hold releases as part of send 2's bookkeeping.
+        f0.send_with_fate(
+            1,
+            msg(0, 0, 1.0, 1),
+            SendFate::Deliver {
+                dup: false,
+                hold: 1,
+            },
+        );
+        assert!(e1.try_recv().is_none(), "held message must not arrive yet");
+        f0.send_with_fate(
+            1,
+            msg(0, 0, 2.0, 2),
+            SendFate::Deliver { dup: true, hold: 0 },
+        );
+        let labels: Vec<u64> = std::iter::from_fn(|| e1.try_recv())
+            .map(|m| m.comps[0].2)
+            .collect();
+        // Prompt dup copy + prompt original of message 2, then the
+        // released message 1: genuine out-of-order arrival.
+        assert_eq!(labels, vec![2, 2, 1]);
+        assert_eq!(f0.stats().held, 1);
+        assert_eq!(f0.stats().duplicated, 1);
+        f0.send_with_fate(1, msg(0, 0, 3.0, 3), SendFate::Drop);
+        assert!(e1.try_recv().is_none());
+        assert_eq!(f0.stats().dropped, 1);
     }
 
     #[test]

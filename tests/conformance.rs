@@ -54,7 +54,7 @@ fn corpus_seed_traces_match_their_plans_bit_for_bit() {
 #[test]
 fn corpus_traces_satisfy_model_invariants_and_replay_deterministically() {
     let entries = corpus::load_dir(Path::new(CORPUS_DIR)).expect("committed corpus loads");
-    assert!(entries.len() >= 22, "corpus unexpectedly small");
+    assert!(entries.len() >= 25, "corpus unexpectedly small");
     let problems: Vec<ConformanceProblem> = ProblemKind::ALL
         .iter()
         .map(|&k| ConformanceProblem::build(k))
@@ -132,7 +132,7 @@ fn mini_campaign_with_corpus_passes() {
     let report = run_campaign(&cfg);
     assert!(report.passed(), "failures: {:#?}", report.failures);
     assert_eq!(report.witness_rejections, 2, "negative controls missing");
-    assert_eq!(report.corpus_checked, 23, "corpus files not all checked");
+    assert_eq!(report.corpus_checked, 26, "corpus files not all checked");
     assert_eq!(
         report.problems,
         vec!["jacobi", "lasso", "obstacle", "logistic", "network-flow"]

@@ -11,12 +11,14 @@
 
 use asynciter::conformance::cluster::has_label_regression;
 use asynciter::conformance::corpus::load_trace;
+use asynciter::core::session::Session;
 use asynciter::mc::counterexample::envelope_violation;
-use asynciter::mc::explore::rebuild;
+use asynciter::mc::explore::{explore_check_por, rebuild};
 use asynciter::mc::{
-    explore, find_reorder_demo, inject_bug_demo, state_hash, McProblem, McState, Property, Scope,
-    Strategy,
+    explore, find_reorder_demo, inject_bug_demo, seam_bug_demo, seam_explore, seam_rebuild,
+    state_hash, McProblem, McState, Por, Property, Scope, SeamBug, SeamScope, Strategy,
 };
+use asynciter::runtime::{Cluster, ThreadedCluster};
 use std::path::Path;
 
 const CORPUS_DIR: &str = "tests/corpus";
@@ -107,12 +109,12 @@ fn state_hash_locks_the_canonical_encoding() {
 fn exploration_is_deterministic_and_strategy_invariant() {
     let scope = Scope::quick();
     let problem = McProblem::build();
-    let a = explore(&scope, &problem, Strategy::Dfs, u64::MAX, false);
-    let b = explore(&scope, &problem, Strategy::Dfs, u64::MAX, false);
+    let a = explore(&scope, &problem, Strategy::Dfs, u64::MAX, false, Por::Off);
+    let b = explore(&scope, &problem, Strategy::Dfs, u64::MAX, false, Por::Off);
     assert_eq!(a.stats, b.stats, "same scope, same search, same counters");
     // BFS explores the identical state graph; only the frontier shape
     // (and hence its high-water mark) may differ.
-    let c = explore(&scope, &problem, Strategy::Bfs, u64::MAX, false);
+    let c = explore(&scope, &problem, Strategy::Bfs, u64::MAX, false, Por::Off);
     assert_eq!(a.stats.visited, c.stats.visited, "DFS/BFS visited differ");
     assert_eq!(a.stats.dedup_hits, c.stats.dedup_hits);
     assert_eq!(a.stats.edges, c.stats.edges);
@@ -126,7 +128,7 @@ fn exploration_is_deterministic_and_strategy_invariant() {
 fn quick_and_flex_scopes_verify_exhaustively() {
     let problem = McProblem::build();
     for (scope, expect_visited) in [(Scope::quick(), 4054u64), (Scope::flex(), 5044u64)] {
-        let out = explore(&scope, &problem, Strategy::Dfs, u64::MAX, false);
+        let out = explore(&scope, &problem, Strategy::Dfs, u64::MAX, false, Por::Off);
         assert!(!out.truncated, "{}: sweep truncated", scope.name);
         assert!(
             out.violation.is_none(),
@@ -146,14 +148,234 @@ fn quick_and_flex_scopes_verify_exhaustively() {
 fn reorder_scope_rediscovers_the_out_of_order_class() {
     let scope = Scope::reorder();
     let problem = McProblem::build();
-    let out = explore(&scope, &problem, Strategy::Dfs, u64::MAX, true);
+    let out = explore(&scope, &problem, Strategy::Dfs, u64::MAX, true, Por::Off);
     let found = out
         .violation
         .expect("reorder probe found nothing — channel model lost out-of-order delivery");
     assert_eq!(found.violation.property, Property::Reorder);
-    let (trace, _) = rebuild(&scope, &problem, &found.path);
+    let (trace, _) = rebuild(&scope, &problem, &found.path, found.por);
     assert!(
         has_label_regression(&trace, scope.workers),
         "rebuilt witness lost the regression"
     );
+}
+
+#[test]
+fn por_agrees_with_full_exploration_on_every_quick_scope() {
+    // The partial-order reduction contract, locked as a tier-1 gate:
+    // on every quick scope, reduced and unreduced exploration reach the
+    // same verdict (and the same violation class when one exists), and
+    // DFS and BFS agree under reduction exactly as they do without it.
+    let problem = McProblem::build();
+    let mut inject = Scope::inject();
+    inject.inject_bug = true;
+    for scope in [Scope::quick(), Scope::flex(), Scope::reorder(), inject] {
+        for strategy in [Strategy::Dfs, Strategy::Bfs] {
+            explore_check_por(&scope, &problem, strategy, u64::MAX, false).unwrap_or_else(|e| {
+                panic!("{} ({strategy:?}): POR equivalence broken: {e}", scope.name)
+            });
+        }
+        let dfs = explore(&scope, &problem, Strategy::Dfs, u64::MAX, false, Por::On);
+        let bfs = explore(&scope, &problem, Strategy::Bfs, u64::MAX, false, Por::On);
+        assert_eq!(
+            dfs.stats.visited, bfs.stats.visited,
+            "{}: reduced DFS/BFS visited differ",
+            scope.name
+        );
+        assert_eq!(dfs.stats.por_pruned_choices, bfs.stats.por_pruned_choices);
+    }
+}
+
+#[test]
+fn por_reduction_counters_lock_the_quick_scope() {
+    // Known-value locks on the reduction itself: the quick scope
+    // shrinks 4054 → 1122 states, with the prune counters accounting
+    // for the difference. Any drift means the reduction rules (or the
+    // transition relation under them) changed.
+    let problem = McProblem::build();
+    let scope = Scope::quick();
+    let off = explore(&scope, &problem, Strategy::Dfs, u64::MAX, false, Por::Off);
+    let on = explore(&scope, &problem, Strategy::Dfs, u64::MAX, false, Por::On);
+    assert!(off.violation.is_none() && on.violation.is_none());
+    assert_eq!(off.stats.visited, 4054, "unreduced quick count drifted");
+    assert_eq!(on.stats.visited, 1122, "reduced quick count drifted");
+    assert_eq!(off.stats.por_pruned_choices, 0, "Por::Off must not prune");
+    assert_eq!(
+        on.stats.por_pruned_choices, 786,
+        "quick-scope POR prune count drifted"
+    );
+    assert!(
+        on.stats.por_pruned_deliveries > 0 && on.stats.por_pruned_sends > 0,
+        "both delivery-side and send-side reductions must fire on quick"
+    );
+}
+
+#[test]
+fn seam1_matches_sequential_and_threaded_cluster_bitwise() {
+    // The transport-seam model at one worker has a single schedule;
+    // exhausting it and matching the sequential cluster bit for bit
+    // lifts the `ThreadedCluster{1} ≡ Cluster{1}` conformance test from
+    // one sampled run to a bounded-exhaustive statement.
+    let scope = SeamScope::seam1();
+    let problem = McProblem::build();
+    let out = seam_explore(&scope, &problem, u64::MAX);
+    assert!(out.violation.is_none(), "{:?}", out.violation);
+    assert!(!out.truncated);
+    assert_eq!(out.stats.terminals, 1, "seam1 must have a single schedule");
+    let (_, terminal) = seam_rebuild(&scope, &problem, &[0, 0, 0, 0]);
+    let steps = scope.steps();
+    let cluster = Session::new(&problem.op)
+        .x0(problem.x0.clone())
+        .steps(steps)
+        .backend(Cluster {
+            workers: 1,
+            ..Cluster::default()
+        })
+        .run()
+        .unwrap();
+    let threaded = Session::new(&problem.op)
+        .x0(problem.x0.clone())
+        .steps(steps)
+        .backend(ThreadedCluster {
+            workers: 1,
+            ..ThreadedCluster::default()
+        })
+        .run()
+        .unwrap();
+    for c in 0..problem.n() {
+        assert_eq!(
+            terminal.views[0][c].to_bits(),
+            cluster.final_x[c].to_bits(),
+            "seam model diverges from Cluster{{1}} at component {c}"
+        );
+        assert_eq!(
+            terminal.views[0][c].to_bits(),
+            threaded.final_x[c].to_bits(),
+            "seam model diverges from ThreadedCluster{{1}} at component {c}"
+        );
+    }
+}
+
+#[test]
+fn tier1_seam_scope_verifies_exhaustively() {
+    // A reduced two-worker seam universe cheap enough for every
+    // `cargo test`: every interleaving of free-running worker steps ×
+    // every FaultEndpoint fate over two rounds. The full `seam2` sweep
+    // (163339 states) runs in the nightly `mc-full` job.
+    let scope = SeamScope {
+        name: "seam-tier1".into(),
+        rounds: 2,
+        hold_max: 1,
+        ..SeamScope::seam2()
+    };
+    let problem = McProblem::build();
+    let out = seam_explore(&scope, &problem, u64::MAX);
+    assert!(!out.truncated, "tier-1 seam sweep truncated");
+    assert!(out.violation.is_none(), "{:?}", out.violation);
+    assert_eq!(
+        out.stats.visited, 1245,
+        "tier-1 seam state count drifted — seam transition relation changed"
+    );
+}
+
+#[test]
+fn seam_fixtures_reproduce_from_the_demos_bit_for_bit() {
+    // Non-capturing closures coerce to fn pointers, so the shared
+    // regenerate harness covers the seam demos too.
+    for (name, demo) in [
+        (
+            "mc-seam-hold.trace",
+            (|p: &Path| seam_bug_demo(SeamBug::Hold, p)) as fn(&Path) -> Result<(u64, u64), String>,
+        ),
+        ("mc-seam-drop.trace", |p: &Path| {
+            seam_bug_demo(SeamBug::Drop, p)
+        }),
+        ("mc-seam-dup.trace", |p: &Path| {
+            seam_bug_demo(SeamBug::Dup, p)
+        }),
+    ] {
+        let committed = std::fs::read_to_string(Path::new(CORPUS_DIR).join(name))
+            .unwrap_or_else(|e| panic!("{name}: committed fixture missing: {e}"));
+        let fresh = regenerate(name, demo);
+        assert_eq!(
+            committed, fresh,
+            "{name}: seam demo output drifted from the committed fixture"
+        );
+    }
+}
+
+#[test]
+fn seam_fixtures_carry_the_envelope_violation_signature() {
+    for bug in [SeamBug::Hold, SeamBug::Drop, SeamBug::Dup] {
+        let name = format!("mc-seam-{}.trace", bug.id());
+        let trace = load_trace(&Path::new(CORPUS_DIR).join(&name)).unwrap();
+        assert!(
+            envelope_violation(&trace, SeamScope::seam_bug(bug).envelope),
+            "{name}: fixture lost the zeroed-label envelope signature"
+        );
+    }
+}
+
+#[test]
+fn from_trace_derives_a_scope_that_rediscovers_the_mc_reorder_class() {
+    // The 2-worker derived scope is small enough to hunt in tier-1.
+    let trace = load_trace(&Path::new(CORPUS_DIR).join("mc-reorder.trace")).unwrap();
+    let scope = Scope::from_trace("mc-reorder", &trace).unwrap();
+    assert_eq!(scope.name, "from-mc-reorder");
+    assert_eq!(scope.workers, 2);
+    assert!(
+        scope.track_read_history,
+        "regression trace must track reads"
+    );
+    let problem = McProblem::build();
+    let out = explore(&scope, &problem, Strategy::Dfs, u64::MAX, true, Por::Off);
+    let found = out
+        .violation
+        .expect("derived scope lost the mc-reorder violation class");
+    assert_eq!(found.violation.property, Property::Reorder);
+    let (witness, _) = rebuild(&scope, &problem, &found.path, found.por);
+    assert!(has_label_regression(&witness, scope.workers));
+}
+
+#[test]
+fn from_trace_derives_the_three_worker_fault_cluster_scope() {
+    // The 3-worker hunt itself runs in the nightly `mc-full` job
+    // (~9 s release); tier-1 locks the derivation: worker recovery from
+    // singleton shrunk active sets, the reorder-class envelope floor
+    // `2·workers + 1`, and the clamped horizon.
+    let trace = load_trace(&Path::new(CORPUS_DIR).join("fault-cluster-reorder.trace")).unwrap();
+    let scope = Scope::from_trace("fault-cluster-reorder", &trace).unwrap();
+    assert_eq!(scope.name, "from-fault-cluster-reorder");
+    assert_eq!(scope.workers, 3, "worker recovery from shrunk active sets");
+    assert_eq!(scope.steps, 9, "horizon must clamp to 3 rounds");
+    assert_eq!(
+        scope.envelope,
+        asynciter::models::conditions::DelayEnvelope::Bounded(7),
+        "reorder-class envelope floor 2·workers + 1"
+    );
+    assert!(scope.track_read_history);
+    assert_eq!(scope.max_in_flight, 4, "capacity scales with in-degree");
+}
+
+#[test]
+fn from_trace_rejects_unusable_traces() {
+    use asynciter::models::{LabelStore, Trace};
+    // Wrong dimension.
+    let mut t8 = Trace::new(8, LabelStore::Full);
+    t8.push_step(&[0], &[0; 8]);
+    assert!(Scope::from_trace("t8", &t8)
+        .unwrap_err()
+        .contains("dimension"));
+    // Right dimension, non-round-robin schedule (same block twice).
+    let mut bad = Trace::new(16, LabelStore::Full);
+    bad.push_step(&[0], &[0; 16]);
+    bad.push_step(&[1], &[1; 16]);
+    assert!(Scope::from_trace("bad", &bad)
+        .unwrap_err()
+        .contains("no round-robin"));
+    // Empty.
+    let empty = Trace::new(16, LabelStore::Full);
+    assert!(Scope::from_trace("empty", &empty)
+        .unwrap_err()
+        .contains("empty"));
 }
