@@ -1,0 +1,15 @@
+//! The multi-tenant service benchmark binary: seeded tenant workloads
+//! through the service layer, with baseline checking and the
+//! tenant-isolation verifier. All logic lives in
+//! `asynciter_bench::service_cli`; this is the thin shell.
+//!
+//! ```text
+//! cargo run --release -p asynciter-bench --bin service -- --tenants 64 --verify
+//! cargo run --release -p asynciter-bench --bin service -- --soak --mode free --check baselines/service-soak-baseline.json
+//! cargo run --release -p asynciter-bench --bin service -- --inject-scratch-leak --record --verify
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(asynciter_bench::service_cli::service_main(&args));
+}

@@ -17,6 +17,7 @@
 pub mod experiments;
 pub mod gate;
 pub mod harness;
+pub mod service_cli;
 
 pub use harness::{compare_backends, results_dir, save_text, try_compare_backends, ExpContext};
 

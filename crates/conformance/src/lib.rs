@@ -38,6 +38,10 @@
 //! - [`corpus`] — the committed seed corpus under `tests/corpus/`:
 //!   canonical plans, trace files, and the fault fixtures produced by
 //!   shrinking.
+//! - [`service`] — the multi-tenant tier: seeded mixed workloads for
+//!   the service layer, the tenant-equivalence oracle wrapper
+//!   (isolation = bit-identity with solo runs), start-vector-leak
+//!   shrinking, and the planted scratch-leak negative control.
 //! - [`runner`] — the campaign driver behind the `conformance` binary
 //!   (`--quick`/`--soak`), with JSON reporting through
 //!   `asynciter-report`.
@@ -53,6 +57,7 @@ pub mod oracle;
 pub mod plan;
 pub mod problems;
 pub mod runner;
+pub mod service;
 pub mod shrink;
 
 pub use cluster::ClusterPlan;

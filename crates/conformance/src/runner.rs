@@ -416,10 +416,14 @@ fn check_corpus(
                     fail("corpus-threaded-replay", &path, e);
                 }
             }
-        } else if stem.starts_with("fault-") || stem.starts_with("mc-") {
-            // Replayability of committed counterexamples — fuzzer faults
-            // and model-checker counterexamples alike: the matching
-            // problem (by dimension) must accept the injected trace.
+        } else if stem.starts_with("fault-")
+            || stem.starts_with("mc-")
+            || stem.starts_with("service-")
+        {
+            // Replayability of committed counterexamples — fuzzer
+            // faults, model-checker counterexamples and service
+            // isolation exhibits alike: the matching problem (by
+            // dimension) must accept the injected trace.
             if let Some(p) = problems.iter().find(|p| p.n() == trace.n()) {
                 if let Err(e) = oracle::replay_roundtrip(p, &trace) {
                     fail("corpus-fault-replay", &path, e);
@@ -713,6 +717,7 @@ pub fn conformance_main(args: &[String]) -> i32 {
     };
     let mut out_json = PathBuf::from("CONFORMANCE_report.json");
     let mut inject_fault: Option<PathBuf> = None;
+    let mut inject_scratch_leak: Option<PathBuf> = None;
     let mut cluster_reorder: Option<PathBuf> = None;
     let mut inject_cluster_fault = false;
     let mut regen_corpus = false;
@@ -751,6 +756,12 @@ pub fn conformance_main(args: &[String]) -> i32 {
                         .map(PathBuf::from)
                         .unwrap_or_else(|| PathBuf::from("tests/corpus/fault-frozen-label.trace")),
                 );
+            }
+            "--inject-scratch-leak" => {
+                inject_scratch_leak =
+                    Some(it.next().map(PathBuf::from).unwrap_or_else(|| {
+                        PathBuf::from("tests/corpus/service-scratch-leak.trace")
+                    }));
             }
             "--cluster-reorder" => {
                 cluster_reorder =
@@ -846,6 +857,23 @@ pub fn conformance_main(args: &[String]) -> i32 {
         };
     }
 
+    if let Some(out) = inject_scratch_leak {
+        return match crate::service::inject_scratch_leak_demo(cfg.seed, &out) {
+            Ok((orig, shrunk)) => {
+                println!(
+                    "planted scratch leak caught by the isolation oracle: \
+                     {orig}-step trace shrunk to {shrunk} steps → {}",
+                    out.display()
+                );
+                0
+            }
+            Err(e) => {
+                eprintln!("inject-scratch-leak demo failed: {e}");
+                1
+            }
+        };
+    }
+
     if let Some(out) = inject_fault {
         return match inject_fault_demo(cfg.seed, &out) {
             Ok((orig, shrunk)) => {
@@ -912,7 +940,7 @@ fn usage(err: &str) -> i32 {
         "usage: conformance [--quick|--soak] [--cases N] [--seed N] [--corpus DIR|--no-corpus]\n\
          \x20                  [--fault-dir DIR] [--out FILE] [--inject-fault [PATH]]\n\
          \x20                  [--cluster-reorder [PATH]] [--inject-cluster-fault] [--regen-corpus]\n\
-         \x20                  [--record-threaded [PATH]]"
+         \x20                  [--record-threaded [PATH]] [--inject-scratch-leak [PATH]]"
     );
     i32::from(!err.is_empty()) * 2
 }

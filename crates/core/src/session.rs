@@ -185,6 +185,12 @@ pub struct RunReport {
     pub trace: Option<Trace>,
     /// Simulated end time in ticks (simulator backend only).
     pub sim_time: Option<u64>,
+    /// Owning tenant, when the run was executed by the multi-tenant
+    /// service layer (`None` for solo sessions).
+    pub tenant: Option<u64>,
+    /// Service job id, assigned in admission order (`None` for solo
+    /// sessions).
+    pub job: Option<u64>,
     /// Wall-clock time: the backend's parallel-section time when it
     /// measures one, otherwise the whole `Session::run` call.
     pub wall: Duration,
@@ -219,6 +225,15 @@ impl RunReport {
     /// `Duration` — clamps to zero, never panics).
     pub fn set_wall_secs(&mut self, secs: f64) {
         self.wall = Duration::try_from_secs_f64(secs).unwrap_or(Duration::ZERO);
+    }
+
+    /// Stamps service ownership onto the report (builder-style; used by
+    /// the service layer after the backend returns).
+    #[must_use]
+    pub fn with_ids(mut self, tenant: u64, job: u64) -> Self {
+        self.tenant = Some(tenant);
+        self.job = Some(job);
+        self
     }
 
     /// `‖final_x − xstar‖_∞`.
@@ -523,6 +538,8 @@ impl Backend for Replay {
             constraint_violations: 0,
             trace: ctl.record.keeps_trace().then_some(res.trace),
             sim_time: None,
+            tenant: None,
+            job: None,
             wall,
         })
     }
@@ -640,6 +657,8 @@ impl Backend for Flexible {
             constraint_violations: res.constraint_violations,
             trace: ctl.record.keeps_trace().then_some(res.trace),
             sim_time: None,
+            tenant: None,
+            job: None,
             wall,
         })
     }

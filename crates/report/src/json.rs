@@ -69,14 +69,14 @@ pub struct JsonError {
 }
 
 impl JsonError {
-    fn at(pos: usize, message: impl Into<String>) -> Self {
+    pub(crate) fn at(pos: usize, message: impl Into<String>) -> Self {
         Self {
             pos,
             message: message.into(),
         }
     }
 
-    fn semantic(message: impl Into<String>) -> Self {
+    pub(crate) fn semantic(message: impl Into<String>) -> Self {
         Self::at(0, message)
     }
 }
@@ -509,18 +509,18 @@ impl Parser<'_> {
 // Typed field helpers
 // ---------------------------------------------------------------------------
 
-fn req<'a>(obj: &'a Json, key: &str) -> Result<&'a Json, JsonError> {
+pub(crate) fn req<'a>(obj: &'a Json, key: &str) -> Result<&'a Json, JsonError> {
     obj.get(key)
         .ok_or_else(|| JsonError::semantic(format!("missing field `{key}`")))
 }
 
-fn req_u64(obj: &Json, key: &str) -> Result<u64, JsonError> {
+pub(crate) fn req_u64(obj: &Json, key: &str) -> Result<u64, JsonError> {
     req(obj, key)?
         .as_u64()
         .ok_or_else(|| JsonError::semantic(format!("field `{key}` is not a u64")))
 }
 
-fn req_f64(obj: &Json, key: &str) -> Result<f64, JsonError> {
+pub(crate) fn req_f64(obj: &Json, key: &str) -> Result<f64, JsonError> {
     match req(obj, key)? {
         Json::Num(v) => Ok(*v),
         Json::Null => Ok(f64::NAN),
@@ -530,20 +530,20 @@ fn req_f64(obj: &Json, key: &str) -> Result<f64, JsonError> {
     }
 }
 
-fn req_str(obj: &Json, key: &str) -> Result<String, JsonError> {
+pub(crate) fn req_str(obj: &Json, key: &str) -> Result<String, JsonError> {
     req(obj, key)?
         .as_str()
         .map(str::to_string)
         .ok_or_else(|| JsonError::semantic(format!("field `{key}` is not a string")))
 }
 
-fn req_bool(obj: &Json, key: &str) -> Result<bool, JsonError> {
+pub(crate) fn req_bool(obj: &Json, key: &str) -> Result<bool, JsonError> {
     req(obj, key)?
         .as_bool()
         .ok_or_else(|| JsonError::semantic(format!("field `{key}` is not a bool")))
 }
 
-fn opt_u64(obj: &Json, key: &str) -> Result<Option<u64>, JsonError> {
+pub(crate) fn opt_u64(obj: &Json, key: &str) -> Result<Option<u64>, JsonError> {
     match obj.get(key) {
         None | Some(Json::Null) => Ok(None),
         Some(v) => v
@@ -553,7 +553,7 @@ fn opt_u64(obj: &Json, key: &str) -> Result<Option<u64>, JsonError> {
     }
 }
 
-fn u64_vec(obj: &Json, key: &str) -> Result<Vec<u64>, JsonError> {
+pub(crate) fn u64_vec(obj: &Json, key: &str) -> Result<Vec<u64>, JsonError> {
     req(obj, key)?
         .as_arr()
         .ok_or_else(|| JsonError::semantic(format!("field `{key}` is not an array")))?
@@ -565,7 +565,7 @@ fn u64_vec(obj: &Json, key: &str) -> Result<Vec<u64>, JsonError> {
         .collect()
 }
 
-fn f64_vec(obj: &Json, key: &str) -> Result<Vec<f64>, JsonError> {
+pub(crate) fn f64_vec(obj: &Json, key: &str) -> Result<Vec<f64>, JsonError> {
     req(obj, key)?
         .as_arr()
         .ok_or_else(|| JsonError::semantic(format!("field `{key}` is not an array")))?
@@ -580,7 +580,7 @@ fn f64_vec(obj: &Json, key: &str) -> Result<Vec<f64>, JsonError> {
         .collect()
 }
 
-fn sample_vec(obj: &Json, key: &str) -> Result<Vec<(u64, f64)>, JsonError> {
+pub(crate) fn sample_vec(obj: &Json, key: &str) -> Result<Vec<(u64, f64)>, JsonError> {
     req(obj, key)?
         .as_arr()
         .ok_or_else(|| JsonError::semantic(format!("field `{key}` is not an array")))?
@@ -609,7 +609,7 @@ fn sample_vec(obj: &Json, key: &str) -> Result<Vec<(u64, f64)>, JsonError> {
         .collect()
 }
 
-fn samples_to_json(samples: &[(u64, f64)]) -> Json {
+pub(crate) fn samples_to_json(samples: &[(u64, f64)]) -> Json {
     Json::Arr(
         samples
             .iter()
@@ -618,7 +618,7 @@ fn samples_to_json(samples: &[(u64, f64)]) -> Json {
     )
 }
 
-fn u64s_to_json(values: &[u64]) -> Json {
+pub(crate) fn u64s_to_json(values: &[u64]) -> Json {
     Json::Arr(values.iter().map(|&v| Json::Num(v as f64)).collect())
 }
 
@@ -672,6 +672,20 @@ pub fn run_report_to_json(report: &RunReport) -> Json {
                 None => Json::Null,
             },
         ),
+        (
+            "tenant".into(),
+            match report.tenant {
+                Some(t) => Json::Num(t as f64),
+                None => Json::Null,
+            },
+        ),
+        (
+            "job".into(),
+            match report.job {
+                Some(j) => Json::Num(j as f64),
+                None => Json::Null,
+            },
+        ),
         ("wall_secs".into(), Json::Num(report.wall_secs())),
     ])
 }
@@ -701,6 +715,9 @@ pub fn run_report_from_json(json: &Json) -> Result<RunReport, JsonError> {
         constraint_violations: opt_u64(json, "constraint_violations")?.unwrap_or(0),
         trace: None,
         sim_time: opt_u64(json, "sim_time")?,
+        // Added with the service layer: absent means a solo run.
+        tenant: opt_u64(json, "tenant")?,
+        job: opt_u64(json, "job")?,
         wall: Duration::ZERO,
     };
     report.set_wall_secs(req_f64(json, "wall_secs")?);
@@ -1106,6 +1123,8 @@ mod tests {
             constraint_violations: 2,
             trace: None,
             sim_time: Some(999),
+            tenant: Some(5),
+            job: Some(41),
             wall: Duration::ZERO,
         };
         report.set_wall_secs(0.25);
@@ -1125,6 +1144,8 @@ mod tests {
         assert_eq!(parsed.constraint_checked, report.constraint_checked);
         assert_eq!(parsed.constraint_violations, report.constraint_violations);
         assert_eq!(parsed.sim_time, report.sim_time);
+        assert_eq!(parsed.tenant, report.tenant);
+        assert_eq!(parsed.job, report.job);
         assert_eq!(parsed.wall, report.wall);
         assert!(parsed.trace.is_none());
     }
@@ -1182,6 +1203,8 @@ mod tests {
             constraint_violations: 0,
             trace: None,
             sim_time: None,
+            tenant: None,
+            job: None,
             wall: Duration::ZERO,
         }
     }

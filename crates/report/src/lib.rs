@@ -16,10 +16,12 @@ pub mod ascii;
 pub mod csv;
 pub mod gantt;
 pub mod json;
+pub mod stream;
 pub mod table;
 
 pub use ascii::{line_chart, log_line_chart, ChartSeries};
 pub use csv::CsvWriter;
 pub use gantt::render_gantt;
 pub use json::{GateDoc, GateRecord, Json, JsonError, SCHEMA_VERSION};
+pub use stream::{hash_f64s, ServiceBatch, ServiceDoc, ServiceRecord};
 pub use table::TextTable;

@@ -1,0 +1,421 @@
+//! Batched report streaming for the multi-tenant service layer.
+//!
+//! A service run completes thousands of per-tenant `Session`s; shipping
+//! each full `RunReport` (final iterates included) would dwarf the
+//! useful signal. The service instead streams [`ServiceBatch`]es of
+//! compact [`ServiceRecord`]s — one per finished job, carrying the
+//! tenant/job identity, outcome, convergence summary, and a 64-bit
+//! digest of the final iterate's exact bits ([`hash_f64s`]) so
+//! bit-identity can be spot-checked from the artefact alone. A whole
+//! run rolls up into a [`ServiceDoc`] (`BENCH_service.json`), the
+//! committed-baseline format the soak comparator gates on.
+//!
+//! Same serialization discipline as the gate documents in [`crate::json`]:
+//! hand-rolled JSON, explicit schema version, strict field checks.
+
+use crate::json::{
+    opt_u64, req, req_bool, req_f64, req_str, req_u64, Json, JsonError, SCHEMA_VERSION,
+};
+
+/// FNV-1a digest of the exact bit patterns of a float slice — the
+/// bit-identity fingerprint carried by every [`ServiceRecord`]. Two
+/// vectors hash equal iff they are bitwise equal (up to hash collision);
+/// `-0.0` vs `0.0` and differing NaN payloads are distinguished, which
+/// is exactly what the tenant-equivalence contract needs.
+pub fn hash_f64s(xs: &[f64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for x in xs {
+        for b in x.to_bits().to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Renders a digest the way records store it (16 lowercase hex digits —
+/// JSON numbers cannot carry 64 bits exactly).
+pub fn render_hash(h: u64) -> String {
+    format!("{h:016x}")
+}
+
+fn parse_hash(text: &str) -> Result<u64, JsonError> {
+    if text.len() != 16 {
+        return Err(JsonError::semantic(format!(
+            "hash `{text}` is not 16 hex digits"
+        )));
+    }
+    u64::from_str_radix(text, 16)
+        .map_err(|_| JsonError::semantic(format!("hash `{text}` is not 16 hex digits")))
+}
+
+/// One finished (or rejected/cancelled) service job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceRecord {
+    /// Owning tenant.
+    pub tenant: u64,
+    /// Job id in admission order.
+    pub job: u64,
+    /// Problem id (e.g. `"jacobi"`).
+    pub problem: String,
+    /// Backend id (e.g. `"cluster"`).
+    pub backend: String,
+    /// `"ok"`, `"failed"`, `"rejected"` or `"cancelled"`.
+    pub status: String,
+    /// Failure/rejection message (empty when ok).
+    pub note: String,
+    /// The tenant seed the job ran with.
+    pub seed: u64,
+    /// Steps executed (0 unless ok).
+    pub steps: u64,
+    /// Fixed-point residual of the final iterate (NaN unless ok).
+    pub final_residual: f64,
+    /// [`hash_f64s`] digest of the final iterate's exact bits (0 unless
+    /// ok).
+    pub final_x_hash: u64,
+    /// Whether a residual target fired early.
+    pub stopped_early: bool,
+    /// Virtual-clock tick at admission.
+    pub submitted_at: u64,
+    /// Virtual-clock tick at completion.
+    pub completed_at: u64,
+    /// Wall-clock seconds the job itself ran (0 unless ok).
+    pub wall_secs: f64,
+}
+
+impl ServiceRecord {
+    /// True when the job ran to completion.
+    pub fn is_ok(&self) -> bool {
+        self.status == "ok"
+    }
+
+    /// Serializes the record.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("tenant".into(), Json::Num(self.tenant as f64)),
+            ("job".into(), Json::Num(self.job as f64)),
+            ("problem".into(), Json::Str(self.problem.clone())),
+            ("backend".into(), Json::Str(self.backend.clone())),
+            ("status".into(), Json::Str(self.status.clone())),
+            ("note".into(), Json::Str(self.note.clone())),
+            // Hex, not a JSON number: tenant seeds are full 64-bit
+            // values (child_seed output), which an f64 cannot carry.
+            ("seed".into(), Json::Str(render_hash(self.seed))),
+            ("steps".into(), Json::Num(self.steps as f64)),
+            ("final_residual".into(), Json::Num(self.final_residual)),
+            (
+                "final_x_hash".into(),
+                Json::Str(render_hash(self.final_x_hash)),
+            ),
+            ("stopped_early".into(), Json::Bool(self.stopped_early)),
+            ("submitted_at".into(), Json::Num(self.submitted_at as f64)),
+            ("completed_at".into(), Json::Num(self.completed_at as f64)),
+            ("wall_secs".into(), Json::Num(self.wall_secs)),
+        ])
+    }
+
+    /// Parses a record.
+    ///
+    /// # Errors
+    /// Missing or mistyped fields, malformed hash.
+    pub fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            tenant: req_u64(json, "tenant")?,
+            job: req_u64(json, "job")?,
+            problem: req_str(json, "problem")?,
+            backend: req_str(json, "backend")?,
+            status: req_str(json, "status")?,
+            note: req_str(json, "note")?,
+            seed: parse_hash(&req_str(json, "seed")?)?,
+            steps: req_u64(json, "steps")?,
+            final_residual: req_f64(json, "final_residual")?,
+            final_x_hash: parse_hash(&req_str(json, "final_x_hash")?)?,
+            stopped_early: req_bool(json, "stopped_early")?,
+            submitted_at: req_u64(json, "submitted_at")?,
+            completed_at: req_u64(json, "completed_at")?,
+            wall_secs: req_f64(json, "wall_secs")?,
+        })
+    }
+}
+
+/// One emitted batch: the service flushes records `batch_size` at a
+/// time (plus a final partial flush), in completion order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceBatch {
+    /// Flush sequence number (0-based).
+    pub seq: u64,
+    /// The records flushed together.
+    pub records: Vec<ServiceRecord>,
+}
+
+impl ServiceBatch {
+    /// Serializes the batch.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("seq".into(), Json::Num(self.seq as f64)),
+            (
+                "records".into(),
+                Json::Arr(self.records.iter().map(ServiceRecord::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Parses a batch.
+    ///
+    /// # Errors
+    /// Missing or mistyped fields.
+    pub fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let records = req(json, "records")?
+            .as_arr()
+            .ok_or_else(|| JsonError::semantic("field `records` is not an array"))?
+            .iter()
+            .map(ServiceRecord::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            seq: req_u64(json, "seq")?,
+            records,
+        })
+    }
+}
+
+/// A whole service run: configuration echo, throughput/latency summary,
+/// and every emitted batch. This is the `BENCH_service.json` format the
+/// soak baseline pins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceDoc {
+    /// Schema version ([`SCHEMA_VERSION`] when produced by this build).
+    pub schema_version: u64,
+    /// `"deterministic"` or `"free-running"`.
+    pub mode: String,
+    /// Tenants admitted.
+    pub tenants: u64,
+    /// Worker threads (1 in deterministic mode).
+    pub workers: u64,
+    /// Bounded queue capacity the run used.
+    pub queue_capacity: u64,
+    /// Records per flush.
+    pub batch_size: u64,
+    /// Jobs that completed ok.
+    pub completed: u64,
+    /// Jobs that failed in the backend.
+    pub failed: u64,
+    /// Jobs rejected at admission (queue full / malformed).
+    pub rejected: u64,
+    /// Jobs cancelled before running.
+    pub cancelled: u64,
+    /// Whole-sweep wall-clock seconds.
+    pub wall_secs: f64,
+    /// Completed jobs per wall-clock second.
+    pub throughput: f64,
+    /// Median per-job wall latency (seconds).
+    pub p50_latency_secs: f64,
+    /// 95th-percentile per-job wall latency (seconds).
+    pub p95_latency_secs: f64,
+    /// Worst per-job wall latency (seconds).
+    pub max_latency_secs: f64,
+    /// The emitted batches, in flush order.
+    pub batches: Vec<ServiceBatch>,
+}
+
+impl ServiceDoc {
+    /// All records across batches, in emission order.
+    pub fn records(&self) -> impl Iterator<Item = &ServiceRecord> {
+        self.batches.iter().flat_map(|b| b.records.iter())
+    }
+
+    /// Serializes the document.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "schema_version".into(),
+                Json::Num(self.schema_version as f64),
+            ),
+            ("mode".into(), Json::Str(self.mode.clone())),
+            ("tenants".into(), Json::Num(self.tenants as f64)),
+            ("workers".into(), Json::Num(self.workers as f64)),
+            (
+                "queue_capacity".into(),
+                Json::Num(self.queue_capacity as f64),
+            ),
+            ("batch_size".into(), Json::Num(self.batch_size as f64)),
+            ("completed".into(), Json::Num(self.completed as f64)),
+            ("failed".into(), Json::Num(self.failed as f64)),
+            ("rejected".into(), Json::Num(self.rejected as f64)),
+            ("cancelled".into(), Json::Num(self.cancelled as f64)),
+            ("wall_secs".into(), Json::Num(self.wall_secs)),
+            ("throughput".into(), Json::Num(self.throughput)),
+            ("p50_latency_secs".into(), Json::Num(self.p50_latency_secs)),
+            ("p95_latency_secs".into(), Json::Num(self.p95_latency_secs)),
+            ("max_latency_secs".into(), Json::Num(self.max_latency_secs)),
+            (
+                "batches".into(),
+                Json::Arr(self.batches.iter().map(ServiceBatch::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Parses a document, rejecting any schema version other than
+    /// [`SCHEMA_VERSION`].
+    ///
+    /// # Errors
+    /// Schema mismatch, missing or mistyped fields.
+    pub fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let schema_version = req_u64(json, "schema_version")?;
+        if schema_version != SCHEMA_VERSION {
+            return Err(JsonError::semantic(format!(
+                "unsupported schema_version {schema_version} (this build reads {SCHEMA_VERSION}); \
+                 regenerate the file with the current service binary"
+            )));
+        }
+        let batches = req(json, "batches")?
+            .as_arr()
+            .ok_or_else(|| JsonError::semantic("field `batches` is not an array"))?
+            .iter()
+            .map(ServiceBatch::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            schema_version,
+            mode: req_str(json, "mode")?,
+            tenants: req_u64(json, "tenants")?,
+            workers: req_u64(json, "workers")?,
+            queue_capacity: req_u64(json, "queue_capacity")?,
+            batch_size: req_u64(json, "batch_size")?,
+            completed: req_u64(json, "completed")?,
+            failed: req_u64(json, "failed")?,
+            rejected: req_u64(json, "rejected")?,
+            // Absent in docs written before cancellation existed.
+            cancelled: opt_u64(json, "cancelled")?.unwrap_or(0),
+            wall_secs: req_f64(json, "wall_secs")?,
+            throughput: req_f64(json, "throughput")?,
+            p50_latency_secs: req_f64(json, "p50_latency_secs")?,
+            p95_latency_secs: req_f64(json, "p95_latency_secs")?,
+            max_latency_secs: req_f64(json, "max_latency_secs")?,
+            batches,
+        })
+    }
+
+    /// Renders the document as pretty JSON (the on-disk format).
+    pub fn render(&self) -> String {
+        self.to_json().render_pretty()
+    }
+
+    /// Parses document text.
+    ///
+    /// # Errors
+    /// Syntax errors, schema mismatch, missing or mistyped fields.
+    pub fn parse(text: &str) -> Result<Self, JsonError> {
+        Self::from_json(&Json::parse(text)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record(job: u64) -> ServiceRecord {
+        ServiceRecord {
+            tenant: job * 3 + 1,
+            job,
+            problem: "jacobi".into(),
+            backend: "cluster".into(),
+            status: "ok".into(),
+            note: String::new(),
+            // Deliberately above 2^53: seeds must survive the text
+            // round-trip even where a JSON number could not carry them.
+            seed: 0xDEAD_BEEF_CAFE_F00D ^ job,
+            steps: 480,
+            final_residual: 7.5e-9,
+            final_x_hash: hash_f64s(&[1.0, -0.25, job as f64]),
+            stopped_early: true,
+            submitted_at: job,
+            completed_at: 100 + job,
+            wall_secs: 0.002,
+        }
+    }
+
+    fn sample_doc() -> ServiceDoc {
+        ServiceDoc {
+            schema_version: SCHEMA_VERSION,
+            mode: "deterministic".into(),
+            tenants: 3,
+            workers: 1,
+            queue_capacity: 64,
+            batch_size: 2,
+            completed: 3,
+            failed: 0,
+            rejected: 0,
+            cancelled: 0,
+            wall_secs: 0.01,
+            throughput: 300.0,
+            p50_latency_secs: 0.002,
+            p95_latency_secs: 0.003,
+            max_latency_secs: 0.003,
+            batches: vec![
+                ServiceBatch {
+                    seq: 0,
+                    records: vec![sample_record(0), sample_record(1)],
+                },
+                ServiceBatch {
+                    seq: 1,
+                    records: vec![sample_record(2)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn hash_distinguishes_exact_bits() {
+        assert_eq!(hash_f64s(&[1.0, 2.0]), hash_f64s(&[1.0, 2.0]));
+        assert_ne!(hash_f64s(&[1.0, 2.0]), hash_f64s(&[2.0, 1.0]));
+        assert_ne!(hash_f64s(&[0.0]), hash_f64s(&[-0.0]), "signed zero");
+        assert_ne!(
+            hash_f64s(&[1.0]),
+            hash_f64s(&[1.0 + f64::EPSILON]),
+            "one ulp"
+        );
+        assert_ne!(hash_f64s(&[]), hash_f64s(&[0.0]));
+    }
+
+    #[test]
+    fn hash_text_round_trips() {
+        for h in [0u64, 1, u64::MAX, 0xdead_beef_0123_4567] {
+            assert_eq!(parse_hash(&render_hash(h)).unwrap(), h);
+        }
+        assert!(parse_hash("xyz").is_err());
+        assert!(parse_hash("0123").is_err(), "short hashes rejected");
+    }
+
+    #[test]
+    fn service_doc_round_trips() {
+        let doc = sample_doc();
+        assert_eq!(ServiceDoc::parse(&doc.render()).unwrap(), doc);
+        assert_eq!(doc.records().count(), 3);
+    }
+
+    #[test]
+    fn wrong_schema_version_is_rejected() {
+        let mut doc = sample_doc();
+        doc.schema_version = SCHEMA_VERSION + 1;
+        let err = ServiceDoc::parse(&doc.render()).unwrap_err();
+        assert!(err.message.contains("schema_version"), "{err}");
+    }
+
+    #[test]
+    fn records_survive_failure_statuses() {
+        let mut rec = sample_record(9);
+        rec.status = "rejected".into();
+        rec.note = "queue full: capacity 4 reached".into();
+        rec.steps = 0;
+        rec.final_residual = f64::NAN;
+        rec.final_x_hash = 0;
+        let mut doc = sample_doc();
+        doc.batches[1].records.push(rec.clone());
+        doc.rejected = 1;
+        let parsed = ServiceDoc::parse(&doc.render()).unwrap();
+        let back = parsed.records().find(|r| r.job == 9).unwrap();
+        assert_eq!(back.status, "rejected");
+        assert_eq!(back.note, rec.note);
+        assert!(back.final_residual.is_nan());
+        assert!(!back.is_ok());
+    }
+}

@@ -26,6 +26,10 @@
 //!   worker threads owning shards, exchanging block messages through
 //!   the transport seam; every run records a producing-step trace that
 //!   replays bit-identically through `Replay`.
+//! - [`scratch`] — the recycling [`ScratchPool`] the multi-tenant
+//!   service leases per-job workspaces from: clean leases are bitwise
+//!   fresh (so pooling is invisible to the bit-identity oracles) and
+//!   lease/return cycles are allocation-free after warm-up.
 //! - [`network`] — the legacy message-passing API, now a thin
 //!   compatibility wrapper over [`cluster`].
 //! - [`termination`] — distributed termination detection in the spirit
@@ -47,6 +51,7 @@ pub mod cluster;
 pub mod error;
 pub mod imbalance;
 pub mod network;
+pub mod scratch;
 pub mod session;
 pub mod shared;
 pub mod sync_engine;
@@ -61,6 +66,7 @@ pub use cluster::{
     StepStatus,
 };
 pub use error::RuntimeError;
+pub use scratch::{PoolStats, ScratchLease, ScratchPool};
 pub use session::{Barrier, Cluster, SharedMem, ThreadedCluster};
 pub use shared::SharedVec;
 pub use sync_engine::{SpinBarrier, SyncConfig, SyncRunResult, SyncRunner};

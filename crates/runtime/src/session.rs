@@ -107,6 +107,8 @@ impl SharedMem {
             constraint_violations: 0,
             trace: keep_trace.then_some(trace).flatten(),
             sim_time: None,
+            tenant: None,
+            job: None,
             wall: res.wall,
         }
     }
@@ -280,6 +282,8 @@ impl Backend for Barrier {
             constraint_violations: 0,
             trace,
             sim_time: None,
+            tenant: None,
+            job: None,
             wall: res.wall,
         })
     }
@@ -420,6 +424,8 @@ impl Backend for Cluster {
             constraint_violations: res.constraint_violations,
             trace: ctl.record.keeps_trace().then_some(res.trace),
             sim_time: None,
+            tenant: None,
+            job: None,
             wall: res.wall,
         })
     }
@@ -560,6 +566,8 @@ impl Backend for ThreadedCluster {
             constraint_violations: res.constraint_violations,
             trace: ctl.record.keeps_trace().then_some(res.trace),
             sim_time: None,
+            tenant: None,
+            job: None,
             wall: res.wall,
         })
     }

@@ -1,0 +1,240 @@
+//! The serving problem catalog: one shared, immutable instance per
+//! problem family.
+//!
+//! A thousand-tenant sweep must not build a thousand operators — the
+//! catalog constructs each calibrated instance once (the same
+//! instances the conformance tier sweeps, minus the exact-solve
+//! references the service never reads) and every job of that family
+//! borrows it. [`Operator`] is `Sync`, so free-running workers share
+//! entries without copies.
+//!
+//! Calibrations are sized for single-core CI: small dimensions, with
+//! residual *targets* (not fixed budgets) wherever the backend supports
+//! stopping, so converged jobs finish in hundreds of steps while the
+//! budget only bounds the pathological tail.
+
+use asynciter_opt::lasso::LassoProblem;
+use asynciter_opt::linear::JacobiOperator;
+use asynciter_opt::logistic::LogisticGradOperator;
+use asynciter_opt::network_flow::{NetworkFlowProblem, PriceRelaxation};
+use asynciter_opt::obstacle::{ObstacleProblem, ProjectedJacobi};
+use asynciter_opt::prox::L1;
+use asynciter_opt::proxgrad::{gamma_max, SparseProxGrad};
+use asynciter_opt::traits::{Operator, SmoothObjective};
+
+/// The problem axis a job spec can name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProblemId {
+    /// Diagonally dominant tridiagonal system, Jacobi operator (n=16).
+    Jacobi,
+    /// Lasso regression via the sparse prox-gradient operator (n=12).
+    Lasso,
+    /// Membrane obstacle problem, projected Jacobi (6×6 grid).
+    Obstacle,
+    /// Certified ℓ₂-regularised logistic regression (n=8, m=48).
+    Logistic,
+    /// Min-cost network flow dual prices on the 12-spoke wheel.
+    NetworkFlow,
+}
+
+impl ProblemId {
+    /// Every family, sweep order.
+    pub const ALL: [ProblemId; 5] = [
+        ProblemId::Jacobi,
+        ProblemId::Lasso,
+        ProblemId::Obstacle,
+        ProblemId::Logistic,
+        ProblemId::NetworkFlow,
+    ];
+
+    /// Stable identifier for records and CLI flags.
+    pub fn id(self) -> &'static str {
+        match self {
+            ProblemId::Jacobi => "jacobi",
+            ProblemId::Lasso => "lasso",
+            ProblemId::Obstacle => "obstacle",
+            ProblemId::Logistic => "logistic",
+            ProblemId::NetworkFlow => "network-flow",
+        }
+    }
+
+    /// Parses a CLI identifier.
+    pub fn parse(text: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|p| p.id() == text)
+    }
+
+    /// Index into [`Catalog`] storage.
+    fn index(self) -> usize {
+        match self {
+            ProblemId::Jacobi => 0,
+            ProblemId::Lasso => 1,
+            ProblemId::Obstacle => 2,
+            ProblemId::Logistic => 3,
+            ProblemId::NetworkFlow => 4,
+        }
+    }
+}
+
+/// One shared problem instance plus its serving calibration.
+pub struct CatalogEntry {
+    /// Which family this is.
+    pub id: ProblemId,
+    /// The fixed-point operator (shared across all jobs of the family).
+    pub op: Box<dyn Operator>,
+    /// Canonical start. All-zero except the obstacle problem (whose
+    /// canonical start is the projected upper bound).
+    pub x0: Vec<f64>,
+    /// Residual target for stopping-capable backends.
+    pub target: f64,
+    /// Step budget bounding the worst case.
+    pub budget: u64,
+    /// Fixed budget for the flexible backend (no stopping support).
+    pub flex_budget: u64,
+}
+
+impl CatalogEntry {
+    /// Dimension `n`.
+    pub fn n(&self) -> usize {
+        self.op.dim()
+    }
+
+    /// Whether the canonical start is the zero vector — in that case a
+    /// clean pooled workspace *is* the start, bit for bit.
+    pub fn zero_start(&self) -> bool {
+        self.x0.iter().all(|&v| v == 0.0)
+    }
+}
+
+/// The service's shared, immutable problem instances.
+pub struct Catalog {
+    entries: Vec<CatalogEntry>,
+}
+
+impl Catalog {
+    /// Builds every calibrated instance (once per service).
+    ///
+    /// # Panics
+    /// Panics only if the static instances fail to construct (a bug).
+    pub fn new() -> Self {
+        let entries = ProblemId::ALL
+            .into_iter()
+            .map(|id| match id {
+                ProblemId::Jacobi => {
+                    let n = 16;
+                    let op = JacobiOperator::new(
+                        asynciter_numerics::sparse::tridiagonal(n, 4.0, -1.0),
+                        vec![1.0; n],
+                    )
+                    .expect("static Jacobi instance");
+                    CatalogEntry {
+                        id,
+                        x0: vec![0.0; n],
+                        op: Box::new(op),
+                        target: 1e-8,
+                        budget: 6_000,
+                        flex_budget: 1_200,
+                    }
+                }
+                ProblemId::Lasso => {
+                    let (n, m, k) = (12, 72, 3);
+                    let problem = LassoProblem::random(n, m, k, 0.05, 0.01, 7)
+                        .expect("static lasso instance");
+                    let q = problem.quadratic.clone();
+                    let gamma = 0.9 * gamma_max(q.strong_convexity(), q.lipschitz());
+                    let op = SparseProxGrad::new(q, L1::new(problem.lambda), gamma)
+                        .expect("gamma within Theorem-1 range");
+                    CatalogEntry {
+                        id,
+                        x0: vec![0.0; n],
+                        op: Box::new(op),
+                        target: 1e-7,
+                        budget: 8_000,
+                        flex_budget: 1_200,
+                    }
+                }
+                ProblemId::Obstacle => {
+                    let g = 6;
+                    let problem =
+                        ObstacleProblem::bump(g, g, 0.6).expect("static obstacle instance");
+                    let op = ProjectedJacobi::new(problem);
+                    CatalogEntry {
+                        id,
+                        x0: op.upper_start(),
+                        op: Box::new(op),
+                        target: 1e-6,
+                        budget: 30_000,
+                        flex_budget: 2_000,
+                    }
+                }
+                ProblemId::Logistic => {
+                    let (n, m) = (8, 48);
+                    let op = LogisticGradOperator::certified_random(n, m, 2.0, 13)
+                        .expect("certified logistic instance");
+                    CatalogEntry {
+                        id,
+                        x0: vec![0.0; n],
+                        op: Box::new(op),
+                        target: 1e-7,
+                        budget: 8_000,
+                        flex_budget: 1_200,
+                    }
+                }
+                ProblemId::NetworkFlow => {
+                    let problem = NetworkFlowProblem::wheel(12, 21).expect("static wheel instance");
+                    let op = PriceRelaxation::new(problem, 0).expect("hub-grounded relaxation");
+                    CatalogEntry {
+                        id,
+                        x0: vec![0.0; op.dim()],
+                        op: Box::new(op),
+                        target: 1e-7,
+                        budget: 10_000,
+                        flex_budget: 1_500,
+                    }
+                }
+            })
+            .collect();
+        Self { entries }
+    }
+
+    /// The entry for `id`.
+    pub fn get(&self, id: ProblemId) -> &CatalogEntry {
+        &self.entries[id.index()]
+    }
+
+    /// Largest `n + scratch_len` over the catalog — the workspace size
+    /// that makes one warm pool buffer serve every family.
+    pub fn max_workspace_len(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|e| e.n() + e.op.scratch_len())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl Default for Catalog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_builds_consistent_entries() {
+        let catalog = Catalog::new();
+        for id in ProblemId::ALL {
+            let e = catalog.get(id);
+            assert_eq!(e.id, id);
+            assert_eq!(e.x0.len(), e.n(), "{}", id.id());
+            assert!(e.target > 0.0 && e.budget > 0 && e.flex_budget > 0);
+            assert_eq!(ProblemId::parse(id.id()), Some(id));
+        }
+        assert!(catalog.max_workspace_len() >= 16);
+        assert!(ProblemId::parse("nope").is_none());
+        assert!(!catalog.get(ProblemId::Obstacle).zero_start());
+        assert!(catalog.get(ProblemId::Jacobi).zero_start());
+    }
+}

@@ -1,0 +1,242 @@
+//! The tenant-isolation contract, made checkable: solo re-execution and
+//! bitwise diffing.
+//!
+//! A service run is *isolated* iff every tenant's report is bit-identical
+//! to what a solo [`crate::spec::JobSpec::execute`] of the same spec
+//! produces — same final iterate bits, same step count, same residual
+//! bits, same macro-iteration count. [`check_outcome`] re-runs every
+//! completed job solo (fresh buffers, no pool, no neighbours) and
+//! reports each [`Divergence`]. The conformance tier wraps this with
+//! trace shrinking; the CLI wires it behind `--verify`.
+
+use crate::catalog::Catalog;
+use crate::error::Result;
+use crate::service::ServiceOutcome;
+use crate::spec::JobSpec;
+use asynciter_core::session::{RecordMode, RunReport};
+
+/// One field where a service run's report differs from the solo run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Divergence {
+    /// The diverging tenant.
+    pub tenant: u64,
+    /// The diverging job.
+    pub job: u64,
+    /// Which report field differed (`"final_x"`, `"steps"`, …).
+    pub field: &'static str,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "tenant {} job {}: {} diverged from the solo run ({})",
+            self.tenant, self.job, self.field, self.detail
+        )
+    }
+}
+
+/// Runs `spec` solo — fresh canonical start, no pool, no service — the
+/// reference execution the isolation contract compares against.
+///
+/// # Errors
+/// Whatever the backend reports.
+pub fn solo_report(catalog: &Catalog, spec: &JobSpec, record: RecordMode) -> Result<RunReport> {
+    let entry = catalog.get(spec.problem);
+    spec.execute(catalog, &entry.x0, record)
+}
+
+/// Diffs a service report against its solo reference, bit for bit.
+pub fn diff_reports(
+    spec: &JobSpec,
+    job: u64,
+    service: &RunReport,
+    solo: &RunReport,
+) -> Vec<Divergence> {
+    let mut out = Vec::new();
+    let mut push = |field: &'static str, detail: String| {
+        out.push(Divergence {
+            tenant: spec.tenant,
+            job,
+            field,
+            detail,
+        });
+    };
+    if service.final_x != solo.final_x
+        || service
+            .final_x
+            .iter()
+            .zip(&solo.final_x)
+            .any(|(a, b)| a.to_bits() != b.to_bits())
+    {
+        let first = service
+            .final_x
+            .iter()
+            .zip(&solo.final_x)
+            .position(|(a, b)| a.to_bits() != b.to_bits());
+        push(
+            "final_x",
+            match first {
+                Some(i) => format!(
+                    "component {i}: service {:e} vs solo {:e}",
+                    service.final_x[i], solo.final_x[i]
+                ),
+                None => "length mismatch".into(),
+            },
+        );
+    }
+    if service.steps != solo.steps {
+        push(
+            "steps",
+            format!("service {} vs solo {}", service.steps, solo.steps),
+        );
+    }
+    if service.final_residual.to_bits() != solo.final_residual.to_bits() {
+        push(
+            "final_residual",
+            format!(
+                "service {:e} vs solo {:e}",
+                service.final_residual, solo.final_residual
+            ),
+        );
+    }
+    if service.macro_iterations != solo.macro_iterations {
+        push(
+            "macro_iterations",
+            format!(
+                "service {} vs solo {}",
+                service.macro_iterations, solo.macro_iterations
+            ),
+        );
+    }
+    if service.stopped_early != solo.stopped_early {
+        push(
+            "stopped_early",
+            format!(
+                "service {} vs solo {}",
+                service.stopped_early, solo.stopped_early
+            ),
+        );
+    }
+    out
+}
+
+/// Checks the isolation contract over a whole drained outcome: every
+/// ok job is re-run solo and diffed bitwise. Returns every divergence
+/// found (empty = isolated). Failed/cancelled jobs are skipped — they
+/// carry no payload to compare.
+pub fn check_outcome(catalog: &Catalog, outcome: &ServiceOutcome) -> Vec<Divergence> {
+    let mut divergences = Vec::new();
+    for completed in &outcome.jobs {
+        let Some(report) = &completed.report else {
+            continue;
+        };
+        let record = if completed.spec.record {
+            RecordMode::Full
+        } else {
+            RecordMode::Off
+        };
+        match solo_report(catalog, &completed.spec, record) {
+            Ok(solo) => {
+                divergences.extend(diff_reports(
+                    &completed.spec,
+                    completed.record.job,
+                    report,
+                    &solo,
+                ));
+            }
+            Err(e) => divergences.push(Divergence {
+                tenant: completed.spec.tenant,
+                job: completed.record.job,
+                field: "solo",
+                detail: format!("solo re-run failed: {e}"),
+            }),
+        }
+    }
+    divergences
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::ProblemId;
+    use crate::service::{Service, ServiceConfig, ServiceMode};
+    use crate::spec::{BackendSpec, DelaySpec, ScheduleSpec};
+    use asynciter_runtime::ApplyPolicy;
+
+    fn mixed_spec(t: u64) -> JobSpec {
+        let problem = ProblemId::ALL[(t as usize) % ProblemId::ALL.len()];
+        let backend = match t % 3 {
+            0 => BackendSpec::Replay {
+                schedule: ScheduleSpec::Chaotic {
+                    k_min: 1,
+                    k_max: 4,
+                    b: 6,
+                },
+            },
+            1 => BackendSpec::Flexible {
+                m: 3,
+                partial: true,
+            },
+            _ => BackendSpec::Cluster {
+                workers: 3,
+                delay: DelaySpec::Jitter { lo: 1, hi: 4 },
+                hold_prob: 0.15,
+                drop_prob: 0.05,
+                policy: ApplyPolicy::KeepFreshest,
+            },
+        };
+        JobSpec {
+            tenant: t,
+            seed: 7_000 + t,
+            problem,
+            backend,
+            record: false,
+        }
+    }
+
+    #[test]
+    fn clean_service_runs_are_isolated() {
+        for mode in [
+            ServiceMode::Deterministic { seed: 3 },
+            ServiceMode::FreeRunning { workers: 3 },
+        ] {
+            let mut svc = Service::new(ServiceConfig {
+                mode,
+                ..ServiceConfig::default()
+            });
+            for t in 0..10 {
+                svc.submit(mixed_spec(t)).unwrap();
+            }
+            let out = svc.drain();
+            assert_eq!(out.doc.completed, 10, "{mode:?}");
+            let divergences = check_outcome(svc.catalog(), &out);
+            assert!(divergences.is_empty(), "{mode:?}: {divergences:?}");
+        }
+    }
+
+    #[test]
+    fn the_planted_scratch_leak_is_caught() {
+        let mut svc = Service::new(ServiceConfig {
+            inject_scratch_leak: true,
+            ..ServiceConfig::default()
+        });
+        // Same-dimension jobs so the recycled buffer is reused as-is.
+        for t in 0..6 {
+            let mut spec = mixed_spec(t * 3); // all replay/jacobi-family stride
+            spec.problem = ProblemId::Jacobi;
+            spec.tenant = t;
+            svc.submit(spec).unwrap();
+        }
+        let out = svc.drain();
+        let divergences = check_outcome(svc.catalog(), &out);
+        assert!(
+            !divergences.is_empty(),
+            "dirty leases must break bit-identity"
+        );
+        let d = &divergences[0];
+        assert!(d.to_string().contains("diverged from the solo run"), "{d}");
+    }
+}

@@ -81,6 +81,8 @@ impl Backend for Sim {
             constraint_violations: 0,
             trace: ctl.record.keeps_trace().then_some(res.trace),
             sim_time: Some(res.end_time),
+            tenant: None,
+            job: None,
             wall,
         })
     }

@@ -71,6 +71,10 @@
 //! - [`mc`] — the bounded exhaustive model checker: every admissible
 //!   interleaving of a small cluster scope, verified (not sampled), with
 //!   shrinker-integrated counterexamples.
+//! - [`service`] — the multi-tenant solver service: bounded admission
+//!   queue with backpressure, pooled scratch workspaces, thousands of
+//!   concurrent per-tenant `Session`s, batched report streaming — with
+//!   tenant isolation proven as bit-identity against solo runs.
 
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
@@ -83,6 +87,7 @@ pub use asynciter_numerics as numerics;
 pub use asynciter_opt as opt;
 pub use asynciter_report as report;
 pub use asynciter_runtime as runtime;
+pub use asynciter_service as service;
 pub use asynciter_sim as sim;
 
 /// One-stop imports for the unified execution API.

@@ -119,3 +119,40 @@ fn per_step_paths_allocate_nothing() {
         );
     }
 }
+
+#[test]
+fn pool_leases_keep_per_step_loops_alloc_free_across_tenants() {
+    // The service layer's extension of the scratch contract: a warmed
+    // `ScratchPool` must hand out workspaces with ZERO heap activity,
+    // so back-to-back tenant jobs on a worker run their per-step loops
+    // allocation-free end to end — lease, stage, iterate, return.
+    use asynciter::runtime::scratch::ScratchPool;
+
+    let logistic = LogisticGradOperator::certified_random(8, 48, 2.0, 3).unwrap();
+    let n = logistic.dim();
+    // The service workspace layout: [x0 staging | operator scratch].
+    let len = n + logistic.scratch_len();
+    let pool = ScratchPool::new();
+    pool.warm(1, len);
+    let x0 = vec![0.1; n];
+    let mut out = vec![0.0; n];
+    let allocs = count_allocs(|| {
+        for _tenant in 0..64 {
+            let mut ws = pool.lease(len);
+            let (stage, scratch) = ws.split_at_mut(n);
+            stage.copy_from_slice(&x0);
+            for _ in 0..50 {
+                logistic.apply_with(stage, &mut out, scratch);
+                let _ = logistic.residual_inf_with(stage, scratch);
+            }
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "{allocs} heap allocations across 64 pooled tenant loops"
+    );
+    let stats = pool.stats();
+    assert_eq!(stats.leases, 64);
+    assert_eq!(stats.created, 1, "the warmed buffer serves every tenant");
+    assert_eq!(stats.reused, 64, "every lease recycled the warmed buffer");
+}

@@ -132,7 +132,7 @@ fn mini_campaign_with_corpus_passes() {
     let report = run_campaign(&cfg);
     assert!(report.passed(), "failures: {:#?}", report.failures);
     assert_eq!(report.witness_rejections, 2, "negative controls missing");
-    assert_eq!(report.corpus_checked, 26, "corpus files not all checked");
+    assert_eq!(report.corpus_checked, 27, "corpus files not all checked");
     assert_eq!(
         report.problems,
         vec!["jacobi", "lasso", "obstacle", "logistic", "network-flow"]
